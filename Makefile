@@ -1,0 +1,27 @@
+# Convenience targets; everything works without make too (see README).
+
+.PHONY: install test test-fast bench repro docs clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artefact into reproduction/ (fast set; add
+# INCLUDE_SLOW=1 for the multi-minute science studies).
+repro:
+	repro-experiment all --output-dir reproduction $(if $(INCLUDE_SLOW),--include-slow,)
+
+docs:
+	python tools/gen_api_index.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/output reproduction
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures and *emits* the
+rendered rows: printed (visible with ``pytest -s``) and written to
+``benchmarks/output/<experiment>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced artefacts on disk next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.figures import write_series_csv
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a reproduced artefact and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print(f"\n=== {experiment_id} ===\n{text}\n")
+
+
+def emit_csv(
+    experiment_id: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Persist a figure's underlying series as benchmarks/output/<id>.csv."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    write_series_csv(OUTPUT_DIR / f"{experiment_id}.csv", header, rows)

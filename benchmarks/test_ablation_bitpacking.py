@@ -1,0 +1,54 @@
+"""Ablation bench: bit-packed strategy storage (DESIGN.md memory choice).
+
+The paper's per-node memory budget is what capped Blue Gene/L runs at
+memory-six (§VI-B-1).  This bench quantifies our packed representation:
+8x smaller strategy views, at a measurable (and acceptable) pack/unpack
+cost, with word-wise Hamming distance thrown in for free.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.game import bitpack
+from repro.game.states import StateSpace
+from repro.machine import bluegene_l
+
+from benchmarks._util import emit
+
+
+def test_ablation_bitpacking(benchmark):
+    space = StateSpace(6)
+    rng = np.random.default_rng(0)
+    tables = rng.integers(0, 2, size=(256, space.n_states), dtype=np.uint8)
+
+    def pack_all():
+        return [bitpack.pack_table(t) for t in tables]
+
+    packed = benchmark(pack_all)
+
+    unpacked_bytes = tables.nbytes
+    packed_bytes = sum(int(w.nbytes) for w in packed)
+    bgl = bluegene_l()
+    n_ssets = 1 << 18  # a quarter-million SSets' strategy view per rank
+    plain = bgl.memory_footprint(6, n_ssets=n_ssets, ssets_per_rank=8).strategy_view
+    tight = bgl.memory_footprint(6, n_ssets=n_ssets, ssets_per_rank=8,
+                                 bit_packed=True).strategy_view
+    rows = [
+        ("256 memory-6 tables, unpacked", f"{unpacked_bytes} B"),
+        ("256 memory-6 tables, packed", f"{packed_bytes} B"),
+        ("compression", f"{unpacked_bytes / packed_bytes:.0f}x"),
+        ("256k-SSet strategy view per rank, unpacked", f"{plain >> 20} MiB"),
+        ("256k-SSet strategy view per rank, packed", f"{tight >> 20} MiB"),
+        ("fits a BG/L rank (256 MiB) unpacked?", plain <= bgl.node.memory_per_rank),
+        ("fits a BG/L rank (256 MiB) packed?", tight <= bgl.node.memory_per_rank),
+    ]
+    emit(
+        "ablation_bitpacking",
+        render_table(["quantity", "value"], rows, title="Ablation - bit-packed strategies"),
+    )
+    assert unpacked_bytes == 8 * packed_bytes
+    # Packing must round-trip.
+    assert np.array_equal(bitpack.unpack_table(packed[0], space.n_states), tables[0])
+    # The packed view rescues a population the plain view cannot hold.
+    assert plain > bgl.node.memory_per_rank
+    assert tight <= bgl.node.memory_per_rank

@@ -1,0 +1,39 @@
+"""Ablation bench: custom rank mappings for non-power-of-two partitions.
+
+The paper's §VI-E future work: "investigate custom mappings to help the
+performance for non-powers-of-2 partition sizes."  This bench carries it
+out at a scaled node count: the balanced-factorisation torus plus a
+boustrophedon (snake) rank order removes every consecutive-rank wrap jump
+that the default xyzt order pays.
+"""
+
+from repro.analysis.report import render_table
+from repro.machine.mapping import compare_mappings
+
+from benchmarks._util import emit
+
+
+def test_ablation_rank_mapping(benchmark):
+    # 1,152 = 2^7 x 3^2: non-power-of-two, factors like the 72-rack machine.
+    results = benchmark(lambda: compare_mappings(1152))
+    rows = [
+        (
+            m.name,
+            f"{m.mean_consecutive_hops:.2f}",
+            m.max_consecutive_hops,
+            f"{m.mean_hops_to_nature:.2f}",
+        )
+        for m in results
+    ]
+    emit(
+        "ablation_rank_mapping",
+        render_table(
+            ["mapping", "mean hops r->r+1", "max hops r->r+1", "mean hops to Nature"],
+            rows,
+            title="Future-work ablation - rank mappings on a 1,152-node torus",
+        ),
+    )
+    by_name = {m.name: m for m in results}
+    assert by_name["snake"].mean_consecutive_hops == 1.0
+    assert by_name["xyzt"].mean_consecutive_hops > by_name["snake"].mean_consecutive_hops
+    assert by_name["xyzt"].max_consecutive_hops > 1

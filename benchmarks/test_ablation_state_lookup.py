@@ -1,0 +1,28 @@
+"""Ablation bench: the paper's state-identification bottleneck (§VI-B-1).
+
+The paper attributes the runtime growth of Fig. 4 to per-round state
+identification — its ``find_state`` scans the full ``4**n``-row states
+table every round.  This bench measures our implementations of both
+designs: the paper-faithful linear search and the O(1) incremental bit
+tracker, isolating exactly the claimed cost.
+"""
+
+from repro.experiments.measured import measure_memory_runtime
+
+from benchmarks._util import emit
+
+
+def test_ablation_state_lookup(benchmark):
+    result = benchmark.pedantic(
+        measure_memory_runtime,
+        kwargs=dict(memories=(1, 2, 3, 4, 5, 6), rounds=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_state_lookup", result.render())
+    lookup_growth = result.lookup_seconds[6] / result.lookup_seconds[1]
+    incremental_growth = result.incremental_seconds[6] / result.incremental_seconds[1]
+    # The linear search blows up with memory; the incremental tracker
+    # barely moves — confirming (and fixing) the paper's bottleneck.
+    assert lookup_growth > 3
+    assert lookup_growth > 2 * incremental_growth

@@ -1,0 +1,20 @@
+"""Bench: paper §VI-D — the non-power-of-two partition penalty.
+
+"We also successfully scaled the code to the full 72 racks (294,912
+processors), however, we saw a 15% degradation in efficiency."
+"""
+
+import pytest
+
+from repro.experiments.large_scale import run_nonpow2_discussion
+
+from benchmarks._util import emit
+
+
+def test_discussion_nonpow2(benchmark):
+    result, drop = benchmark(run_nonpow2_discussion)
+    emit(
+        "nonpow2",
+        result.render() + f"\nmodelled efficiency drop: {drop:.1%} (paper: ~15%)",
+    )
+    assert drop == pytest.approx(0.15, abs=0.03)

@@ -1,0 +1,56 @@
+"""Throughput benches for the core engines (not a paper artefact).
+
+Useful regression guards: rounds/second of the vectorised engine, pair
+throughput of the Markov evaluator, and generations/second of the full
+serial driver.
+"""
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.game.markov import expected_pair_payoffs
+from repro.game.states import StateSpace
+from repro.game.vector_engine import VectorEngine
+from repro.population.dynamics import EvolutionDriver
+
+
+def test_vector_engine_memory_one(benchmark):
+    sp = StateSpace(1)
+    rng = np.random.default_rng(0)
+    mat = rng.integers(0, 2, size=(128, sp.n_states), dtype=np.uint8)
+    engine = VectorEngine(sp, rounds=200)
+    ia, ib = engine.round_robin_pairs(128)
+
+    result = benchmark(lambda: engine.play(mat, ia, ib))
+    assert result.n_games == 128 * 127 // 2
+
+
+def test_vector_engine_memory_six(benchmark):
+    sp = StateSpace(6)
+    rng = np.random.default_rng(0)
+    mat = rng.integers(0, 2, size=(32, sp.n_states), dtype=np.uint8)
+    engine = VectorEngine(sp, rounds=200)
+    ia, ib = engine.round_robin_pairs(32)
+
+    result = benchmark(lambda: engine.play(mat, ia, ib))
+    assert result.n_games == 32 * 31 // 2
+
+
+def test_markov_expected_memory_one(benchmark):
+    sp = StateSpace(1)
+    rng = np.random.default_rng(0)
+    mat = rng.random((64, sp.n_states))
+    iu, ju = np.triu_indices(64, k=1)
+
+    ea, eb = benchmark(lambda: expected_pair_payoffs(sp, mat, iu, ju, rounds=200))
+    assert ea.shape == iu.shape
+
+
+def test_serial_driver_generations(benchmark):
+    cfg = SimulationConfig(memory=1, n_ssets=32, generations=100, seed=0)
+
+    def run():
+        return EvolutionDriver(cfg).run()
+
+    result = benchmark(run)
+    assert result.generation == 100

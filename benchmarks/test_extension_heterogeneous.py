@@ -1,0 +1,45 @@
+"""Extension bench: heterogeneous GPU-CPU execution (paper §VI-E future work).
+
+"We also plan to implement our method on heterogeneous GPU-CPU clusters" —
+modelled: the game kernel offloads at 25x with 2 ms/generation overhead.
+The emitted table shows the Amdahl shape: modest gains where the kernel is
+tiny (memory-one at high rank counts), near-kernel-bound gains at
+memory-six.
+"""
+
+from repro.analysis.report import render_table
+from repro.machine.bluegene import bluegene_l
+from repro.perf.cost_model import paper_bgl
+from repro.perf.heterogeneous import GPU_2012, hybrid_speedup_by_memory
+
+from benchmarks._util import emit
+
+
+def test_extension_heterogeneous(benchmark):
+    def sweep():
+        return {
+            procs: hybrid_speedup_by_memory(bluegene_l(), paper_bgl(), GPU_2012, procs)
+            for procs in (128, 2048)
+        }
+
+    results = benchmark(sweep)
+    rows = []
+    for procs, table in results.items():
+        for memory, host, hybrid, speedup in table:
+            rows.append((f"memory-{memory} @ {procs}p", f"{host:.1f}",
+                         f"{hybrid:.1f}", f"{speedup:.2f}x"))
+    emit(
+        "extension_heterogeneous",
+        render_table(
+            ["workload", "host (s)", "hybrid (s)", "speedup"],
+            rows,
+            title=f"Future-work extension - {GPU_2012.name} offload"
+                  f" ({GPU_2012.kernel_speedup:g}x kernel,"
+                  f" {GPU_2012.offload_overhead * 1e3:g} ms/gen overhead)",
+        ),
+    )
+    at_128 = {m: s for m, _, _, s in results[128]}
+    at_2048 = {m: s for m, _, _, s in results[2048]}
+    assert at_128[6] > 20          # near the kernel bound
+    assert at_2048[1] < 2          # overhead eats tiny kernels
+    assert at_128[1] < at_128[6]   # the Amdahl shape

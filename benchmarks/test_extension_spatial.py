@@ -1,0 +1,45 @@
+"""Extension bench: spatial game dynamics (the paper's ref [30] lineage).
+
+Quantitative anchor: from random initial conditions in the chaotic regime
+(b = 1.9), the Nowak-May lattice converges to cooperation fraction
+12·ln2 − 8 ≈ 0.318 regardless of starting density — reproduced here on a
+99x99 torus.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.spatial import Lattice, NowakMayGame
+
+from benchmarks._util import emit
+
+ASYMPTOTE = 12 * np.log(2) - 8
+
+
+def _converged_fractions() -> dict[float, float]:
+    lattice = Lattice(99, 99)
+    rng = np.random.default_rng(1)
+    out = {}
+    for p_defect in (0.1, 0.5):
+        game = NowakMayGame(lattice, b=1.9, grid=lattice.random_grid(rng, p_defect))
+        series = game.run(200)
+        out[p_defect] = float(np.mean(series[-20:]))
+    return out
+
+
+def test_extension_spatial(benchmark):
+    fractions = benchmark.pedantic(_converged_fractions, rounds=1, iterations=1)
+    rows = [
+        (f"{p:.0%} initial defectors", f"{frac:.3f}", f"{ASYMPTOTE:.3f}")
+        for p, frac in fractions.items()
+    ]
+    emit(
+        "extension_spatial",
+        render_table(
+            ["start", "cooperation (converged)", "Nowak-May asymptote"],
+            rows,
+            title="Extension - spatial PD chaotic regime (b=1.9, 99x99 torus)",
+        ),
+    )
+    for frac in fractions.values():
+        assert abs(frac - ASYMPTOTE) < 0.05

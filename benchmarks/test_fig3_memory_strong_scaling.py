@@ -1,0 +1,25 @@
+"""Bench: paper Fig. 3 — strong-scaling efficiency per memory depth.
+
+The paper's headline: "the parallel efficiency does not change very much
+with increasing number of memory steps".
+"""
+
+from repro.experiments.memory_scaling import run_fig3
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_fig3_memory_strong_scaling(benchmark):
+    result = benchmark(run_fig3)
+    emit("fig3", result.render_fig3())
+    emit_csv(
+        "fig3",
+        ["memory", *[str(p) for p in result.proc_counts]],
+        [(m, *result.efficiency[m]) for m in sorted(result.efficiency)],
+    )
+    # Efficiency at 2,048 processors varies by < 5 points across memory 2..6.
+    final = [result.efficiency[m][-1] for m in range(2, 7)]
+    assert max(final) - min(final) < 0.05
+    # Memory-one is the outlier (tiny compute, overhead-dominated) — the
+    # published Table VI shows the same effect.
+    assert result.efficiency[1][-1] < result.efficiency[6][-1]

@@ -1,0 +1,33 @@
+"""Bench: paper Fig. 4 — runtime growth with memory steps.
+
+Two complementary reproductions: the modelled curve at paper scale (from
+the Table VI constants) and a live measurement of this package's own
+engines (see also ``test_ablation_state_lookup.py``).
+"""
+
+from repro.experiments.measured import measure_memory_runtime
+from repro.experiments.memory_scaling import run_fig4
+
+from benchmarks._util import emit
+
+
+def test_fig4_modelled(benchmark):
+    result = benchmark(run_fig4)
+    emit("fig4_model", result.render_fig4(procs=128))
+    col = [result.seconds[m][0] for m in range(1, 7)]
+    # Monotone growth, with the paper's big jumps at memory 2 and 5.
+    assert col == sorted(col)
+    assert col[1] / col[0] > 40
+    assert col[4] / col[3] > 2
+
+
+def test_fig4_measured(benchmark):
+    result = benchmark.pedantic(
+        measure_memory_runtime,
+        kwargs=dict(memories=(1, 2, 3, 4, 5, 6), rounds=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig4_measured", result.render())
+    # The measured lookup engine reproduces the growth shape.
+    assert result.lookup_seconds[6] > 3 * result.lookup_seconds[1]

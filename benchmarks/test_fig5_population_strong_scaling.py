@@ -1,0 +1,24 @@
+"""Bench: paper Fig. 5 — strong scaling vs population size.
+
+The paper: "As the population size grows, the impact of increasing the
+number of processors for the simulation increases."
+"""
+
+from repro.experiments.population_scaling import run_fig5
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_fig5_population_strong_scaling(benchmark):
+    result = benchmark(run_fig5)
+    emit("fig5", result.render_fig5())
+    emit_csv(
+        "fig5",
+        ["n_ssets", *[str(p) for p in result.proc_counts]],
+        [(n, *result.efficiency[n]) for n in sorted(result.efficiency)],
+    )
+    final_column = [result.efficiency[n][-1] for n in sorted(result.efficiency)]
+    # Efficiency at 2,048 processors improves monotonically with SSets.
+    assert final_column == sorted(final_column)
+    assert final_column[-1] > 0.9   # 32,768 SSets scale nearly perfectly
+    assert final_column[0] < 0.75   # 1,024 SSets are overhead-bound

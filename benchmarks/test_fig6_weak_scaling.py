@@ -1,0 +1,23 @@
+"""Bench: paper Fig. 6 — weak scaling at 4,096 SSets per processor.
+
+The paper: runtime "fluctuated by at most 1 second as we scale from 1,024
+processors up to the full 262,144 processors".
+"""
+
+from repro.experiments.large_scale import run_fig6_weak_scaling
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_fig6_weak_scaling(benchmark):
+    result = benchmark(run_fig6_weak_scaling)
+    emit("fig6", result.render())
+    emit_csv(
+        "fig6",
+        ["processors", "seconds", "efficiency"],
+        [(pt.n_ranks, pt.seconds, pt.efficiency) for pt in result.points],
+    )
+    times = [pt.seconds for pt in result.points]
+    assert max(times) - min(times) < 0.01 * max(times)
+    assert all(abs(pt.efficiency - 1.0) < 0.01 for pt in result.points)
+    assert result.points[-1].n_ranks == 262144

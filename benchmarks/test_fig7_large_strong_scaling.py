@@ -1,0 +1,27 @@
+"""Bench: paper Fig. 7 — strong scaling for large systems.
+
+Published anchors: "Through 16,384 processors, 99% linear scaling is
+maintained" and "82% scaling efficiency exhibited at 262,144 processors".
+"""
+
+import pytest
+
+from repro.experiments.large_scale import PAPER_FIG7_EFFICIENCY, run_fig7_strong_scaling
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_fig7_large_strong_scaling(benchmark):
+    result = benchmark(run_fig7_strong_scaling)
+    emit("fig7", result.render())
+    emit_csv(
+        "fig7",
+        ["processors", "seconds", "speedup", "efficiency"],
+        [(pt.n_ranks, pt.seconds, pt.speedup, pt.efficiency) for pt in result.points],
+    )
+    eff = result.efficiencies()
+    for procs, published in PAPER_FIG7_EFFICIENCY.items():
+        assert eff[procs] == pytest.approx(published, abs=0.02), procs
+    # Efficiency decays monotonically with processors.
+    effs = [pt.efficiency for pt in result.points]
+    assert effs == sorted(effs, reverse=True)

@@ -1,0 +1,63 @@
+"""Sensitivity bench: what moves Fig. 7's efficiency knee.
+
+The paper attributes its 262,144-processor efficiency drop to "the low
+ratio of SSets to processors".  The model makes that claim quantitative:
+sweeping per-SSet game counts (more work per rank) pushes the knee out,
+and inflating the per-generation overhead pulls it in.  The emitted table
+is the sensitivity surface behind the headline 82%.
+"""
+
+from repro.analysis.report import render_table
+from repro.machine.bluegene import bluegene_p
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import CostModel, paper_bgp
+from repro.perf.scaling import strong_scaling
+from repro.perf.workload import WorkloadSpec
+
+from benchmarks._util import emit
+
+
+def _efficiency_at_full_machine(games_per_sset: int, overhead_scale: float) -> float:
+    base = paper_bgp()
+    costs = CostModel(
+        round_base=base.round_base,
+        state_search_per_state=base.state_search_per_state,
+        state_incremental=base.state_incremental,
+        per_game_overhead=base.per_game_overhead,
+        per_generation_overhead=base.per_generation_overhead * overhead_scale,
+        per_memory_round_override=base.per_memory_round_override,
+        label=f"bgp-x{overhead_scale:g}",
+    )
+    model = AnalyticModel(bluegene_p(), costs)
+    workload = WorkloadSpec(
+        n_ssets=262144, games_per_sset=games_per_sset, memory=6,
+        rounds=200, generations=100, pc_rate=0.01,
+    )
+    points = strong_scaling(model, workload, [1024, 262144])
+    return points[-1].efficiency
+
+
+def test_sensitivity_fig7(benchmark):
+    def sweep():
+        rows = []
+        for games in (2, 10, 50):
+            for scale in (0.5, 1.0, 2.0):
+                rows.append((games, scale, _efficiency_at_full_machine(games, scale)))
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "sensitivity_fig7",
+        render_table(
+            ["games/SSet", "overhead x", "efficiency @262,144"],
+            [(g, f"{s:g}", f"{e:.3f}") for g, s, e in rows],
+            title="Sensitivity - Fig. 7 efficiency vs per-rank work and overhead",
+        ),
+    )
+    by_key = {(g, s): e for g, s, e in rows}
+    # More work per rank -> better efficiency at fixed overhead.
+    assert by_key[(2, 1.0)] < by_key[(10, 1.0)] < by_key[(50, 1.0)]
+    # More overhead -> worse efficiency at fixed work.
+    assert by_key[(10, 2.0)] < by_key[(10, 1.0)] < by_key[(10, 0.5)]
+    # The published operating point sits at (10, 1.0) ~ 0.82.
+    assert abs(by_key[(10, 1.0)] - 0.82) < 0.02

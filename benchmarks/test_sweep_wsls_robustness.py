@@ -1,0 +1,31 @@
+"""Factor-study bench: WSLS emergence vs selection intensity and mutation.
+
+The paper's mission statement — "assess the importance of factors" — run
+as a sweep over the Fig. 2 validation's two main knobs.  The reproduced
+qualitative finding: WSLS dominance is robust across moderate selection
+intensities but dissolves when mutation floods the population faster than
+learning can purify it.  (~2 min.)
+"""
+
+from repro.experiments.sweeps import wsls_robustness_sweep
+
+from benchmarks._util import emit
+
+
+def test_sweep_wsls_robustness(benchmark):
+    result = benchmark.pedantic(
+        wsls_robustness_sweep,
+        kwargs=dict(
+            betas=(0.01, 0.1), mutation_rates=(0.02, 0.2),
+            n_ssets=16, generations=30_000, seeds=(1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sweep_wsls_robustness", result.render())
+    # Heavy mutation (0.2/generation on 16 SSets) must suppress WSLS
+    # dominance relative to the validation's operating point.
+    for beta in (0.01, 0.1):
+        assert result.cell(beta, 0.2) < max(0.5, result.cell(beta, 0.02) + 0.01)
+    # At the operating point, WSLS is a major presence for some beta.
+    assert max(result.cell(b, 0.02) for b in (0.01, 0.1)) > 0.4

@@ -1,0 +1,15 @@
+"""Bench: paper Table I — the Prisoner's Dilemma payoff matrix."""
+
+from repro.experiments.tables import table1_payoff
+from repro.game.payoff import PAPER_PAYOFFS
+
+from benchmarks._util import emit
+
+
+def test_table1_payoff(benchmark):
+    text = benchmark(table1_payoff)
+    emit("table1", text)
+    # The dilemma ordering the whole paper rests on.
+    r, s, t, p = PAPER_PAYOFFS.as_fRSTP()
+    assert t > r > p > s
+    assert (r, s, t, p) == (3, 0, 4, 1)

@@ -1,0 +1,11 @@
+"""Bench: paper Table II — the four memory-one game states."""
+
+from repro.experiments.tables import table2_states
+
+from benchmarks._util import emit
+
+
+def test_table2_states(benchmark):
+    rows, text = benchmark(table2_states)
+    emit("table2", text)
+    assert rows == [(1, "C", "C"), (2, "C", "D"), (3, "D", "C"), (4, "D", "D")]

@@ -1,0 +1,14 @@
+"""Bench: paper Table III — all sixteen memory-one pure strategies."""
+
+from repro.experiments.tables import table3_strategies
+
+from benchmarks._util import emit
+
+
+def test_table3_strategies(benchmark):
+    rows, text = benchmark(table3_strategies)
+    emit("table3", text)
+    assert len(rows) == 16
+    assert rows[0][1:] == ("C", "C", "C", "C")
+    assert rows[15][1:] == ("D", "D", "D", "D")
+    assert len({r[1:] for r in rows}) == 16

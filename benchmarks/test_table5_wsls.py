@@ -1,0 +1,12 @@
+"""Bench: paper Table V — the WSLS strategy table (memory-one)."""
+
+from repro.experiments.tables import table5_wsls
+
+from benchmarks._util import emit
+
+
+def test_table5_wsls(benchmark):
+    rows, text = benchmark(table5_wsls)
+    emit("table5", text)
+    # Paper order 00, 01, 11, 10 -> strategy column 0, 1, 0, 1.
+    assert [r[2] for r in rows] == [0, 1, 0, 1]

@@ -1,0 +1,28 @@
+"""Bench: paper Table VI — runtime vs memory steps across processor counts.
+
+Regenerated through the analytic model with the Blue-Gene/L-fitted
+constants; the emitted table interleaves modelled and published rows.
+"""
+
+import pytest
+
+from repro.experiments.memory_scaling import PAPER_TABLE6, run_table6
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_table6_memory_runtime(benchmark):
+    result = benchmark(run_table6)
+    emit("table6", result.render_table6())
+    emit_csv(
+        "table6",
+        ["memory", *[str(p) for p in result.proc_counts]],
+        [(m, *result.seconds[m]) for m in sorted(result.seconds)],
+    )
+    # Shape checks against the published table: monotone growth with
+    # memory, monotone decay with processors, every cell within 35%.
+    for mem, row in PAPER_TABLE6.items():
+        modelled = result.seconds[mem]
+        assert list(modelled) == sorted(modelled, reverse=True)
+        for ours, published in zip(modelled, row):
+            assert ours == pytest.approx(published, rel=0.35), (mem, published)

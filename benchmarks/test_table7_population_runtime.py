@@ -1,0 +1,30 @@
+"""Bench: paper Table VII — runtime vs population size.
+
+The model is fitted to one cell (1,024 SSets at 256 processors) plus an
+overhead floor; the remaining published grid is *predicted* — the emitted
+table shows modelled and published rows side by side.
+"""
+
+import pytest
+
+from repro.experiments.population_scaling import PAPER_TABLE7, run_table7
+
+from benchmarks._util import emit, emit_csv
+
+
+def test_table7_population_runtime(benchmark):
+    result = benchmark(run_table7)
+    emit("table7", result.render_table7())
+    emit_csv(
+        "table7",
+        ["n_ssets", *[str(p) for p in result.proc_counts]],
+        [(n, *result.seconds[n]) for n in sorted(result.seconds)],
+    )
+    for n_ssets, row in PAPER_TABLE7.items():
+        for ours, published in zip(result.seconds[n_ssets], row):
+            assert ours == pytest.approx(published, rel=0.2), (n_ssets, published)
+    # Quadratic growth in SSets ("grows with the square of the number of
+    # SSets"): 32x SSets -> ~1000x runtime at fixed processors.
+    assert result.seconds[32768][0] / result.seconds[1024][0] == pytest.approx(
+        1024, rel=0.15
+    )

@@ -1,0 +1,25 @@
+"""Bench: paper Table VIII — agents handled per processor.
+
+The published table is internally corrupted (its 1,024-processor column
+exceeds its 256-processor column); we emit the self-consistent
+``ceil(SSets^2 / processors)`` and check the uncorrupted 256 column.
+"""
+
+from repro.experiments.tables import table8_agents
+from repro.parallel.decomposition import agents_per_processor
+
+from benchmarks._util import emit
+
+
+def test_table8_agents_per_proc(benchmark):
+    rows, text = benchmark(table8_agents)
+    emit("table8", text)
+    published_256_column = {
+        1024: 4096, 2048: 16384, 4096: 65536,
+        8192: 262144, 16384: 1048576, 32768: 4194304,
+    }
+    for s, expected in published_256_column.items():
+        assert agents_per_processor(s, 256) == expected
+    # And each of our rows decreases with processors, as it must.
+    for _, vals in rows:
+        assert vals == sorted(vals, reverse=True)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""The memory-step study (paper Table VI / Figs. 3-4), both modelled and live.
+
+First regenerates the paper's Blue Gene/L table through the analytic
+performance model, then measures this machine's own engines across memory
+depths — including the paper-faithful linear state search whose cost growth
+is the whole story of Fig. 4.
+
+Run:  python examples/memory_study.py
+"""
+
+from repro.experiments.measured import measure_memory_runtime
+from repro.experiments.memory_scaling import run_table6
+
+
+def main() -> None:
+    print("Modelled at paper scale (Blue Gene/L constants fitted to Table VI):\n")
+    result = run_table6()
+    print(result.render_table6())
+    print()
+    print(result.render_fig3())
+    print()
+    print(result.render_fig4(procs=128))
+
+    print("\nMeasured live on this machine (30-round games):\n")
+    measured = measure_memory_runtime(memories=(1, 2, 3, 4, 5, 6), rounds=30)
+    print(measured.render())
+    print(
+        "\nThe 'lookup' column is the paper's per-round linear state search"
+        " (its declared bottleneck); 'incremental' is this package's O(1)"
+        " state tracker.  The growth ratio is the reproduced Fig. 4 shape."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: play classic IPD matchups, then evolve a small population.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EvolutionDriver,
+    PAPER_PAYOFFS,
+    SimulationConfig,
+    named_strategy,
+    play_ipd,
+)
+from repro.analysis.metrics import classify_against_named
+from repro.analysis.snapshots import render_population
+
+
+def classic_matchups() -> None:
+    """Single games between the classics, under the paper's payoffs."""
+    print("Payoff matrix (paper Table I):")
+    print(PAPER_PAYOFFS.render())
+    print()
+    pairs = [("TFT", "ALLD"), ("TFT", "TFT"), ("WSLS", "WSLS"), ("ALLC", "ALLD")]
+    print(f"{'matchup':<16} {'fitness A':>10} {'fitness B':>10}  (200 rounds)")
+    for a, b in pairs:
+        result = play_ipd(named_strategy(a), named_strategy(b))
+        print(f"{a + ' vs ' + b:<16} {result.fitness_a:>10.0f} {result.fitness_b:>10.0f}")
+    print()
+
+
+def evolve_small_population() -> None:
+    """A few hundred generations of the paper's population dynamics."""
+    config = SimulationConfig(
+        memory=1,          # memory-one strategies (4 states, 16 pure strategies)
+        n_ssets=32,        # 32 Strategy Sets
+        generations=2000,  # pairwise comparison at 10%, mutation at 5%
+        seed=7,
+    )
+    driver = EvolutionDriver(config)
+    print(f"evolving: {config.n_ssets} SSets, memory-{config.memory},"
+          f" {config.generations} generations")
+    result = driver.run()
+    print(f"PC events: {result.n_pc_events}, adoptions: {result.n_adoptions},"
+          f" mutations: {result.n_mutations}")
+    matrix = result.population.matrix()
+    print(f"distinct strategies left: {result.population.n_unique}")
+    print("\nfinal population (rows = SSets, cols = states CC,CD,DC,DD):")
+    print(render_population(matrix, max_rows=16))
+    print("\nnearest classics:", {
+        k: f"{v:.0%}" for k, v in classify_against_named(matrix, tolerance=0.01).items()
+    })
+
+
+if __name__ == "__main__":
+    classic_matchups()
+    evolve_small_population()

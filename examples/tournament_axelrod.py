@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""An Axelrod-style round-robin tournament of classic strategies.
+
+The paper motivates its framework with Axelrod's tournaments (§III-B),
+where every submitted strategy plays every other and Tit-For-Tat keeps
+winning.  This example reruns that setting on this package's engines —
+noiseless first (TFT's home turf), then with execution errors, where
+Win-Stay Lose-Shift overtakes it (the §III-E story the validation study
+confirms at population scale).
+
+Run:  python examples/tournament_axelrod.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.game.noise import NoiseModel
+from repro.game.states import StateSpace
+from repro.game.strategy import named_strategy
+from repro.game.vector_engine import VectorEngine
+
+ENTRANTS = ["ALLC", "ALLD", "TFT", "WSLS", "GRIM", "GTFT", "RANDOM"]
+
+
+def run_tournament(noise_rate: float, seed: int = 0, repeats: int = 20) -> list[tuple]:
+    """Total fitness per entrant over a full round robin (averaged over repeats)."""
+    space = StateSpace(1)
+    tables = np.vstack([
+        named_strategy(name).table.astype(np.float64) for name in ENTRANTS
+    ])
+    engine = VectorEngine(space, rounds=200, noise=NoiseModel(noise_rate))
+    rng = np.random.default_rng(seed)
+    totals = np.zeros(len(ENTRANTS))
+    for _ in range(repeats):
+        totals += engine.tournament(tables, include_self=True, rng=rng)
+    totals /= repeats
+    ranking = sorted(zip(ENTRANTS, totals), key=lambda kv: -kv[1])
+    return [(name, f"{score:.0f}") for name, score in ranking]
+
+
+def main() -> None:
+    print(render_table(
+        ["strategy", "avg total fitness"],
+        run_tournament(noise_rate=0.0),
+        title="Noiseless round robin (Axelrod's setting)",
+    ))
+    print()
+    print(render_table(
+        ["strategy", "avg total fitness"],
+        run_tournament(noise_rate=0.05),
+        title="With 5% execution errors (the paper's §III-E point)",
+    ))
+    print(
+        "\nUnder errors the retaliatory strategies (TFT, GRIM) fall down the"
+        " table while WSLS and generous TFT hold up — the reason the paper"
+        " cares about memory and robustness."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Massively Parallel Model of Evolutionary Game Dynamics" (SC 2012).
+
+The package implements the paper's two-level framework — local game dynamics
+(memory-*n* Iterated Prisoner's Dilemma between Strategy Sets) and global
+population dynamics (a Nature Agent running Fermi pairwise-comparison
+learning and mutation) — together with the substrates the original ran on:
+a virtual MPI runtime (:mod:`repro.mpi`), a Blue Gene machine model
+(:mod:`repro.machine`), and a performance model (:mod:`repro.perf`) that
+regenerates every scaling table and figure in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, EvolutionDriver
+>>> cfg = SimulationConfig(memory=1, n_ssets=32, generations=200, seed=7)
+>>> driver = EvolutionDriver(cfg)
+>>> final = driver.run()
+>>> final.generation
+200
+"""
+
+from repro.config import SimulationConfig
+from repro.errors import ReproError
+from repro.game import (
+    Move,
+    PayoffMatrix,
+    PAPER_PAYOFFS,
+    StateSpace,
+    Strategy,
+    StrategySpace,
+    named_strategy,
+    play_ipd,
+    VectorEngine,
+)
+from repro.population import EvolutionDriver, Population
+from repro.rng import StreamFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "ReproError",
+    "Move",
+    "PayoffMatrix",
+    "PAPER_PAYOFFS",
+    "StateSpace",
+    "Strategy",
+    "StrategySpace",
+    "named_strategy",
+    "play_ipd",
+    "VectorEngine",
+    "EvolutionDriver",
+    "Population",
+    "StreamFactory",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Analysis tools: clustering, population metrics, snapshot rendering, reports.
+
+* :mod:`repro.analysis.kmeans` — Lloyd k-means (paper ref. [36]).
+* :mod:`repro.analysis.metrics` — WSLS fractions, entropy, cooperativeness.
+* :mod:`repro.analysis.snapshots` — Fig. 2-style population matrix views.
+* :mod:`repro.analysis.report` — text table rendering for benches.
+"""
+
+from repro.analysis.kmeans import KMeansResult, lloyd_kmeans
+from repro.analysis.metrics import (
+    classify_against_named,
+    dominant_strategy,
+    fraction_matching,
+    mean_defection_probability,
+    strategy_distances,
+    strategy_entropy,
+    wsls_fraction,
+)
+from repro.analysis.figures import scaling_points_to_rows, write_matrix_csv, write_series_csv
+from repro.analysis.images import lattice_image, population_image, write_pgm
+from repro.analysis.report import format_seconds, render_series, render_table
+from repro.analysis.snapshots import ClusteredSnapshot, cluster_sorted, render_population
+from repro.analysis.traits import StrategyTraits, population_traits, traits_of
+
+__all__ = [
+    "KMeansResult",
+    "lloyd_kmeans",
+    "classify_against_named",
+    "dominant_strategy",
+    "fraction_matching",
+    "mean_defection_probability",
+    "strategy_distances",
+    "strategy_entropy",
+    "wsls_fraction",
+    "format_seconds",
+    "render_series",
+    "render_table",
+    "ClusteredSnapshot",
+    "cluster_sorted",
+    "render_population",
+    "scaling_points_to_rows",
+    "write_matrix_csv",
+    "write_series_csv",
+    "lattice_image",
+    "population_image",
+    "write_pgm",
+    "StrategyTraits",
+    "population_traits",
+    "traits_of",
+]

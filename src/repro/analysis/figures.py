@@ -1,0 +1,62 @@
+"""Figure-series export: the data behind each figure, as CSV.
+
+The benches render every figure as a text table; for downstream plotting
+(matplotlib, gnuplot, a spreadsheet) these helpers write the underlying
+series as plain CSV.  Each writer returns the path it wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["write_series_csv", "write_matrix_csv", "scaling_points_to_rows"]
+
+
+def write_series_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write an (x, y, ...) series with a header row; returns the path."""
+    if not header:
+        raise ExperimentError("header must not be empty")
+    for row in rows:
+        if len(row) != len(header):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width {len(header)}"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def write_matrix_csv(
+    path: str | Path,
+    row_label: str,
+    col_labels: Sequence[object],
+    rows: Mapping[object, Sequence[object]],
+) -> Path:
+    """Write a labelled table (e.g. memory x processors) as CSV."""
+    header = [row_label, *[str(c) for c in col_labels]]
+    body = []
+    for key in rows:
+        values = rows[key]
+        if len(values) != len(col_labels):
+            raise ExperimentError(
+                f"row {key!r} has {len(values)} values for {len(col_labels)} columns"
+            )
+        body.append([key, *values])
+    return write_series_csv(path, header, body)
+
+
+def scaling_points_to_rows(points) -> list[tuple[int, float, float, float]]:
+    """Flatten :class:`~repro.perf.scaling.ScalingPoint` series for CSV."""
+    return [(pt.n_ranks, pt.seconds, pt.speedup, pt.efficiency) for pt in points]

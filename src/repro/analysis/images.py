@@ -1,0 +1,66 @@
+"""Image export: population snapshots and lattices as portable graymaps.
+
+The paper's Fig. 2 is literally a picture of the population matrix.  These
+writers produce the same pictures as binary PGM files (viewable everywhere,
+zero dependencies): defection probability 0 (cooperate) renders white,
+1 (defect) renders black, and each matrix cell becomes a ``scale x scale``
+pixel block so small populations are still visible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["write_pgm", "population_image", "lattice_image"]
+
+
+def write_pgm(gray: np.ndarray, path: str | Path) -> Path:
+    """Write a (rows, cols) uint8 array as a binary PGM (P5) file."""
+    arr = np.asarray(gray)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ExperimentError(f"image array must be non-empty 2-D, got {arr.shape}")
+    if arr.dtype != np.uint8:
+        raise ExperimentError(f"image array must be uint8, got {arr.dtype}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode()
+    path.write_bytes(header + arr.tobytes())
+    return path
+
+
+def _upscale(arr: np.ndarray, scale: int) -> np.ndarray:
+    if scale < 1:
+        raise ExperimentError(f"scale must be >= 1, got {scale}")
+    return np.repeat(np.repeat(arr, scale, axis=0), scale, axis=1)
+
+
+def population_image(
+    matrix: np.ndarray, path: str | Path, scale: int = 8
+) -> Path:
+    """Render a population strategy matrix like the paper's Fig. 2 panels.
+
+    Rows are SSets, columns are states; cell brightness is the cooperation
+    probability (white = always cooperate, black = always defect).
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ExperimentError(f"population matrix must be non-empty 2-D, got {arr.shape}")
+    if arr.min() < 0 or arr.max() > 1:
+        raise ExperimentError("population matrix entries must lie in [0, 1]")
+    gray = np.round((1.0 - arr) * 255).astype(np.uint8)
+    return write_pgm(_upscale(gray, scale), path)
+
+
+def lattice_image(grid: np.ndarray, path: str | Path, scale: int = 4) -> Path:
+    """Render a spatial 0/1 (C/D) grid: cooperators white, defectors black."""
+    arr = np.asarray(grid)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ExperimentError(f"grid must be non-empty 2-D, got {arr.shape}")
+    if arr.size and set(np.unique(arr)) - {0, 1}:
+        raise ExperimentError("grid entries must be 0 (C) or 1 (D)")
+    gray = np.where(arr == 0, 255, 0).astype(np.uint8)
+    return write_pgm(_upscale(gray, scale), path)

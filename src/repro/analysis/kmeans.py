@@ -1,0 +1,152 @@
+"""Lloyd's k-means clustering (paper §VI-A, ref. [36]).
+
+The paper clusters the final population's strategy vectors with Lloyd
+k-means so dominant strategies stand out in the Fig. 2 rendering ("the data
+has been clustered using Lloyd k-means clustering, allowing strategies that
+are more prevalent to be more easily identified").  We implement the
+algorithm from scratch: k-means++ seeding, alternating assignment and
+centroid updates, empty clusters reseeded to the farthest point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["KMeansResult", "lloyd_kmeans"]
+
+
+class KMeansError(ReproError, ValueError):
+    """Invalid k-means inputs."""
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome.
+
+    Attributes
+    ----------
+    centroids:
+        (k, d) cluster centres.
+    labels:
+        (n,) cluster index per point.
+    inertia:
+        Sum of squared distances of points to their centroids.
+    iterations:
+        Lloyd iterations executed.
+    converged:
+        True when assignments stopped changing before the iteration cap.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.centroids.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Points per cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _kmeanspp_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centroids[0] = data[first]
+    d2 = ((data - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            centroids[j:] = data[int(rng.integers(0, n))]
+            break
+        probs = d2 / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[j] = data[choice]
+        d2 = np.minimum(d2, ((data - centroids[j]) ** 2).sum(axis=1))
+    return centroids
+
+
+def lloyd_kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 300,
+    n_init: int = 3,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups with Lloyd's algorithm.
+
+    Parameters
+    ----------
+    data:
+        (n, d) float array of points (strategy vectors here).
+    k:
+        Cluster count, 1 <= k <= n.
+    rng:
+        Seeding randomness; defaults to a fixed-seed generator so the
+        clustering itself is reproducible.
+    max_iter:
+        Iteration cap per restart.
+    n_init:
+        Independent k-means++ restarts; the lowest-inertia run wins.
+
+    Returns
+    -------
+    KMeansResult
+    """
+    pts = np.asarray(data, dtype=np.float64)
+    if pts.ndim != 2 or pts.size == 0:
+        raise KMeansError(f"data must be a non-empty 2-D array, got shape {pts.shape}")
+    n = pts.shape[0]
+    if not 1 <= k <= n:
+        raise KMeansError(f"k must be in [1, {n}], got {k}")
+    if max_iter < 1 or n_init < 1:
+        raise KMeansError("max_iter and n_init must be positive")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    best: KMeansResult | None = None
+    for _restart in range(n_init):
+        centroids = _kmeanspp_init(pts, k, rng)
+        labels = np.zeros(n, dtype=np.intp)
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            # Assignment step.
+            d2 = ((pts[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            new_labels = d2.argmin(axis=1)
+            # Update step, reseeding empty clusters to the farthest point.
+            for j in range(k):
+                members = pts[new_labels == j]
+                if members.size:
+                    centroids[j] = members.mean(axis=0)
+                else:
+                    worst = int(d2.min(axis=1).argmax())
+                    centroids[j] = pts[worst]
+                    new_labels[worst] = j
+            if np.array_equal(new_labels, labels) and it > 1:
+                converged = True
+                labels = new_labels
+                break
+            labels = new_labels
+        d2 = ((pts - centroids[labels]) ** 2).sum(axis=1)
+        result = KMeansResult(
+            centroids=centroids.copy(),
+            labels=labels.copy(),
+            inertia=float(d2.sum()),
+            iterations=it,
+            converged=converged,
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

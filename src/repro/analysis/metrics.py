@@ -1,0 +1,116 @@
+"""Population-level metrics: who plays what, how cooperative is the world.
+
+These are the quantities the paper's validation study reads off Fig. 2 —
+"85% of all SSets have adopted the strategy of [0101], which is WSLS" —
+plus standard summaries (cooperativeness, strategy entropy, distance to
+named classics).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import PopulationError
+from repro.game.strategy import Strategy, named_strategy
+
+__all__ = [
+    "strategy_distances",
+    "fraction_matching",
+    "wsls_fraction",
+    "dominant_strategy",
+    "mean_defection_probability",
+    "strategy_entropy",
+    "classify_against_named",
+]
+
+
+def _check_matrix(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise PopulationError(f"population matrix must be non-empty 2-D, got {arr.shape}")
+    return arr
+
+
+def strategy_distances(matrix: np.ndarray, target: Strategy | np.ndarray) -> np.ndarray:
+    """Mean absolute per-state deviation of each SSet's strategy from ``target``."""
+    arr = _check_matrix(matrix)
+    tgt = np.asarray(target.table if isinstance(target, Strategy) else target, dtype=np.float64)
+    if tgt.shape != (arr.shape[1],):
+        raise PopulationError(
+            f"target has {tgt.shape} entries, matrix rows have {arr.shape[1]}"
+        )
+    return np.abs(arr - tgt).mean(axis=1)
+
+
+def fraction_matching(
+    matrix: np.ndarray, target: Strategy | np.ndarray, tolerance: float = 0.15
+) -> float:
+    """Fraction of SSets whose strategy sits within ``tolerance`` of ``target``.
+
+    For mixed strategies the tolerance absorbs the probabilistic fuzz around
+    a pure attractor (the paper's near-WSLS cluster); for pure strategies
+    use a tolerance below ``1 / n_states`` to demand exact equality.
+    """
+    if not 0 <= tolerance < 1:
+        raise PopulationError(f"tolerance must lie in [0, 1), got {tolerance}")
+    return float((strategy_distances(matrix, target) <= tolerance).mean())
+
+
+def wsls_fraction(matrix: np.ndarray, tolerance: float = 0.15) -> float:
+    """Fraction of SSets playing (approximately) Win-Stay Lose-Shift.
+
+    The memory depth is inferred from the matrix width.
+    """
+    arr = _check_matrix(matrix)
+    memory = int(round(math.log(arr.shape[1], 4)))
+    return fraction_matching(arr, named_strategy("WSLS", memory), tolerance)
+
+
+def dominant_strategy(matrix: np.ndarray, decimals: int = 2) -> tuple[np.ndarray, float]:
+    """The most common strategy (rounded to ``decimals``) and its frequency."""
+    arr = _check_matrix(matrix)
+    rounded = np.round(arr, decimals)
+    uniq, counts = np.unique(rounded, axis=0, return_counts=True)
+    best = int(counts.argmax())
+    return uniq[best], float(counts[best] / arr.shape[0])
+
+
+def mean_defection_probability(matrix: np.ndarray) -> float:
+    """Population mean of per-state defection probability (0 = saintly)."""
+    return float(_check_matrix(matrix).mean())
+
+
+def strategy_entropy(matrix: np.ndarray, decimals: int = 2) -> float:
+    """Shannon entropy (bits) of the rounded-strategy distribution.
+
+    0 for a monomorphic population, ``log2(n_ssets)`` when every SSet is
+    unique — a convergence diagnostic for the evolution runs.
+    """
+    arr = _check_matrix(matrix)
+    _, counts = np.unique(np.round(arr, decimals), axis=0, return_counts=True)
+    probs = counts / counts.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def classify_against_named(
+    matrix: np.ndarray, tolerance: float = 0.15
+) -> dict[str, float]:
+    """Fraction of SSets near each classic named strategy.
+
+    Buckets are not exclusive (a strategy can be near two classics at loose
+    tolerance); the ``"other"`` entry counts SSets near none of them.
+    """
+    arr = _check_matrix(matrix)
+    memory = int(round(math.log(arr.shape[1], 4)))
+    names = ["ALLC", "ALLD", "TFT", "WSLS", "GRIM"]
+    out: dict[str, float] = {}
+    near_any = np.zeros(arr.shape[0], dtype=bool)
+    for name in names:
+        dist = strategy_distances(arr, named_strategy(name, memory))
+        hit = dist <= tolerance
+        out[name] = float(hit.mean())
+        near_any |= hit
+    out["other"] = float((~near_any).mean())
+    return out

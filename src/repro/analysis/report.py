@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment drivers and benches.
+
+Every table/figure bench prints its rows through these helpers so the
+output reads like the paper's tables next to our measured/modelled values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Compact time formatting: µs/ms/s picked by magnitude."""
+    if value < 0:
+        return f"-{format_seconds(-value)}"
+    if value < 1e-3:
+        return f"{value * 1e6:.2f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    if value < 600:
+        return f"{value:.2f}s"
+    return f"{value / 60:.1f}min"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Align ``rows`` under ``headers`` (first column left, rest right)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(cells):
+        parts = [
+            row[0].ljust(widths[0]) if len(row) > 0 else "",
+        ] + [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        lines.append("  ".join(parts))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    pairs: Sequence[tuple[object, object]], x_label: str = "x", y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Two-column rendering of an (x, y) series — figure data in text form."""
+    return render_table([x_label, y_label], pairs, title=title)

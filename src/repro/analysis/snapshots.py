@@ -1,0 +1,98 @@
+"""Population snapshot views — the data behind the paper's Figure 2.
+
+Fig. 2 renders the population as a matrix: one row per SSet's strategy, one
+column per state, colour = move (yellow C / blue D).  Panel (a) is the
+random initial population; panel (b) the final population with rows grouped
+by Lloyd k-means cluster so the dominant (WSLS) block is visible.
+
+Terminals don't do colour reliably, so :func:`render_population` draws the
+same matrix in characters ('.' = cooperate, '#' = defect, digits for
+intermediate probabilities), and :func:`cluster_sorted` produces the
+cluster-grouped row order of panel (b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.kmeans import KMeansResult, lloyd_kmeans
+from repro.errors import PopulationError
+
+__all__ = ["ClusteredSnapshot", "cluster_sorted", "render_population"]
+
+
+@dataclass(frozen=True)
+class ClusteredSnapshot:
+    """A population matrix reordered by cluster (Fig. 2(b)'s layout).
+
+    Attributes
+    ----------
+    matrix:
+        Rows reordered so same-cluster SSets are adjacent, largest cluster
+        first.
+    order:
+        Original row index of each reordered row.
+    kmeans:
+        The clustering that produced the order.
+    """
+
+    matrix: np.ndarray
+    order: np.ndarray
+    kmeans: KMeansResult
+
+    def cluster_blocks(self) -> list[tuple[int, int, np.ndarray]]:
+        """(cluster_label, size, centroid) per block, in display order."""
+        sizes = self.kmeans.cluster_sizes()
+        by_size = np.argsort(-sizes, kind="stable")
+        return [(int(j), int(sizes[j]), self.kmeans.centroids[j]) for j in by_size if sizes[j]]
+
+
+def cluster_sorted(matrix: np.ndarray, k: int = 8, rng: np.random.Generator | None = None) -> ClusteredSnapshot:
+    """Group the population's rows by k-means cluster, largest first."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise PopulationError(f"population matrix must be non-empty 2-D, got {arr.shape}")
+    k = min(k, arr.shape[0])
+    result = lloyd_kmeans(arr, k, rng=rng)
+    sizes = result.cluster_sizes()
+    by_size = np.argsort(-sizes, kind="stable")
+    order = np.concatenate(
+        [np.flatnonzero(result.labels == j) for j in by_size if sizes[j]]
+    )
+    return ClusteredSnapshot(matrix=arr[order], order=order, kmeans=result)
+
+
+_GLYPHS = ".123456789#"
+
+
+def _glyph(value: float) -> str:
+    """Character for a defection probability: '.'=C ... '#'=D."""
+    idx = int(round(float(value) * 10))
+    return _GLYPHS[max(0, min(10, idx))]
+
+
+def render_population(
+    matrix: np.ndarray, max_rows: int = 40, header: bool = True
+) -> str:
+    """ASCII rendering of a population matrix (rows = SSets, cols = states).
+
+    Large populations are row-subsampled evenly to ``max_rows``.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise PopulationError(f"population matrix must be non-empty 2-D, got {arr.shape}")
+    n, d = arr.shape
+    if n > max_rows:
+        rows = arr[np.linspace(0, n - 1, max_rows).astype(int)]
+        note = f"  ({n} SSets, showing {max_rows} evenly sampled rows)"
+    else:
+        rows = arr
+        note = f"  ({n} SSets)"
+    lines = []
+    if header:
+        lines.append(f"states 0..{d - 1}  ('.'=cooperate, '#'=defect){note}")
+    for row in rows:
+        lines.append("".join(_glyph(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Strategy traits: the qualitative properties the IPD literature scores.
+
+The paper's related work (§II) points at Golbeck's trait analysis of
+memory-three strategies; Axelrod's classic tournament analysis named the
+properties that make strategies succeed.  This module computes those traits
+for any memory-*n* strategy (pure or mixed), so evolved populations can be
+characterised the way the literature does:
+
+* **niceness** — never the first to defect, scored *behaviourally*: the
+  strategy's expected cooperation rate against an unconditional cooperator
+  starting from the clean history (states only reachable after one's own
+  defection do not count against it — WSLS and GRIM are nice).
+* **retaliation** — probability of defecting right after the opponent's
+  defection, averaged over states where the opponent just defected.
+* **forgiveness** — probability of returning to cooperation after the
+  opponent resumes cooperating following a defection (memory >= 2; for
+  memory-one it degrades to cooperating on CC... states after exploitation).
+* **contrition** — probability of cooperating after one's *own* unprovoked
+  defection (the opponent had cooperated).
+
+Each trait is in [0, 1].  The classics land where they should: TFT is nice,
+fully retaliatory and fully forgiving; GRIM is nice, fully retaliatory and
+unforgiving; ALLD is maximally retaliatory and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.game.markov import stationary_cooperation
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy
+
+__all__ = ["StrategyTraits", "traits_of", "population_traits"]
+
+
+@dataclass(frozen=True)
+class StrategyTraits:
+    """Trait scores of one strategy (all in [0, 1])."""
+
+    niceness: float
+    retaliation: float
+    forgiveness: float
+    contrition: float
+
+    @property
+    def is_nice(self) -> bool:
+        """Never the first to defect (within the memory window)."""
+        return self.niceness >= 1.0 - 1e-12
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for tables/CSV."""
+        return {
+            "niceness": self.niceness,
+            "retaliation": self.retaliation,
+            "forgiveness": self.forgiveness,
+            "contrition": self.contrition,
+        }
+
+
+def _round_bits(state: int, k: int) -> tuple[int, int]:
+    """(my, opp) moves k rounds ago in ``state``."""
+    chunk = (state >> (2 * k)) & 0b11
+    return (chunk >> 1) & 1, chunk & 1
+
+
+def _states_where(space: StateSpace, predicate) -> list[int]:
+    return [s for s in space.iter_states() if predicate(s)]
+
+
+def traits_of(strategy: Strategy) -> StrategyTraits:
+    """Compute the four trait scores for a strategy of any memory depth."""
+    space = strategy.space
+    if space.memory < 1:
+        raise StrategyError("traits need memory >= 1")
+    table = np.asarray(strategy.table, dtype=np.float64)
+    n = space.memory
+
+    def opp_just_defected(s: int) -> bool:
+        return _round_bits(s, 0)[1] == 1
+
+    def opp_resumed_cooperating(s: int) -> bool:
+        # Most recent round: opponent cooperated; some earlier round in the
+        # window: opponent defected.
+        if _round_bits(s, 0)[1] != 0:
+            return False
+        return any(_round_bits(s, k)[1] == 1 for k in range(1, n))
+
+    def own_unprovoked_defection(s: int) -> bool:
+        my, opp = _round_bits(s, 0)
+        return my == 1 and opp == 0
+
+    allc = np.zeros(space.n_states, dtype=np.float64)
+    niceness = float(stationary_cooperation(space, table, allc, rounds=100))
+
+    retaliate_states = _states_where(space, opp_just_defected)
+    retaliation = float(table[retaliate_states].mean())
+
+    if n >= 2:
+        forgive_states = _states_where(space, opp_resumed_cooperating)
+        forgiveness = float(1.0 - table[forgive_states].mean())
+    else:
+        # Memory-one cannot see "resumed": score cooperation after the
+        # opponent's cooperation regardless of own last move.
+        forgive_states = _states_where(space, lambda s: _round_bits(s, 0)[1] == 0)
+        forgiveness = float(1.0 - table[forgive_states].mean())
+
+    contrite_states = _states_where(space, own_unprovoked_defection)
+    contrition = float(1.0 - table[contrite_states].mean())
+
+    return StrategyTraits(
+        niceness=niceness,
+        retaliation=retaliation,
+        forgiveness=forgiveness,
+        contrition=contrition,
+    )
+
+
+def population_traits(matrix: np.ndarray, memory: int | None = None) -> StrategyTraits:
+    """Population-mean traits of a strategy matrix (one row per SSet)."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise StrategyError(f"matrix must be non-empty 2-D, got {arr.shape}")
+    if memory is None:
+        memory = int(round(np.log(arr.shape[1]) / np.log(4)))
+    space = StateSpace(memory)
+    scores = [traits_of(Strategy(space, row)) for row in arr]
+    return StrategyTraits(
+        niceness=float(np.mean([t.niceness for t in scores])),
+        retaliation=float(np.mean([t.retaliation for t in scores])),
+        forgiveness=float(np.mean([t.forgiveness for t in scores])),
+        contrition=float(np.mean([t.contrition for t in scores])),
+    )

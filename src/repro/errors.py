@@ -1,0 +1,103 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause.  Sub-families
+mirror the package layout: game construction, configuration, the virtual MPI
+runtime, the machine model, and the performance model each get their own
+branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GameError",
+    "PayoffError",
+    "StrategyError",
+    "StateSpaceError",
+    "PopulationError",
+    "ScheduleError",
+    "MPIError",
+    "CommAbortError",
+    "TagMismatchError",
+    "RankError",
+    "MachineModelError",
+    "PartitionError",
+    "PerfModelError",
+    "CalibrationError",
+    "ExperimentError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class GameError(ReproError):
+    """Base class for errors in game construction or play."""
+
+
+class PayoffError(GameError, ValueError):
+    """A payoff matrix violates the Prisoner's Dilemma constraints."""
+
+
+class StrategyError(GameError, ValueError):
+    """A strategy table is malformed (wrong length, bad values, bad memory)."""
+
+
+class StateSpaceError(GameError, ValueError):
+    """A state index or history view is invalid for the given memory depth."""
+
+
+class PopulationError(ReproError):
+    """Base class for errors in population dynamics."""
+
+
+class ScheduleError(PopulationError, ValueError):
+    """An opponent schedule cannot be constructed (e.g. agents > SSets)."""
+
+
+class MPIError(ReproError):
+    """Base class for errors in the virtual MPI runtime."""
+
+
+class CommAbortError(MPIError, RuntimeError):
+    """A rank called ``abort`` or the SPMD program crashed on some rank."""
+
+
+class TagMismatchError(MPIError, RuntimeError):
+    """Internal consistency failure when matching messages by tag."""
+
+
+class RankError(MPIError, ValueError):
+    """A rank index is outside the communicator's size."""
+
+
+class MachineModelError(ReproError):
+    """Base class for errors in the Blue Gene machine model."""
+
+
+class PartitionError(MachineModelError, ValueError):
+    """A partition shape cannot be built for the requested node count."""
+
+
+class PerfModelError(ReproError):
+    """Base class for errors in the performance model."""
+
+
+class CalibrationError(PerfModelError, RuntimeError):
+    """Cost-model calibration failed (e.g. degenerate timing samples)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or its inputs are inconsistent."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, corrupt, or from an incompatible run."""

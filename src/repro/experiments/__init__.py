@@ -1,0 +1,15 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+* :mod:`repro.experiments.tables` — Tables I, II, III, IV, V, VIII.
+* :mod:`repro.experiments.validation_wsls` — Fig. 2 (WSLS emergence).
+* :mod:`repro.experiments.memory_scaling` — Table VI, Figs. 3-4.
+* :mod:`repro.experiments.population_scaling` — Table VII, Fig. 5.
+* :mod:`repro.experiments.large_scale` — Figs. 6-7, §VI-D.
+* :mod:`repro.experiments.measured` — live-measured variants and ablations.
+* :mod:`repro.experiments.registry` — the machine-readable experiment index.
+* :mod:`repro.experiments.cli` — the ``repro-experiment`` command.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentInfo, experiment_ids
+
+__all__ = ["EXPERIMENTS", "ExperimentInfo", "experiment_ids"]

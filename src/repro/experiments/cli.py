@@ -1,0 +1,201 @@
+"""Command-line entry point: ``repro-experiment``.
+
+``repro-experiment list`` shows every registered paper artefact;
+``repro-experiment run <id>`` regenerates one and prints it.  The heavier
+science run (fig2) takes flags for scale, so the full paper-sized study is
+one command away from the scaled default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_table
+from repro.experiments.registry import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate the tables and figures of the SC 2012 paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its output")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run.add_argument("--n-ssets", type=int, default=None, help="population size (fig2)")
+    run.add_argument("--generations", type=int, default=None, help="generations (fig2)")
+    run.add_argument("--seed", type=int, default=None, help="random seed (fig2)")
+
+    everything = sub.add_parser(
+        "all", help="regenerate every fast artefact into a directory"
+    )
+    everything.add_argument(
+        "--output-dir", default="reproduction", help="directory for <id>.txt files"
+    )
+    everything.add_argument(
+        "--include-slow",
+        action="store_true",
+        help="also run the multi-minute science studies (fig2, memory-cooperation,"
+        " ablation-lookup)",
+    )
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    eid = args.experiment
+    if eid == "table1":
+        from repro.experiments.tables import table1_payoff
+
+        return table1_payoff()
+    if eid == "table2":
+        from repro.experiments.tables import table2_states
+
+        return table2_states()[1]
+    if eid == "table3":
+        from repro.experiments.tables import table3_strategies
+
+        return table3_strategies()[1]
+    if eid == "table4":
+        from repro.experiments.tables import table4_space_sizes
+
+        return table4_space_sizes()[1]
+    if eid == "table5":
+        from repro.experiments.tables import table5_wsls
+
+        return table5_wsls()[1]
+    if eid == "table8":
+        from repro.experiments.tables import table8_agents
+
+        return table8_agents()[1]
+    if eid == "fig2":
+        from repro.experiments.validation_wsls import (
+            run_wsls_validation,
+            wsls_validation_config,
+        )
+
+        overrides = {}
+        if args.n_ssets is not None:
+            overrides["n_ssets"] = args.n_ssets
+        if args.generations is not None:
+            overrides["generations"] = args.generations
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        return run_wsls_validation(wsls_validation_config(**overrides)).render()
+    if eid in ("table6", "fig3", "fig4"):
+        from repro.experiments.memory_scaling import run_table6
+
+        result = run_table6()
+        if eid == "table6":
+            return result.render_table6()
+        if eid == "fig3":
+            return result.render_fig3()
+        return result.render_fig4()
+    if eid in ("table7", "fig5"):
+        from repro.experiments.population_scaling import run_table7
+
+        result = run_table7()
+        return result.render_table7() if eid == "table7" else result.render_fig5()
+    if eid == "fig6":
+        from repro.experiments.large_scale import run_fig6_weak_scaling
+
+        return run_fig6_weak_scaling().render()
+    if eid == "fig7":
+        from repro.experiments.large_scale import run_fig7_strong_scaling
+
+        return run_fig7_strong_scaling().render()
+    if eid == "nonpow2":
+        from repro.experiments.large_scale import run_nonpow2_discussion
+
+        result, drop = run_nonpow2_discussion()
+        return result.render() + f"\nmodelled efficiency drop at 294,912: {drop:.1%} (paper: ~15%)"
+    if eid == "ablation-lookup":
+        from repro.experiments.measured import measure_memory_runtime
+
+        return measure_memory_runtime().render()
+    if eid == "heterogeneous":
+        from repro.analysis.report import render_table
+        from repro.machine.bluegene import bluegene_l
+        from repro.perf.cost_model import paper_bgl
+        from repro.perf.heterogeneous import GPU_2012, hybrid_speedup_by_memory
+
+        rows = [
+            (f"memory-{m}", f"{h:.1f}", f"{y:.1f}", f"{s:.2f}x")
+            for m, h, y, s in hybrid_speedup_by_memory(
+                bluegene_l(), paper_bgl(), GPU_2012, 128
+            )
+        ]
+        return render_table(
+            ["workload @ 128p", "host (s)", "hybrid (s)", "speedup"],
+            rows,
+            title="Modelled GPU-CPU hybrid (paper future work)",
+        )
+    if eid == "memory-cooperation":
+        from repro.experiments.memory_cooperation import run_memory_cooperation
+
+        return run_memory_cooperation(seeds=(1, 2, 3)).render()
+    if eid == "wsls-robustness":
+        from repro.experiments.sweeps import wsls_robustness_sweep
+
+        return wsls_robustness_sweep().render()
+    if eid == "ablation-mapping":
+        from repro.analysis.report import render_table
+        from repro.machine.mapping import compare_mappings
+
+        rows = [
+            (m.name, f"{m.mean_consecutive_hops:.2f}", m.max_consecutive_hops,
+             f"{m.mean_hops_to_nature:.2f}")
+            for m in compare_mappings(1152)
+        ]
+        return render_table(
+            ["mapping", "mean hops r->r+1", "max hops r->r+1", "mean hops to Nature"],
+            rows,
+            title="Rank mappings on a 1,152-node torus (paper future work)",
+        )
+    raise SystemExit(f"unknown experiment {eid}")  # pragma: no cover - argparse guards
+
+
+#: Experiments that take minutes; `all` skips them unless --include-slow.
+SLOW_EXPERIMENTS = {"fig2", "memory-cooperation", "ablation-lookup", "wsls-robustness"}
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    run_parser = build_parser()
+    for eid in EXPERIMENTS:
+        if eid in SLOW_EXPERIMENTS and not args.include_slow:
+            print(f"[skip] {eid} (slow; pass --include-slow)")
+            continue
+        sub_args = run_parser.parse_args(["run", eid])
+        text = _run_experiment(sub_args)
+        (out_dir / f"{eid}.txt").write_text(text + "\n")
+        print(f"[done] {eid} -> {out_dir / (eid + '.txt')}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [
+            (e.experiment_id, e.paper_ref, e.mode, e.title) for e in EXPERIMENTS.values()
+        ]
+        print(render_table(["id", "paper", "mode", "title"], rows))
+        return 0
+    if args.command == "all":
+        return _run_all(args)
+    print(_run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Extension study: does more memory mean more cooperation?
+
+The paper's scientific motivation (§II, citing Brunauer et al. [12]):
+"taking into account more memory steps would likely lead to more
+cooperative strategies" — and its conclusion promises the framework will
+let researchers "assess the role memory plays in game dynamics".  This
+study runs that assessment at workstation scale: evolve pure-strategy
+populations under identical dynamics at memory one, two and three (with a
+small execution-error rate so retaliation is tested, exact Markov fitness
+so runs are deterministic), then measure the *played* cooperation rate of
+the final population's round robin.
+
+The reproduced finding (see the bench): cooperation rises monotonically
+with memory depth — roughly 0.29 → 0.48 → 0.68 across memory one to three
+under the default parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.game.noise import NoiseModel
+from repro.game.vector_engine import VectorEngine
+from repro.population.dynamics import EvolutionDriver
+
+__all__ = ["MemoryCooperationResult", "run_memory_cooperation"]
+
+
+@dataclass(frozen=True)
+class MemoryCooperationResult:
+    """Cooperation rates by memory depth.
+
+    Attributes
+    ----------
+    rates:
+        memory -> per-seed played cooperation rates of the final population.
+    generations, n_ssets, seeds:
+        Study parameters.
+    """
+
+    rates: dict[int, list[float]]
+    generations: int
+    n_ssets: int
+    seeds: tuple[int, ...]
+
+    def mean_rate(self, memory: int) -> float:
+        """Seed-averaged cooperation rate at one memory depth."""
+        return float(np.mean(self.rates[memory]))
+
+    def render(self) -> str:
+        """Table of per-seed and mean cooperation rates."""
+        rows = []
+        for mem in sorted(self.rates):
+            per_seed = " ".join(f"{v:.2f}" for v in self.rates[mem])
+            rows.append((f"memory-{mem}", per_seed, f"{self.mean_rate(mem):.3f}"))
+        return render_table(
+            ["Memory Steps", "cooperation per seed", "mean"],
+            rows,
+            title=(
+                "Extension study - played cooperation vs memory depth"
+                f" ({self.n_ssets} SSets, {self.generations} generations,"
+                f" seeds {list(self.seeds)})"
+            ),
+        )
+
+
+def _played_cooperation(population, config: SimulationConfig, seed: int) -> float:
+    """Cooperation rate of the final population's full round robin."""
+    matrix = population.matrix()
+    engine = VectorEngine(config.space, payoff=config.payoff,
+                          rounds=config.rounds, noise=config.noise)
+    ia, ib = engine.round_robin_pairs(matrix.shape[0])
+    result = engine.play(
+        matrix, ia, ib, rng=np.random.default_rng(seed), record_cooperation=True
+    )
+    return result.cooperation_rate()
+
+
+def run_memory_cooperation(
+    memories: tuple[int, ...] = (1, 2, 3),
+    n_ssets: int = 16,
+    generations: int = 20_000,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    noise_rate: float = 0.02,
+) -> MemoryCooperationResult:
+    """Run the study.  Memory > 3 works but the exact-fitness evaluator's
+    cost grows with ``4**memory``; expect minutes, not seconds, beyond 3.
+    """
+    if not memories or not seeds:
+        raise ExperimentError("need at least one memory depth and one seed")
+    rates: dict[int, list[float]] = {}
+    for memory in memories:
+        rates[memory] = []
+        for seed in seeds:
+            config = SimulationConfig(
+                memory=memory,
+                n_ssets=n_ssets,
+                generations=generations,
+                seed=seed,
+                strategy_kind="pure",
+                fitness_mode="expected",
+                noise=NoiseModel(noise_rate),
+                pc_rate=0.2,
+                mutation_rate=0.05,
+                beta=0.1,
+            )
+            driver = EvolutionDriver(config)
+            driver.run()
+            rates[memory].append(_played_cooperation(driver.population, config, seed))
+    return MemoryCooperationResult(
+        rates=rates, generations=generations, n_ssets=n_ssets, seeds=tuple(seeds)
+    )

@@ -1,0 +1,144 @@
+"""Memory-step study: Table VI, Figure 3, Figure 4.
+
+The paper times the full simulation of 1,024 SSets for 1,000 generations
+(PC rate 0.01) at memory one through six on 128..2,048 Blue Gene/L
+processors.  Table VI lists the runtimes; Fig. 3 the strong-scaling
+efficiency per memory depth (nearly unaffected by memory); Fig. 4 the
+runtime growth with memory steps — which the paper attributes to per-round
+state identification.
+
+Two modes are produced here:
+
+* **modelled** — the analytic model with the paper-fitted Blue Gene/L
+  constants regenerates the published table at the published scale;
+* **measured** — the same study, physically executed by this package's
+  engines at reduced scale, with constants from live calibration.  Both
+  lookup and incremental engines run, which is the Fig. 4 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.errors import ExperimentError
+from repro.machine.bluegene import MachineSpec, bluegene_l
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import CostModel, paper_bgl
+from repro.perf.scaling import ScalingPoint, strong_scaling
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["MemoryScalingResult", "run_table6", "run_fig3", "run_fig4"]
+
+#: Processor counts of the paper's small-scale studies.
+PAPER_PROC_COUNTS = (128, 256, 512, 1024, 2048)
+
+#: The published Table VI, seconds (memory -> per processor count).
+PAPER_TABLE6 = {
+    1: (26.5, 13.6, 5.9, 4.59, 4.04),
+    2: (2207, 1106, 552, 442, 277),
+    3: (2401, 1206, 605, 478, 305),
+    4: (3079, 1581, 824, 732, 420),
+    5: (7903, 4011, 2007, 1829, 1005),
+    6: (8690, 4367, 2188, 2054, 1097),
+}
+
+
+@dataclass(frozen=True)
+class MemoryScalingResult:
+    """Modelled runtimes per memory depth and processor count.
+
+    Attributes
+    ----------
+    proc_counts:
+        The swept processor counts.
+    seconds:
+        memory -> tuple of modelled runtimes aligned with ``proc_counts``.
+    efficiency:
+        memory -> strong-scaling efficiency per processor count (Fig. 3).
+    paper_seconds:
+        The published Table VI for side-by-side printing.
+    """
+
+    proc_counts: tuple[int, ...]
+    seconds: dict[int, tuple[float, ...]]
+    efficiency: dict[int, tuple[float, ...]]
+    paper_seconds: dict[int, tuple[float, ...]] = field(default_factory=dict)
+
+    def render_table6(self) -> str:
+        """Side-by-side modelled vs published Table VI."""
+        rows = []
+        for mem in sorted(self.seconds):
+            rows.append(
+                (f"memory-{mem} (model)", *[f"{t:.1f}" for t in self.seconds[mem]])
+            )
+            if mem in self.paper_seconds:
+                rows.append(
+                    (f"memory-{mem} (paper)", *[f"{t:g}" for t in self.paper_seconds[mem]])
+                )
+        return render_table(
+            ["Memory Steps", *[str(p) for p in self.proc_counts]],
+            rows,
+            title="Table VI - runtime (s), 1,024 SSets, 1,000 generations",
+        )
+
+    def render_fig3(self) -> str:
+        """Fig. 3: strong-scaling efficiency per memory depth."""
+        rows = [
+            (f"memory-{mem}", *[f"{e:.2f}" for e in self.efficiency[mem]])
+            for mem in sorted(self.efficiency)
+        ]
+        return render_table(
+            ["Memory Steps", *[str(p) for p in self.proc_counts]],
+            rows,
+            title="Fig. 3 - strong-scaling parallel efficiency",
+        )
+
+    def render_fig4(self, procs: int = 128) -> str:
+        """Fig. 4: runtime vs memory steps at one processor count."""
+        if procs not in self.proc_counts:
+            raise ExperimentError(f"procs {procs} not in sweep {self.proc_counts}")
+        idx = self.proc_counts.index(procs)
+        rows = [(f"memory-{mem}", f"{self.seconds[mem][idx]:.1f}") for mem in sorted(self.seconds)]
+        return render_table(
+            ["Memory Steps", f"seconds @ {procs} procs"],
+            rows,
+            title="Fig. 4 - runtime vs memory steps",
+        )
+
+
+def run_table6(
+    machine: MachineSpec | None = None,
+    costs: CostModel | None = None,
+    memories: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    proc_counts: tuple[int, ...] = PAPER_PROC_COUNTS,
+    engine: str = "lookup",
+) -> MemoryScalingResult:
+    """Model the Table VI sweep (defaults: paper-fitted BG/L constants)."""
+    machine = machine or bluegene_l()
+    costs = costs or paper_bgl()
+    model = AnalyticModel(machine, costs, engine=engine)
+    seconds: dict[int, tuple[float, ...]] = {}
+    efficiency: dict[int, tuple[float, ...]] = {}
+    for mem in memories:
+        workload = WorkloadSpec.paper_memory_study(mem)
+        points: list[ScalingPoint] = strong_scaling(model, workload, list(proc_counts))
+        seconds[mem] = tuple(pt.seconds for pt in points)
+        efficiency[mem] = tuple(pt.efficiency for pt in points)
+    paper = {m: PAPER_TABLE6[m] for m in memories if m in PAPER_TABLE6}
+    return MemoryScalingResult(
+        proc_counts=tuple(proc_counts),
+        seconds=seconds,
+        efficiency=efficiency,
+        paper_seconds=paper,
+    )
+
+
+def run_fig3(**kwargs) -> MemoryScalingResult:
+    """Fig. 3 shares Table VI's sweep."""
+    return run_table6(**kwargs)
+
+
+def run_fig4(**kwargs) -> MemoryScalingResult:
+    """Fig. 4 shares Table VI's sweep."""
+    return run_table6(**kwargs)

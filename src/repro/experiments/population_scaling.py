@@ -1,0 +1,119 @@
+"""Population-size study: Table VII and Figure 5.
+
+The paper times full runs while sweeping the SSet count from 1,024 to
+32,768 on 256..2,048 Blue Gene/L processors; runtime grows with the square
+of the SSet count (every SSet plays every other), and parallel efficiency
+*improves* with population size because per-rank computation grows against
+a fixed communication/bookkeeping floor.
+
+The model uses constants fitted to Table VII's smallest cell only — the
+rest of the published grid is then *predicted* (within a few percent; see
+the bench output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.machine.bluegene import MachineSpec, bluegene_l
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import CostModel, paper_bgl_population
+from repro.perf.scaling import strong_scaling
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["PopulationScalingResult", "run_table7", "run_fig5"]
+
+#: Processor counts of the paper's population study.
+PAPER_PROC_COUNTS = (256, 512, 1024, 2048)
+
+#: SSet counts of the paper's population study.
+PAPER_SSET_COUNTS = (1024, 2048, 4096, 8192, 16384, 32768)
+
+#: The published Table VII, seconds.
+PAPER_TABLE7 = {
+    1024: (5.61, 3.18, 1.86, 1.29),
+    2048: (22.7, 11.7, 6.7, 4.3),
+    4096: (90.5, 47.9, 24.2, 12.2),
+    8192: (360, 179.7, 88.9, 48.4),
+    16384: (1502, 699, 344, 190),
+    32768: (5785, 2861, 1430, 736),
+}
+
+
+@dataclass(frozen=True)
+class PopulationScalingResult:
+    """Modelled runtimes and efficiencies per SSet count.
+
+    Attributes
+    ----------
+    proc_counts:
+        Swept processor counts.
+    seconds:
+        n_ssets -> modelled runtimes aligned with ``proc_counts``.
+    efficiency:
+        n_ssets -> strong-scaling efficiency (Fig. 5).
+    paper_seconds:
+        The published Table VII for side-by-side printing.
+    """
+
+    proc_counts: tuple[int, ...]
+    seconds: dict[int, tuple[float, ...]]
+    efficiency: dict[int, tuple[float, ...]]
+    paper_seconds: dict[int, tuple[float, ...]] = field(default_factory=dict)
+
+    def render_table7(self) -> str:
+        """Side-by-side modelled vs published Table VII."""
+        rows = []
+        for n in sorted(self.seconds):
+            rows.append((f"{n} SSets (model)", *[f"{t:.1f}" for t in self.seconds[n]]))
+            if n in self.paper_seconds:
+                rows.append((f"{n} SSets (paper)", *[f"{t:g}" for t in self.paper_seconds[n]]))
+        return render_table(
+            ["Nbr of SSets", *[str(p) for p in self.proc_counts]],
+            rows,
+            title="Table VII - runtime (s) as the number of SSets is increased",
+        )
+
+    def render_fig5(self) -> str:
+        """Fig. 5: efficiency improves with population size."""
+        rows = [
+            (f"{n} SSets", *[f"{e:.2f}" for e in self.efficiency[n]])
+            for n in sorted(self.efficiency)
+        ]
+        return render_table(
+            ["Nbr of SSets", *[str(p) for p in self.proc_counts]],
+            rows,
+            title="Fig. 5 - strong scaling vs population size",
+        )
+
+
+def run_table7(
+    machine: MachineSpec | None = None,
+    costs: CostModel | None = None,
+    sset_counts: tuple[int, ...] = PAPER_SSET_COUNTS,
+    proc_counts: tuple[int, ...] = PAPER_PROC_COUNTS,
+) -> PopulationScalingResult:
+    """Model the Table VII sweep (defaults: Table-VII-fitted BG/L constants)."""
+    machine = machine or bluegene_l()
+    costs = costs or paper_bgl_population()
+    model = AnalyticModel(machine, costs)
+    seconds: dict[int, tuple[float, ...]] = {}
+    efficiency: dict[int, tuple[float, ...]] = {}
+    for n in sset_counts:
+        workload = WorkloadSpec.paper_population_study(n)
+        points = strong_scaling(model, workload, list(proc_counts))
+        seconds[n] = tuple(pt.seconds for pt in points)
+        efficiency[n] = tuple(pt.efficiency for pt in points)
+    paper = {n: PAPER_TABLE7[n] for n in sset_counts if n in PAPER_TABLE7}
+    return PopulationScalingResult(
+        proc_counts=tuple(proc_counts),
+        seconds=seconds,
+        efficiency=efficiency,
+        paper_seconds=paper,
+    )
+
+
+def run_fig5(**kwargs) -> PopulationScalingResult:
+    """Fig. 5 shares Table VII's sweep."""
+    return run_table7(**kwargs)

@@ -1,0 +1,217 @@
+"""Experiment registry: every table and figure of the paper, indexed.
+
+Maps each evaluation artefact (Table I .. Table VIII, Fig. 2 .. Fig. 7,
+§VI-D) to its driver in :mod:`repro.experiments` and the bench that
+regenerates it — the machine-readable form of DESIGN.md's experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentInfo", "EXPERIMENTS", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """One paper artefact and how this package regenerates it.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id used by the CLI, e.g. ``"fig2"``.
+    paper_ref:
+        Where it lives in the paper.
+    title:
+        What it shows.
+    driver:
+        Dotted path of the function that produces it.
+    bench:
+        The pytest-benchmark file that regenerates and prints it.
+    mode:
+        ``"exact"`` (combinatorics reproduced exactly), ``"science"``
+        (dynamics re-run at reduced scale), ``"model"`` (regenerated
+        through the calibrated performance model), or ``"measured"``
+        (timed live on this machine).
+    """
+
+    experiment_id: str
+    paper_ref: str
+    title: str
+    driver: str
+    bench: str
+    mode: str
+
+
+_E = ExperimentInfo
+
+EXPERIMENTS: dict[str, ExperimentInfo] = {
+    e.experiment_id: e
+    for e in [
+        _E(
+            "table1",
+            "Table I",
+            "Prisoner's Dilemma payoff matrix",
+            "repro.experiments.tables.table1_payoff",
+            "benchmarks/test_table1_payoff.py",
+            "exact",
+        ),
+        _E(
+            "table2",
+            "Table II",
+            "Memory-one game states",
+            "repro.experiments.tables.table2_states",
+            "benchmarks/test_table2_states.py",
+            "exact",
+        ),
+        _E(
+            "table3",
+            "Table III",
+            "All sixteen memory-one pure strategies",
+            "repro.experiments.tables.table3_strategies",
+            "benchmarks/test_table3_strategies.py",
+            "exact",
+        ),
+        _E(
+            "table4",
+            "Table IV",
+            "Pure-strategy counts for memory 1..6",
+            "repro.experiments.tables.table4_space_sizes",
+            "benchmarks/test_table4_space_size.py",
+            "exact",
+        ),
+        _E(
+            "table5",
+            "Table V",
+            "WSLS state/strategy table",
+            "repro.experiments.tables.table5_wsls",
+            "benchmarks/test_table5_wsls.py",
+            "exact",
+        ),
+        _E(
+            "fig2",
+            "Fig. 2",
+            "Validation: WSLS emergence with k-means-clustered snapshots",
+            "repro.experiments.validation_wsls.run_wsls_validation",
+            "benchmarks/test_fig2_wsls_validation.py",
+            "science",
+        ),
+        _E(
+            "table6",
+            "Table VI",
+            "Runtime vs memory steps across processor counts",
+            "repro.experiments.memory_scaling.run_table6",
+            "benchmarks/test_table6_memory_runtime.py",
+            "model",
+        ),
+        _E(
+            "fig3",
+            "Fig. 3",
+            "Strong-scaling efficiency per memory depth",
+            "repro.experiments.memory_scaling.run_fig3",
+            "benchmarks/test_fig3_memory_strong_scaling.py",
+            "model",
+        ),
+        _E(
+            "fig4",
+            "Fig. 4",
+            "Runtime growth with memory steps (state identification)",
+            "repro.experiments.memory_scaling.run_fig4",
+            "benchmarks/test_fig4_memory_runtime.py",
+            "model+measured",
+        ),
+        _E(
+            "table7",
+            "Table VII",
+            "Runtime vs population size across processor counts",
+            "repro.experiments.population_scaling.run_table7",
+            "benchmarks/test_table7_population_runtime.py",
+            "model",
+        ),
+        _E(
+            "fig5",
+            "Fig. 5",
+            "Strong scaling vs population size",
+            "repro.experiments.population_scaling.run_fig5",
+            "benchmarks/test_fig5_population_strong_scaling.py",
+            "model",
+        ),
+        _E(
+            "table8",
+            "Table VIII",
+            "Agents per processor",
+            "repro.experiments.tables.table8_agents",
+            "benchmarks/test_table8_agents_per_proc.py",
+            "exact",
+        ),
+        _E(
+            "fig6",
+            "Fig. 6",
+            "Weak scaling, 4,096 SSets per processor, to 262,144 procs",
+            "repro.experiments.large_scale.run_fig6_weak_scaling",
+            "benchmarks/test_fig6_weak_scaling.py",
+            "model",
+        ),
+        _E(
+            "fig7",
+            "Fig. 7",
+            "Strong scaling for large systems (82% at 262,144)",
+            "repro.experiments.large_scale.run_fig7_strong_scaling",
+            "benchmarks/test_fig7_large_strong_scaling.py",
+            "model",
+        ),
+        _E(
+            "nonpow2",
+            "Section VI-D",
+            "Non-power-of-two partition penalty (294,912 procs)",
+            "repro.experiments.large_scale.run_nonpow2_discussion",
+            "benchmarks/test_discussion_nonpow2.py",
+            "model",
+        ),
+        _E(
+            "ablation-lookup",
+            "Section VI-B-1 claim",
+            "State identification ablation: linear search vs incremental",
+            "repro.experiments.measured.measure_memory_runtime",
+            "benchmarks/test_ablation_state_lookup.py",
+            "measured",
+        ),
+        _E(
+            "memory-cooperation",
+            "Section II claim (Brunauer et al. [12])",
+            "Extension: more memory steps -> more cooperation",
+            "repro.experiments.memory_cooperation.run_memory_cooperation",
+            "benchmarks/test_extension_memory_cooperation.py",
+            "science",
+        ),
+        _E(
+            "wsls-robustness",
+            "Section I mission ('assess the importance of factors')",
+            "Factor sweep: WSLS emergence vs selection and mutation",
+            "repro.experiments.sweeps.wsls_robustness_sweep",
+            "benchmarks/test_sweep_wsls_robustness.py",
+            "science",
+        ),
+        _E(
+            "heterogeneous",
+            "Section VI-E future work",
+            "Extension: modelled GPU-CPU hybrid execution",
+            "repro.perf.heterogeneous.hybrid_speedup_by_memory",
+            "benchmarks/test_extension_heterogeneous.py",
+            "model",
+        ),
+        _E(
+            "ablation-mapping",
+            "Section VI-E future work",
+            "Custom rank mappings for non-power-of-two partitions",
+            "repro.machine.mapping.compare_mappings",
+            "benchmarks/test_ablation_rank_mapping.py",
+            "measured",
+        ),
+    ]
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in registry order."""
+    return list(EXPERIMENTS)

@@ -1,0 +1,146 @@
+"""Parameter sweeps: how the dynamics respond to the knobs.
+
+The paper's stated purpose is to let domain scientists "assess the
+importance of factors such as history of previous game play" — which in
+practice means sweeping parameters and watching outcomes.  This module
+provides the generic machinery: a grid of configuration overrides, a run
+per cell (seed-averaged), a scalar metric over the final population, and
+text/CSV output.
+
+:func:`wsls_robustness_sweep` is the built-in study: how the WSLS outcome
+of the Fig. 2 validation responds to selection intensity and mutation rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import wsls_fraction
+from repro.analysis.report import render_table
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.population.dynamics import EvolutionDriver
+
+__all__ = ["SweepResult", "run_sweep", "wsls_robustness_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a 2-D parameter sweep.
+
+    Attributes
+    ----------
+    x_name, y_name:
+        The swept configuration fields.
+    x_values, y_values:
+        Grid axes.
+    metric:
+        (len(y_values), len(x_values)) array of seed-averaged metric values.
+    metric_name:
+        Label of the measured quantity.
+    seeds:
+        Seeds averaged per cell.
+    """
+
+    x_name: str
+    y_name: str
+    x_values: tuple
+    y_values: tuple
+    metric: np.ndarray
+    metric_name: str
+    seeds: tuple[int, ...]
+
+    def render(self) -> str:
+        """Grid as a text table (rows = y, columns = x)."""
+        rows = [
+            (f"{self.y_name}={y}", *[f"{v:.2f}" for v in self.metric[j]])
+            for j, y in enumerate(self.y_values)
+        ]
+        return render_table(
+            [self.metric_name, *[f"{self.x_name}={x}" for x in self.x_values]],
+            rows,
+            title=f"Sweep - {self.metric_name} over {self.x_name} x {self.y_name}"
+            f" (seeds {list(self.seeds)})",
+        )
+
+    def cell(self, x, y) -> float:
+        """Metric value at one grid point."""
+        try:
+            i = self.x_values.index(x)
+            j = self.y_values.index(y)
+        except ValueError:
+            raise ExperimentError(f"({x}, {y}) not on the sweep grid") from None
+        return float(self.metric[j, i])
+
+
+def run_sweep(
+    base: SimulationConfig,
+    x_name: str,
+    x_values: Sequence,
+    y_name: str,
+    y_values: Sequence,
+    metric: Callable[[np.ndarray], float],
+    metric_name: str = "metric",
+    seeds: Sequence[int] = (0,),
+    extra_overrides: Mapping | None = None,
+) -> SweepResult:
+    """Run the grid: one :class:`EvolutionDriver` per (cell, seed).
+
+    ``metric`` maps the final population matrix to a scalar; cells average
+    it over ``seeds``.
+    """
+    if not x_values or not y_values or not seeds:
+        raise ExperimentError("x_values, y_values and seeds must be non-empty")
+    grid = np.zeros((len(y_values), len(x_values)))
+    for j, y in enumerate(y_values):
+        for i, x in enumerate(x_values):
+            samples = []
+            for seed in seeds:
+                overrides = {x_name: x, y_name: y, "seed": seed}
+                if extra_overrides:
+                    overrides.update(extra_overrides)
+                config = base.with_updates(**overrides)
+                driver = EvolutionDriver(config)
+                driver.run()
+                samples.append(metric(driver.population.matrix()))
+            grid[j, i] = float(np.mean(samples))
+    return SweepResult(
+        x_name=x_name,
+        y_name=y_name,
+        x_values=tuple(x_values),
+        y_values=tuple(y_values),
+        metric=grid,
+        metric_name=metric_name,
+        seeds=tuple(seeds),
+    )
+
+
+def wsls_robustness_sweep(
+    betas: Sequence[float] = (0.01, 0.1, 1.0),
+    mutation_rates: Sequence[float] = (0.005, 0.02, 0.08),
+    n_ssets: int = 16,
+    generations: int = 30_000,
+    seeds: Sequence[int] = (1, 2),
+) -> SweepResult:
+    """The built-in factor study: WSLS share vs selection and mutation.
+
+    Uses the Fig. 2 validation setting (mixed memory-one, U-shaped mutants,
+    2% errors) at reduced scale; cells report the seed-averaged final WSLS
+    fraction.
+    """
+    from repro.experiments.validation_wsls import wsls_validation_config
+
+    base = wsls_validation_config(n_ssets=n_ssets, generations=generations)
+    return run_sweep(
+        base,
+        x_name="beta",
+        x_values=list(betas),
+        y_name="mutation_rate",
+        y_values=list(mutation_rates),
+        metric=lambda matrix: wsls_fraction(matrix, tolerance=0.2),
+        metric_name="WSLS fraction",
+        seeds=seeds,
+    )

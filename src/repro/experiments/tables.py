@@ -1,0 +1,97 @@
+"""The paper's small tables (I, II, III, IV, V, VIII) as renderable data.
+
+Each function returns the rows plus a text rendering, so the corresponding
+bench can print the table exactly as the paper frames it and the tests can
+assert the values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
+from repro.game.states import StateSpace
+from repro.game.strategy import named_strategy
+from repro.game.strategy_space import StrategySpace
+from repro.parallel.decomposition import table8_rows
+
+__all__ = [
+    "table1_payoff",
+    "table2_states",
+    "table3_strategies",
+    "table4_space_sizes",
+    "table5_wsls",
+    "table8_agents",
+]
+
+
+def table1_payoff(payoff: PayoffMatrix = PAPER_PAYOFFS) -> str:
+    """Table I: the Prisoner's Dilemma payoff matrix with f[R,S,T,P]."""
+    r, s, t, p = payoff.as_fRSTP()
+    header = f"Table I - Prisoner's Dilemma payoffs, f[R,S,T,P] = [{r:g},{s:g},{t:g},{p:g}]"
+    return header + "\n" + payoff.render()
+
+
+def table2_states() -> tuple[list[tuple[int, str, str]], str]:
+    """Table II: the four memory-one states."""
+    rows = StateSpace(1).table2()
+    text = render_table(
+        ["State", "Agent", "Opponent"], rows, title="Table II - memory-one states"
+    )
+    return rows, text
+
+
+def table3_strategies() -> tuple[list[tuple[int, str, str, str, str]], str]:
+    """Table III: all sixteen memory-one pure strategies."""
+    rows = StrategySpace(1).table3_rows()
+    text = render_table(
+        ["Strategy", "State1", "State2", "State3", "State4"],
+        rows,
+        title="Table III - all memory-one pure strategies",
+    )
+    return rows, text
+
+
+def table4_space_sizes() -> tuple[list[tuple[int, str]], str]:
+    """Table IV: pure-strategy counts for memory one through six."""
+    rows = StrategySpace.table4_rows()
+    text = render_table(
+        ["Memory Steps", "Number of Strategies"],
+        rows,
+        title="Table IV - strategy-space size",
+    )
+    return rows, text
+
+
+def table5_wsls() -> tuple[list[tuple[int, str, int]], str]:
+    """Table V: the WSLS strategy in the paper's state order (00, 01, 11, 10)."""
+    from repro.game.states import PAPER_TABLE5_STATE_ORDER
+
+    wsls = named_strategy("WSLS")
+    rows = []
+    for row_idx, state in enumerate(PAPER_TABLE5_STATE_ORDER):
+        rows.append((row_idx, f"{state >> 1 & 1}{state & 1}", int(wsls.table[state])))
+    text = render_table(
+        ["State of Previous Round", "Current State", "Strategy"],
+        rows,
+        title="Table V - WSLS for memory-one (paper state order)",
+    )
+    return rows, text
+
+
+def table8_agents() -> tuple[list[tuple[int, list[int]]], str]:
+    """Table VIII (self-consistent): agents per processor.
+
+    The published table is internally inconsistent (values rise between the
+    256- and 1,024-processor columns); we print
+    ``agents/processor = ceil(SSets^2 / processors)`` per the paper's
+    agents-per-SSet = SSets rule.
+    """
+    rows = table8_rows()
+    proc_counts = (256, 512, 1024, 2048)
+    flat = [(s, *vals) for s, vals in rows]
+    text = render_table(
+        ["Nbr of SSets", *[str(p) for p in proc_counts]],
+        flat,
+        title="Table VIII - agents per processor (= ceil(SSets^2 / processors))",
+    )
+    return rows, text

@@ -1,0 +1,181 @@
+"""Memoised pair fitness for deterministic games.
+
+For pure strategies without execution errors, the outcome of an IPD depends
+only on the two strategy tables — and in the paper's population dynamics a
+strategy survives many generations while learning spreads popular strategies
+across many SSets.  Most matchups therefore repeat, both within a generation
+(duplicated strategies) and across generations (unchanged pairs).  Caching
+per-pair fitness turns the per-generation cost from
+Θ(games x rounds) into Θ(new pairs x rounds) plus a hash lookup per game.
+
+The cache is only consulted for deterministic play; stochastic games (mixed
+strategies or noise) always re-run, because their outcome is a random
+variable, not a value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.vector_engine import VectorEngine, as_table_matrix
+
+__all__ = ["FitnessCache", "strategy_row_digest"]
+
+
+def strategy_row_digest(row: np.ndarray) -> bytes:
+    """Stable 16-byte identity for one strategy table row."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(row.dtype.str.encode())
+    h.update(np.ascontiguousarray(row).tobytes())
+    return h.digest()
+
+
+class FitnessCache:
+    """LRU cache of deterministic pair fitness keyed by strategy digests.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of unordered pairs retained; oldest-used entries are
+        evicted first.  ``None`` means unbounded.
+    """
+
+    def __init__(self, maxsize: int | None = 1_000_000) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise GameError(f"maxsize must be positive or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: OrderedDict[tuple[bytes, bytes], tuple[float, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all cached pairs and reset statistics."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache since the last clear."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- raw access -----------------------------------------------------------
+
+    def lookup(self, key_a: bytes, key_b: bytes) -> tuple[float, float] | None:
+        """Return ``(fitness_a, fitness_b)`` for the oriented pair, or None.
+
+        Storage is unordered — ``(a, b)`` and ``(b, a)`` share an entry with
+        the payoffs swapped on the way out.
+        """
+        if key_a <= key_b:
+            k, swap = (key_a, key_b), False
+        else:
+            k, swap = (key_b, key_a), True
+        hit = self._store.get(k)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(k)
+        self.hits += 1
+        return (hit[1], hit[0]) if swap else hit
+
+    def store(self, key_a: bytes, key_b: bytes, fitness_a: float, fitness_b: float) -> None:
+        """Record the oriented pair's payoffs (stored unordered)."""
+        if key_a <= key_b:
+            k, val = (key_a, key_b), (fitness_a, fitness_b)
+        else:
+            k, val = (key_b, key_a), (fitness_b, fitness_a)
+        self._store[k] = val
+        self._store.move_to_end(k)
+        if self.maxsize is not None and len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    # -- batch play through the cache -------------------------------------------
+
+    def play_pairs(
+        self,
+        engine: VectorEngine,
+        tables: np.ndarray,
+        ia: np.ndarray,
+        ib: np.ndarray,
+        digests: list[bytes] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Play the requested games, reusing cached outcomes where possible.
+
+        Parameters
+        ----------
+        engine:
+            A noiseless :class:`~repro.game.vector_engine.VectorEngine`.
+        tables:
+            Pure (integer) strategy matrix.
+        ia, ib:
+            Pair index vectors, as for :meth:`VectorEngine.play`.
+        digests:
+            Optional precomputed ``strategy_row_digest`` per matrix row; pass
+            when calling repeatedly with the same matrix.
+
+        Returns
+        -------
+        (fitness_a, fitness_b):
+            Per-game payoffs, identical to an uncached
+            :meth:`VectorEngine.play`.
+        """
+        mat = as_table_matrix(engine.space, tables)
+        if mat.dtype != np.uint8:
+            raise GameError("the fitness cache only applies to pure strategies")
+        if not engine.noise.is_noiseless:
+            raise GameError("the fitness cache only applies to noiseless play")
+        ia = np.asarray(ia, dtype=np.intp)
+        ib = np.asarray(ib, dtype=np.intp)
+        if digests is None:
+            digests = [strategy_row_digest(mat[i]) for i in range(mat.shape[0])]
+        n_games = ia.size
+        fit_a = np.empty(n_games, dtype=np.float64)
+        fit_b = np.empty(n_games, dtype=np.float64)
+
+        miss_idx: list[int] = []
+        # Avoid replaying duplicate missing pairs within the same batch.
+        pending: dict[tuple[bytes, bytes], list[tuple[int, bool]]] = {}
+        for g in range(n_games):
+            ka, kb = digests[ia[g]], digests[ib[g]]
+            cached = self.lookup(ka, kb)
+            if cached is not None:
+                fit_a[g], fit_b[g] = cached
+                continue
+            key = (ka, kb) if ka <= kb else (kb, ka)
+            swapped = ka > kb
+            slot = pending.get(key)
+            if slot is None:
+                pending[key] = [(g, swapped)]
+                miss_idx.append(g)
+            else:
+                slot.append((g, swapped))
+
+        if miss_idx:
+            miss = np.asarray(miss_idx, dtype=np.intp)
+            res = engine.play(mat, ia[miss], ib[miss])
+            for pos, g in enumerate(miss):
+                ka, kb = digests[ia[g]], digests[ib[g]]
+                fa, fb = float(res.fitness_a[pos]), float(res.fitness_b[pos])
+                self.store(ka, kb, fa, fb)
+                key = (ka, kb) if ka <= kb else (kb, ka)
+                canonical = (fa, fb) if ka <= kb else (fb, fa)
+                for game, swapped in pending[key]:
+                    fit_a[game], fit_b[game] = (
+                        (canonical[1], canonical[0]) if swapped else canonical
+                    )
+        return fit_a, fit_b
+
+    def __repr__(self) -> str:
+        return (
+            f"FitnessCache(size={len(self)}, maxsize={self.maxsize},"
+            f" hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,70 @@
+"""The move alphabet of the Prisoner's Dilemma.
+
+The paper encodes a cooperative move as ``0`` and defection as ``1``
+(§IV-C: "If in the previous round both the agent and opponent cooperated
+(played a '0') ...").  We keep that encoding everywhere: strategy tables,
+state indices, and histories all store C as 0 and D as 1, so a *pure*
+strategy table is directly usable as an integer array and a *mixed*
+strategy's per-state value is the probability of playing 1 (defecting).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Move", "COOPERATE", "DEFECT", "move_label", "parse_move"]
+
+
+class Move(IntEnum):
+    """A single play in one round: cooperate (0) or defect (1)."""
+
+    C = 0
+    D = 1
+
+    @property
+    def label(self) -> str:
+        """Single-letter label used in the paper's tables ('C' or 'D')."""
+        return self.name
+
+    def opposite(self) -> "Move":
+        """Return the other move (what an execution error produces)."""
+        return Move(1 - self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+COOPERATE = Move.C
+DEFECT = Move.D
+
+_PARSE = {
+    "c": Move.C,
+    "C": Move.C,
+    "0": Move.C,
+    0: Move.C,
+    "d": Move.D,
+    "D": Move.D,
+    "1": Move.D,
+    1: Move.D,
+}
+
+
+def move_label(value: int) -> str:
+    """Return 'C' or 'D' for an integer-encoded move."""
+    return Move(int(value)).name
+
+
+def parse_move(token: object) -> Move:
+    """Parse 'C'/'D'/'0'/'1' (str or int) into a :class:`Move`.
+
+    Raises
+    ------
+    ValueError
+        If ``token`` is not a recognised move spelling.
+    """
+    if isinstance(token, Move):
+        return token
+    try:
+        return _PARSE[token]  # type: ignore[index]
+    except (KeyError, TypeError):
+        raise ValueError(f"not a move: {token!r}") from None

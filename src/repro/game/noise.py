@@ -1,0 +1,59 @@
+"""Execution errors in game play (paper §III-E).
+
+An error flips a player's intended move with probability ``rate``, turning a
+planned cooperation into defection or vice versa.  The paper motivates
+memory and the WSLS strategy by exactly this perturbation: a single slip is
+fatal to TFT (it locks two TFT players into mutual defection or alternating
+retaliation) while WSLS recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["NoiseModel", "NO_NOISE"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Independent per-move execution errors at a fixed rate.
+
+    Parameters
+    ----------
+    rate:
+        Probability in ``[0, 1]`` that an intended move is flipped.
+    """
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        r = float(self.rate)
+        if not (0.0 <= r <= 1.0) or not np.isfinite(r):
+            raise ConfigError(f"noise rate must lie in [0, 1], got {self.rate}")
+        object.__setattr__(self, "rate", r)
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when errors never occur (deterministic pure play)."""
+        return self.rate == 0.0
+
+    def apply(self, move: int, rng: np.random.Generator) -> int:
+        """Possibly flip one intended move."""
+        if self.rate and rng.random() < self.rate:
+            return 1 - int(move)
+        return int(move)
+
+    def apply_array(self, moves: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Possibly flip each move in an array (vectorised), returning a new array."""
+        if self.is_noiseless:
+            return moves
+        flips = rng.random(moves.shape) < self.rate
+        return np.bitwise_xor(moves, flips.astype(moves.dtype))
+
+
+#: Shared noiseless model.
+NO_NOISE = NoiseModel(0.0)

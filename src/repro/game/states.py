@@ -1,0 +1,229 @@
+"""Memory-*n* game state spaces (paper §III-D, Tables II and V).
+
+A *state* encodes the moves both players made in the previous *n* rounds.
+Each round contributes two bits — ``(my_move << 1) | opp_move`` — so a
+memory-*n* state is a ``2n``-bit integer and there are ``4**n`` states.
+
+Bit layout
+----------
+Bits ``[2k, 2k+1]`` of the state index hold the round played ``k`` steps
+ago; the most recent round therefore lives in the two least-significant
+bits.  Advancing the game one round is the O(1) update::
+
+    state' = ((state << 2) | (my << 1 | opp)) & mask
+
+This is the incremental alternative to the paper's per-round linear search
+through a global ``states`` array (which the paper identifies as its runtime
+bottleneck; see :mod:`repro.game.lookup_engine` for the faithful version).
+
+The paper's tables order memory-one states as CC, CD, DC, DD from the
+*agent's* perspective — exactly the natural binary order of this encoding —
+except Table V, which lists WSLS rows in the order 00, 01, 11, 10; helpers
+below reproduce both orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import StateSpaceError
+from repro.game.moves import move_label
+
+__all__ = ["StateSpace", "MAX_MEMORY", "PAPER_TABLE5_STATE_ORDER"]
+
+#: Largest memory depth the paper (and this package) models.
+MAX_MEMORY = 6
+
+#: Row order of the paper's Table V (WSLS example): states 00, 01, 11, 10.
+PAPER_TABLE5_STATE_ORDER = (0b00, 0b01, 0b11, 0b10)
+
+
+def _alternating_masks(bits: int) -> tuple[int, int]:
+    """Return (0b1010... , 0b0101...) masks of width ``bits``."""
+    lo = 0
+    for k in range(0, bits, 2):
+        lo |= 1 << k
+    return lo << 1, lo
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """The set of game states for a memory-*n* strategy model.
+
+    Parameters
+    ----------
+    memory:
+        Number of remembered rounds, 1..6 in the paper (0 is allowed and
+        gives the single-state memoryless game of §III-A).
+
+    Examples
+    --------
+    >>> sp = StateSpace(1)
+    >>> sp.n_states
+    4
+    >>> sp.push(0, my=1, opp=0)   # I defected, opponent cooperated
+    2
+    >>> sp.opponent_view(2)       # opponent saw the mirror image
+    1
+    """
+
+    memory: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.memory, (int, np.integer)):
+            raise StateSpaceError(f"memory must be an int, got {type(self.memory).__name__}")
+        if not 0 <= self.memory <= MAX_MEMORY:
+            raise StateSpaceError(
+                f"memory must be in [0, {MAX_MEMORY}] (paper models 1..6), got {self.memory}"
+            )
+        object.__setattr__(self, "memory", int(self.memory))
+
+    # -- sizes ----------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Number of bits in a state index (two per remembered round)."""
+        return 2 * self.memory
+
+    @property
+    def n_states(self) -> int:
+        """Number of distinct states, ``4**memory`` (Table IV's ``numStates``)."""
+        return 1 << self.bits
+
+    @property
+    def mask(self) -> int:
+        """Bit mask selecting the ``2 * memory`` state bits."""
+        return self.n_states - 1
+
+    @property
+    def n_pure_strategies(self) -> int:
+        """Number of pure strategies, ``2 ** n_states`` (paper Table IV)."""
+        return 1 << self.n_states
+
+    @property
+    def initial_state(self) -> int:
+        """Initial state: the fictitious pre-game history is all-cooperate.
+
+        The paper zero-fills ``current_view`` before the first round, so
+        every game starts in state 0.
+        """
+        return 0
+
+    # -- scalar transitions ----------------------------------------------
+
+    def check_state(self, state: int) -> int:
+        """Validate and return ``state`` as a plain int."""
+        s = int(state)
+        if not 0 <= s < self.n_states:
+            raise StateSpaceError(f"state {state} out of range for memory-{self.memory}")
+        return s
+
+    def push(self, state: int, my: int, opp: int) -> int:
+        """Advance ``state`` by one round of play ``(my, opp)``.
+
+        The previous rounds shift one step further into the past; the round
+        ``memory`` steps ago falls off the end.
+        """
+        if my not in (0, 1) or opp not in (0, 1):
+            raise StateSpaceError(f"moves must be 0 or 1, got my={my} opp={opp}")
+        if self.memory == 0:
+            return 0
+        return ((self.check_state(state) << 2) | (my << 1) | opp) & self.mask
+
+    def opponent_view(self, state: int) -> int:
+        """Return the same history as seen from the opponent's perspective.
+
+        Each round's ``(my, opp)`` bit pair is swapped.  The paper notes
+        "each agent's current_view will be the opposite of its opponent".
+        """
+        s = self.check_state(state)
+        hi, lo = _alternating_masks(self.bits)
+        return ((s & hi) >> 1) | ((s & lo) << 1)
+
+    def rounds(self, state: int) -> tuple[tuple[int, int], ...]:
+        """Decode ``state`` into ``((my, opp), ...)`` most-recent-first."""
+        s = self.check_state(state)
+        out = []
+        for _ in range(self.memory):
+            out.append(((s >> 1) & 1, s & 1))
+            s >>= 2
+        return tuple(out)
+
+    def encode(self, rounds: Sequence[tuple[int, int]]) -> int:
+        """Encode a most-recent-first round list back into a state index."""
+        if len(rounds) != self.memory:
+            raise StateSpaceError(
+                f"need exactly {self.memory} rounds for memory-{self.memory}, got {len(rounds)}"
+            )
+        state = 0
+        for my, opp in reversed(rounds):
+            state = self.push(state, my, opp)
+        return state
+
+    # -- vectorised transitions (used by the vector engine) ---------------
+
+    def push_array(
+        self, states: np.ndarray, my: np.ndarray, opp: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorised :meth:`push` over parallel games.
+
+        All inputs are integer arrays of equal shape; ``out`` may alias
+        ``states`` for in-place update.
+        """
+        if out is None:
+            out = np.empty_like(states)
+        np.left_shift(states, 2, out=out)
+        out |= (my.astype(out.dtype) << 1) | opp.astype(out.dtype)
+        out &= self.mask
+        return out
+
+    def opponent_view_array(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`opponent_view`."""
+        hi, lo = _alternating_masks(self.bits)
+        return ((states & hi) >> 1) | ((states & lo) << 1)
+
+    # -- presentation -----------------------------------------------------
+
+    def state_label(self, state: int, *, letters: bool = True) -> str:
+        """Human-readable label, oldest round first (like the paper's column heads).
+
+        For memory-one, state 0b10 renders as ``"DC"`` (I defected, opponent
+        cooperated).  With ``letters=False`` the raw bits are shown, e.g.
+        ``"10"``.
+        """
+        s = self.check_state(state)
+        if self.memory == 0:
+            return "-"
+        parts = []
+        for my, opp in reversed(self.rounds(s)):  # oldest first
+            if letters:
+                parts.append(move_label(my) + move_label(opp))
+            else:
+                parts.append(f"{my}{opp}")
+        return "|".join(parts) if self.memory > 1 else parts[0]
+
+    def iter_states(self) -> Iterator[int]:
+        """Iterate all state indices in natural binary order."""
+        return iter(range(self.n_states))
+
+    def table2(self) -> list[tuple[int, str, str]]:
+        """The paper's Table II: (1-based state number, agent move, opponent move).
+
+        Only meaningful for memory-one; the paper enumerates CC, CD, DC, DD.
+        """
+        if self.memory != 1:
+            raise StateSpaceError("Table II is defined for memory-one")
+        rows = []
+        for s in self.iter_states():
+            (my, opp), = self.rounds(s)
+            rows.append((s + 1, move_label(my), move_label(opp)))
+        return rows
+
+    def __len__(self) -> int:
+        return self.n_states
+
+    def __repr__(self) -> str:
+        return f"StateSpace(memory={self.memory}, n_states={self.n_states})"

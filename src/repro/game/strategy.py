@@ -1,0 +1,301 @@
+"""Strategies: pure and mixed memory-*n* action plans (paper §III-C, §IV-C).
+
+A strategy maps every game state to a move.  A *pure* strategy stores the
+move (0=C, 1=D) for each of the ``4**n`` states; a *mixed* strategy stores
+the probability of playing D in each state, so a pure strategy is exactly a
+mixed strategy whose probabilities are all 0 or 1.
+
+Named classics (TFT, WSLS, GRIM, ...) are generated for any memory depth by
+a rule over the most recent round, matching how the literature lifts
+memory-one strategies into larger state spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.game import bitpack
+from repro.game.moves import move_label
+from repro.game.states import StateSpace
+
+__all__ = ["Strategy", "named_strategy", "NAMED_STRATEGIES"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """An agent's action plan over a :class:`~repro.game.states.StateSpace`.
+
+    Parameters
+    ----------
+    space:
+        The memory-*n* state space the strategy is defined over.
+    table:
+        Length-``space.n_states`` array.  Integer 0/1 entries give a pure
+        strategy; floats in ``[0, 1]`` give a mixed strategy where each
+        entry is the probability of *defecting* in that state.
+    name:
+        Optional label, e.g. ``"WSLS"``; purely cosmetic.
+
+    Notes
+    -----
+    Instances are immutable: the table is copied and write-protected.
+    """
+
+    space: StateSpace
+    table: np.ndarray
+    name: str | None = None
+    _is_pure: bool = field(init=False, repr=False, compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.table)
+        if arr.ndim != 1 or arr.size != self.space.n_states:
+            raise StrategyError(
+                f"table must have {self.space.n_states} entries for memory-{self.space.memory},"
+                f" got shape {arr.shape}"
+            )
+        if np.issubdtype(arr.dtype, np.integer) or arr.dtype == np.bool_:
+            vals = arr.astype(np.uint8)
+            if not np.all((vals == 0) | (vals == 1)):
+                raise StrategyError("pure strategy entries must be 0 (C) or 1 (D)")
+            table = vals
+            pure = True
+        elif np.issubdtype(arr.dtype, np.floating):
+            table = arr.astype(np.float64)
+            if not np.all(np.isfinite(table)) or table.min() < 0.0 or table.max() > 1.0:
+                raise StrategyError("mixed strategy probabilities must lie in [0, 1]")
+            pure = bool(np.all((table == 0.0) | (table == 1.0)))
+            if pure:
+                table = table.astype(np.uint8)
+        else:
+            raise StrategyError(f"unsupported table dtype {arr.dtype}")
+        table = table.copy()
+        table.setflags(write=False)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "_is_pure", pure)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def pure(cls, space: StateSpace, moves: np.ndarray | list[int], name: str | None = None) -> "Strategy":
+        """Build a pure strategy from a 0/1 move list."""
+        return cls(space, np.asarray(moves, dtype=np.uint8), name)
+
+    @classmethod
+    def mixed(
+        cls, space: StateSpace, defect_probs: np.ndarray | list[float], name: str | None = None
+    ) -> "Strategy":
+        """Build a mixed strategy from per-state defection probabilities."""
+        return cls(space, np.asarray(defect_probs, dtype=np.float64), name)
+
+    @classmethod
+    def from_id(cls, space: StateSpace, strategy_id: int, name: str | None = None) -> "Strategy":
+        """Decode the integer id of a pure strategy.
+
+        Bit ``s`` of ``strategy_id`` is the move in state ``s``, so ids run
+        from 0 (ALLC) to ``2**n_states - 1`` (ALLD) — the paper's Table IV
+        counts exactly these.
+        """
+        if not 0 <= strategy_id < space.n_pure_strategies:
+            raise StrategyError(
+                f"strategy id {strategy_id} out of range for memory-{space.memory}"
+            )
+        moves = np.array(
+            [(strategy_id >> s) & 1 for s in range(space.n_states)], dtype=np.uint8
+        )
+        return cls(space, moves, name)
+
+    @classmethod
+    def from_packed(cls, space: StateSpace, words: np.ndarray, name: str | None = None) -> "Strategy":
+        """Rebuild a pure strategy from its bit-packed form."""
+        return cls(space, bitpack.unpack_table(words, space.n_states), name)
+
+    @classmethod
+    def random_pure(cls, space: StateSpace, rng: np.random.Generator, name: str | None = None) -> "Strategy":
+        """Draw a uniformly random pure strategy (the paper's mutation draw)."""
+        return cls(space, rng.integers(0, 2, size=space.n_states, dtype=np.uint8), name)
+
+    @classmethod
+    def random_mixed(cls, space: StateSpace, rng: np.random.Generator, name: str | None = None) -> "Strategy":
+        """Draw a random mixed strategy with iid uniform defection probabilities."""
+        return cls(space, rng.random(space.n_states), name)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_pure(self) -> bool:
+        """True when every state's move is deterministic."""
+        return self._is_pure
+
+    @property
+    def memory(self) -> int:
+        """Memory depth of the underlying state space."""
+        return self.space.memory
+
+    def defect_probability(self, state: int) -> float:
+        """Probability of defecting in ``state`` (0 or 1 for pure strategies)."""
+        return float(self.table[self.space.check_state(state)])
+
+    def move(self, state: int, rng: np.random.Generator | None = None) -> int:
+        """The move played in ``state``; mixed strategies need an ``rng``."""
+        p = self.table[self.space.check_state(state)]
+        if self._is_pure:
+            return int(p)
+        if rng is None:
+            raise StrategyError("mixed strategies need an rng to draw a move")
+        return int(rng.random() < p)
+
+    def to_id(self) -> int:
+        """Integer id of a pure strategy (inverse of :meth:`from_id`)."""
+        if not self._is_pure:
+            raise StrategyError("mixed strategies have no integer id")
+        out = 0
+        for s, m in enumerate(self.table):
+            out |= int(m) << s
+        return out
+
+    def pack(self) -> np.ndarray:
+        """Bit-packed words of a pure strategy (see :mod:`repro.game.bitpack`)."""
+        if not self._is_pure:
+            raise StrategyError("only pure strategies can be bit-packed")
+        return bitpack.pack_table(self.table)
+
+    def key(self) -> bytes:
+        """Hashable identity of the strategy table (ignores the name)."""
+        return bytes([self._is_pure]) + np.ascontiguousarray(self.table).tobytes()
+
+    def cooperation_fraction(self) -> float:
+        """Average cooperation probability across states (uniform weighting)."""
+        return float(1.0 - np.asarray(self.table, dtype=np.float64).mean())
+
+    # -- presentation -------------------------------------------------------
+
+    def moves_string(self) -> str:
+        """Render a pure strategy as the paper does, e.g. WSLS -> ``"[0110]"``.
+
+        States appear in natural binary order (CC, CD, DC, DD for
+        memory-one).  The paper's Fig. 2 caption writes WSLS as ``[0101]``
+        using Table V's 00, 01, 11, 10 state order; see
+        :meth:`paper_table5_string`.
+        """
+        if not self._is_pure:
+            raise StrategyError("moves_string is defined for pure strategies")
+        return "[" + "".join(str(int(m)) for m in self.table) + "]"
+
+    def letters_string(self) -> str:
+        """Render a pure strategy as C/D letters in natural state order."""
+        if not self._is_pure:
+            raise StrategyError("letters_string is defined for pure strategies")
+        return "".join(move_label(m) for m in self.table)
+
+    def paper_table5_string(self) -> str:
+        """Memory-one moves in the paper's Table V state order (00, 01, 11, 10)."""
+        from repro.game.states import PAPER_TABLE5_STATE_ORDER
+
+        if self.memory != 1:
+            raise StrategyError("Table V ordering applies to memory-one strategies")
+        if not self._is_pure:
+            raise StrategyError("Table V rendering is defined for pure strategies")
+        return "[" + "".join(str(int(self.table[s])) for s in PAPER_TABLE5_STATE_ORDER) + "]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Strategy):
+            return NotImplemented
+        return self.space == other.space and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash((self.space, self.key()))
+
+    def __repr__(self) -> str:
+        label = self.name or ("pure" if self._is_pure else "mixed")
+        body = self.moves_string() if self._is_pure and self.space.n_states <= 16 else f"{self.space.n_states} states"
+        return f"Strategy({label}, memory={self.memory}, {body})"
+
+
+# ---------------------------------------------------------------------------
+# Named classic strategies, lifted to any memory depth.
+# ---------------------------------------------------------------------------
+
+
+def _lift_last_round(space: StateSpace, rule: Callable[[int, int], float]) -> np.ndarray:
+    """Fill a table by applying ``rule(my_last, opp_last)`` to every state."""
+    table = np.empty(space.n_states, dtype=np.float64)
+    for s in range(space.n_states):
+        my_last, opp_last = (s >> 1) & 1, s & 1
+        table[s] = rule(my_last, opp_last)
+    return table
+
+
+def _grim(space: StateSpace) -> np.ndarray:
+    """Grim trigger within the memory window: defect if any D appears."""
+    table = np.zeros(space.n_states, dtype=np.float64)
+    for s in range(space.n_states):
+        table[s] = 1.0 if s != 0 else 0.0
+    return table
+
+
+def _builders() -> dict[str, Callable[[StateSpace], np.ndarray]]:
+    return {
+        # Always cooperate / always defect.
+        "ALLC": lambda sp: np.zeros(sp.n_states, dtype=np.float64),
+        "ALLD": lambda sp: np.ones(sp.n_states, dtype=np.float64),
+        # Tit-for-tat: copy the opponent's most recent move (§I).
+        "TFT": lambda sp: _lift_last_round(sp, lambda my, opp: float(opp)),
+        # Win-stay lose-shift: repeat my move iff the opponent cooperated
+        # (payoff was R or T -> "win"); otherwise switch (§III-E).
+        "WSLS": lambda sp: _lift_last_round(sp, lambda my, opp: float(my ^ opp)),
+        # Grim trigger truncated to the memory window.
+        "GRIM": _grim,
+        # Generous TFT: forgive a defection with probability 1/3 under the
+        # paper's payoffs (g = min(1 - (T-R)/(R-S), (R-P)/(T-P)) = 1/3).
+        "GTFT": lambda sp: _lift_last_round(sp, lambda my, opp: (2.0 / 3.0) * opp),
+        # Uniformly random play.
+        "RANDOM": lambda sp: np.full(sp.n_states, 0.5, dtype=np.float64),
+        # Suspicious TFT is TFT (state 0 maps to C anyway under our
+        # all-cooperate initial history, so plain TFT covers the classic).
+        # Tit-for-two-tats: defect only after two consecutive opponent Ds.
+        "TF2T": None,  # filled below; needs two rounds of history
+    }
+
+
+def _tf2t(space: StateSpace) -> np.ndarray:
+    if space.memory < 2:
+        raise StrategyError("TF2T needs memory >= 2 (it inspects two rounds)")
+    table = np.zeros(space.n_states, dtype=np.float64)
+    for s in range(space.n_states):
+        opp_last = s & 1
+        opp_prev = (s >> 2) & 1
+        table[s] = 1.0 if (opp_last and opp_prev) else 0.0
+    return table
+
+
+#: Names accepted by :func:`named_strategy`.
+NAMED_STRATEGIES = ("ALLC", "ALLD", "TFT", "WSLS", "GRIM", "GTFT", "RANDOM", "TF2T")
+
+
+def named_strategy(name: str, memory: int = 1) -> Strategy:
+    """Build a classic strategy by name at the requested memory depth.
+
+    Supported names: ``ALLC``, ``ALLD``, ``TFT``, ``WSLS``, ``GRIM``,
+    ``GTFT`` (mixed), ``RANDOM`` (mixed), ``TF2T`` (memory >= 2).
+
+    Examples
+    --------
+    >>> named_strategy("WSLS").moves_string()
+    '[0110]'
+    >>> named_strategy("WSLS").paper_table5_string()   # paper Table V order
+    '[0101]'
+    """
+    space = StateSpace(memory)
+    key = name.upper()
+    builders = _builders()
+    if key == "TF2T":
+        table = _tf2t(space)
+    elif key in builders and builders[key] is not None:
+        table = builders[key](space)
+    else:
+        raise StrategyError(f"unknown named strategy {name!r}; choose from {NAMED_STRATEGIES}")
+    return Strategy(space, table, name=key)

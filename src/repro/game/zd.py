@@ -1,0 +1,136 @@
+"""Zero-determinant (ZD) strategies — Press & Dyson's memory-one family.
+
+The paper frames its framework as a tool for discovering strong memory-*n*
+strategies; the most famous post-2012 discovery in exactly its memory-one
+mixed-strategy space is Press & Dyson's zero-determinant family: strategies
+that unilaterally *enforce* a linear relation between the two players'
+long-run scores,
+
+.. math:: \\pi_A - \\kappa = \\chi\\,(\\pi_B - \\kappa)
+
+An *extortionate* strategy pins ``κ = P`` (the punishment payoff) with
+slope ``χ > 1``: whatever the opponent does, A's surplus over P is χ times
+B's.  A *generous* strategy pins ``κ = R``.  We construct them for any PD
+payoff matrix and verify the enforced relation with the exact Markov
+evaluator — a stringent cross-check of both modules.
+
+Construction (standard form): with states ordered (CC, CD, DC, DD) from
+A's perspective and cooperation probabilities ``p``, the ZD strategy with
+baseline κ and slope χ is
+
+.. code::
+
+    p1 = 1 - phi (chi - 1) (R - kappa)
+    p2 = 1 - phi ((chi T - S) + (chi - 1) kappa_term_CD)
+    ...
+
+expressed below via the payoff-vector algebra ``p = 1_coop + phi ((pi_A -
+kappa) - chi (pi_B - kappa))`` evaluated per state, which covers every κ
+uniformly.  ``phi > 0`` must be small enough that all probabilities stay
+in [0, 1]; :func:`max_phi` computes the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy
+
+__all__ = ["zd_strategy", "extortionate", "generous", "max_phi"]
+
+#: Memory-one state order (A's perspective): CC, CD, DC, DD.
+_STATE_ORDER = (0b00, 0b01, 0b10, 0b11)
+
+
+def _payoff_vectors(payoff: PayoffMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Per-state payoff vectors for A and B in (CC, CD, DC, DD) order."""
+    r, s, t, p = payoff.as_fRSTP()
+    return np.array([r, s, t, p]), np.array([r, t, s, p])
+
+
+def max_phi(chi: float, kappa: float, payoff: PayoffMatrix = PAPER_PAYOFFS) -> float:
+    """Largest ``phi`` keeping all four ZD probabilities inside [0, 1]."""
+    pa, pb = _payoff_vectors(payoff)
+    coop = np.array([1.0, 1.0, 0.0, 0.0])  # A cooperated in states CC, CD
+    coeff = (pa - kappa) - chi * (pb - kappa)
+    limit = np.inf
+    for c, base in zip(coeff, coop):
+        # base + phi * c must stay within [0, 1].
+        if c > 0:
+            limit = min(limit, (1.0 - base) / c)
+        elif c < 0:
+            limit = min(limit, base / (-c))
+    if not 0 < limit < np.inf:
+        raise StrategyError(
+            f"no valid phi for chi={chi}, kappa={kappa} under {payoff.as_fRSTP()}"
+        )
+    return float(limit)
+
+
+def zd_strategy(
+    chi: float,
+    kappa: float,
+    phi: float | None = None,
+    payoff: PayoffMatrix = PAPER_PAYOFFS,
+    name: str | None = None,
+) -> Strategy:
+    """Build the memory-one ZD strategy enforcing ``pi_A - κ = χ (pi_B - κ)``.
+
+    Parameters
+    ----------
+    chi:
+        Slope of the enforced relation (> 0; > 1 means A extorts).
+    kappa:
+        Baseline payoff pinned by the relation; must lie in [P, R] for the
+        strategy to exist.
+    phi:
+        Scale parameter in ``(0, max_phi]``; default half the bound.
+    payoff:
+        The PD payoff matrix.
+    """
+    if chi <= 0:
+        raise StrategyError(f"chi must be positive, got {chi}")
+    r, _, _, p = payoff.as_fRSTP()
+    if not p <= kappa <= r:
+        raise StrategyError(f"kappa must lie in [P, R] = [{p}, {r}], got {kappa}")
+    bound = max_phi(chi, kappa, payoff)
+    if phi is None:
+        phi = bound / 2.0
+    if not 0 < phi <= bound:
+        raise StrategyError(f"phi must lie in (0, {bound:.6g}], got {phi}")
+
+    pa, pb = _payoff_vectors(payoff)
+    coop = np.array([1.0, 1.0, 0.0, 0.0])
+    # Cooperation probabilities per (CC, CD, DC, DD).
+    p_coop = coop + phi * ((pa - kappa) - chi * (pb - kappa))
+    if p_coop.min() < -1e-12 or p_coop.max() > 1 + 1e-12:
+        raise StrategyError(
+            f"ZD probabilities escaped [0,1]: {p_coop} (chi={chi}, kappa={kappa}, phi={phi})"
+        )
+    p_coop = np.clip(p_coop, 0.0, 1.0)
+
+    # Convert to this package's defect-probability tables in natural state
+    # order; _STATE_ORDER here *is* natural order (CC, CD, DC, DD).
+    table = np.empty(4, dtype=np.float64)
+    for idx, state in enumerate(_STATE_ORDER):
+        table[state] = 1.0 - p_coop[idx]
+    return Strategy(StateSpace(1), table, name=name or f"ZD(chi={chi:g},kappa={kappa:g})")
+
+
+def extortionate(chi: float, phi: float | None = None, payoff: PayoffMatrix = PAPER_PAYOFFS) -> Strategy:
+    """Press-Dyson extortioner: pins κ = P with slope χ > 1."""
+    if chi <= 1:
+        raise StrategyError(f"an extortionate strategy needs chi > 1, got {chi}")
+    _, _, _, p = payoff.as_fRSTP()
+    return zd_strategy(chi, kappa=p, phi=phi, payoff=payoff, name=f"Extort-{chi:g}")
+
+
+def generous(chi: float, phi: float | None = None, payoff: PayoffMatrix = PAPER_PAYOFFS) -> Strategy:
+    """Generous ZD: pins κ = R with slope χ > 1 (A concedes the surplus)."""
+    if chi <= 1:
+        raise StrategyError(f"a generous ZD strategy needs chi > 1, got {chi}")
+    r, _, _, _ = payoff.as_fRSTP()
+    return zd_strategy(chi, kappa=r, phi=phi, payoff=payoff, name=f"Generous-{chi:g}")

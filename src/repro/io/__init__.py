@@ -1,0 +1,27 @@
+"""Run records and checkpointing.
+
+* :mod:`repro.io.records` — CSV event logs and JSON run metadata.
+* :mod:`repro.io.checkpoints` — bit-exact save/resume of evolution runs.
+"""
+
+from repro.io.checkpoints import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from repro.io.records import (
+    config_from_dict,
+    config_to_dict,
+    read_event_csv,
+    read_run_metadata,
+    write_event_csv,
+    write_run_metadata,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "save_checkpoint",
+    "config_from_dict",
+    "config_to_dict",
+    "read_event_csv",
+    "read_run_metadata",
+    "write_event_csv",
+    "write_run_metadata",
+]

@@ -1,0 +1,145 @@
+"""Run records: CSV event logs and JSON run metadata.
+
+The paper's Nature Agent "handles all file I/O to record the global
+variables across generations"; these writers are that records-keeper.
+:func:`write_event_csv` dumps a generation-event log,
+:func:`write_run_metadata` the run's configuration and summary, and
+:func:`config_to_dict` / :func:`config_from_dict` round-trip a
+:class:`~repro.config.SimulationConfig` through plain JSON types.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.config import SimulationConfig
+from repro.errors import CheckpointError
+from repro.game.noise import NoiseModel
+from repro.game.payoff import PayoffMatrix
+from repro.population.observers import GenerationRecord
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "write_event_csv",
+    "read_event_csv",
+    "write_run_metadata",
+    "read_run_metadata",
+]
+
+
+def config_to_dict(config: SimulationConfig) -> dict:
+    """Flatten a config into JSON-safe primitives."""
+    return {
+        "memory": config.memory,
+        "n_ssets": config.n_ssets,
+        "generations": config.generations,
+        "agents_per_sset": config.agents_per_sset,
+        "rounds": config.rounds,
+        "pc_rate": config.pc_rate,
+        "mutation_rate": config.mutation_rate,
+        "mutation_distribution": config.mutation_distribution,
+        "beta": config.beta,
+        "payoff": list(config.payoff.as_fRSTP()),
+        "noise_rate": config.noise.rate,
+        "strategy_kind": config.strategy_kind,
+        "pc_rule": config.pc_rule,
+        "include_self_play": config.include_self_play,
+        "use_fitness_cache": config.use_fitness_cache,
+        "fitness_mode": config.fitness_mode,
+        "seed": config.seed,
+    }
+
+
+def config_from_dict(data: Mapping) -> SimulationConfig:
+    """Inverse of :func:`config_to_dict`."""
+    try:
+        r, s, t, p = data["payoff"]
+        return SimulationConfig(
+            memory=int(data["memory"]),
+            n_ssets=int(data["n_ssets"]),
+            generations=int(data["generations"]),
+            agents_per_sset=(
+                None if data.get("agents_per_sset") is None else int(data["agents_per_sset"])
+            ),
+            rounds=int(data["rounds"]),
+            pc_rate=float(data["pc_rate"]),
+            mutation_rate=float(data["mutation_rate"]),
+            mutation_distribution=data.get("mutation_distribution", "uniform"),
+            beta=float(data["beta"]),
+            payoff=PayoffMatrix(reward=r, sucker=s, temptation=t, punishment=p),
+            noise=NoiseModel(float(data.get("noise_rate", 0.0))),
+            strategy_kind=data["strategy_kind"],
+            pc_rule=data["pc_rule"],
+            include_self_play=bool(data["include_self_play"]),
+            use_fitness_cache=bool(data["use_fitness_cache"]),
+            fitness_mode=data.get("fitness_mode", "auto"),
+            seed=int(data["seed"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed config record: {exc}") from exc
+
+
+_EVENT_FIELDS = [
+    "generation",
+    "pc_teacher",
+    "pc_learner",
+    "pi_teacher",
+    "pi_learner",
+    "adopted",
+    "mutation_sset",
+    "n_unique",
+]
+
+
+def write_event_csv(path: str | Path, records: Iterable[GenerationRecord]) -> int:
+    """Write generation records to CSV; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_EVENT_FIELDS)
+        writer.writeheader()
+        for rec in records:
+            row = {
+                "generation": rec.generation,
+                "pc_teacher": rec.pc.teacher if rec.pc else "",
+                "pc_learner": rec.pc.learner if rec.pc else "",
+                "pi_teacher": rec.pc.pi_teacher if rec.pc else "",
+                "pi_learner": rec.pc.pi_learner if rec.pc else "",
+                "adopted": int(rec.pc.adopted) if rec.pc else "",
+                "mutation_sset": rec.mutation.sset if rec.mutation else "",
+                "n_unique": rec.n_unique,
+            }
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def read_event_csv(path: str | Path) -> list[dict]:
+    """Read an event CSV back into dicts (strings preserved as written)."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"event log not found: {path}")
+    with path.open(newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def write_run_metadata(path: str | Path, config: SimulationConfig, summary: Mapping) -> None:
+    """Write run metadata (config + free-form summary) as JSON."""
+    payload = {"config": config_to_dict(config), "summary": dict(summary)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_run_metadata(path: str | Path) -> tuple[SimulationConfig, dict]:
+    """Read metadata JSON back into ``(config, summary)``."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"metadata file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+        return config_from_dict(payload["config"]), dict(payload["summary"])
+    except (json.JSONDecodeError, KeyError) as exc:
+        raise CheckpointError(f"malformed metadata file {path}: {exc}") from exc

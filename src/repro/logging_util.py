@@ -1,0 +1,60 @@
+"""Logging helpers.
+
+All modules log through the ``repro`` logger hierarchy.  Library code never
+configures handlers (that is the application's job); :func:`enable_console`
+is a convenience for examples and experiment drivers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "enable_console", "timed"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("perf.des")`` returns the ``repro.perf.des`` logger; with no
+    argument the package root logger is returned.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler to the package root logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+@contextmanager
+def timed(label: str, logger: logging.Logger | None = None) -> Iterator[dict]:
+    """Context manager measuring wall-clock time of a block.
+
+    Yields a dict whose ``"seconds"`` entry is filled in on exit, and logs
+    the elapsed time at DEBUG level.
+    """
+    log = logger or get_logger()
+    record: dict = {"label": label, "seconds": None}
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["seconds"] = time.perf_counter() - start
+        log.debug("%s took %.6f s", label, record["seconds"])

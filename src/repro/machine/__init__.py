@@ -1,0 +1,41 @@
+"""Blue Gene machine models: nodes, torus, collective tree, partitions.
+
+These stand in for the hardware the paper ran on; the performance model
+(:mod:`repro.perf`) prices the algorithm's computation and communication
+against them to regenerate the paper's scaling tables and figures.
+"""
+
+from repro.machine.bluegene import MachineSpec, MemoryFootprint, bluegene_l, bluegene_p
+from repro.machine.collective_tree import CollectiveTreeNetwork
+from repro.machine.mapping import (
+    MappingMetrics,
+    compare_mappings,
+    evaluate_mapping,
+    factor_dims,
+    snake_mapping,
+    xyzt_mapping,
+)
+from repro.machine.node import BGL_NODE, BGP_NODE, NodeSpec
+from repro.machine.partition import Partition, is_power_of_two, partition_shape
+from repro.machine.torus import TorusNetwork
+
+__all__ = [
+    "MappingMetrics",
+    "compare_mappings",
+    "evaluate_mapping",
+    "factor_dims",
+    "snake_mapping",
+    "xyzt_mapping",
+    "MachineSpec",
+    "MemoryFootprint",
+    "bluegene_l",
+    "bluegene_p",
+    "CollectiveTreeNetwork",
+    "NodeSpec",
+    "BGL_NODE",
+    "BGP_NODE",
+    "Partition",
+    "partition_shape",
+    "is_power_of_two",
+    "TorusNetwork",
+]

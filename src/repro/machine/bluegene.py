@@ -1,0 +1,157 @@
+"""Complete Blue Gene machine specifications for the performance model.
+
+A :class:`MachineSpec` bundles a node spec, the torus and collective-tree
+network models, and partitioning rules, plus the per-rank memory accounting
+the paper leans on (§VI-B-1: the state matrix "must be kept in local
+memory, and because the Blue Gene/L has only 512 MB of per-node memory, we
+had to limit our tests to memory-six").
+
+Network constants follow the published Blue Gene characteristics: BG/L
+torus links ~154 MB/s with ~100 ns per hop, tree ~350 MB/s with ~2.5 us
+latency; BG/P torus links ~425 MB/s, tree ~0.82 GB/s with ~5 us round
+latency (IBM J. Res. Dev. 52, 2008).  The absolute values matter less than
+the structure — the paper asks for curve *shapes*, and those are set by the
+latency/bandwidth/log-P terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.game.states import StateSpace
+from repro.machine.collective_tree import CollectiveTreeNetwork
+from repro.machine.node import BGL_NODE, BGP_NODE, NodeSpec
+from repro.machine.partition import Partition, partition_shape
+from repro.machine.torus import TorusNetwork
+
+__all__ = ["MachineSpec", "bluegene_l", "bluegene_p", "MemoryFootprint"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-rank memory use of the paper's data structures, in bytes.
+
+    Attributes
+    ----------
+    states_table:
+        The global ``states`` matrix: ``4**n`` rows of ``n`` two-move
+        rounds (what the paper's ``find_state`` scans).
+    strategy_view:
+        The rank's copy of every SSet's current strategy (the "local view
+        of the strategy space"), one byte per state per SSet.
+    game_state:
+        Current views and fitness accumulators for the games in flight.
+    """
+
+    states_table: int
+    strategy_view: int
+    game_state: int
+
+    @property
+    def total(self) -> int:
+        """Total bytes per rank."""
+        return self.states_table + self.strategy_view + self.game_state
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine: nodes, networks, partition rules.
+
+    Use the factory helpers :func:`bluegene_l` / :func:`bluegene_p` (or
+    build custom specs for what-if studies).
+    """
+
+    name: str
+    node: NodeSpec
+    torus_link_bandwidth: float
+    torus_hop_latency: float
+    torus_software_overhead: float
+    tree: CollectiveTreeNetwork
+    max_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.max_ranks < 1:
+            raise MachineModelError(f"max_ranks must be >= 1, got {self.max_ranks}")
+
+    # -- partitions / networks ------------------------------------------------------
+
+    def partition(self, n_ranks: int) -> Partition:
+        """Partition hosting ``n_ranks`` MPI ranks (one rank per core)."""
+        if not 1 <= n_ranks <= self.max_ranks:
+            raise MachineModelError(
+                f"{self.name} supports 1..{self.max_ranks} ranks, got {n_ranks}"
+            )
+        n_nodes = max(1, n_ranks // self.node.cores)
+        return partition_shape(n_nodes)
+
+    def torus(self, n_ranks: int) -> TorusNetwork:
+        """The torus network of the partition hosting ``n_ranks`` ranks."""
+        part = self.partition(n_ranks)
+        return TorusNetwork(
+            topology=part.topology,
+            link_bandwidth=self.torus_link_bandwidth,
+            hop_latency=self.torus_hop_latency,
+            software_overhead=self.torus_software_overhead,
+        )
+
+    # -- memory accounting -------------------------------------------------------------
+
+    def memory_footprint(
+        self, memory_steps: int, n_ssets: int, ssets_per_rank: int, bit_packed: bool = False
+    ) -> MemoryFootprint:
+        """Bytes each rank needs for the paper's data structures.
+
+        ``bit_packed=True`` models our packed strategy storage (1 bit per
+        state); the paper's C arrays are modelled as one byte per state.
+        """
+        space = StateSpace(memory_steps)
+        states_table = space.n_states * memory_steps * 2
+        per_strategy = (space.n_states + 7) // 8 if bit_packed else space.n_states
+        strategy_view = n_ssets * per_strategy
+        # Each in-flight game keeps two current views (2n moves each) and a
+        # fitness accumulator; one agent per SSet plays at a time per rank.
+        game_state = ssets_per_rank * (4 * memory_steps + 8)
+        return MemoryFootprint(
+            states_table=states_table, strategy_view=strategy_view, game_state=game_state
+        )
+
+    def fits_in_memory(
+        self, memory_steps: int, n_ssets: int, ssets_per_rank: int, bit_packed: bool = False
+    ) -> bool:
+        """Whether the per-rank footprint fits the node's per-rank share."""
+        fp = self.memory_footprint(memory_steps, n_ssets, ssets_per_rank, bit_packed)
+        return fp.total <= self.node.memory_per_rank
+
+    def __repr__(self) -> str:
+        return f"MachineSpec({self.name}, node={self.node.name}, max_ranks={self.max_ranks})"
+
+
+def bluegene_l() -> MachineSpec:
+    """The 2,048-processor Blue Gene/L used for validation and small scaling."""
+    return MachineSpec(
+        name="BlueGene/L",
+        node=BGL_NODE,
+        torus_link_bandwidth=154e6,
+        torus_hop_latency=100e-9,
+        torus_software_overhead=3.0e-6,
+        tree=CollectiveTreeNetwork(
+            bandwidth=350e6, level_latency=2.5e-6, software_overhead=3.0e-6
+        ),
+        max_ranks=2048,
+    )
+
+
+def bluegene_p() -> MachineSpec:
+    """The 294,912-processor Blue Gene/P (Jugene) used for the large studies."""
+    return MachineSpec(
+        name="BlueGene/P",
+        node=BGP_NODE,
+        torus_link_bandwidth=425e6,
+        torus_hop_latency=100e-9,
+        torus_software_overhead=2.0e-6,
+        tree=CollectiveTreeNetwork(
+            bandwidth=820e6, level_latency=2.5e-6, software_overhead=2.0e-6
+        ),
+        max_ranks=294912,
+    )

@@ -1,0 +1,81 @@
+"""The collective tree network model.
+
+Blue Gene carries broadcasts and reductions on a dedicated hardware tree
+(the "collectives network"): every node is a vertex of a spanning tree, and
+a broadcast flows down it paying one level latency per tree level plus
+serialisation at the tree link bandwidth.  The paper uses this network for
+all Nature-Agent-to-everyone traffic: the initial setup, PC-pair
+announcements, mutation announcements, and global strategy updates.
+
+Model::
+
+    bcast(P, n)  = overhead + depth(P) * level_latency + n / bandwidth
+    reduce(P, n) = same shape (the tree combines on the way up)
+
+with ``depth(P) = ceil(log2 P)`` — the hardware tree is roughly binary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+
+__all__ = ["CollectiveTreeNetwork"]
+
+
+@dataclass(frozen=True)
+class CollectiveTreeNetwork:
+    """Tree-network costs for broadcast/reduce/barrier over ``P`` nodes.
+
+    Parameters
+    ----------
+    bandwidth:
+        Payload bandwidth through the tree, bytes/second.
+    level_latency:
+        Per-tree-level forwarding latency, seconds.
+    software_overhead:
+        Fixed per-operation software cost, seconds.
+    """
+
+    bandwidth: float
+    level_latency: float
+    software_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise MachineModelError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.level_latency < 0 or self.software_overhead < 0:
+            raise MachineModelError("latencies must be non-negative")
+
+    @staticmethod
+    def depth(n_nodes: int) -> int:
+        """Tree depth reaching ``n_nodes`` nodes (0 for a single node)."""
+        if n_nodes < 1:
+            raise MachineModelError(f"n_nodes must be >= 1, got {n_nodes}")
+        return math.ceil(math.log2(n_nodes)) if n_nodes > 1 else 0
+
+    def bcast_time(self, n_nodes: int, nbytes: int) -> float:
+        """Broadcast ``nbytes`` from the root to all ``n_nodes`` nodes."""
+        if nbytes < 0:
+            raise MachineModelError(f"nbytes must be non-negative, got {nbytes}")
+        if n_nodes <= 1:
+            return 0.0
+        return (
+            self.software_overhead
+            + self.depth(n_nodes) * self.level_latency
+            + nbytes / self.bandwidth
+        )
+
+    def reduce_time(self, n_nodes: int, nbytes: int) -> float:
+        """Combine ``nbytes`` contributions from all nodes up to the root."""
+        return self.bcast_time(n_nodes, nbytes)
+
+    def allreduce_time(self, n_nodes: int, nbytes: int) -> float:
+        """Reduce followed by broadcast of the result."""
+        return self.reduce_time(n_nodes, nbytes) + self.bcast_time(n_nodes, nbytes)
+
+    def barrier_time(self, n_nodes: int) -> float:
+        """Zero-payload allreduce."""
+        return self.allreduce_time(n_nodes, 0)

@@ -1,0 +1,149 @@
+"""Rank-to-node mappings on torus partitions (the paper's future work).
+
+§VI-E: "In future work we plan to investigate custom mappings to help the
+performance for non-powers-of-2 partition sizes."  This module does that
+investigation: it builds torus shapes for *any* node count (balanced prime
+factorisation, not power-of-two padding), defines mapping strategies that
+permute MPI ranks onto torus coordinates, and scores them on the two
+locality metrics the algorithm cares about:
+
+* **consecutive-rank hop distance** — block decomposition puts neighbouring
+  SSets on neighbouring ranks, so rank *r* talks most to *r ± 1* (and the
+  strategy-update pipeline flows in rank order);
+* **hops to the Nature rank** — fitness returns all travel to rank 0.
+
+Strategies:
+
+* ``xyzt`` — the default row-major order (what the paper ran);
+* ``snake`` — boustrophedon order: every pair of consecutive ranks is a
+  torus neighbour, eliminating the row-wrap jumps of ``xyzt``.
+
+The ablation bench ``benchmarks/test_ablation_rank_mapping.py`` quantifies
+the improvement on the paper's 73,728-node (72-rack) case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.mpi.topology import CartTopology
+
+__all__ = [
+    "factor_dims",
+    "xyzt_mapping",
+    "snake_mapping",
+    "MappingMetrics",
+    "evaluate_mapping",
+    "compare_mappings",
+]
+
+
+def factor_dims(n_nodes: int, n_dims: int = 3) -> tuple[int, ...]:
+    """Factor ``n_nodes`` into ``n_dims`` near-balanced extents.
+
+    Greedy: repeatedly assign the largest remaining prime factor to the
+    currently smallest dimension.  Exact (product equals ``n_nodes``) for
+    any count — 73,728 nodes factor to (32, 48, 48), no padding.
+    """
+    if n_nodes < 1:
+        raise PartitionError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_dims < 1:
+        raise PartitionError(f"n_dims must be >= 1, got {n_dims}")
+    factors = []
+    rem = n_nodes
+    p = 2
+    while p * p <= rem:
+        while rem % p == 0:
+            factors.append(p)
+            rem //= p
+        p += 1
+    if rem > 1:
+        factors.append(rem)
+    dims = [1] * n_dims
+    for f in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= f
+    return tuple(sorted(dims))
+
+
+def xyzt_mapping(topology: CartTopology) -> np.ndarray:
+    """Default mapping: rank r sits on node r (row-major coordinate order)."""
+    return np.arange(topology.size, dtype=np.intp)
+
+
+def snake_mapping(topology: CartTopology) -> np.ndarray:
+    """Boustrophedon mapping: consecutive ranks are always torus neighbours.
+
+    The fastest-varying dimension sweeps forward then backward, flipping
+    direction whenever a slower dimension advances (generalised Gray-like
+    walk).  Returns ``perm`` with ``perm[rank] = node``.
+    """
+    dims = topology.dims
+    size = topology.size
+    perm = np.empty(size, dtype=np.intp)
+    coords = [0] * len(dims)
+    direction = [1] * len(dims)
+    for rank in range(size):
+        perm[rank] = topology.rank(tuple(coords))
+        # Advance like an odometer whose wheels reverse instead of wrapping.
+        for d in range(len(dims) - 1, -1, -1):
+            nxt = coords[d] + direction[d]
+            if 0 <= nxt < dims[d]:
+                coords[d] = nxt
+                break
+            direction[d] = -direction[d]
+        # (last rank: odometer stays put, loop ends)
+    return perm
+
+
+@dataclass(frozen=True)
+class MappingMetrics:
+    """Locality scores of one rank mapping.
+
+    Attributes
+    ----------
+    name:
+        Mapping label.
+    mean_consecutive_hops:
+        Average torus hop distance between ranks r and r+1.
+    max_consecutive_hops:
+        Worst consecutive-rank distance (the row-wrap jump of ``xyzt``).
+    mean_hops_to_nature:
+        Average hop distance from every rank to rank 0.
+    """
+
+    name: str
+    mean_consecutive_hops: float
+    max_consecutive_hops: int
+    mean_hops_to_nature: float
+
+
+def evaluate_mapping(topology: CartTopology, perm: np.ndarray, name: str) -> MappingMetrics:
+    """Score a mapping permutation on the locality metrics."""
+    perm = np.asarray(perm, dtype=np.intp)
+    if perm.shape != (topology.size,) or sorted(perm.tolist()) != list(range(topology.size)):
+        raise PartitionError("perm must be a permutation of all nodes")
+    consecutive = [
+        topology.hop_distance(int(perm[r]), int(perm[r + 1]))
+        for r in range(topology.size - 1)
+    ]
+    to_nature = [
+        topology.hop_distance(int(perm[0]), int(perm[r])) for r in range(topology.size)
+    ]
+    return MappingMetrics(
+        name=name,
+        mean_consecutive_hops=float(np.mean(consecutive)) if consecutive else 0.0,
+        max_consecutive_hops=int(np.max(consecutive)) if consecutive else 0,
+        mean_hops_to_nature=float(np.mean(to_nature)),
+    )
+
+
+def compare_mappings(n_nodes: int, n_dims: int = 3) -> list[MappingMetrics]:
+    """Build the balanced torus for ``n_nodes`` and score both mappings."""
+    topo = CartTopology(factor_dims(n_nodes, n_dims))
+    return [
+        evaluate_mapping(topo, xyzt_mapping(topo), "xyzt"),
+        evaluate_mapping(topo, snake_mapping(topo), "snake"),
+    ]

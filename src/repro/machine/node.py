@@ -1,0 +1,76 @@
+"""Compute-node specifications for the machine model.
+
+The paper's two machines:
+
+* **Blue Gene/L** — 700 MHz PowerPC 440 dual-core nodes, 512 MB per node
+  (the memory budget that capped runs at memory-six), used for the
+  validation and small-scale studies on 2,048 processors.
+* **Blue Gene/P** — 850 MHz PowerPC 450 quad-core nodes, 2 GB per node,
+  3-D torus plus collective tree, used for the large-scale studies on up to
+  294,912 processors.
+
+A :class:`NodeSpec` carries what the performance model needs: a relative
+compute speed (scales the calibrated per-round game cost) and the memory
+budget (drives the feasibility checks that mirror the paper's §VI-B-1
+memory discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+
+__all__ = ["NodeSpec", "BGL_NODE", "BGP_NODE"]
+
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Parameters
+    ----------
+    name:
+        Human-readable model name.
+    clock_hz:
+        Core clock; used only for documentation and speed ratios.
+    cores:
+        Cores per node (the paper schedules one MPI rank per core in VN
+        mode; "processors" in its tables are ranks).
+    memory_bytes:
+        Usable DRAM per node.
+    compute_speed:
+        Relative speed factor applied to calibrated per-operation costs
+        (1.0 = the calibration platform's speed).
+    """
+
+    name: str
+    clock_hz: float
+    cores: int
+    memory_bytes: int
+    compute_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.cores < 1 or self.memory_bytes <= 0:
+            raise MachineModelError(f"invalid node spec: {self}")
+        if self.compute_speed <= 0:
+            raise MachineModelError(f"compute_speed must be positive, got {self.compute_speed}")
+
+    @property
+    def memory_per_rank(self) -> int:
+        """Memory available to each rank when all cores host ranks."""
+        return self.memory_bytes // self.cores
+
+
+#: Blue Gene/L node: 700 MHz PPC440, 2 cores, 512 MiB.
+BGL_NODE = NodeSpec(
+    name="BlueGene/L", clock_hz=700e6, cores=2, memory_bytes=512 * MiB, compute_speed=1.0
+)
+
+#: Blue Gene/P node: 850 MHz PPC450, 4 cores, 2 GiB.
+BGP_NODE = NodeSpec(
+    name="BlueGene/P", clock_hz=850e6, cores=4, memory_bytes=2 * GiB, compute_speed=1.2
+)

@@ -1,0 +1,84 @@
+"""The 3-D torus interconnect model.
+
+Blue Gene's point-to-point traffic rides a 3-D torus: each node links to six
+neighbours; a message to a distant node is cut through along a shortest
+route, paying a per-hop latency plus serialisation at the link bandwidth.
+The paper returns SSet fitnesses to the Nature Agent over this network with
+non-blocking point-to-point messages.
+
+The model prices one message as::
+
+    time = software_overhead + hops * hop_latency + nbytes / link_bandwidth
+
+which is the standard latency/bandwidth ("alpha-beta") model with a
+distance term — sufficient to capture the paper's observation that mapping
+quality (hops) matters while staying analytic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.mpi.topology import CartTopology
+
+__all__ = ["TorusNetwork"]
+
+
+@dataclass(frozen=True)
+class TorusNetwork:
+    """A 3-D (or any-D) torus with uniform links.
+
+    Parameters
+    ----------
+    topology:
+        Rank layout (dims and wrap behaviour).
+    link_bandwidth:
+        Per-link bandwidth, bytes/second.
+    hop_latency:
+        Router transit time per hop, seconds.
+    software_overhead:
+        Fixed per-message send+receive software cost, seconds.
+    """
+
+    topology: CartTopology
+    link_bandwidth: float
+    hop_latency: float
+    software_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0:
+            raise MachineModelError(f"link_bandwidth must be positive, got {self.link_bandwidth}")
+        if self.hop_latency < 0 or self.software_overhead < 0:
+            raise MachineModelError("latencies must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Number of nodes on the torus."""
+        return self.topology.size
+
+    def message_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Transfer time of one ``nbytes`` message from ``src`` to ``dst``."""
+        if nbytes < 0:
+            raise MachineModelError(f"nbytes must be non-negative, got {nbytes}")
+        if src == dst:
+            return 0.0
+        hops = self.topology.hop_distance(src, dst)
+        return self.software_overhead + hops * self.hop_latency + nbytes / self.link_bandwidth
+
+    def message_time_hops(self, hops: int, nbytes: int) -> float:
+        """Transfer time for a message travelling a known hop count."""
+        if hops < 0 or nbytes < 0:
+            raise MachineModelError("hops and nbytes must be non-negative")
+        if hops == 0:
+            return 0.0
+        return self.software_overhead + hops * self.hop_latency + nbytes / self.link_bandwidth
+
+    def average_message_time(self, src: int, nbytes: int) -> float:
+        """Mean transfer time from ``src`` to a uniformly random other node."""
+        avg_hops = self.topology.average_hops_from(src) * self.size / max(1, self.size - 1)
+        return self.software_overhead + avg_hops * self.hop_latency + nbytes / self.link_bandwidth
+
+    def worst_case_message_time(self, nbytes: int) -> float:
+        """Transfer time across the network diameter."""
+        return self.message_time_hops(max(1, self.topology.max_hop_distance()), nbytes)

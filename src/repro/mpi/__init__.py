@@ -1,0 +1,34 @@
+"""Virtual MPI runtime — the message-passing substrate of the reproduction.
+
+The paper runs C/MPI on Blue Gene; here the same SPMD programs run on an
+in-process virtual communicator with faithful semantics and fully observable
+traffic:
+
+* :mod:`repro.mpi.comm` — :class:`World` and :class:`Comm` (point-to-point
+  + tree-based collectives).
+* :mod:`repro.mpi.executor` — :func:`run_spmd`, the ``mpiexec`` stand-in.
+* :mod:`repro.mpi.topology` — Cartesian/torus rank layouts.
+* :mod:`repro.mpi.counters` — per-operation message/byte tallies.
+* :mod:`repro.mpi.status` — matching wildcards and delivery metadata.
+"""
+
+from repro.mpi.comm import Comm, World, payload_nbytes
+from repro.mpi.counters import CommCounters, OpCount
+from repro.mpi.executor import SPMDResult, run_spmd
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
+from repro.mpi.topology import CartTopology
+
+__all__ = [
+    "Comm",
+    "World",
+    "payload_nbytes",
+    "CommCounters",
+    "OpCount",
+    "SPMDResult",
+    "run_spmd",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "Status",
+    "CartTopology",
+]

@@ -1,0 +1,368 @@
+"""The virtual MPI communicator.
+
+This is the message-passing substrate standing in for the paper's C/MPI on
+Blue Gene: tagged point-to-point ``send``/``recv`` (blocking and
+non-blocking) between ranks that live as threads in one process, plus the
+collectives the paper's algorithm uses — ``bcast`` (binomial tree, the
+stand-in for Blue Gene's collective network), ``gather``, ``scatter``,
+``reduce``, ``allreduce``, ``allgather`` and ``barrier`` — all built from
+the same point-to-point layer so the traffic counters see every hop.
+
+Semantics follow MPI closely enough that the algorithm code reads like its
+C original: messages between a (source, dest) pair are non-overtaking per
+tag, ``recv`` accepts wildcards, collectives must be entered by every rank
+of the communicator in the same order.
+
+The runtime is cooperative, not preemptive — ranks block on condition
+variables, so thousands of virtual ranks work, bounded by thread memory.
+For the paper's 262,144-rank scales use the performance model
+(:mod:`repro.perf`), which consumes the same cost structure analytically.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CommAbortError, MPIError, RankError
+from repro.mpi.counters import CommCounters
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
+
+__all__ = ["World", "Comm", "payload_nbytes"]
+
+# Internal tag bases (above MAX_USER_TAG, per-collective-call sequenced).
+_TAG_BCAST = 1 << 28
+_TAG_GATHER = 2 << 28
+_TAG_SCATTER = 3 << 28
+_TAG_REDUCE = 4 << 28
+_TAG_BARRIER = 5 << 28
+_TAG_ALLGATHER = 6 << 28
+_SEQ_MASK = (1 << 28) - 1
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimated wire size of a message payload.
+
+    Exact for ndarrays and bytes; pickled length otherwise.  Used for
+    counters and the machine model's transfer costs.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+class _Mailbox:
+    """One rank's incoming message queue with tag matching."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.ready = threading.Condition(self.lock)
+        self.messages: list[tuple[int, int, Any, int]] = []  # (source, tag, payload, nbytes)
+
+    def deliver(self, source: int, tag: int, payload: Any, nbytes: int) -> None:
+        with self.lock:
+            self.messages.append((source, tag, payload, nbytes))
+            self.ready.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> int | None:
+        for i, (src, tg, _payload, _n) in enumerate(self.messages):
+            if (source == ANY_SOURCE or src == source) and (tag == ANY_TAG or tg == tag):
+                return i
+        return None
+
+    def take(
+        self, source: int, tag: int, abort: threading.Event, timeout: float | None
+    ) -> tuple[int, int, Any, int]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.lock:
+            while True:
+                if abort.is_set():
+                    raise CommAbortError("communicator aborted while waiting for a message")
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    return self.messages.pop(idx)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise MPIError(f"recv timed out waiting for source={source} tag={tag}")
+                # Wake periodically to observe aborts even with no traffic.
+                self.ready.wait(timeout=0.05)
+
+    def probe(self, source: int, tag: int) -> Status | None:
+        with self.lock:
+            idx = self._match_index(source, tag)
+            if idx is None:
+                return None
+            src, tg, _payload, nbytes = self.messages[idx]
+            return Status(source=src, tag=tg, nbytes=nbytes)
+
+
+class World:
+    """Shared state of one virtual MPI job: mailboxes, counters, abort flag.
+
+    Create one :class:`World` per SPMD program (the executor does this) and
+    hand each rank its :class:`Comm` via :meth:`comm`.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.counters = CommCounters()
+        self.abort_event = threading.Event()
+        self.abort_reason: str | None = None
+        self._comms: dict[int, "Comm"] = {}
+        self._comms_lock = threading.Lock()
+
+    def comm(self, rank: int) -> "Comm":
+        """The communicator handle for ``rank`` (cached: collective sequence
+        numbers live on the handle, so every caller must share it)."""
+        if not 0 <= rank < self.size:
+            raise RankError(f"rank {rank} out of range [0, {self.size})")
+        with self._comms_lock:
+            comm = self._comms.get(rank)
+            if comm is None:
+                comm = Comm(self, rank)
+                self._comms[rank] = comm
+            return comm
+
+    def abort(self, reason: str) -> None:
+        """Poison the world: every blocked or future operation raises."""
+        self.abort_reason = reason
+        self.abort_event.set()
+        for box in self.mailboxes:
+            with box.lock:
+                box.ready.notify_all()
+
+
+
+class _Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, wait_fn: Callable[[], Any]) -> None:
+        self._wait_fn = wait_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        """Block until the operation completes; returns recv payloads."""
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """True when already completed (does not block for sends)."""
+        return self._done
+
+
+class Comm:
+    """One rank's endpoint into a :class:`World`.
+
+    Mirrors the mpi4py lower-case object API: payloads are arbitrary Python
+    objects (ndarrays pass by reference — the virtual network is
+    zero-copy, so senders must not mutate buffers after sending, exactly
+    like MPI's no-touch rule for non-blocking sends).
+    """
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._collective_seq: dict[int, int] = {}
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def _check_rank(self, rank: int, what: str) -> int:
+        if not 0 <= rank < self.size:
+            raise RankError(f"{what} rank {rank} out of range [0, {self.size})")
+        return int(rank)
+
+    def _check_abort(self) -> None:
+        if self.world.abort_event.is_set():
+            raise CommAbortError(self.world.abort_reason or "communicator aborted")
+
+    def _send_raw(self, payload: Any, dest: int, tag: int) -> None:
+        self._check_abort()
+        nbytes = payload_nbytes(payload)
+        self.world.counters.record("send", messages=1, nbytes=nbytes)
+        self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes)
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Send ``payload`` to ``dest``; completes immediately (buffered send)."""
+        self._check_rank(dest, "destination")
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
+        self._send_raw(payload, dest, tag)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> _Request:
+        """Non-blocking send (delivery is immediate in the virtual network)."""
+        self.send(payload, dest, tag)
+        req = _Request(lambda: None)
+        req.wait()
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        return_status: bool = False,
+    ) -> Any:
+        """Receive one matching message (blocking).
+
+        With ``return_status=True`` returns ``(payload, Status)``.
+        ``timeout`` (seconds) turns a hang into an :class:`MPIError` —
+        useful in tests; production code leaves it None.
+        """
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        src, tg, payload, nbytes = self.world.mailboxes[self.rank].take(
+            source, tag, self.world.abort_event, timeout
+        )
+        if return_status:
+            return payload, Status(source=src, tag=tg, nbytes=nbytes)
+        return payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _Request:
+        """Non-blocking receive; ``wait()`` returns the payload."""
+        return _Request(lambda: self.recv(source=source, tag=tag))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe: Status of a matching pending message, or None."""
+        self._check_abort()
+        return self.world.mailboxes[self.rank].probe(source, tag)
+
+    def abort(self, reason: str = "rank called abort") -> None:
+        """Poison every rank of the communicator."""
+        self.world.abort(f"rank {self.rank}: {reason}")
+        raise CommAbortError(self.world.abort_reason or reason)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def _collective_tag(self, base: int) -> int:
+        seq = self._collective_seq.get(base, 0)
+        self._collective_seq[base] = seq + 1
+        return base | (seq & _SEQ_MASK)
+
+    def _vrank(self, root: int) -> int:
+        return (self.rank - root) % self.size
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; returns the payload on every rank.
+
+        This is the stand-in for Blue Gene's collective tree network, which
+        the paper uses for PC-pair announcements, mutation announcements and
+        strategy updates.
+        """
+        self._check_rank(root, "root")
+        tag = self._collective_tag(_TAG_BCAST)
+        size = self.size
+        vrank = self._vrank(root)
+        if vrank != 0:
+            # Receive from parent: clear lowest set bit of vrank.
+            parent_v = vrank & (vrank - 1)
+            payload = self.recv(source=(parent_v + root) % size, tag=tag)
+        # Forward to children: set each bit above the lowest set bit region.
+        mask = 1
+        while mask < size:
+            if vrank & (mask - 1) == 0 and vrank & mask == 0:
+                child_v = vrank | mask
+                if child_v < size:
+                    self._send_raw(payload, (child_v + root) % size, tag)
+            mask <<= 1
+        if self.rank == root:
+            self.world.counters.record("bcast", messages=0, nbytes=payload_nbytes(payload))
+        return payload
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one payload per rank to ``root`` (rank order preserved)."""
+        self._check_rank(root, "root")
+        tag = self._collective_tag(_TAG_GATHER)
+        if self.rank != root:
+            self._send_raw(payload, root, tag)
+            return None
+        out: list[Any] = [None] * self.size
+        out[root] = payload
+        for src in range(self.size):
+            if src != root:
+                out[src] = self.recv(source=src, tag=tag)
+        self.world.counters.record("gather", messages=0, nbytes=payload_nbytes(payload))
+        return out
+
+    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one payload to each rank from ``root``'s list."""
+        self._check_rank(root, "root")
+        tag = self._collective_tag(_TAG_SCATTER)
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise MPIError(
+                    f"scatter root needs exactly {self.size} payloads,"
+                    f" got {None if payloads is None else len(payloads)}"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self._send_raw(payloads[dest], dest, tag)
+            self.world.counters.record("scatter", messages=0, nbytes=0)
+            return payloads[root]
+        return self.recv(source=root, tag=tag)
+
+    def reduce(
+        self, payload: Any, op: Callable[[Any, Any], Any] | None = None, root: int = 0
+    ) -> Any:
+        """Binomial-tree reduction to ``root``; ``op`` defaults to ``+``.
+
+        ``op`` must be associative; contributions are combined in an order
+        that is deterministic for a given world size.
+        """
+        self._check_rank(root, "root")
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        tag = self._collective_tag(_TAG_REDUCE)
+        size = self.size
+        vrank = self._vrank(root)
+        acc = payload
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent_v = vrank & ~mask
+                self._send_raw(acc, (parent_v + root) % size, tag)
+                break
+            child_v = vrank | mask
+            if child_v < size:
+                other = self.recv(source=(child_v + root) % size, tag=tag)
+                acc = op(acc, other)
+            mask <<= 1
+        if self.rank == root:
+            self.world.counters.record("reduce", messages=0, nbytes=payload_nbytes(payload))
+            return acc
+        return None
+
+    def allreduce(self, payload: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce to rank 0, then broadcast the result to everyone."""
+        result = self.reduce(payload, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Gather to rank 0, then broadcast the full list."""
+        tag_unused = self._collective_tag(_TAG_ALLGATHER)  # keeps seq aligned across ranks
+        del tag_unused
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (reduce + bcast of a token)."""
+        self._collective_tag(_TAG_BARRIER)  # alignment only
+        self.allreduce(0)
+        self.world.counters.record("barrier", messages=0, nbytes=0)
+
+    def __repr__(self) -> str:
+        return f"Comm(rank={self.rank}, size={self.size})"

@@ -1,0 +1,71 @@
+"""Communication counters: the virtual network's observable traffic.
+
+The paper's scaling behaviour is a story about communication structure —
+how many messages the Nature Agent's broadcasts and fitness gathers put on
+the collective tree and torus networks.  Because our MPI is virtual, we can
+count *exactly*: every point-to-point message, every collective call, every
+byte.  The tests assert the algorithm's communication pattern (e.g. a PC
+event costs one broadcast plus two point-to-point fitness returns), and the
+performance model is calibrated against these counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["OpCount", "CommCounters"]
+
+
+@dataclass
+class OpCount:
+    """Message and byte tally for one operation type."""
+
+    calls: int = 0
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, messages: int, nbytes: int) -> None:
+        self.calls += 1
+        self.messages += messages
+        self.bytes += nbytes
+
+
+@dataclass
+class CommCounters:
+    """Thread-safe per-communicator traffic statistics.
+
+    Point-to-point traffic is tallied under ``"send"``; each collective is
+    tallied both as its own logical operation (``"bcast"``, ``"gather"``,
+    ...) and through the point-to-point messages it is built from.
+    """
+
+    ops: dict[str, OpCount] = field(default_factory=lambda: defaultdict(OpCount))
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, op: str, messages: int = 1, nbytes: int = 0) -> None:
+        """Tally one call of ``op`` carrying ``messages`` messages / ``nbytes`` bytes."""
+        with self._lock:
+            self.ops[op].add(messages, nbytes)
+
+    def get(self, op: str) -> OpCount:
+        """The tally for ``op`` (zeros when never recorded)."""
+        with self._lock:
+            found = self.ops.get(op)
+            return OpCount(found.calls, found.messages, found.bytes) if found else OpCount()
+
+    def total_point_to_point(self) -> OpCount:
+        """All point-to-point traffic, including collective-internal messages."""
+        return self.get("send")
+
+    def snapshot(self) -> dict[str, OpCount]:
+        """A consistent copy of all tallies."""
+        with self._lock:
+            return {k: OpCount(v.calls, v.messages, v.bytes) for k, v in self.ops.items()}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v.calls}c/{v.messages}m/{v.bytes}B" for k, v in sorted(self.snapshot().items())
+        )
+        return f"CommCounters({parts})"

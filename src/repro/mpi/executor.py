@@ -1,0 +1,118 @@
+"""SPMD launcher for the virtual MPI runtime.
+
+:func:`run_spmd` is the stand-in for ``mpiexec -n P``: it spins up ``P``
+threads, hands each its :class:`~repro.mpi.comm.Comm`, runs the same
+function everywhere, and collects the per-rank return values.  A crash on
+any rank aborts the whole world (like ``MPI_Abort``) and re-raises the first
+failure in the caller, with the other ranks' blocked operations unwound via
+:class:`~repro.errors.CommAbortError`.
+
+Threads give concurrency, not parallelism (the GIL serialises pure-Python
+sections) — which is exactly what a *correctness* substrate needs: identical
+message-passing semantics at any rank count that fits in memory.  Wall-clock
+performance at scale is the job of :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommAbortError, MPIError
+from repro.logging_util import get_logger
+from repro.mpi.comm import Comm, World
+
+__all__ = ["run_spmd", "SPMDResult"]
+
+_LOG = get_logger("mpi.executor")
+
+#: Keep virtual worlds to a size threads can sustain; larger scales belong
+#: to the performance model.
+MAX_THREAD_RANKS = 1024
+
+
+@dataclass(frozen=True)
+class SPMDResult:
+    """Outcome of one SPMD execution.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return values, indexed by rank.
+    world:
+        The world the program ran in (counters remain readable).
+    """
+
+    returns: list[Any]
+    world: World
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    timeout: float | None = 300.0,
+) -> SPMDResult:
+    """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
+
+    Parameters
+    ----------
+    n_ranks:
+        World size (1..1024; bigger scales are modelled, not executed).
+    fn:
+        The rank program.  Its first argument is the rank's ``Comm``.
+    args:
+        Extra positional arguments passed to every rank.
+    timeout:
+        Seconds to wait for completion before aborting the world; ``None``
+        waits forever.
+
+    Raises
+    ------
+    The first rank exception, re-raised in the caller, or
+    :class:`~repro.errors.MPIError` on timeout.
+    """
+    if not 1 <= n_ranks <= MAX_THREAD_RANKS:
+        raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
+    world = World(n_ranks)
+    returns: list[Any] = [None] * n_ranks
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def run_rank(rank: int) -> None:
+        comm = world.comm(rank)
+        try:
+            returns[rank] = fn(comm, *args)
+        except CommAbortError:
+            # Secondary casualty of another rank's failure; keep quiet.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
+            with failures_lock:
+                failures.append((rank, exc))
+            _LOG.debug("rank %d failed: %r", rank, exc)
+            world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=run_rank, args=(rank,), name=f"vmpi-rank-{rank}", daemon=True)
+        for rank in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.abort("executor timeout")
+            for t2 in threads:
+                t2.join(timeout=5.0)
+            raise MPIError(f"SPMD program timed out after {timeout} s")
+
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        rank, exc = failures[0]
+        raise exc
+    if world.abort_event.is_set():
+        # A rank called abort() deliberately (no other exception to blame):
+        # surface it — like MPI_Abort, the job did not complete normally.
+        raise CommAbortError(world.abort_reason or "world aborted")
+    return SPMDResult(returns=returns, world=world)

@@ -1,0 +1,37 @@
+"""Message status and matching constants for the virtual MPI runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG", "MAX_USER_TAG"]
+
+#: Wildcard source for :meth:`repro.mpi.comm.Comm.recv`.
+ANY_SOURCE = -1
+
+#: Wildcard tag for :meth:`repro.mpi.comm.Comm.recv`.
+ANY_TAG = -1
+
+#: Largest tag available to applications; higher tags are reserved for the
+#: runtime's internal collective protocols.
+MAX_USER_TAG = (1 << 28) - 1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Delivery metadata of a received message.
+
+    Attributes
+    ----------
+    source:
+        Rank that sent the message.
+    tag:
+        Tag the message was sent with.
+    nbytes:
+        Estimated on-wire size of the payload (exact for ndarray/bytes
+        payloads, pickled size otherwise).
+    """
+
+    source: int
+    tag: int
+    nbytes: int

@@ -1,0 +1,101 @@
+"""Cartesian rank-to-coordinate mappings.
+
+Blue Gene partitions are 3-D torus blocks; the paper maps MPI ranks onto
+them in the default XYZT order.  These helpers convert between linear ranks
+and torus coordinates, so both the parallel algorithm (for locality-aware
+placement experiments) and the machine model (for hop counting) agree on
+where a rank lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MPIError
+
+__all__ = ["CartTopology"]
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """A row-major Cartesian layout of ``prod(dims)`` ranks.
+
+    Parameters
+    ----------
+    dims:
+        Extent along each dimension (any dimensionality >= 1).
+    periodic:
+        Whether neighbours wrap around (torus); Blue Gene links do.
+    """
+
+    dims: tuple[int, ...]
+    periodic: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise MPIError(f"dims must be positive, got {self.dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    @property
+    def size(self) -> int:
+        """Total rank count."""
+        return int(np.prod(self.dims))
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Coordinates of ``rank`` (row-major: last dimension fastest)."""
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+        out = []
+        rem = rank
+        for extent in reversed(self.dims):
+            out.append(rem % extent)
+            rem //= extent
+        return tuple(reversed(out))
+
+    def rank(self, coords: tuple[int, ...]) -> int:
+        """Linear rank of ``coords`` (wrapping when periodic)."""
+        if len(coords) != len(self.dims):
+            raise MPIError(f"need {len(self.dims)} coordinates, got {len(coords)}")
+        rank = 0
+        for c, extent in zip(coords, self.dims):
+            if self.periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise MPIError(f"coordinate {c} out of range [0, {extent})")
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, rank: int, dim: int, displacement: int) -> int:
+        """Neighbour of ``rank`` displaced along ``dim`` (torus wrap)."""
+        if not 0 <= dim < len(self.dims):
+            raise MPIError(f"dim {dim} out of range")
+        coords = list(self.coords(rank))
+        coords[dim] += displacement
+        return self.rank(tuple(coords))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Manhattan hop count between two ranks (shortest torus route)."""
+        ca, cb = self.coords(a), self.coords(b)
+        hops = 0
+        for x, y, extent in zip(ca, cb, self.dims):
+            d = abs(x - y)
+            hops += min(d, extent - d) if self.periodic else d
+        return hops
+
+    def max_hop_distance(self) -> int:
+        """Network diameter in hops."""
+        if self.periodic:
+            return sum(extent // 2 for extent in self.dims)
+        return sum(extent - 1 for extent in self.dims)
+
+    def average_hops_from(self, rank: int) -> float:
+        """Mean hop distance from ``rank`` to every rank (incl. itself)."""
+        per_dim = []
+        for x, extent in zip(self.coords(rank), self.dims):
+            ds = np.abs(np.arange(extent) - x)
+            if self.periodic:
+                ds = np.minimum(ds, extent - ds)
+            per_dim.append(ds.mean())
+        return float(sum(per_dim))

@@ -1,0 +1,27 @@
+"""The paper's parallel algorithm on the virtual MPI runtime.
+
+* :mod:`repro.parallel.decomposition` — SSets/agents onto ranks (Table VIII).
+* :mod:`repro.parallel.protocol` — the per-generation wire protocol.
+* :mod:`repro.parallel.runner` — Nature rank + workers, bit-identical to the
+  serial driver.
+"""
+
+from repro.parallel.decomposition import (
+    SSetDecomposition,
+    agents_per_processor,
+    table8_rows,
+)
+from repro.parallel.protocol import GenerationHeader, MutationUpdate, PCOutcome, TAG_FITNESS
+from repro.parallel.runner import ParallelRunResult, ParallelSimulation
+
+__all__ = [
+    "SSetDecomposition",
+    "agents_per_processor",
+    "table8_rows",
+    "GenerationHeader",
+    "MutationUpdate",
+    "PCOutcome",
+    "TAG_FITNESS",
+    "ParallelRunResult",
+    "ParallelSimulation",
+]

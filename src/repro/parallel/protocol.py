@@ -1,0 +1,73 @@
+"""Wire protocol of the parallel runner.
+
+One generation of the paper's algorithm exchanges, in order:
+
+1. **Generation header** (Nature -> all, collective tree / ``bcast``): does
+   a pairwise comparison fire this generation, and between which SSets.
+2. **Fitness returns** (owners -> Nature, torus point-to-point): the
+   teacher's and learner's relative fitness, when a PC fired.
+3. **PC outcome** (Nature -> all, ``bcast``): whether the learner adopts.
+4. **Mutation** (Nature -> all, ``bcast``): the new strategy table and its
+   target SSet, when a mutation fired.
+
+Ranks apply steps 3 and 4 to their local population replica, so every rank
+ends the generation with an identical global strategy view — the paper's
+"all nodes need to maintain an up to date view of the strategies assigned
+to all other SSets".
+
+Payloads are small dataclasses; strategy tables travel as ndarrays (the
+virtual network counts their true byte size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TAG_FITNESS",
+    "GenerationHeader",
+    "PCOutcome",
+    "MutationUpdate",
+]
+
+#: Point-to-point tag for fitness returns to the Nature Agent.
+TAG_FITNESS = 7
+
+
+@dataclass(frozen=True)
+class GenerationHeader:
+    """Step 1: what this generation's population dynamics will do.
+
+    ``pc_teacher``/``pc_learner`` are -1 when no pairwise comparison fires.
+    """
+
+    generation: int
+    pc_teacher: int = -1
+    pc_learner: int = -1
+
+    @property
+    def has_pc(self) -> bool:
+        """Whether a pairwise comparison fires this generation."""
+        return self.pc_teacher >= 0
+
+
+@dataclass(frozen=True)
+class PCOutcome:
+    """Step 3: the Nature Agent's adoption decision."""
+
+    teacher: int
+    learner: int
+    adopted: bool
+    pi_teacher: float
+    pi_learner: float
+    probability: float
+
+
+@dataclass(frozen=True)
+class MutationUpdate:
+    """Step 4: a mutation event (``sset`` receives ``table``); None when idle."""
+
+    sset: int
+    table: np.ndarray

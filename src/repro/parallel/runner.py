@@ -1,0 +1,253 @@
+"""The parallel algorithm: Nature rank plus worker ranks over virtual MPI.
+
+This is the paper's §V implementation, expressed on the virtual runtime:
+
+* rank 0 is the **Nature Agent** — it owns the random decision streams,
+  announces each generation's events down the (modelled) collective tree
+  via ``bcast``, receives fitness returns over point-to-point messages, and
+  broadcasts the resulting strategy updates;
+* ranks 1..P-1 are **workers** — each owns a block of SSets
+  (:class:`~repro.parallel.decomposition.SSetDecomposition`), keeps a full
+  replica of the global strategy view (the paper's per-node "local view of
+  the strategy space"), evaluates the fitness of its own SSets when asked,
+  and applies every broadcast update.
+
+Because every rank derives its randomness from the same
+:class:`~repro.rng.StreamFactory` keys as the serial driver, a parallel run
+produces a population trajectory *bit-identical* to
+:class:`~repro.population.dynamics.EvolutionDriver` at any rank count — the
+integration tests assert this, which is the strongest correctness statement
+the reproduction makes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import MPIError
+from repro.mpi.comm import Comm
+from repro.mpi.counters import OpCount
+from repro.mpi.executor import run_spmd
+from repro.parallel.decomposition import SSetDecomposition
+from repro.parallel.protocol import (
+    GenerationHeader,
+    MutationUpdate,
+    PCOutcome,
+    TAG_FITNESS,
+)
+from repro.population.fitness import FitnessEvaluator
+from repro.population.nature import NatureAgent, PCSelection
+from repro.population.population import Population
+from repro.rng import StreamFactory
+
+__all__ = ["ParallelSimulation", "ParallelRunResult"]
+
+_TAG_TEACHER = TAG_FITNESS
+_TAG_LEARNER = TAG_FITNESS + 1
+
+
+@dataclass(frozen=True)
+class ParallelRunResult:
+    """Outcome of a parallel run.
+
+    Attributes
+    ----------
+    matrix:
+        Final (n_ssets, n_states) strategy matrix (identical on all ranks;
+        verified by digest).
+    generation:
+        Generations completed.
+    n_pc_events, n_adoptions, n_mutations:
+        Nature Agent counters.
+    counters:
+        Virtual-network traffic tallies by operation.
+    n_ranks:
+        World size the program ran on.
+    games_played_per_rank:
+        Directed games each rank actually played (all zeros unless the run
+        was ``eager_games`` — lazy fitness only plays at PC events).
+    """
+
+    matrix: np.ndarray
+    generation: int
+    n_pc_events: int
+    n_adoptions: int
+    n_mutations: int
+    counters: dict[str, OpCount]
+    n_ranks: int
+    games_played_per_rank: tuple[int, ...]
+
+
+def _replica_digest(matrix: np.ndarray) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(matrix.dtype).encode())
+    h.update(np.ascontiguousarray(matrix).tobytes())
+    return h.digest()
+
+
+def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> dict:
+    """The SPMD body executed by every rank."""
+    streams = StreamFactory(config.seed)
+    population = Population.random(config, streams.fresh("init"))
+    decomp = SSetDecomposition(config.n_ssets, comm.size)
+    evaluator = FitnessEvaluator(config, population, streams)
+    nature = NatureAgent(config, streams) if comm.rank == decomp.nature_rank else None
+    owned = decomp.ssets_of_rank(comm.rank)
+    games_played = 0
+
+    for gen in range(1, config.generations + 1):
+        if eager_games and owned.size:
+            # Faithful mode: every generation, every owned SSet plays its
+            # full opponent slate (§IV-D), whether or not a PC will consume
+            # the fitness.  The trajectory is unaffected — PC fitness still
+            # comes from the evaluator's deterministic/keyed-stream path.
+            assign = population.assignment()
+            tables = population.tables_view()
+            for sset in owned:
+                opponents = np.array(
+                    [
+                        j
+                        for j in range(config.n_ssets)
+                        if j != sset or config.include_self_play
+                    ],
+                    dtype=np.intp,
+                )
+                ia = np.full(opponents.size, assign[sset], dtype=np.intp)
+                ib = assign[opponents]
+                rng = (
+                    streams.fresh("eager", gen, int(sset))
+                    if not config.deterministic_games
+                    else None
+                )
+                evaluator.engine.play(tables, ia, ib, rng=rng)
+                games_played += opponents.size
+        # Step 1: generation header down the tree.
+        if nature is not None:
+            selection = nature.select_pc()
+            header = GenerationHeader(
+                generation=gen,
+                pc_teacher=selection.teacher if selection else -1,
+                pc_learner=selection.learner if selection else -1,
+            )
+        else:
+            header = None
+        header = comm.bcast(header, root=decomp.nature_rank)
+        if header.generation != gen:
+            raise MPIError(f"rank {comm.rank} desynchronised: header {header.generation} != {gen}")
+
+        # Steps 2-3: fitness returns and the adoption decision.
+        if header.has_pc:
+            teacher, learner = header.pc_teacher, header.pc_learner
+            if comm.rank == decomp.owner_of(teacher):
+                (pi,) = evaluator.fitness([teacher], generation=gen)
+                comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_TEACHER)
+            if comm.rank == decomp.owner_of(learner):
+                (pi,) = evaluator.fitness([learner], generation=gen)
+                comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_LEARNER)
+            if nature is not None:
+                pi_t = comm.recv(source=decomp.owner_of(teacher), tag=_TAG_TEACHER)
+                pi_l = comm.recv(source=decomp.owner_of(learner), tag=_TAG_LEARNER)
+                decision = nature.decide_adoption(
+                    PCSelection(teacher=teacher, learner=learner), pi_t, pi_l
+                )
+                outcome = PCOutcome(
+                    teacher=teacher,
+                    learner=learner,
+                    adopted=decision.adopted,
+                    pi_teacher=decision.pi_teacher,
+                    pi_learner=decision.pi_learner,
+                    probability=decision.probability,
+                )
+            else:
+                outcome = None
+            outcome = comm.bcast(outcome, root=decomp.nature_rank)
+            if outcome.adopted:
+                population.adopt(outcome.learner, outcome.teacher)
+
+        # Step 4: mutation broadcast.
+        if nature is not None:
+            mut_sel = nature.select_mutation(population.random_strategy_table)
+            update = (
+                MutationUpdate(sset=mut_sel.sset, table=mut_sel.table)
+                if mut_sel is not None
+                else None
+            )
+        else:
+            update = None
+        update = comm.bcast(update, root=decomp.nature_rank)
+        if update is not None:
+            population.set_strategy(update.sset, update.table)
+
+    matrix = population.matrix()
+    digests = comm.allgather(_replica_digest(matrix))
+    if len(set(digests)) != 1:
+        raise MPIError(f"rank {comm.rank}: population replicas diverged: {digests}")
+
+    out: dict = {"digest": digests[0], "games_played": games_played}
+    if nature is not None:
+        out.update(
+            matrix=matrix,
+            n_pc_events=nature.n_pc_events,
+            n_adoptions=nature.n_adoptions,
+            n_mutations=nature.n_mutations,
+        )
+    return out
+
+
+class ParallelSimulation:
+    """Runs the full model on ``n_ranks`` virtual MPI ranks.
+
+    Parameters
+    ----------
+    config:
+        Simulation parameters (shared verbatim with the serial driver).
+    n_ranks:
+        World size, >= 2 (rank 0 is the Nature Agent).
+    eager_games:
+        When true, every worker replays its owned SSets' full opponent
+        slate every generation — the paper's faithful workload (§IV-D),
+        useful for validating the performance model's work accounting.
+        Off by default: the trajectory only ever consumes fitness at PC
+        events, so lazy evaluation is equivalent and far cheaper.
+
+    Examples
+    --------
+    >>> from repro.config import SimulationConfig
+    >>> cfg = SimulationConfig(n_ssets=8, generations=40, seed=11)
+    >>> result = ParallelSimulation(cfg, n_ranks=4).run()
+    >>> result.generation
+    40
+    """
+
+    def __init__(
+        self, config: SimulationConfig, n_ranks: int, eager_games: bool = False
+    ) -> None:
+        if n_ranks < 2:
+            raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
+        self.config = config
+        self.n_ranks = int(n_ranks)
+        self.eager_games = bool(eager_games)
+
+    def run(self, timeout: float | None = 600.0) -> ParallelRunResult:
+        """Execute the SPMD program and assemble the result."""
+        spmd = run_spmd(
+            self.n_ranks,
+            _rank_program,
+            args=(self.config, self.eager_games),
+            timeout=timeout,
+        )
+        nature_out = spmd.returns[0]
+        return ParallelRunResult(
+            matrix=nature_out["matrix"],
+            generation=self.config.generations,
+            n_pc_events=nature_out["n_pc_events"],
+            n_adoptions=nature_out["n_adoptions"],
+            n_mutations=nature_out["n_mutations"],
+            counters=spmd.world.counters.snapshot(),
+            n_ranks=self.n_ranks,
+            games_played_per_rank=tuple(out["games_played"] for out in spmd.returns),
+        )

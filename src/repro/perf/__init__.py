@@ -1,0 +1,55 @@
+"""Performance model: cost model, calibration, analytic scaling, DES replay.
+
+Three tiers, each validated against the one below:
+
+1. **Real execution** — the virtual-MPI parallel runner
+   (:mod:`repro.parallel`) actually runs at small rank counts.
+2. **Timeline simulation** — :mod:`repro.perf.simulator` replays the
+   algorithm's per-generation event structure at rank granularity.
+3. **Analytic model** — :mod:`repro.perf.analytic` prices a generation in
+   closed form, usable at the paper's full 262,144-processor scale.
+
+Constants come from :mod:`repro.perf.calibration` (measured here) or the
+paper-fitted presets in :mod:`repro.perf.cost_model`.
+"""
+
+from repro.perf.analytic import AnalyticModel, GenerationBreakdown, Prediction
+from repro.perf.calibration import CalibrationReport, calibrate
+from repro.perf.cost_model import CostModel, paper_bgl, paper_bgl_population, paper_bgp
+from repro.perf.des import Simulator
+from repro.perf.heterogeneous import (
+    GPU_2012,
+    AcceleratorSpec,
+    HeterogeneousModel,
+    hybrid_speedup_by_memory,
+)
+from repro.perf.pricing import PricedTraffic, price_counters
+from repro.perf.scaling import ScalingPoint, efficiency_series, strong_scaling, weak_scaling
+from repro.perf.simulator import GenerationTimelineSimulator, TimelineResult
+from repro.perf.workload import WorkloadSpec
+
+__all__ = [
+    "AnalyticModel",
+    "GenerationBreakdown",
+    "Prediction",
+    "CalibrationReport",
+    "calibrate",
+    "CostModel",
+    "paper_bgl",
+    "paper_bgl_population",
+    "paper_bgp",
+    "Simulator",
+    "GPU_2012",
+    "AcceleratorSpec",
+    "HeterogeneousModel",
+    "hybrid_speedup_by_memory",
+    "PricedTraffic",
+    "price_counters",
+    "ScalingPoint",
+    "efficiency_series",
+    "strong_scaling",
+    "weak_scaling",
+    "GenerationTimelineSimulator",
+    "TimelineResult",
+    "WorkloadSpec",
+]

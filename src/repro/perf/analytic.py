@@ -1,0 +1,185 @@
+"""Closed-form performance model of the parallel algorithm.
+
+Prices one generation of the paper's algorithm on a given machine and rank
+count:
+
+* **compute** — the busiest rank's share of the directed games, each costing
+  :meth:`repro.perf.cost_model.CostModel.seconds_per_game`;
+* **population-dynamics communication** — per-generation synchronisation on
+  the collective tree, the PC-rate-weighted pair announcement + two torus
+  fitness returns + adoption update, and the mutation-rate-weighted strategy
+  broadcast;
+* **overhead** — the fixed per-generation bookkeeping floor.
+
+Everything is divided by the partition's mapping efficiency (non-power-of-
+two penalty, §VI-D).  The model is validated two ways: against the
+discrete-event simulator (:mod:`repro.perf.des`) at modest rank counts and
+against real threaded virtual-MPI executions via measured-cost calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import MachineSpec
+from repro.perf.cost_model import CostModel
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["GenerationBreakdown", "Prediction", "AnalyticModel"]
+
+
+@dataclass(frozen=True)
+class GenerationBreakdown:
+    """Seconds spent per generation, by component (already penalty-scaled).
+
+    Attributes
+    ----------
+    compute:
+        Game play on the busiest rank.
+    pc_comm:
+        Expected pairwise-comparison traffic (announce, fitness returns,
+        adoption update).
+    mutation_comm:
+        Expected mutation strategy broadcast.
+    sync:
+        Per-generation collective synchronisation.
+    overhead:
+        Fixed bookkeeping floor.
+    """
+
+    compute: float
+    pc_comm: float
+    mutation_comm: float
+    sync: float
+    overhead: float
+
+    @property
+    def comm(self) -> float:
+        """All communication components."""
+        return self.pc_comm + self.mutation_comm + self.sync
+
+    @property
+    def total(self) -> float:
+        """Generation makespan."""
+        return self.compute + self.comm + self.overhead
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model output for one (workload, rank count) point."""
+
+    n_ranks: int
+    generation: GenerationBreakdown
+    total_seconds: float
+    games_per_rank: int
+    mapping_efficiency: float
+
+
+class AnalyticModel:
+    """Performance model of the paper's algorithm on a machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine spec (networks, nodes, partitions).
+    costs:
+        Cost model (calibrated or paper-fitted constants).
+    engine:
+        ``"lookup"`` for the paper's linear state search (what its runtimes
+        reflect), ``"incremental"`` for our O(1) state tracker — switching
+        between the two is the state-identification ablation.
+    """
+
+    def __init__(self, machine: MachineSpec, costs: CostModel, engine: str = "lookup") -> None:
+        if engine not in ("lookup", "incremental"):
+            raise PerfModelError(f"engine must be 'lookup' or 'incremental', got {engine!r}")
+        self.machine = machine
+        self.costs = costs
+        self.engine = engine
+
+    # -- single point -----------------------------------------------------------
+
+    def effective_games_per_rank(self, workload: WorkloadSpec, n_ranks: int) -> float:
+        """Busiest rank's games per generation, including the replicated share."""
+        if n_ranks < 2:
+            raise PerfModelError("need at least 2 ranks (Nature Agent + 1 worker)")
+        total_games = workload.total_games_per_generation
+        games_per_rank = math.ceil(total_games / (n_ranks - 1))
+        return games_per_rank + self.costs.replicated_work_fraction * total_games
+
+    def compute_seconds(self, workload: WorkloadSpec, n_ranks: int) -> float:
+        """Per-generation game-play time on the busiest rank.
+
+        Subclasses override this to model different execution engines (see
+        :mod:`repro.perf.heterogeneous` for the GPU-offload variant).
+        """
+        game_cost = self.costs.seconds_per_game(
+            workload.memory, workload.rounds, engine=self.engine
+        )
+        return (
+            self.effective_games_per_rank(workload, n_ranks)
+            * game_cost
+            / self.machine.node.compute_speed
+        )
+
+    def generation_breakdown(self, workload: WorkloadSpec, n_ranks: int) -> GenerationBreakdown:
+        """Per-generation cost components at ``n_ranks`` ranks."""
+        if n_ranks < 2:
+            raise PerfModelError("need at least 2 ranks (Nature Agent + 1 worker)")
+        machine = self.machine
+        part = machine.partition(n_ranks)
+        n_nodes = part.n_nodes
+        tree = machine.tree
+        torus = machine.torus(n_ranks)
+
+        compute = self.compute_seconds(workload, n_ranks)
+
+        strategy_msg = workload.strategy_nbytes + 16  # table + SSet id/header
+        # PC event: pair announcement down the tree, two fitness returns over
+        # the torus (average distance to the Nature rank), adoption update.
+        fitness_return = 2 * torus.average_message_time(0, 8)
+        pc_once = (
+            tree.bcast_time(n_nodes, 16)
+            + fitness_return
+            + workload.adoption_probability * tree.bcast_time(n_nodes, strategy_msg)
+        )
+        pc_comm = workload.pc_rate * pc_once
+        mutation_comm = workload.mutation_rate * tree.bcast_time(n_nodes, strategy_msg)
+        sync = tree.allreduce_time(n_nodes, 8)
+        overhead = self.costs.per_generation_overhead / machine.node.compute_speed
+
+        penalty = part.mapping_efficiency
+        return GenerationBreakdown(
+            compute=compute / penalty,
+            pc_comm=pc_comm / penalty,
+            mutation_comm=mutation_comm / penalty,
+            sync=sync / penalty,
+            overhead=overhead / penalty,
+        )
+
+    def predict(self, workload: WorkloadSpec, n_ranks: int) -> Prediction:
+        """Full-run prediction at ``n_ranks`` ranks."""
+        gen = self.generation_breakdown(workload, n_ranks)
+        part = self.machine.partition(n_ranks)
+        workers = n_ranks - 1
+        return Prediction(
+            n_ranks=n_ranks,
+            generation=gen,
+            total_seconds=workload.generations * gen.total,
+            games_per_rank=math.ceil(workload.total_games_per_generation / workers),
+            mapping_efficiency=part.mapping_efficiency,
+        )
+
+    # -- sweeps --------------------------------------------------------------------
+
+    def sweep(self, workload: WorkloadSpec, rank_counts: list[int]) -> list[Prediction]:
+        """Predictions across a list of rank counts (one workload)."""
+        return [self.predict(workload, p) for p in rank_counts]
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyticModel(machine={self.machine.name}, costs={self.costs.label},"
+            f" engine={self.engine})"
+        )

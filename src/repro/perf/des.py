@@ -1,0 +1,63 @@
+"""A small discrete-event simulation engine.
+
+Generic core used by :mod:`repro.perf.simulator` to replay the parallel
+algorithm's per-generation timeline rank by rank: events are ``(time,
+callback)`` pairs on a heap; callbacks may schedule further events.  Ties
+break by insertion order, so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import PerfModelError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic event-driven simulator with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds after the current virtual time."""
+        if delay < 0:
+            raise PerfModelError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        if time < self.now:
+            raise PerfModelError(f"cannot schedule into the past (t={time} < now={self.now})")
+        heapq.heappush(self._queue, (time, next(self._seq), callback))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order; returns the final virtual time.
+
+        Stops when the queue drains, when the next event would pass
+        ``until``, or after ``max_events`` events (guard against runaway
+        models).
+        """
+        while self._queue:
+            if max_events is not None and self.events_processed >= max_events:
+                raise PerfModelError(f"exceeded max_events={max_events}")
+            t, _seq, callback = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = t
+            self.events_processed += 1
+            callback()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)

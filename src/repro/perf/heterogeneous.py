@@ -1,0 +1,115 @@
+"""Heterogeneous GPU-CPU model — the paper's second future-work item.
+
+§VI-E: "We also plan to implement our method on heterogeneous GPU-CPU
+clusters to exploit the fine-grained parallelism of agent simulations on
+massively-parallel processors."  This module carries that plan out at the
+modelling level: the game-play kernel (the embarrassingly parallel part)
+offloads to an accelerator at a ``kernel_speedup``, paying a fixed
+per-generation ``offload_overhead`` for launch + transfer of the strategy
+batch, while the population dynamics (Nature Agent traffic, bookkeeping)
+stays on the host.
+
+The resulting Amdahl structure produces the interesting, testable shape:
+at memory-one the kernel is so cheap that offload overhead makes the
+hybrid *slower*; from memory-two up the accelerator wins, approaching
+``kernel_speedup`` as the state-identification cost dominates.  The bench
+``benchmarks/test_extension_heterogeneous.py`` locates the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import MachineSpec
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import CostModel
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["AcceleratorSpec", "HeterogeneousModel", "hybrid_speedup_by_memory"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator attached to each node.
+
+    Parameters
+    ----------
+    name:
+        Label, e.g. ``"gpu-2012"``.
+    kernel_speedup:
+        Factor by which the game-play kernel runs faster than the host
+        core (throughput ratio for the data-parallel round loop).
+    offload_overhead:
+        Fixed per-generation, per-rank cost of kernel launches and strategy
+        batch transfers, seconds.
+    """
+
+    name: str
+    kernel_speedup: float
+    offload_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.kernel_speedup <= 0:
+            raise PerfModelError(f"kernel_speedup must be positive, got {self.kernel_speedup}")
+        if self.offload_overhead < 0:
+            raise PerfModelError(f"offload_overhead must be >= 0, got {self.offload_overhead}")
+
+
+#: A circa-2012 accelerator: ~25x the PPC450 on the data-parallel kernel,
+#: ~2 ms of launch/transfer overhead per generation.
+GPU_2012 = AcceleratorSpec(name="gpu-2012", kernel_speedup=25.0, offload_overhead=2e-3)
+
+
+class HeterogeneousModel(AnalyticModel):
+    """Analytic model with the game kernel offloaded to an accelerator.
+
+    Same interface as :class:`~repro.perf.analytic.AnalyticModel`; only the
+    per-generation compute term changes::
+
+        compute = games * game_cost / kernel_speedup + offload_overhead
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        costs: CostModel,
+        accelerator: AcceleratorSpec,
+        engine: str = "lookup",
+    ) -> None:
+        super().__init__(machine, costs, engine=engine)
+        self.accelerator = accelerator
+
+    def compute_seconds(self, workload: WorkloadSpec, n_ranks: int) -> float:
+        host_time = super().compute_seconds(workload, n_ranks)
+        return host_time / self.accelerator.kernel_speedup + self.accelerator.offload_overhead
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneousModel(machine={self.machine.name},"
+            f" accelerator={self.accelerator.name},"
+            f" speedup={self.accelerator.kernel_speedup:g}x)"
+        )
+
+
+def hybrid_speedup_by_memory(
+    machine: MachineSpec,
+    costs: CostModel,
+    accelerator: AcceleratorSpec,
+    n_ranks: int,
+    memories: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+) -> list[tuple[int, float, float, float]]:
+    """Per-memory comparison of host vs hybrid execution.
+
+    Returns rows ``(memory, host_seconds, hybrid_seconds, speedup)`` for
+    the Table VI workload at ``n_ranks`` ranks.
+    """
+    host = AnalyticModel(machine, costs)
+    hybrid = HeterogeneousModel(machine, costs, accelerator)
+    rows = []
+    for memory in memories:
+        workload = WorkloadSpec.paper_memory_study(memory)
+        t_host = host.predict(workload, n_ranks).total_seconds
+        t_hybrid = hybrid.predict(workload, n_ranks).total_seconds
+        rows.append((memory, t_host, t_hybrid, t_host / t_hybrid))
+    return rows

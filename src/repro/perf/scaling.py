@@ -1,0 +1,95 @@
+"""Strong- and weak-scaling series built on the analytic model.
+
+The paper reports *parallel efficiency*: "the percent of ideal speedup
+achieved for each processor count" (§VI-B-1).  With baseline rank count
+``P0`` and runtime ``T0``:
+
+* strong scaling — same problem at every ``P``; speedup ``T0 / T(P)``,
+  efficiency ``speedup / (P / P0)``;
+* weak scaling — work per rank constant; efficiency ``T0 / T(P)`` (flat
+  runtime = 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import PerfModelError
+from repro.perf.analytic import AnalyticModel, Prediction
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling", "efficiency_series"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling study."""
+
+    n_ranks: int
+    seconds: float
+    speedup: float
+    efficiency: float
+    prediction: Prediction
+
+
+def strong_scaling(
+    model: AnalyticModel, workload: WorkloadSpec, rank_counts: Sequence[int]
+) -> list[ScalingPoint]:
+    """Fixed problem, growing rank counts; baseline is the smallest count."""
+    ranks = sorted(set(int(p) for p in rank_counts))
+    if not ranks:
+        raise PerfModelError("rank_counts must be non-empty")
+    base_p = ranks[0]
+    base = model.predict(workload, base_p)
+    points = []
+    for p in ranks:
+        pred = model.predict(workload, p)
+        speedup = base.total_seconds / pred.total_seconds
+        efficiency = speedup / (p / base_p)
+        points.append(
+            ScalingPoint(
+                n_ranks=p,
+                seconds=pred.total_seconds,
+                speedup=speedup,
+                efficiency=efficiency,
+                prediction=pred,
+            )
+        )
+    return points
+
+
+def weak_scaling(
+    model: AnalyticModel,
+    workload_for_ranks: Callable[[int], WorkloadSpec],
+    rank_counts: Sequence[int],
+) -> list[ScalingPoint]:
+    """Work per rank constant: the workload grows with the rank count.
+
+    ``workload_for_ranks(P)`` must return the P-rank problem (e.g.
+    :meth:`WorkloadSpec.paper_weak_scaling`).  Efficiency is
+    ``T(base) / T(P)`` — 1.0 when the runtime stays flat.
+    """
+    ranks = sorted(set(int(p) for p in rank_counts))
+    if not ranks:
+        raise PerfModelError("rank_counts must be non-empty")
+    base = model.predict(workload_for_ranks(ranks[0]), ranks[0])
+    points = []
+    for p in ranks:
+        pred = model.predict(workload_for_ranks(p), p)
+        efficiency = base.total_seconds / pred.total_seconds
+        points.append(
+            ScalingPoint(
+                n_ranks=p,
+                seconds=pred.total_seconds,
+                speedup=efficiency * (p / ranks[0]),
+                efficiency=efficiency,
+                prediction=pred,
+            )
+        )
+    return points
+
+
+def efficiency_series(points: Sequence[ScalingPoint]) -> list[tuple[int, float]]:
+    """Compact (ranks, efficiency) pairs for printing/plotting."""
+    return [(pt.n_ranks, pt.efficiency) for pt in points]

@@ -1,0 +1,195 @@
+"""Discrete-event replay of the parallel algorithm's generation timeline.
+
+The analytic model (:mod:`repro.perf.analytic`) sums expected per-generation
+costs; this simulator *plays them out*: per generation it schedules the
+Nature Agent's decisions, the binomial/tree broadcast front reaching each
+node at its own depth, every worker's compute burst (optionally jittered),
+the torus fitness returns from the two selected SSet owners, and the
+adoption/mutation update broadcasts.  The generation ends when the slowest
+node is done — so stragglers, tree pipelining, and event randomness are
+captured, which the closed form only approximates.
+
+Used to validate the analytic model at mid-scale (the tests require the two
+to agree within tolerance) and to study jitter sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import MachineSpec
+from repro.perf.cost_model import CostModel
+from repro.perf.des import Simulator
+from repro.perf.workload import WorkloadSpec
+
+__all__ = ["TimelineResult", "GenerationTimelineSimulator"]
+
+
+@dataclass(frozen=True)
+class TimelineResult:
+    """Outcome of a timeline simulation.
+
+    Attributes
+    ----------
+    makespan_seconds:
+        Virtual time from start to the last node finishing the last
+        generation.
+    generations:
+        Generations simulated.
+    n_ranks:
+        Ranks simulated.
+    events:
+        DES events processed.
+    pc_events, mutations:
+        Population-dynamics events that fired during the replay.
+    """
+
+    makespan_seconds: float
+    generations: int
+    n_ranks: int
+    events: int
+    pc_events: int
+    mutations: int
+
+    @property
+    def seconds_per_generation(self) -> float:
+        """Average generation makespan."""
+        return self.makespan_seconds / self.generations
+
+
+def _tree_depth_of_node(node: int) -> int:
+    """Depth of ``node`` in the binomial broadcast tree rooted at 0."""
+    return int(node).bit_count()
+
+
+class GenerationTimelineSimulator:
+    """Replays ``generations`` of the algorithm at rank granularity.
+
+    Parameters
+    ----------
+    machine, costs, engine:
+        As for :class:`repro.perf.analytic.AnalyticModel`.
+    compute_jitter:
+        Multiplicative lognormal-ish jitter on per-rank compute (sigma of a
+        normal factor, clipped at ±3 sigma); 0 = deterministic.
+    seed:
+        Seed for event draws (PC/mutation firing and jitter).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        costs: CostModel,
+        engine: str = "lookup",
+        compute_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if engine not in ("lookup", "incremental"):
+            raise PerfModelError(f"engine must be 'lookup' or 'incremental', got {engine!r}")
+        if compute_jitter < 0:
+            raise PerfModelError(f"compute_jitter must be >= 0, got {compute_jitter}")
+        self.machine = machine
+        self.costs = costs
+        self.engine = engine
+        self.compute_jitter = compute_jitter
+        self.seed = seed
+
+    def run(self, workload: WorkloadSpec, n_ranks: int, generations: int | None = None) -> TimelineResult:
+        """Simulate the timeline and return its makespan."""
+        if n_ranks < 2:
+            raise PerfModelError("need at least 2 ranks (Nature Agent + 1 worker)")
+        gens = workload.generations if generations is None else int(generations)
+        if gens < 1:
+            raise PerfModelError(f"generations must be positive, got {gens}")
+
+        machine = self.machine
+        part = machine.partition(n_ranks)
+        n_nodes = part.n_nodes
+        tree = machine.tree
+        torus = machine.torus(n_ranks)
+        rng = np.random.default_rng(self.seed)
+
+        workers = n_ranks - 1
+        total_games = workload.total_games_per_generation
+        games_per_rank = -(-total_games // workers)
+        effective_games = games_per_rank + self.costs.replicated_work_fraction * total_games
+        base_compute = (
+            effective_games
+            * self.costs.seconds_per_game(workload.memory, workload.rounds, engine=self.engine)
+            / machine.node.compute_speed
+        )
+        overhead = self.costs.per_generation_overhead / machine.node.compute_speed
+        strategy_msg = workload.strategy_nbytes + 16
+
+        # Per-node broadcast arrival offsets: depth in the binomial tree
+        # times the per-level cost for a given payload size.
+        depths = np.array([_tree_depth_of_node(v) for v in range(n_nodes)], dtype=np.float64)
+
+        def bcast_arrivals(nbytes: int) -> np.ndarray:
+            if n_nodes == 1:
+                return np.zeros(1)
+            per_level = tree.level_latency + nbytes / tree.bandwidth
+            return tree.software_overhead + depths * per_level
+
+        sim = Simulator()
+        state = {"generation": 0, "pc_events": 0, "mutations": 0, "end": 0.0}
+
+        def start_generation() -> None:
+            state["generation"] += 1
+            t0 = sim.now
+            # Phase 1: Nature announces the generation (sync down the tree).
+            ready = t0 + bcast_arrivals(16)
+            # Phase 2: every node computes its games (jittered per node).
+            if self.compute_jitter:
+                factors = 1.0 + np.clip(
+                    rng.normal(0.0, self.compute_jitter, n_nodes),
+                    -3 * self.compute_jitter,
+                    3 * self.compute_jitter,
+                )
+            else:
+                factors = np.ones(n_nodes)
+            done = ready + base_compute * factors + overhead
+
+            # Phase 3: population dynamics.
+            pc_fires = rng.random() < workload.pc_rate
+            end_time = float(done.max())
+            if pc_fires:
+                state["pc_events"] += 1
+                owners = rng.integers(1, n_nodes, size=2) if n_nodes > 1 else np.zeros(2, int)
+                arrive = max(
+                    float(done[owners[0]]) + torus.average_message_time(int(owners[0]), 8),
+                    float(done[owners[1]]) + torus.average_message_time(int(owners[1]), 8),
+                )
+                adopted = rng.random() < workload.adoption_probability
+                if adopted:
+                    update_done = arrive + float(bcast_arrivals(strategy_msg).max())
+                else:
+                    update_done = arrive + float(bcast_arrivals(16).max())
+                end_time = max(end_time, update_done)
+            if rng.random() < workload.mutation_rate:
+                state["mutations"] += 1
+                end_time = max(end_time, float(done.max()) + float(bcast_arrivals(strategy_msg).max()))
+            # Final barrier up the tree before the next generation.
+            end_time += tree.reduce_time(n_nodes, 8)
+            # Mapping penalty stretches the whole generation.
+            end_time = sim.now + (end_time - sim.now) / part.mapping_efficiency
+            state["end"] = end_time
+
+            if state["generation"] < gens:
+                sim.schedule_at(end_time, start_generation)
+            else:
+                sim.schedule_at(end_time, lambda: None)
+
+        sim.schedule(0.0, start_generation)
+        sim.run()
+        return TimelineResult(
+            makespan_seconds=state["end"],
+            generations=gens,
+            n_ranks=n_ranks,
+            events=sim.events_processed,
+            pc_events=state["pc_events"],
+            mutations=state["mutations"],
+        )

@@ -1,0 +1,69 @@
+"""Population dynamics: SSets, the Nature Agent, and the evolution drivers.
+
+* :mod:`repro.population.population` — deduplicated strategy assignment.
+* :mod:`repro.population.fitness` — the three fitness-evaluation modes.
+* :mod:`repro.population.fermi` — the pairwise-comparison probability (Eq. 1).
+* :mod:`repro.population.nature` — the Nature Agent's decision process.
+* :mod:`repro.population.schedule` — agent-to-opponent assignment.
+* :mod:`repro.population.sset` — the object-level Strategy Set API.
+* :mod:`repro.population.dynamics` — the serial evolution driver.
+* :mod:`repro.population.observers` — per-generation hooks and recorders.
+"""
+
+from repro.population.dynamics import EvolutionDriver, RunResult
+from repro.population.exploration import (
+    SearchResult,
+    best_response_search,
+    random_restart_search,
+)
+from repro.population.fermi import fermi_probability, fermi_probability_array
+from repro.population.fitness import FitnessEvaluator
+from repro.population.fixation import (
+    fixation_probability,
+    fixation_probability_from_payoffs,
+    pair_payoff_table,
+)
+from repro.population.moran import MoranDriver, MoranStep, fixation_experiment
+from repro.population.nature import (
+    AdoptionDecision,
+    MutationSelection,
+    NatureAgent,
+    PCSelection,
+)
+from repro.population.observers import (
+    GenerationRecord,
+    HistoryObserver,
+    SnapshotObserver,
+    TrajectoryObserver,
+)
+from repro.population.population import Population
+from repro.population.schedule import OpponentSchedule
+from repro.population.sset import StrategySet
+
+__all__ = [
+    "EvolutionDriver",
+    "RunResult",
+    "SearchResult",
+    "best_response_search",
+    "random_restart_search",
+    "fermi_probability",
+    "fermi_probability_array",
+    "FitnessEvaluator",
+    "fixation_probability",
+    "fixation_probability_from_payoffs",
+    "pair_payoff_table",
+    "MoranDriver",
+    "MoranStep",
+    "fixation_experiment",
+    "NatureAgent",
+    "PCSelection",
+    "AdoptionDecision",
+    "MutationSelection",
+    "GenerationRecord",
+    "HistoryObserver",
+    "SnapshotObserver",
+    "TrajectoryObserver",
+    "Population",
+    "OpponentSchedule",
+    "StrategySet",
+]

@@ -1,0 +1,37 @@
+"""The Fermi pairwise-comparison probability (paper Eq. 1).
+
+The learner adopts the teacher's strategy with probability
+
+.. math:: p = \\frac{1}{1 + e^{-\\beta(\\pi_T - \\pi_L)}}
+
+where :math:`\\pi_T`, :math:`\\pi_L` are the teacher's and learner's
+fitnesses and :math:`\\beta` is the intensity of selection: :math:`\\beta
+\\to 0` makes adoption a coin flip, :math:`\\beta \\to \\infty` makes the
+fitter strategy always win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+from repro.errors import ConfigError
+
+__all__ = ["fermi_probability", "fermi_probability_array"]
+
+
+def fermi_probability(pi_teacher: float, pi_learner: float, beta: float) -> float:
+    """Adoption probability for scalar payoffs (numerically stable for any β)."""
+    if beta < 0 or not np.isfinite(beta):
+        raise ConfigError(f"beta must be finite and non-negative, got {beta}")
+    return float(expit(beta * (float(pi_teacher) - float(pi_learner))))
+
+
+def fermi_probability_array(
+    pi_teacher: np.ndarray, pi_learner: np.ndarray, beta: float
+) -> np.ndarray:
+    """Vectorised :func:`fermi_probability` over payoff arrays."""
+    if beta < 0 or not np.isfinite(beta):
+        raise ConfigError(f"beta must be finite and non-negative, got {beta}")
+    diff = np.asarray(pi_teacher, dtype=np.float64) - np.asarray(pi_learner, dtype=np.float64)
+    return expit(beta * diff)

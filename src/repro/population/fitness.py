@@ -1,0 +1,198 @@
+"""SSet fitness evaluation (paper §IV-A, §IV-D).
+
+An SSet's *relative fitness* is the total payoff its agents collect against
+all opponent strategies in the population.  This module evaluates it in the
+three modes resolved by
+:attr:`repro.config.SimulationConfig.resolved_fitness_mode`:
+
+``deterministic``
+    Pure, noiseless play: the outcome of a matchup is a function of the two
+    strategy tables, so per-*unique*-pair payoffs are memoised against the
+    population's deduplicated slots and an SSet's fitness is a weighted sum
+    over unique opponents.  This is what makes 10^7-generation runs cheap.
+
+``expected``
+    Exact Markov-chain expectation (:mod:`repro.game.markov`) — also a pure
+    function of the pair, memoised the same way.  Available for mixed and
+    noisy play.
+
+``sampled``
+    Faithful to the paper: the games are actually played each time fitness
+    is requested, with randomness drawn from a stream keyed by
+    ``(generation, sset)`` so serial and parallel executions sample
+    identical games.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.game.markov import expected_pair_payoffs
+from repro.game.vector_engine import VectorEngine
+from repro.population.population import Population
+from repro.rng import StreamFactory
+
+__all__ = ["FitnessEvaluator"]
+
+
+class FitnessEvaluator:
+    """Evaluates per-SSet relative fitness for one population.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration (payoffs, rounds, noise, mode).
+    population:
+        The population whose fitness is queried; the evaluator tracks its
+        slot stamps so memoised pair payoffs invalidate precisely when a
+        slot is reused for a new strategy.
+    streams:
+        Stream factory for sampled play.  Only needed in sampled mode.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        population: Population,
+        streams: StreamFactory | None = None,
+    ) -> None:
+        if population.config is not config:
+            # Allow equal-but-distinct configs (e.g. reconstructed); require equality.
+            if population.config != config:
+                raise PopulationError("population was built for a different configuration")
+        self.config = config
+        self.population = population
+        self.streams = streams
+        self.mode = config.resolved_fitness_mode
+        if self.mode == "sampled" and streams is None:
+            raise PopulationError("sampled fitness mode needs a StreamFactory")
+        self.engine = VectorEngine(
+            config.space, payoff=config.payoff, rounds=config.rounds, noise=config.noise
+        )
+        # Memoised rows: slot -> (row_stamp, {col_slot: (col_stamp, payoff_row_vs_col)})
+        self._rows: dict[int, tuple[int, dict[int, tuple[int, float]]]] = {}
+        self.pairs_computed = 0
+        self.pair_lookups = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def fitness(self, ssets: Sequence[int], generation: int) -> np.ndarray:
+        """Relative fitness of each requested SSet at ``generation``.
+
+        In memoised modes the generation is irrelevant (fitness is a pure
+        function of the current population); in sampled mode it keys the
+        random streams, so asking twice for the same generation returns the
+        same sample.
+        """
+        ssets = [int(s) for s in ssets]
+        if self.mode == "sampled":
+            return np.array([self._sampled_fitness(s, generation) for s in ssets])
+        return np.array([self._memoised_fitness(s) for s in ssets])
+
+    def all_fitness(self, generation: int) -> np.ndarray:
+        """Fitness of every SSet (used by observers; costly in sampled mode)."""
+        return self.fitness(range(self.population.n_ssets), generation)
+
+    # -- memoised modes ----------------------------------------------------------
+
+    def _memoised_fitness(self, sset: int) -> float:
+        pop = self.population
+        slot = pop.slot_of(sset)
+        live = pop.live_slots()
+        row = self._row_payoffs(slot, live)
+        counts = pop.counts()[live].astype(np.float64)
+        total = float(row @ counts)
+        if not self.config.include_self_play:
+            self_idx = int(np.searchsorted(live, slot))
+            total -= float(row[self_idx])
+        return total
+
+    def _row_payoffs(self, slot: int, cols: np.ndarray) -> np.ndarray:
+        """Payoff of ``slot``'s strategy against each column slot (memoised)."""
+        pop = self.population
+        row_stamp = pop.slot_stamp(slot)
+        entry = self._rows.get(slot)
+        if entry is None or entry[0] != row_stamp:
+            entry = (row_stamp, {})
+            self._rows[slot] = entry
+        cache = entry[1]
+
+        out = np.empty(cols.size, dtype=np.float64)
+        missing: list[int] = []
+        missing_pos: list[int] = []
+        for pos, col in enumerate(cols):
+            col = int(col)
+            col_stamp = pop.slot_stamp(col)
+            hit = cache.get(col)
+            if hit is not None and hit[0] == col_stamp:
+                out[pos] = hit[1]
+                self.pair_lookups += 1
+            else:
+                missing.append(col)
+                missing_pos.append(pos)
+        if missing:
+            fa, fb = self._compute_pairs(slot, np.asarray(missing, dtype=np.intp))
+            for k, col in enumerate(missing):
+                col_stamp = pop.slot_stamp(col)
+                cache[col] = (col_stamp, float(fa[k]))
+                out[missing_pos[k]] = fa[k]
+                # Store the mirrored payoff for the opponent's row too.
+                rev = self._rows.get(col)
+                if rev is None or rev[0] != col_stamp:
+                    rev = (col_stamp, {})
+                    self._rows[col] = rev
+                rev[1][slot] = (pop.slot_stamp(slot), float(fb[k]))
+            self.pairs_computed += len(missing)
+        return out
+
+    def _compute_pairs(self, slot: int, cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        tables = self.population.tables_view()
+        ia = np.full(cols.size, slot, dtype=np.intp)
+        if self.mode == "expected":
+            return expected_pair_payoffs(
+                self.config.space,
+                tables,
+                ia,
+                cols,
+                payoff=self.config.payoff,
+                rounds=self.config.rounds,
+                noise=self.config.noise,
+            )
+        res = self.engine.play(tables, ia, cols)
+        return res.fitness_a, res.fitness_b
+
+    # -- sampled mode ----------------------------------------------------------------
+
+    def _sampled_fitness(self, sset: int, generation: int) -> float:
+        pop = self.population
+        if self.streams is None:  # pragma: no cover - guarded in __init__
+            raise PopulationError("sampled fitness mode needs a StreamFactory")
+        opponents = [j for j in range(pop.n_ssets) if j != sset]
+        if self.config.include_self_play:
+            opponents.append(sset)
+        assign = pop.assignment()
+        ia = np.full(len(opponents), assign[sset], dtype=np.intp)
+        ib = assign[np.asarray(opponents, dtype=np.intp)]
+        rng = self.streams.fresh("fitness", generation, sset)
+        res = self.engine.play(pop.tables_view(), ia, ib, rng=rng)
+        return float(res.fitness_a.sum())
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def prune(self) -> None:
+        """Drop memoised rows for slots that are no longer live (housekeeping)."""
+        pop = self.population
+        live = set(int(s) for s in pop.live_slots())
+        for slot in list(self._rows):
+            if slot not in live or self._rows[slot][0] != pop.slot_stamp(slot):
+                del self._rows[slot]
+
+    def __repr__(self) -> str:
+        return (
+            f"FitnessEvaluator(mode={self.mode}, rows={len(self._rows)},"
+            f" pairs_computed={self.pairs_computed}, lookups={self.pair_lookups})"
+        )

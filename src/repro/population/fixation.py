@@ -1,0 +1,87 @@
+"""Analytic fixation probabilities for the Moran process.
+
+For two strategies A (the mutant) and B (the resident) in a population of
+``N`` SSets with this package's fitness accounting (an SSet's fitness is
+the sum of its pair payoffs against every other SSet) and the exponential
+fitness mapping ``w = exp(beta * pi)``, the Moran birth-death chain has the
+classical closed-form absorption probability
+
+.. math::
+
+    \\rho_A = \\left(1 + \\sum_{k=1}^{N-1} \\prod_{i=1}^{k}
+              \\frac{T_i^-}{T_i^+}\\right)^{-1},
+    \\qquad \\frac{T_i^-}{T_i^+} = e^{-\\beta (\\pi_A(i) - \\pi_B(i))}
+
+with :math:`\\pi_A(i) = (i-1) f_{AA} + (N-i) f_{AB}` and
+:math:`\\pi_B(i) = i f_{BA} + (N-i-1) f_{BB}` — the pair payoffs
+:math:`f_{XY}` computed exactly by the Markov evaluator.  At ``beta = 0``
+this collapses to the neutral :math:`1/N`.
+
+:func:`fixation_probability` evaluates the formula (in log space, so huge
+selection gradients don't overflow); the tests cross-check it against the
+simulated :func:`repro.population.moran.fixation_experiment`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.game.markov import expected_pair_payoffs
+
+__all__ = ["pair_payoff_table", "fixation_probability_from_payoffs", "fixation_probability"]
+
+
+def pair_payoff_table(
+    mutant: np.ndarray, resident: np.ndarray, config: SimulationConfig
+) -> tuple[float, float, float, float]:
+    """Exact pair payoffs ``(f_AA, f_AB, f_BA, f_BB)`` under ``config``."""
+    mat = np.vstack(
+        [np.asarray(mutant, dtype=np.float64), np.asarray(resident, dtype=np.float64)]
+    )
+    ia = np.array([0, 0, 1, 1])
+    ib = np.array([0, 1, 0, 1])
+    ea, _ = expected_pair_payoffs(
+        config.space,
+        mat,
+        ia,
+        ib,
+        payoff=config.payoff,
+        rounds=config.rounds,
+        noise=config.noise,
+    )
+    return float(ea[0]), float(ea[1]), float(ea[2]), float(ea[3])
+
+
+def fixation_probability_from_payoffs(
+    f_aa: float, f_ab: float, f_ba: float, f_bb: float, n: int, beta: float
+) -> float:
+    """Closed-form Moran fixation probability of one A mutant among B's."""
+    if n < 2:
+        raise PopulationError(f"population size must be >= 2, got {n}")
+    if beta < 0 or not np.isfinite(beta):
+        raise PopulationError(f"beta must be finite and non-negative, got {beta}")
+    i = np.arange(1, n, dtype=np.float64)  # mutant counts 1..N-1
+    pi_a = (i - 1) * f_aa + (n - i) * f_ab
+    pi_b = i * f_ba + (n - i - 1) * f_bb
+    # log of the k-th product is -beta * cumsum of (pi_a - pi_b).
+    log_products = -beta * np.cumsum(pi_a - pi_b)
+    # rho = 1 / (1 + sum_k exp(log_products[k])), computed stably.
+    m = max(0.0, float(log_products.max()))
+    denom = np.exp(-m) + np.exp(log_products - m).sum()
+    return float(np.exp(-m) / denom)
+
+
+def fixation_probability(
+    mutant: np.ndarray, resident: np.ndarray, config: SimulationConfig
+) -> float:
+    """Fixation probability of one ``mutant`` SSet under ``config``'s Moran process.
+
+    Combines the exact pair payoffs with the closed form; ``config`` gives
+    the population size ``n_ssets``, rounds, payoffs, noise, and ``beta``.
+    """
+    f_aa, f_ab, f_ba, f_bb = pair_payoff_table(mutant, resident, config)
+    return fixation_probability_from_payoffs(
+        f_aa, f_ab, f_ba, f_bb, config.n_ssets, config.beta
+    )

@@ -1,0 +1,138 @@
+"""The Moran process: the classic alternative to pairwise comparison.
+
+The paper's population dynamics use the Fermi pairwise-comparison rule from
+Traulsen, Pacheco & Nowak [15]; the same literature's reference dynamic is
+the *Moran process*: each step one individual reproduces with probability
+proportional to fitness and its offspring replaces a uniformly random
+individual.  Implementing it against the same Population/fitness machinery
+gives (a) a baseline to compare the paper's PC dynamics with, and (b) some
+of evolutionary dynamics' sharpest testable predictions — a neutral
+mutant's fixation probability is exactly ``1/N``.
+
+Fitness enters through the exponential mapping ``w = exp(beta * pi)``
+(selection intensity ``beta``, as in the Fermi rule; ``beta = 0`` is
+neutral drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.population.fitness import FitnessEvaluator
+from repro.population.population import Population
+from repro.rng import StreamFactory
+
+__all__ = ["MoranStep", "MoranDriver", "fixation_experiment"]
+
+
+@dataclass(frozen=True)
+class MoranStep:
+    """One birth-death event."""
+
+    generation: int
+    parent: int
+    replaced: int
+    changed: bool
+
+
+class MoranDriver:
+    """Runs Moran birth-death dynamics over a Population.
+
+    Parameters
+    ----------
+    config:
+        Simulation parameters.  ``beta`` is the selection intensity of the
+        exponential fitness mapping; ``pc_rate``/``mutation_rate`` are
+        ignored (the Moran process replaces the Nature Agent's event
+        schedule with one birth-death event per generation).
+    population:
+        Starting population; defaults to the seeded random one.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, population: Population | None = None
+    ) -> None:
+        self.config = config
+        self.streams = StreamFactory(config.seed)
+        if population is None:
+            population = Population.random(config, self.streams.fresh("init"))
+        elif population.config != config:
+            raise PopulationError("population was built for a different configuration")
+        self.population = population
+        self.evaluator = FitnessEvaluator(config, population, self.streams)
+        self._rng = self.streams.stream("moran")
+        self.generation = 0
+
+    def step(self) -> MoranStep:
+        """One birth-death event: fitness-proportional parent, random death."""
+        self.generation += 1
+        pop = self.population
+        fitness = self.evaluator.all_fitness(self.generation)
+        weights = np.exp(self.config.beta * (fitness - fitness.max()))
+        weights = weights / weights.sum()
+        parent = int(self._rng.choice(pop.n_ssets, p=weights))
+        replaced = int(self._rng.integers(pop.n_ssets))
+        changed = pop.adopt(replaced, parent) if replaced != parent else False
+        return MoranStep(
+            generation=self.generation, parent=parent, replaced=replaced, changed=changed
+        )
+
+    def run_until_fixation(self, max_steps: int = 100_000) -> int:
+        """Step until the population is monomorphic; returns steps taken.
+
+        Raises
+        ------
+        PopulationError
+            If fixation is not reached within ``max_steps`` (a guard, not
+            an expectation — absorption is certain without mutation).
+        """
+        steps = 0
+        while self.population.n_unique > 1:
+            if steps >= max_steps:
+                raise PopulationError(f"no fixation within {max_steps} steps")
+            self.step()
+            steps += 1
+        return steps
+
+    def __repr__(self) -> str:
+        return (
+            f"MoranDriver(generation={self.generation},"
+            f" unique={self.population.n_unique}/{self.population.n_ssets})"
+        )
+
+
+def fixation_experiment(
+    resident: np.ndarray,
+    mutant: np.ndarray,
+    config: SimulationConfig,
+    replicates: int,
+) -> float:
+    """Probability that one ``mutant`` fixes in an ``N-1`` ``resident`` population.
+
+    Each replicate seeds SSet 0 with the mutant table, the rest with the
+    resident table, and runs the Moran process to absorption.  Returns the
+    fraction of replicates in which the mutant's strategy took over.
+
+    For a *payoff-neutral* mutant this must converge to ``1/N`` — the
+    canonical sanity check of any Moran implementation.
+    """
+    if replicates < 1:
+        raise PopulationError(f"replicates must be >= 1, got {replicates}")
+    resident = np.asarray(resident)
+    mutant = np.asarray(mutant)
+    fixed = 0
+    for rep in range(replicates):
+        cfg = config.with_updates(seed=config.seed + rep)
+        matrix = np.vstack([mutant[None, :], np.repeat(resident[None, :], cfg.n_ssets - 1, axis=0)])
+        pop = Population(cfg, matrix)
+        mutant_digest = pop.digest_of_slot(pop.slot_of(0))
+        driver = MoranDriver(cfg, population=pop)
+        driver.run_until_fixation()
+        survivor = pop.digest_of_slot(pop.slot_of(0))
+        if survivor == mutant_digest:
+            fixed += 1
+    return fixed / replicates

@@ -1,0 +1,160 @@
+"""The Nature Agent: pairwise-comparison learning and mutation (paper §IV-E).
+
+The Nature Agent is the master of the population dynamics.  Each generation
+it decides — from its own random stream — whether a pairwise comparison
+happens (rate ``pc_rate``), which two SSets take the teacher and learner
+roles, whether the learner adopts (Fermi probability on the fitness gap),
+and whether a random mutation replaces some SSet's strategy (rate ``mu``).
+
+Draw-order contract
+-------------------
+All decisions come from the single ``("nature",)`` stream in a fixed order
+per generation::
+
+    pc_uniform,
+    [teacher, learner (redrawn until distinct), adoption_uniform]   if PC fires,
+    mutation_uniform,
+    [sset, strategy_table]                                          if mutation fires.
+
+The serial driver and the virtual-MPI parallel runner both call the methods
+below in exactly this order, which is what makes their population
+trajectories bit-identical (the integration tests assert it).
+
+The paper's pseudocode gates adoption on ``fitness_teacher >
+fitness_learner`` before applying the Fermi probability; the Traulsen et al.
+convention it cites applies the Fermi probability unconditionally.  Both are
+implemented, selected by ``config.pc_rule``.  (The pseudocode's ``rand > p``
+/ ``rand > mu`` comparisons are read as the obvious ``<`` typos — taken
+literally a *higher* Fermi probability would mean *less* learning.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.population.fermi import fermi_probability
+from repro.rng import StreamFactory
+
+__all__ = ["NatureAgent", "PCSelection", "AdoptionDecision", "MutationSelection"]
+
+
+@dataclass(frozen=True)
+class PCSelection:
+    """A pairwise-comparison event: which SSets play teacher and learner."""
+
+    teacher: int
+    learner: int
+
+
+@dataclass(frozen=True)
+class AdoptionDecision:
+    """Outcome of a pairwise comparison after fitnesses were gathered."""
+
+    teacher: int
+    learner: int
+    pi_teacher: float
+    pi_learner: float
+    probability: float
+    adopted: bool
+
+
+@dataclass(frozen=True)
+class MutationSelection:
+    """A mutation event: which SSet receives which new strategy table."""
+
+    sset: int
+    table: np.ndarray
+
+
+class NatureAgent:
+    """Implements the paper's Nature Agent decision process.
+
+    Parameters
+    ----------
+    config:
+        Simulation parameters (pc_rate, mutation_rate, beta, pc_rule).
+    streams:
+        Stream factory; the agent consumes the ``("nature",)`` stream.
+    """
+
+    def __init__(self, config: SimulationConfig, streams: StreamFactory) -> None:
+        self.config = config
+        self._rng = streams.stream("nature")
+        self.n_pc_events = 0
+        self.n_adoptions = 0
+        self.n_mutations = 0
+
+    # -- the three decision steps, called in order each generation -----------------
+
+    def select_pc(self) -> PCSelection | None:
+        """Step 1: does a pairwise comparison fire, and between whom?"""
+        if self._rng.random() >= self.config.pc_rate:
+            return None
+        n = self.config.n_ssets
+        teacher = int(self._rng.integers(0, n))
+        learner = int(self._rng.integers(0, n))
+        while learner == teacher:
+            learner = int(self._rng.integers(0, n))
+        self.n_pc_events += 1
+        return PCSelection(teacher=teacher, learner=learner)
+
+    def decide_adoption(
+        self, selection: PCSelection, pi_teacher: float, pi_learner: float
+    ) -> AdoptionDecision:
+        """Step 2: given both fitnesses, does the learner adopt?
+
+        Under ``pc_rule="paper"`` the Fermi draw only happens when the
+        teacher's fitness is strictly higher; under ``pc_rule="fermi"`` it is
+        unconditional.  Either way exactly one uniform is consumed when the
+        rule reaches the draw, keeping the stream order deterministic.
+        """
+        p = fermi_probability(pi_teacher, pi_learner, self.config.beta)
+        if self.config.pc_rule == "paper" and not pi_teacher > pi_learner:
+            adopted = False
+            probability = 0.0
+        else:
+            probability = p
+            adopted = bool(self._rng.random() < p)
+        if adopted:
+            self.n_adoptions += 1
+        return AdoptionDecision(
+            teacher=selection.teacher,
+            learner=selection.learner,
+            pi_teacher=float(pi_teacher),
+            pi_learner=float(pi_learner),
+            probability=probability,
+            adopted=adopted,
+        )
+
+    def select_mutation(self, draw_table) -> MutationSelection | None:
+        """Step 3: does a mutation fire, and what does it install?
+
+        Parameters
+        ----------
+        draw_table:
+            Callable ``rng -> table`` producing a random strategy table of
+            the population's kind; usually
+            :meth:`repro.population.population.Population.random_strategy_table`.
+        """
+        if self._rng.random() >= self.config.mutation_rate:
+            return None
+        sset = int(self._rng.integers(0, self.config.n_ssets))
+        table = draw_table(self._rng)
+        table = np.asarray(table)
+        if table.shape != (self.config.space.n_states,):
+            raise PopulationError(
+                f"mutation table has shape {table.shape},"
+                f" expected ({self.config.space.n_states},)"
+            )
+        self.n_mutations += 1
+        return MutationSelection(sset=sset, table=table)
+
+    def __repr__(self) -> str:
+        return (
+            f"NatureAgent(pc_events={self.n_pc_events}, adoptions={self.n_adoptions},"
+            f" mutations={self.n_mutations})"
+        )

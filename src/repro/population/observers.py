@@ -1,0 +1,134 @@
+"""Observers: hooks that watch the evolution generation by generation.
+
+The driver calls every observer once per generation with a
+:class:`GenerationRecord`.  Built-in observers cover the common needs:
+:class:`HistoryObserver` keeps the event log, :class:`SnapshotObserver`
+samples full population strategy matrices (the data behind the paper's
+Fig. 2 panels), and :class:`TrajectoryObserver` tracks summary series such
+as the number of unique strategies and mean cooperativeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.population.nature import AdoptionDecision, MutationSelection
+
+__all__ = [
+    "GenerationRecord",
+    "Observer",
+    "HistoryObserver",
+    "SnapshotObserver",
+    "TrajectoryObserver",
+]
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """What happened in one generation of population dynamics.
+
+    Attributes
+    ----------
+    generation:
+        The (1-based) generation just completed.
+    pc:
+        Adoption decision when a pairwise comparison fired, else None.
+    mutation:
+        Mutation event when one fired, else None.
+    n_unique:
+        Number of distinct strategies after the generation's events.
+    changed:
+        True when the population's strategy assignment changed.
+    """
+
+    generation: int
+    pc: AdoptionDecision | None
+    mutation: MutationSelection | None
+    n_unique: int
+    changed: bool
+
+
+class Observer(Protocol):
+    """Anything that wants to watch a run, generation by generation."""
+
+    def on_generation(self, record: GenerationRecord, population) -> None:
+        """Called after each generation's events were applied."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class HistoryObserver:
+    """Keeps every :class:`GenerationRecord` (memory ∝ generations)."""
+
+    records: list[GenerationRecord] = field(default_factory=list)
+
+    def on_generation(self, record: GenerationRecord, population) -> None:
+        self.records.append(record)
+
+    @property
+    def n_adoptions(self) -> int:
+        """Total successful strategy adoptions recorded."""
+        return sum(1 for r in self.records if r.pc is not None and r.pc.adopted)
+
+    @property
+    def n_mutations(self) -> int:
+        """Total mutations recorded."""
+        return sum(1 for r in self.records if r.mutation is not None)
+
+
+@dataclass
+class SnapshotObserver:
+    """Stores full strategy matrices every ``every`` generations.
+
+    The stored matrices are exactly the population views that the paper's
+    Fig. 2 renders (one row per SSet, one column per state).
+    """
+
+    every: int = 1000
+    snapshots: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+    def on_generation(self, record: GenerationRecord, population) -> None:
+        if record.generation % self.every == 0:
+            self.capture(record.generation, population)
+
+    def capture(self, generation: int, population) -> None:
+        """Store the population's current strategy matrix."""
+        self.snapshots.append((generation, population.matrix()))
+
+    def latest(self) -> tuple[int, np.ndarray]:
+        """The most recent snapshot ``(generation, matrix)``."""
+        if not self.snapshots:
+            raise LookupError("no snapshots captured yet")
+        return self.snapshots[-1]
+
+
+@dataclass
+class TrajectoryObserver:
+    """Tracks light-weight summary series every ``every`` generations.
+
+    Series
+    ------
+    ``generations`` — sample points;
+    ``n_unique`` — distinct strategies in the population;
+    ``mean_defection`` — population mean of per-state defection probability
+    (a strategy-level cooperativeness proxy that needs no game play).
+    """
+
+    every: int = 100
+    generations: list[int] = field(default_factory=list)
+    n_unique: list[int] = field(default_factory=list)
+    mean_defection: list[float] = field(default_factory=list)
+
+    def on_generation(self, record: GenerationRecord, population) -> None:
+        if record.generation % self.every != 0:
+            return
+        self.generations.append(record.generation)
+        self.n_unique.append(record.n_unique)
+        live = population.live_slots()
+        counts = population.counts()[live].astype(np.float64)
+        tables = population.tables_view()[live].astype(np.float64)
+        weights = counts / counts.sum()
+        self.mean_defection.append(float(weights @ tables.mean(axis=1)))

@@ -1,0 +1,14 @@
+"""Spatial game dynamics: populations on lattices (paper ref [30] lineage).
+
+* :mod:`repro.spatial.lattice` — grid geometry and vectorised neighbour views.
+* :mod:`repro.spatial.nowak_may` — the classic one-shot spatial PD
+  (Nowak & May 1992), with its 12·ln2 − 8 ≈ 0.318 cooperation asymptote.
+* :mod:`repro.spatial.spatial_ipd` — the paper's memory-n iterated games on
+  a lattice, with exact expected payoffs and imitate-the-best updating.
+"""
+
+from repro.spatial.lattice import MOORE, VON_NEUMANN, Lattice
+from repro.spatial.nowak_may import NowakMayGame
+from repro.spatial.spatial_ipd import SpatialIPD
+
+__all__ = ["Lattice", "MOORE", "VON_NEUMANN", "NowakMayGame", "SpatialIPD"]

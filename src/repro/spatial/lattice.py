@@ -1,0 +1,102 @@
+"""2-D lattices for spatial game dynamics.
+
+The paper takes its learning/mutation phase from the spatialised
+Prisoner's Dilemma literature (ref [30]); this subpackage implements that
+substrate: populations living on a grid, interacting with neighbours.
+:class:`Lattice` provides the geometry — neighbourhood offsets, periodic
+wrapping, and vectorised neighbour views built from ``np.roll``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Lattice", "MOORE", "VON_NEUMANN"]
+
+#: The eight surrounding cells.
+MOORE = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+#: The four orthogonal cells.
+VON_NEUMANN = ((-1, 0), (0, -1), (0, 1), (1, 0))
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A rows x cols grid with a fixed neighbourhood and periodic edges.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid extents (>= 3 each so neighbourhoods don't self-overlap).
+    neighborhood:
+        ``"moore"`` (8 neighbours, the Nowak-May setting) or
+        ``"von_neumann"`` (4 neighbours).
+    """
+
+    rows: int
+    cols: int
+    neighborhood: str = "moore"
+
+    def __post_init__(self) -> None:
+        if self.rows < 3 or self.cols < 3:
+            raise ConfigError(f"lattice must be at least 3x3, got {self.rows}x{self.cols}")
+        if self.neighborhood not in ("moore", "von_neumann"):
+            raise ConfigError(
+                f"neighborhood must be 'moore' or 'von_neumann', got {self.neighborhood!r}"
+            )
+
+    @property
+    def offsets(self) -> tuple[tuple[int, int], ...]:
+        """Relative (dr, dc) positions of the neighbours."""
+        return MOORE if self.neighborhood == "moore" else VON_NEUMANN
+
+    @property
+    def n_neighbors(self) -> int:
+        """Neighbours per cell."""
+        return len(self.offsets)
+
+    @property
+    def n_cells(self) -> int:
+        """Total cells."""
+        return self.rows * self.cols
+
+    def check_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Validate a per-cell array's shape."""
+        arr = np.asarray(grid)
+        if arr.shape != (self.rows, self.cols):
+            raise ConfigError(
+                f"grid must be ({self.rows}, {self.cols}), got {arr.shape}"
+            )
+        return arr
+
+    def neighbor_views(self, grid: np.ndarray) -> np.ndarray:
+        """Stack of the grid as seen shifted to each neighbour offset.
+
+        Returns shape ``(n_neighbors, rows, cols)``: entry ``[k, r, c]`` is
+        the value held by the ``k``-th neighbour of cell ``(r, c)``
+        (periodic wrap).
+        """
+        arr = self.check_grid(grid)
+        return np.stack(
+            [np.roll(arr, shift=(-dr, -dc), axis=(0, 1)) for dr, dc in self.offsets]
+        )
+
+    def random_grid(self, rng: np.random.Generator, p_defect: float = 0.5) -> np.ndarray:
+        """Random 0/1 (C/D) grid with defector density ``p_defect``."""
+        if not 0.0 <= p_defect <= 1.0:
+            raise ConfigError(f"p_defect must lie in [0, 1], got {p_defect}")
+        return (rng.random((self.rows, self.cols)) < p_defect).astype(np.uint8)
+
+    def single_defector_grid(self) -> np.ndarray:
+        """All cooperators with one defector at the centre (the classic seed)."""
+        grid = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        grid[self.rows // 2, self.cols // 2] = 1
+        return grid

@@ -1,0 +1,64 @@
+"""Tests for CSV figure-series export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.figures import scaling_points_to_rows, write_matrix_csv, write_series_csv
+from repro.errors import ExperimentError
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "fig.csv", ["x", "y"], [(1, 2.0), (2, 4.0)]
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["x", "y"], ["1", "2.0"], ["2", "4.0"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_series_csv(tmp_path / "deep/dir/fig.csv", ["a"], [(1,)])
+        assert path.exists()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_series_csv(tmp_path / "x.csv", [], [])
+        with pytest.raises(ExperimentError):
+            write_series_csv(tmp_path / "x.csv", ["a", "b"], [(1,)])
+
+
+class TestMatrixCsv:
+    def test_layout(self, tmp_path):
+        path = write_matrix_csv(
+            tmp_path / "m.csv",
+            "memory",
+            [128, 256],
+            {1: (26.5, 13.6), 6: (8690, 4367)},
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["memory", "128", "256"]
+        assert rows[1] == ["1", "26.5", "13.6"]
+
+    def test_ragged_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_matrix_csv(tmp_path / "m.csv", "k", [1, 2], {"a": (1,)})
+
+
+class TestScalingRows:
+    def test_flattening(self):
+        from repro.machine.bluegene import bluegene_l
+        from repro.perf.analytic import AnalyticModel
+        from repro.perf.cost_model import paper_bgl
+        from repro.perf.scaling import strong_scaling
+        from repro.perf.workload import WorkloadSpec
+
+        pts = strong_scaling(
+            AnalyticModel(bluegene_l(), paper_bgl()),
+            WorkloadSpec.paper_memory_study(1),
+            [128, 256],
+        )
+        rows = scaling_points_to_rows(pts)
+        assert rows[0][0] == 128
+        assert len(rows[0]) == 4

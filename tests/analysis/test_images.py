@@ -1,0 +1,64 @@
+"""Tests for PGM image export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.images import lattice_image, population_image, write_pgm
+from repro.errors import ExperimentError
+
+
+def read_pgm(path):
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n")
+    header_end = data.index(b"255\n") + 4
+    dims = data[3 : data.index(b"\n", 3)].split()
+    cols, rows = int(dims[0]), int(dims[1])
+    pixels = np.frombuffer(data[header_end:], dtype=np.uint8).reshape(rows, cols)
+    return pixels
+
+
+class TestWritePgm:
+    def test_roundtrip(self, tmp_path):
+        gray = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = write_pgm(gray, tmp_path / "x.pgm")
+        assert np.array_equal(read_pgm(path), gray)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_pgm(np.zeros((2, 2)), tmp_path / "x.pgm")  # not uint8
+        with pytest.raises(ExperimentError):
+            write_pgm(np.zeros(4, dtype=np.uint8), tmp_path / "x.pgm")
+
+
+class TestPopulationImage:
+    def test_cooperators_white_defectors_black(self, tmp_path):
+        matrix = np.array([[0.0, 1.0]])
+        path = population_image(matrix, tmp_path / "pop.pgm", scale=1)
+        pixels = read_pgm(path)
+        assert pixels[0, 0] == 255
+        assert pixels[0, 1] == 0
+
+    def test_scaling_blocks(self, tmp_path):
+        matrix = np.array([[0.0]])
+        path = population_image(matrix, tmp_path / "pop.pgm", scale=5)
+        assert read_pgm(path).shape == (5, 5)
+
+    def test_probability_range_checked(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            population_image(np.array([[1.5]]), tmp_path / "x.pgm")
+
+    def test_fig2_sized_output(self, tmp_path):
+        rng = np.random.default_rng(0)
+        path = population_image(rng.random((24, 4)), tmp_path / "fig2.pgm", scale=8)
+        assert read_pgm(path).shape == (24 * 8, 4 * 8)
+
+
+class TestLatticeImage:
+    def test_binary_rendering(self, tmp_path):
+        grid = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        pixels = read_pgm(lattice_image(grid, tmp_path / "g.pgm", scale=1))
+        assert pixels.tolist() == [[255, 0], [0, 255]]
+
+    def test_rejects_non_binary(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            lattice_image(np.array([[0, 2]]), tmp_path / "g.pgm")

@@ -1,0 +1,82 @@
+"""Tests for Lloyd k-means."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kmeans import KMeansError, lloyd_kmeans
+
+
+def blobs(rng, centers, per_cluster=20, spread=0.05):
+    pts = []
+    for c in centers:
+        pts.append(np.asarray(c) + rng.normal(0, spread, size=(per_cluster, len(c))))
+    return np.vstack(pts)
+
+
+class TestClustering:
+    def test_recovers_well_separated_blobs(self, rng):
+        data = blobs(rng, [(0, 0), (5, 5), (0, 5)])
+        result = lloyd_kmeans(data, 3, rng=rng)
+        assert result.k == 3
+        sizes = sorted(result.cluster_sizes())
+        assert sizes == [20, 20, 20]
+        # Centroids near the true centres.
+        found = sorted(tuple(np.round(c).astype(int)) for c in result.centroids)
+        assert found == [(0, 0), (0, 5), (5, 5)]
+
+    def test_labels_consistent_with_centroids(self, rng):
+        data = blobs(rng, [(0, 0), (4, 4)])
+        result = lloyd_kmeans(data, 2, rng=rng)
+        d2 = ((data[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+        assert np.array_equal(result.labels, d2.argmin(axis=1))
+
+    def test_inertia_decreases_with_k(self, rng):
+        data = blobs(rng, [(0, 0), (4, 4), (8, 0)])
+        i1 = lloyd_kmeans(data, 1, rng=rng).inertia
+        i3 = lloyd_kmeans(data, 3, rng=rng).inertia
+        assert i3 < i1
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        data = rng.random((5, 3))
+        result = lloyd_kmeans(data, 5, rng=rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-20)
+
+    def test_k_one_centroid_is_mean(self, rng):
+        data = rng.random((30, 2))
+        result = lloyd_kmeans(data, 1, rng=rng)
+        assert np.allclose(result.centroids[0], data.mean(axis=0))
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((10, 2))
+        result = lloyd_kmeans(data, 3)
+        assert result.inertia == 0.0
+        assert result.cluster_sizes().sum() == 10
+
+    def test_deterministic_default_rng(self, rng):
+        data = blobs(rng, [(0, 0), (3, 3)])
+        a = lloyd_kmeans(data, 2)
+        b = lloyd_kmeans(data, 2)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_converged_flag(self, rng):
+        data = blobs(rng, [(0, 0), (9, 9)])
+        assert lloyd_kmeans(data, 2, rng=rng).converged
+
+
+class TestValidation:
+    def test_bad_k(self, rng):
+        data = rng.random((4, 2))
+        with pytest.raises(KMeansError):
+            lloyd_kmeans(data, 0)
+        with pytest.raises(KMeansError):
+            lloyd_kmeans(data, 5)
+
+    def test_bad_data(self):
+        with pytest.raises(KMeansError):
+            lloyd_kmeans(np.zeros((0, 3)), 1)
+        with pytest.raises(KMeansError):
+            lloyd_kmeans(np.zeros(5), 1)
+
+    def test_bad_iterations(self, rng):
+        with pytest.raises(KMeansError):
+            lloyd_kmeans(rng.random((4, 2)), 2, max_iter=0)

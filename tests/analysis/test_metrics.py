@@ -1,0 +1,101 @@
+"""Tests for population metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    classify_against_named,
+    dominant_strategy,
+    fraction_matching,
+    mean_defection_probability,
+    strategy_distances,
+    strategy_entropy,
+    wsls_fraction,
+)
+from repro.errors import PopulationError
+from repro.game.strategy import named_strategy
+
+
+def stack(*names, memory=1):
+    return np.vstack([named_strategy(n, memory).table.astype(float) for n in names])
+
+
+class TestDistances:
+    def test_zero_for_exact_match(self):
+        m = stack("WSLS", "ALLD")
+        d = strategy_distances(m, named_strategy("WSLS"))
+        assert d[0] == 0.0
+        assert d[1] == 0.5  # ALLD differs from WSLS in states CC and DD
+
+    def test_accepts_raw_target(self):
+        m = stack("ALLC")
+        d = strategy_distances(m, np.zeros(4))
+        assert d[0] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PopulationError):
+            strategy_distances(stack("ALLC"), np.zeros(8))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(PopulationError):
+            strategy_distances(np.zeros((0, 4)), np.zeros(4))
+
+
+class TestFractions:
+    def test_exact_fraction(self):
+        m = stack("WSLS", "WSLS", "ALLD", "TFT")
+        assert wsls_fraction(m, tolerance=0.01) == 0.5
+
+    def test_tolerance_absorbs_mixed_fuzz(self):
+        wsls = named_strategy("WSLS").table.astype(float)
+        fuzzy = np.clip(wsls + np.array([0.05, -0.08, 0.06, 0.04]), 0, 1)
+        m = np.vstack([fuzzy])
+        assert wsls_fraction(m, tolerance=0.1) == 1.0
+        assert wsls_fraction(m, tolerance=0.01) == 0.0
+
+    def test_memory_inferred_from_width(self):
+        m = stack("WSLS", memory=2)
+        assert wsls_fraction(m) == 1.0
+
+    def test_bad_tolerance(self):
+        with pytest.raises(PopulationError):
+            fraction_matching(stack("ALLC"), named_strategy("ALLC"), tolerance=1.0)
+
+
+class TestDominant:
+    def test_majority_found(self):
+        m = stack("ALLD", "ALLD", "ALLD", "TFT")
+        strat, freq = dominant_strategy(m)
+        assert freq == 0.75
+        assert np.array_equal(strat, named_strategy("ALLD").table)
+
+    def test_rounding_groups_near_duplicates(self):
+        m = np.vstack([[0.501, 0, 0, 0], [0.499, 0, 0, 0], [0.9, 0.9, 0.9, 0.9]])
+        _, freq = dominant_strategy(m, decimals=1)
+        assert freq == pytest.approx(2 / 3)
+
+
+class TestSummaries:
+    def test_mean_defection(self):
+        assert mean_defection_probability(stack("ALLD")) == 1.0
+        assert mean_defection_probability(stack("ALLC", "ALLD")) == 0.5
+
+    def test_entropy_monomorphic_zero(self):
+        assert strategy_entropy(stack("WSLS", "WSLS", "WSLS")) == 0.0
+
+    def test_entropy_uniform_max(self):
+        m = stack("ALLC", "ALLD", "TFT", "WSLS")
+        assert strategy_entropy(m) == pytest.approx(2.0)
+
+    def test_classify_buckets(self):
+        m = stack("ALLC", "ALLD", "WSLS", "WSLS")
+        buckets = classify_against_named(m, tolerance=0.01)
+        assert buckets["ALLC"] == 0.25
+        assert buckets["ALLD"] == 0.25
+        assert buckets["WSLS"] == 0.5
+        assert buckets["other"] == 0.0
+
+    def test_classify_other(self):
+        m = np.vstack([[0.5, 0.5, 0.5, 0.5]])
+        buckets = classify_against_named(m, tolerance=0.1)
+        assert buckets["other"] == 1.0

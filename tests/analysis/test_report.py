@@ -1,0 +1,39 @@
+"""Tests for text table rendering."""
+
+from repro.analysis.report import format_seconds, render_series, render_table
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(5e-7) == "0.50us"
+        assert format_seconds(2e-3) == "2.00ms"
+        assert format_seconds(3.5) == "3.50s"
+        assert format_seconds(1200) == "20.0min"
+
+    def test_negative(self):
+        assert format_seconds(-2e-3) == "-2.00ms"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "value"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_included(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_first_column_left_others_right(self):
+        text = render_table(["k", "v"], [("a", 1), ("long", 100)])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a ")
+        assert rows[0].endswith("  1")
+
+
+class TestRenderSeries:
+    def test_headers(self):
+        text = render_series([(1, 2.0)], x_label="P", y_label="T")
+        assert text.splitlines()[0].startswith("P")

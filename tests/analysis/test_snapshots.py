@@ -1,0 +1,70 @@
+"""Tests for Fig. 2-style population snapshot views."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.snapshots import cluster_sorted, render_population
+from repro.errors import PopulationError
+from repro.game.strategy import named_strategy
+
+
+def population(*names):
+    return np.vstack([named_strategy(n).table.astype(float) for n in names])
+
+
+class TestClusterSorted:
+    def test_groups_identical_rows(self, rng):
+        m = population("WSLS", "ALLD", "WSLS", "ALLD", "WSLS")
+        snap = cluster_sorted(m, k=2, rng=rng)
+        # The three WSLS rows come first (largest cluster), contiguous.
+        assert np.array_equal(snap.matrix[:3], population("WSLS", "WSLS", "WSLS"))
+        assert np.array_equal(snap.matrix[3:], population("ALLD", "ALLD"))
+
+    def test_order_is_permutation(self, rng):
+        m = rng.random((12, 4))
+        snap = cluster_sorted(m, k=3, rng=rng)
+        assert sorted(snap.order.tolist()) == list(range(12))
+        assert np.array_equal(snap.matrix, m[snap.order])
+
+    def test_k_clamped_to_population(self, rng):
+        m = rng.random((3, 4))
+        snap = cluster_sorted(m, k=10, rng=rng)
+        assert snap.kmeans.k == 3
+
+    def test_cluster_blocks_sorted_by_size(self, rng):
+        m = population("WSLS", "WSLS", "WSLS", "ALLD")
+        snap = cluster_sorted(m, k=2, rng=rng)
+        blocks = snap.cluster_blocks()
+        sizes = [size for _, size, _ in blocks]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PopulationError):
+            cluster_sorted(np.zeros((0, 4)))
+
+
+class TestRenderPopulation:
+    def test_glyphs_for_extremes(self):
+        text = render_population(population("ALLC", "ALLD"), header=False)
+        lines = text.splitlines()
+        assert lines[0] == "...."
+        assert lines[1] == "####"
+
+    def test_intermediate_probabilities_digits(self):
+        text = render_population(np.array([[0.5, 0.3, 0.0, 1.0]]), header=False)
+        assert text == "53.#"
+
+    def test_subsampling_large_populations(self, rng):
+        m = rng.random((500, 4))
+        text = render_population(m, max_rows=10)
+        # header + 10 rows
+        assert len(text.splitlines()) == 11
+        assert "500 SSets" in text
+
+    def test_header_mentions_encoding(self):
+        text = render_population(population("WSLS"))
+        assert "cooperate" in text and "defect" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(PopulationError):
+            render_population(np.zeros((0, 4)))

@@ -1,0 +1,96 @@
+"""Tests for strategy trait analysis against the classics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traits import population_traits, traits_of
+from repro.errors import StrategyError
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy, named_strategy
+
+
+class TestClassicsMemoryOne:
+    def test_tft_profile(self):
+        t = traits_of(named_strategy("TFT"))
+        assert t.is_nice
+        assert t.retaliation == 1.0
+        assert t.forgiveness == 1.0
+
+    def test_alld_profile(self):
+        t = traits_of(named_strategy("ALLD"))
+        assert not t.is_nice
+        assert t.niceness == 0.0
+        assert t.retaliation == 1.0
+        assert t.forgiveness == 0.0
+        assert t.contrition == 0.0
+
+    def test_allc_profile(self):
+        t = traits_of(named_strategy("ALLC"))
+        assert t.is_nice
+        assert t.retaliation == 0.0
+        assert t.forgiveness == 1.0
+        assert t.contrition == 1.0
+
+    def test_wsls_contrition(self):
+        # WSLS after own unprovoked defection (DC): payoff T -> "win, stay"
+        # -> defects again: zero contrition; but after punishment it shifts.
+        t = traits_of(named_strategy("WSLS"))
+        assert t.contrition == 0.0
+        assert t.is_nice
+
+    def test_gtft_partial_retaliation(self):
+        t = traits_of(named_strategy("GTFT"))
+        assert t.is_nice
+        assert t.retaliation == pytest.approx(2 / 3)
+
+
+class TestClassicsMemoryTwo:
+    def test_grim_profile(self):
+        t = traits_of(named_strategy("GRIM", 2))
+        assert t.is_nice
+        assert t.retaliation == 1.0
+        assert t.forgiveness == 0.0  # never returns to cooperation
+
+    def test_tft_memory_two_forgives(self):
+        t = traits_of(named_strategy("TFT", 2))
+        assert t.is_nice
+        assert t.forgiveness == 1.0
+
+    def test_tf2t_retaliates_half_the_time(self):
+        # TF2T defects only after two consecutive defections: among states
+        # where the opponent just defected, half have a prior defection.
+        t = traits_of(named_strategy("TF2T", 2))
+        assert t.retaliation == pytest.approx(0.5)
+        assert t.is_nice
+
+
+class TestMechanics:
+    def test_scores_in_unit_interval(self, rng):
+        for memory in (1, 2, 3):
+            sp = StateSpace(memory)
+            for _ in range(10):
+                t = traits_of(Strategy.random_mixed(sp, rng))
+                for v in t.as_dict().values():
+                    assert 0.0 <= v <= 1.0
+
+    def test_population_traits_average(self):
+        m = np.vstack(
+            [named_strategy("ALLC").table.astype(float),
+             named_strategy("ALLD").table.astype(float)]
+        )
+        t = population_traits(m)
+        assert t.niceness == 0.5
+        assert t.retaliation == 0.5
+
+    def test_population_traits_memory_inferred(self):
+        m = named_strategy("GRIM", 2).table.astype(float)[None, :]
+        t = population_traits(m)
+        assert t.forgiveness == 0.0
+
+    def test_validation(self):
+        with pytest.raises(StrategyError):
+            population_traits(np.zeros((0, 4)))
+
+    def test_as_dict(self):
+        d = traits_of(named_strategy("TFT")).as_dict()
+        assert set(d) == {"niceness", "retaliation", "forgiveness", "contrition"}

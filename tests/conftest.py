@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.game.states import StateSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator; tests stay deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[1, 2, 3])
+def space(request) -> StateSpace:
+    """State spaces at the memory depths cheap enough for exhaustive tests."""
+    return StateSpace(request.param)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A tiny pure-strategy run that completes in milliseconds."""
+    return SimulationConfig(memory=1, n_ssets=8, generations=50, seed=7)
+
+
+@pytest.fixture
+def mixed_config() -> SimulationConfig:
+    """A tiny mixed-strategy configuration."""
+    return SimulationConfig(
+        memory=1, n_ssets=6, generations=30, seed=9, strategy_kind="mixed"
+    )

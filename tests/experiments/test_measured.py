@@ -1,0 +1,42 @@
+"""Tests for self-measured experiments and the state-lookup ablation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.measured import (
+    measure_generation_throughput,
+    measure_memory_runtime,
+)
+
+
+class TestMemoryRuntimeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Per-call overhead hides the 4**n search term below memory ~4, so
+        # the ablation compares the shallow and deep ends of the range.
+        return measure_memory_runtime(memories=(1, 5, 6), rounds=20)
+
+    def test_lookup_runtime_grows_with_memory(self, result):
+        """The paper's Fig. 4 shape: state search dominates at high memory."""
+        assert result.lookup_seconds[6] > 3 * result.lookup_seconds[1]
+
+    def test_incremental_engine_flat_by_comparison(self, result):
+        inc_growth = result.incremental_seconds[6] / result.incremental_seconds[1]
+        lookup_growth = result.lookup_seconds[6] / result.lookup_seconds[1]
+        assert lookup_growth > 2 * inc_growth
+
+    def test_render(self, result):
+        text = result.render()
+        assert "memory-1" in text and "ratio" in text
+
+    def test_rounds_validated(self):
+        with pytest.raises(ExperimentError):
+            measure_memory_runtime(rounds=0)
+
+
+class TestThroughput:
+    def test_reports_positive_rates(self):
+        rates = measure_generation_throughput(sset_counts=(8,), generations=50)
+        assert len(rates) == 1
+        assert rates[0][0] == 8
+        assert rates[0][1] > 0

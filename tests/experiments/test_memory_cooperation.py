@@ -1,0 +1,42 @@
+"""Tests for the memory-vs-cooperation extension study (quick variant)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.memory_cooperation import run_memory_cooperation
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Tiny variant: structure is what's under test here; the real
+        # scientific claim is asserted by the (longer) bench.
+        return run_memory_cooperation(
+            memories=(1, 2), n_ssets=8, generations=400, seeds=(1, 2)
+        )
+
+    def test_rates_in_range(self, result):
+        for mem, values in result.rates.items():
+            assert len(values) == 2
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_mean_rate(self, result):
+        for mem in (1, 2):
+            assert result.mean_rate(mem) == pytest.approx(
+                sum(result.rates[mem]) / 2
+            )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "memory-1" in text and "memory-2" in text
+
+    def test_deterministic(self):
+        a = run_memory_cooperation(memories=(1,), n_ssets=6, generations=200, seeds=(3,))
+        b = run_memory_cooperation(memories=(1,), n_ssets=6, generations=200, seeds=(3,))
+        assert a.rates == b.rates
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_memory_cooperation(memories=(), seeds=(1,))
+        with pytest.raises(ExperimentError):
+            run_memory_cooperation(memories=(1,), seeds=())

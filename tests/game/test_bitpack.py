@@ -1,0 +1,125 @@
+"""Tests for bit-packed strategy storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.game import bitpack
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n_states", [1, 4, 63, 64, 65, 256, 4096])
+    def test_roundtrip(self, n_states, rng):
+        table = rng.integers(0, 2, size=n_states).astype(np.uint8)
+        words = bitpack.pack_table(table)
+        assert words.dtype == np.uint64
+        assert words.size == bitpack.words_needed(n_states)
+        back = bitpack.unpack_table(words, n_states)
+        assert np.array_equal(back, table)
+
+    def test_bit_layout_little_endian(self):
+        table = np.zeros(64, dtype=np.uint8)
+        table[0] = 1
+        table[63] = 1
+        words = bitpack.pack_table(table)
+        assert int(words[0]) == (1 | (1 << 63))
+
+    def test_padding_bits_zero(self):
+        table = np.ones(65, dtype=np.uint8)
+        words = bitpack.pack_table(table)
+        assert int(words[1]) == 1  # only bit 0 of the second word
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(StrategyError):
+            bitpack.pack_table(np.array([0, 2, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(StrategyError):
+            bitpack.pack_table(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(StrategyError):
+            bitpack.pack_table(np.array([], dtype=np.uint8))
+
+    def test_unpack_length_mismatch(self):
+        words = bitpack.pack_table(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(StrategyError):
+            bitpack.unpack_table(words, 4096)
+
+
+class TestSizes:
+    def test_words_needed(self):
+        assert bitpack.words_needed(1) == 1
+        assert bitpack.words_needed(64) == 1
+        assert bitpack.words_needed(65) == 2
+        assert bitpack.words_needed(4096) == 64
+
+    def test_words_needed_rejects_nonpositive(self):
+        with pytest.raises(StrategyError):
+            bitpack.words_needed(0)
+
+    def test_packed_nbytes_memory_six(self):
+        # Memory-six: 4096 states -> 512 bytes packed vs 4096 unpacked.
+        assert bitpack.packed_nbytes(4096) == 512
+
+
+class TestBitAccess:
+    def test_get_set_move(self):
+        words = bitpack.pack_table(np.zeros(128, dtype=np.uint8))
+        bitpack.set_move(words, 100, 1)
+        assert bitpack.get_move(words, 100) == 1
+        assert bitpack.get_move(words, 99) == 0
+        bitpack.set_move(words, 100, 0)
+        assert bitpack.get_move(words, 100) == 0
+
+    def test_set_move_rejects_bad_value(self):
+        words = bitpack.pack_table(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(StrategyError):
+            bitpack.set_move(words, 0, 2)
+
+    def test_count_defections(self, rng):
+        table = rng.integers(0, 2, size=200).astype(np.uint8)
+        words = bitpack.pack_table(table)
+        assert bitpack.count_defections(words, 200) == int(table.sum())
+
+
+class TestHamming:
+    def test_hamming_identity(self, rng):
+        t = rng.integers(0, 2, size=70).astype(np.uint8)
+        w = bitpack.pack_table(t)
+        assert bitpack.hamming(w, w, 70) == 0
+
+    def test_hamming_counts_differences(self, rng):
+        a = rng.integers(0, 2, size=70).astype(np.uint8)
+        b = a.copy()
+        b[[3, 17, 69]] ^= 1
+        assert bitpack.hamming(bitpack.pack_table(a), bitpack.pack_table(b), 70) == 3
+
+    def test_hamming_shape_mismatch(self):
+        a = bitpack.pack_table(np.zeros(64, dtype=np.uint8))
+        b = bitpack.pack_table(np.zeros(128, dtype=np.uint8))
+        with pytest.raises(StrategyError):
+            bitpack.hamming(a, b, 64)
+
+
+class TestRandomAndHex:
+    def test_random_packed_clears_excess_bits(self, rng):
+        for _ in range(20):
+            words = bitpack.random_packed(70, rng)
+            # Bits 70..127 must be zero.
+            assert int(words[1]) >> 6 == 0
+
+    def test_random_packed_equals_unpack_repack(self, rng):
+        words = bitpack.random_packed(100, rng)
+        table = bitpack.unpack_table(words, 100)
+        assert np.array_equal(bitpack.pack_table(table), words)
+
+    def test_hex_roundtrip(self, rng):
+        words = bitpack.random_packed(128, rng)
+        text = bitpack.to_hex(words)
+        assert len(text) == 32
+        assert np.array_equal(bitpack.from_hex(text), words)
+
+    def test_from_hex_rejects_bad_length(self):
+        with pytest.raises(StrategyError):
+            bitpack.from_hex("abc")

@@ -1,0 +1,132 @@
+"""Tests for the deterministic pair-fitness cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.fitness_cache import FitnessCache, strategy_row_digest
+from repro.game.noise import NoiseModel
+from repro.game.states import StateSpace
+from repro.game.vector_engine import VectorEngine
+
+
+@pytest.fixture
+def setup(rng):
+    sp = StateSpace(1)
+    mat = rng.integers(0, 2, size=(6, sp.n_states), dtype=np.uint8)
+    engine = VectorEngine(sp, rounds=50)
+    return sp, mat, engine
+
+
+class TestDigest:
+    def test_equal_rows_equal_digest(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert strategy_row_digest(a) == strategy_row_digest(a.copy())
+
+    def test_different_rows_differ(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([0, 1, 1, 1], dtype=np.uint8)
+        assert strategy_row_digest(a) != strategy_row_digest(b)
+
+    def test_dtype_distinguished(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = a.astype(np.float64)
+        assert strategy_row_digest(a) != strategy_row_digest(b)
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self):
+        cache = FitnessCache()
+        ka, kb = b"a", b"b"
+        assert cache.lookup(ka, kb) is None
+        cache.store(ka, kb, 10.0, 20.0)
+        assert cache.lookup(ka, kb) == (10.0, 20.0)
+        assert cache.lookup(kb, ka) == (20.0, 10.0)  # orientation swapped
+
+    def test_hit_rate(self):
+        cache = FitnessCache()
+        cache.lookup(b"a", b"b")
+        cache.store(b"a", b"b", 1.0, 2.0)
+        cache.lookup(b"a", b"b")
+        assert cache.hit_rate == 0.5
+
+    def test_eviction(self):
+        cache = FitnessCache(maxsize=2)
+        cache.store(b"a", b"b", 1, 1)
+        cache.store(b"a", b"c", 2, 2)
+        cache.store(b"a", b"d", 3, 3)
+        assert len(cache) == 2
+        assert cache.lookup(b"a", b"b") is None
+
+    def test_lru_order(self):
+        cache = FitnessCache(maxsize=2)
+        cache.store(b"a", b"b", 1, 1)
+        cache.store(b"a", b"c", 2, 2)
+        cache.lookup(b"a", b"b")  # refresh (a,b)
+        cache.store(b"a", b"d", 3, 3)
+        assert cache.lookup(b"a", b"b") is not None
+        assert cache.lookup(b"a", b"c") is None
+
+    def test_clear(self):
+        cache = FitnessCache()
+        cache.store(b"a", b"b", 1, 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_bad_maxsize(self):
+        with pytest.raises(GameError):
+            FitnessCache(maxsize=0)
+
+
+class TestPlayPairs:
+    def test_matches_uncached_engine(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        fa, fb = cache.play_pairs(engine, mat, ia, ib)
+        direct = engine.play(mat, ia, ib)
+        assert np.array_equal(fa, direct.fitness_a)
+        assert np.array_equal(fb, direct.fitness_b)
+
+    def test_second_call_all_hits(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        cache.play_pairs(engine, mat, ia, ib)
+        before = engine.games_played
+        fa, fb = cache.play_pairs(engine, mat, ia, ib)
+        assert engine.games_played == before  # nothing replayed
+        direct = engine.play(mat, ia, ib)
+        assert np.array_equal(fa, direct.fitness_a)
+
+    def test_duplicate_pairs_played_once(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia = np.array([0, 1, 0], dtype=np.intp)
+        ib = np.array([1, 0, 1], dtype=np.intp)  # same unordered pair 3x
+        fa, fb = cache.play_pairs(engine, mat, ia, ib)
+        assert engine.games_played == 1
+        assert fa[0] == fb[1] and fb[0] == fa[1]
+        assert fa[0] == fa[2]
+
+    def test_duplicate_strategy_rows_share_entries(self, setup, rng):
+        sp, _, engine = setup
+        row = rng.integers(0, 2, size=sp.n_states, dtype=np.uint8)
+        mat = np.vstack([row, row, 1 - row])
+        cache = FitnessCache()
+        ia = np.array([0, 1], dtype=np.intp)
+        ib = np.array([2, 2], dtype=np.intp)
+        cache.play_pairs(engine, mat, ia, ib)
+        assert engine.games_played == 1  # rows 0 and 1 are identical
+
+    def test_rejects_mixed_matrix(self, setup):
+        sp, _, engine = setup
+        cache = FitnessCache()
+        with pytest.raises(GameError):
+            cache.play_pairs(engine, np.full((2, 4), 0.5), np.array([0]), np.array([1]))
+
+    def test_rejects_noisy_engine(self, setup, rng):
+        sp, mat, _ = setup
+        noisy = VectorEngine(sp, rounds=10, noise=NoiseModel(0.1))
+        with pytest.raises(GameError):
+            FitnessCache().play_pairs(noisy, mat, np.array([0]), np.array([1]))

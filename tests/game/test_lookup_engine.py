@@ -1,0 +1,95 @@
+"""Tests for the paper-faithful linear-search engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError, StateSpaceError
+from repro.game.engine import play_ipd
+from repro.game.lookup_engine import build_states_table, find_state, play_ipd_lookup
+from repro.game.noise import NoiseModel
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy, named_strategy
+
+
+class TestStatesTable:
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_shape(self, memory):
+        sp = StateSpace(memory)
+        table = build_states_table(sp)
+        assert table.rows.shape == (sp.n_states, memory, 2)
+
+    def test_rows_match_decoded_states(self):
+        sp = StateSpace(2)
+        table = build_states_table(sp)
+        for s in sp.iter_states():
+            for k, (my, opp) in enumerate(sp.rounds(s)):
+                assert table.rows[s, k, 0] == my
+                assert table.rows[s, k, 1] == opp
+
+    def test_memory_zero_rejected(self):
+        with pytest.raises(StateSpaceError):
+            build_states_table(StateSpace(0))
+
+    def test_nbytes_grows_with_memory(self):
+        small = build_states_table(StateSpace(1)).nbytes
+        big = build_states_table(StateSpace(3)).nbytes
+        assert big > small
+
+
+class TestFindState:
+    def test_finds_each_state(self):
+        sp = StateSpace(2)
+        table = build_states_table(sp)
+        for s in sp.iter_states():
+            view = np.array(sp.rounds(s), dtype=np.uint8)
+            assert find_state(table, view) == s
+
+    def test_unmatched_view_raises(self):
+        sp = StateSpace(1)
+        table = build_states_table(sp)
+        with pytest.raises(StateSpaceError, match="matches no state"):
+            find_state(table, np.array([[2, 2]], dtype=np.uint8))
+
+
+class TestEquivalence:
+    """The lookup engine must reproduce the incremental engine exactly."""
+
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_pure_games_identical(self, memory, rng):
+        sp = StateSpace(memory)
+        table = build_states_table(sp)
+        for _ in range(10):
+            a = Strategy.random_pure(sp, rng)
+            b = Strategy.random_pure(sp, rng)
+            fast = play_ipd(a, b, rounds=60)
+            slow = play_ipd_lookup(a, b, rounds=60, states_table=table)
+            assert (slow.fitness_a, slow.fitness_b) == (fast.fitness_a, fast.fitness_b)
+
+    def test_stochastic_games_identical_with_same_stream(self):
+        sp = StateSpace(1)
+        mixed = Strategy.mixed(sp, [0.4, 0.6, 0.2, 0.8])
+        tft = named_strategy("TFT")
+        noise = NoiseModel(0.05)
+        fast = play_ipd(mixed, tft, rounds=100, noise=noise, rng=np.random.default_rng(9))
+        slow = play_ipd_lookup(mixed, tft, rounds=100, noise=noise, rng=np.random.default_rng(9))
+        assert (slow.fitness_a, slow.fitness_b) == (fast.fitness_a, fast.fitness_b)
+
+
+class TestValidation:
+    def test_memory_mismatch(self):
+        with pytest.raises(GameError):
+            play_ipd_lookup(named_strategy("TFT", 1), named_strategy("TFT", 2))
+
+    def test_wrong_states_table(self):
+        table3 = build_states_table(StateSpace(3))
+        with pytest.raises(GameError, match="different memory"):
+            play_ipd_lookup(named_strategy("TFT"), named_strategy("TFT"), states_table=table3)
+
+    def test_mixed_needs_rng(self):
+        mixed = Strategy.mixed(StateSpace(1), [0.5] * 4)
+        with pytest.raises(GameError):
+            play_ipd_lookup(mixed, named_strategy("ALLC"))
+
+    def test_zero_rounds(self):
+        with pytest.raises(GameError):
+            play_ipd_lookup(named_strategy("TFT"), named_strategy("TFT"), rounds=0)

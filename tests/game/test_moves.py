@@ -1,0 +1,55 @@
+"""Tests for the move alphabet."""
+
+import pytest
+
+from repro.game.moves import COOPERATE, DEFECT, Move, move_label, parse_move
+
+
+class TestMove:
+    def test_encoding_matches_paper(self):
+        # The paper encodes cooperation as 0 and defection as 1 (§IV-C).
+        assert Move.C == 0
+        assert Move.D == 1
+
+    def test_labels(self):
+        assert Move.C.label == "C"
+        assert Move.D.label == "D"
+
+    def test_opposite(self):
+        assert Move.C.opposite() is Move.D
+        assert Move.D.opposite() is Move.C
+
+    def test_constants(self):
+        assert COOPERATE is Move.C
+        assert DEFECT is Move.D
+
+    def test_str(self):
+        assert str(Move.C) == "C"
+
+
+class TestMoveLabel:
+    def test_from_int(self):
+        assert move_label(0) == "C"
+        assert move_label(1) == "D"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            move_label(2)
+
+
+class TestParseMove:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("C", Move.C), ("c", Move.C), ("0", Move.C), (0, Move.C),
+         ("D", Move.D), ("d", Move.D), ("1", Move.D), (1, Move.D)],
+    )
+    def test_valid_spellings(self, token, expected):
+        assert parse_move(token) is expected
+
+    def test_move_passthrough(self):
+        assert parse_move(Move.D) is Move.D
+
+    @pytest.mark.parametrize("token", ["x", "", 2, None, 0.5])
+    def test_invalid_tokens(self, token):
+        with pytest.raises(ValueError, match="not a move"):
+            parse_move(token)

@@ -1,0 +1,58 @@
+"""Tests for the execution-error model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.game.noise import NO_NOISE, NoiseModel
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, float("nan")])
+    def test_rejects_bad_rates(self, rate):
+        with pytest.raises(ConfigError):
+            NoiseModel(rate)
+
+    def test_zero_is_noiseless(self):
+        assert NoiseModel(0.0).is_noiseless
+        assert NO_NOISE.is_noiseless
+
+    def test_nonzero_is_noisy(self):
+        assert not NoiseModel(0.01).is_noiseless
+
+
+class TestApply:
+    def test_noiseless_never_flips(self, rng):
+        for move in (0, 1):
+            assert all(NO_NOISE.apply(move, rng) == move for _ in range(100))
+
+    def test_certain_noise_always_flips(self, rng):
+        m = NoiseModel(1.0)
+        assert m.apply(0, rng) == 1
+        assert m.apply(1, rng) == 0
+
+    def test_flip_rate_statistics(self, rng):
+        m = NoiseModel(0.25)
+        flips = sum(m.apply(0, rng) for _ in range(8000))
+        assert 0.21 < flips / 8000 < 0.29
+
+
+class TestApplyArray:
+    def test_noiseless_returns_same_object(self, rng):
+        moves = np.zeros(10, dtype=np.int64)
+        assert NO_NOISE.apply_array(moves, rng) is moves
+
+    def test_certain_noise_flips_all(self, rng):
+        moves = np.array([0, 1, 0, 1], dtype=np.int64)
+        out = NoiseModel(1.0).apply_array(moves, rng)
+        assert out.tolist() == [1, 0, 1, 0]
+
+    def test_statistics(self, rng):
+        moves = np.zeros(8000, dtype=np.int64)
+        out = NoiseModel(0.1).apply_array(moves, rng)
+        assert 0.07 < out.mean() < 0.13
+
+    def test_input_not_mutated(self, rng):
+        moves = np.zeros(100, dtype=np.int64)
+        NoiseModel(0.5).apply_array(moves, rng)
+        assert moves.sum() == 0

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) on the game substrate's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game import bitpack
+from repro.game.engine import play_ipd
+from repro.game.payoff import PAPER_PAYOFFS
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy
+
+MEMORIES = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def space_and_state(draw):
+    sp = StateSpace(draw(MEMORIES))
+    state = draw(st.integers(min_value=0, max_value=sp.n_states - 1))
+    return sp, state
+
+
+@st.composite
+def space_and_table(draw):
+    sp = StateSpace(draw(MEMORIES))
+    bits = draw(st.lists(st.integers(0, 1), min_size=sp.n_states, max_size=sp.n_states))
+    return sp, np.array(bits, dtype=np.uint8)
+
+
+class TestStateProperties:
+    @given(space_and_state())
+    def test_opponent_view_is_involution(self, data):
+        sp, state = data
+        assert sp.opponent_view(sp.opponent_view(state)) == state
+
+    @given(space_and_state(), st.integers(0, 1), st.integers(0, 1))
+    def test_push_stays_in_range(self, data, my, opp):
+        sp, state = data
+        assert 0 <= sp.push(state, my, opp) < sp.n_states
+
+    @given(space_and_state())
+    def test_rounds_encode_roundtrip(self, data):
+        sp, state = data
+        assert sp.encode(sp.rounds(state)) == state
+
+    @given(space_and_state(), st.integers(0, 1), st.integers(0, 1))
+    def test_push_commutes_with_opponent_view(self, data, my, opp):
+        """view(push(s, my, opp)) == push(view(s), opp, my)."""
+        sp, state = data
+        lhs = sp.opponent_view(sp.push(state, my, opp))
+        rhs = sp.push(sp.opponent_view(state), opp, my)
+        assert lhs == rhs
+
+    @given(space_and_state())
+    def test_newest_round_in_low_bits(self, data):
+        sp, state = data
+        my, opp = sp.rounds(state)[0]
+        assert state & 0b11 == (my << 1) | opp
+
+
+class TestBitpackProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_pack_unpack_roundtrip(self, bits):
+        table = np.array(bits, dtype=np.uint8)
+        words = bitpack.pack_table(table)
+        assert np.array_equal(bitpack.unpack_table(words, len(bits)), table)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_defection_count_preserved(self, bits):
+        table = np.array(bits, dtype=np.uint8)
+        words = bitpack.pack_table(table)
+        assert bitpack.count_defections(words, len(bits)) == sum(bits)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=200),
+        st.lists(st.integers(0, 1), min_size=1, max_size=200),
+    )
+    def test_hamming_symmetry(self, a_bits, b_bits):
+        n = min(len(a_bits), len(b_bits))
+        a = np.array(a_bits[:n], dtype=np.uint8)
+        b = np.array(b_bits[:n], dtype=np.uint8)
+        wa, wb = bitpack.pack_table(a), bitpack.pack_table(b)
+        assert bitpack.hamming(wa, wb, n) == bitpack.hamming(wb, wa, n)
+        assert bitpack.hamming(wa, wb, n) == int((a != b).sum())
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_hex_roundtrip(self, bits):
+        words = bitpack.pack_table(np.array(bits, dtype=np.uint8))
+        assert np.array_equal(bitpack.from_hex(bitpack.to_hex(words)), words)
+
+
+class TestGameProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(space_and_table(), space_and_table(), st.integers(1, 60))
+    def test_payoffs_are_conserved_per_round(self, a_data, b_data, rounds):
+        """Both players' payoffs come from the same payoff table rows."""
+        sp_a, table_a = a_data
+        sp_b, table_b = b_data
+        if sp_a != sp_b:
+            return
+        a, b = Strategy(sp_a, table_a), Strategy(sp_a, table_b)
+        r = play_ipd(a, b, rounds=rounds, record_moves=True)
+        fa = sum(PAPER_PAYOFFS.payoff(ma, mb) for ma, mb in zip(r.moves_a, r.moves_b))
+        fb = sum(PAPER_PAYOFFS.payoff(mb, ma) for ma, mb in zip(r.moves_a, r.moves_b))
+        assert fa == r.fitness_a
+        assert fb == r.fitness_b
+
+    @settings(max_examples=30, deadline=None)
+    @given(space_and_table(), st.integers(1, 60))
+    def test_self_play_is_symmetric(self, data, rounds):
+        sp, table = data
+        s = Strategy(sp, table)
+        r = play_ipd(s, s, rounds=rounds)
+        assert r.fitness_a == r.fitness_b
+
+    @settings(max_examples=30, deadline=None)
+    @given(space_and_table(), space_and_table(), st.integers(1, 40))
+    def test_swapping_players_swaps_payoffs(self, a_data, b_data, rounds):
+        sp_a, table_a = a_data
+        sp_b, table_b = b_data
+        if sp_a != sp_b:
+            return
+        a, b = Strategy(sp_a, table_a), Strategy(sp_a, table_b)
+        r1 = play_ipd(a, b, rounds=rounds)
+        r2 = play_ipd(b, a, rounds=rounds)
+        assert (r1.fitness_a, r1.fitness_b) == (r2.fitness_b, r2.fitness_a)

@@ -1,0 +1,161 @@
+"""Tests for memory-n state spaces (paper §III-D, Tables II and V)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.game.states import MAX_MEMORY, PAPER_TABLE5_STATE_ORDER, StateSpace
+
+
+class TestSizes:
+    @pytest.mark.parametrize("memory,n_states", [(1, 4), (2, 16), (3, 64), (6, 4096)])
+    def test_state_count_is_4_to_the_n(self, memory, n_states):
+        assert StateSpace(memory).n_states == n_states
+
+    def test_pure_strategy_count(self):
+        # Table IV: 2**(4**n).
+        assert StateSpace(1).n_pure_strategies == 16
+        assert StateSpace(2).n_pure_strategies == 65536
+        assert StateSpace(6).n_pure_strategies == 1 << 4096
+
+    def test_memory_zero_allowed(self):
+        sp = StateSpace(0)
+        assert sp.n_states == 1
+        assert sp.push(0, 1, 1) == 0
+
+    @pytest.mark.parametrize("bad", [-1, MAX_MEMORY + 1, 100])
+    def test_rejects_out_of_range_memory(self, bad):
+        with pytest.raises(StateSpaceError):
+            StateSpace(bad)
+
+    def test_rejects_non_int_memory(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace(1.5)
+
+    def test_len(self):
+        assert len(StateSpace(2)) == 16
+
+
+class TestPush:
+    def test_memory_one_encoding(self):
+        sp = StateSpace(1)
+        # state = (my << 1) | opp.
+        assert sp.push(0, 0, 0) == 0b00
+        assert sp.push(0, 0, 1) == 0b01
+        assert sp.push(0, 1, 0) == 0b10
+        assert sp.push(0, 1, 1) == 0b11
+
+    def test_older_rounds_shift_up(self):
+        sp = StateSpace(2)
+        s = sp.push(0, 1, 0)      # most recent round DC
+        s = sp.push(s, 0, 1)      # now CD recent, DC one back
+        assert s == (0b10 << 2) | 0b01
+
+    def test_oldest_round_falls_off(self):
+        sp = StateSpace(1)
+        s = sp.push(0, 1, 1)
+        s = sp.push(s, 0, 0)
+        assert s == 0
+
+    def test_push_rejects_bad_moves(self):
+        sp = StateSpace(1)
+        with pytest.raises(StateSpaceError):
+            sp.push(0, 2, 0)
+
+    def test_push_rejects_bad_state(self):
+        sp = StateSpace(1)
+        with pytest.raises(StateSpaceError):
+            sp.push(4, 0, 0)
+
+    def test_initial_state_is_all_cooperate(self, space):
+        assert space.initial_state == 0
+        assert all(r == (0, 0) for r in space.rounds(0))
+
+
+class TestOpponentView:
+    def test_memory_one_swap(self):
+        sp = StateSpace(1)
+        assert sp.opponent_view(0b10) == 0b01
+        assert sp.opponent_view(0b01) == 0b10
+        assert sp.opponent_view(0b00) == 0b00
+        assert sp.opponent_view(0b11) == 0b11
+
+    def test_involution(self, space):
+        for s in space.iter_states():
+            assert space.opponent_view(space.opponent_view(s)) == s
+
+    def test_consistent_with_push(self, space, rng):
+        """B's view of the history equals the mirrored pushes."""
+        sa = sb = 0
+        for _ in range(20):
+            ma, mb = int(rng.integers(2)), int(rng.integers(2))
+            sa = space.push(sa, ma, mb)
+            sb = space.push(sb, mb, ma)
+            assert space.opponent_view(sa) == sb
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, space, rng):
+        for _ in range(30):
+            s = int(rng.integers(space.n_states))
+            assert space.encode(space.rounds(s)) == s
+
+    def test_encode_wrong_length(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace(2).encode([(0, 0)])
+
+    def test_rounds_most_recent_first(self):
+        sp = StateSpace(2)
+        s = sp.push(sp.push(0, 1, 1), 0, 1)  # DD then CD (CD most recent)
+        assert sp.rounds(s) == ((0, 1), (1, 1))
+
+
+class TestVectorised:
+    def test_push_array_matches_scalar(self, space, rng):
+        states = rng.integers(0, space.n_states, size=50)
+        my = rng.integers(0, 2, size=50)
+        opp = rng.integers(0, 2, size=50)
+        out = space.push_array(states.copy(), my, opp)
+        expected = [space.push(int(s), int(a), int(b)) for s, a, b in zip(states, my, opp)]
+        assert out.tolist() == expected
+
+    def test_push_array_in_place(self, space):
+        states = np.zeros(4, dtype=np.int64)
+        my = np.array([0, 0, 1, 1])
+        opp = np.array([0, 1, 0, 1])
+        res = space.push_array(states, my, opp, out=states)
+        assert res is states
+        assert states.tolist() == [0, 1, 2, 3]
+
+    def test_opponent_view_array_matches_scalar(self, space):
+        states = np.arange(space.n_states)
+        out = space.opponent_view_array(states)
+        expected = [space.opponent_view(int(s)) for s in states]
+        assert out.tolist() == expected
+
+
+class TestPresentation:
+    def test_memory_one_labels(self):
+        sp = StateSpace(1)
+        assert [sp.state_label(s) for s in sp.iter_states()] == ["CC", "CD", "DC", "DD"]
+
+    def test_memory_two_label_oldest_first(self):
+        sp = StateSpace(2)
+        s = sp.encode([(0, 1), (1, 0)])  # recent CD, older DC
+        assert sp.state_label(s) == "DC|CD"
+
+    def test_bit_labels(self):
+        sp = StateSpace(1)
+        assert sp.state_label(0b10, letters=False) == "10"
+
+    def test_table2_matches_paper(self):
+        # Paper Table II: states 1..4 = CC, CD, DC, DD.
+        rows = StateSpace(1).table2()
+        assert rows == [(1, "C", "C"), (2, "C", "D"), (3, "D", "C"), (4, "D", "D")]
+
+    def test_table2_needs_memory_one(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace(2).table2()
+
+    def test_paper_table5_order(self):
+        assert PAPER_TABLE5_STATE_ORDER == (0b00, 0b01, 0b11, 0b10)

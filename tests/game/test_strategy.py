@@ -1,0 +1,195 @@
+"""Tests for strategies and the named classics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.game.states import StateSpace
+from repro.game.strategy import NAMED_STRATEGIES, Strategy, named_strategy
+
+
+class TestConstruction:
+    def test_pure_from_ints(self):
+        s = Strategy.pure(StateSpace(1), [0, 1, 1, 0])
+        assert s.is_pure
+        assert s.table.dtype == np.uint8
+
+    def test_mixed_from_floats(self):
+        s = Strategy.mixed(StateSpace(1), [0.1, 0.9, 0.5, 0.0])
+        assert not s.is_pure
+
+    def test_float_zeros_and_ones_become_pure(self):
+        s = Strategy(StateSpace(1), np.array([0.0, 1.0, 1.0, 0.0]))
+        assert s.is_pure
+        assert s.table.dtype == np.uint8
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(StrategyError, match="entries"):
+            Strategy.pure(StateSpace(1), [0, 1])
+
+    def test_bad_int_values_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy.pure(StateSpace(1), [0, 1, 2, 0])
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy.mixed(StateSpace(1), [0.1, 1.2, 0.5, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy.mixed(StateSpace(1), [0.1, float("nan"), 0.5, 0.0])
+
+    def test_table_is_immutable(self):
+        s = Strategy.pure(StateSpace(1), [0, 1, 1, 0])
+        with pytest.raises(ValueError):
+            s.table[0] = 1
+
+
+class TestIds:
+    def test_id_roundtrip(self, rng):
+        sp = StateSpace(2)
+        for _ in range(20):
+            sid = int(rng.integers(sp.n_pure_strategies))
+            assert Strategy.from_id(sp, sid).to_id() == sid
+
+    def test_id_zero_is_allc(self):
+        s = Strategy.from_id(StateSpace(1), 0)
+        assert s == named_strategy("ALLC")
+
+    def test_id_max_is_alld(self):
+        sp = StateSpace(1)
+        s = Strategy.from_id(sp, sp.n_pure_strategies - 1)
+        assert s == named_strategy("ALLD")
+
+    def test_out_of_range_id(self):
+        with pytest.raises(StrategyError):
+            Strategy.from_id(StateSpace(1), 16)
+
+    def test_mixed_has_no_id(self):
+        with pytest.raises(StrategyError):
+            Strategy.mixed(StateSpace(1), [0.5] * 4).to_id()
+
+
+class TestPacking:
+    def test_pack_roundtrip(self, rng):
+        sp = StateSpace(3)
+        s = Strategy.random_pure(sp, rng)
+        assert Strategy.from_packed(sp, s.pack()) == s
+
+    def test_mixed_cannot_pack(self):
+        with pytest.raises(StrategyError):
+            Strategy.mixed(StateSpace(1), [0.5] * 4).pack()
+
+
+class TestBehaviour:
+    def test_pure_move_lookup(self):
+        wsls = named_strategy("WSLS")
+        assert wsls.move(0b00) == 0
+        assert wsls.move(0b01) == 1
+        assert wsls.move(0b10) == 1
+        assert wsls.move(0b11) == 0
+
+    def test_mixed_move_needs_rng(self):
+        s = Strategy.mixed(StateSpace(1), [0.5] * 4)
+        with pytest.raises(StrategyError):
+            s.move(0)
+
+    def test_mixed_move_statistics(self, rng):
+        s = Strategy.mixed(StateSpace(1), [0.8, 0.0, 1.0, 0.2])
+        draws = [s.move(0, rng) for _ in range(2000)]
+        assert 0.75 < np.mean(draws) < 0.85
+
+    def test_cooperation_fraction(self):
+        assert named_strategy("ALLC").cooperation_fraction() == 1.0
+        assert named_strategy("ALLD").cooperation_fraction() == 0.0
+        assert named_strategy("WSLS").cooperation_fraction() == 0.5
+
+    def test_defect_probability(self):
+        gtft = named_strategy("GTFT")
+        assert gtft.defect_probability(0b00) == 0.0
+        assert gtft.defect_probability(0b01) == pytest.approx(2 / 3)
+
+
+class TestEquality:
+    def test_name_ignored_for_equality(self):
+        a = Strategy.pure(StateSpace(1), [0, 1, 1, 0], name="x")
+        b = Strategy.pure(StateSpace(1), [0, 1, 1, 0], name="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_pure_and_equivalent_float_equal(self):
+        a = Strategy(StateSpace(1), np.array([0, 1, 1, 0], dtype=np.uint8))
+        b = Strategy(StateSpace(1), np.array([0.0, 1.0, 1.0, 0.0]))
+        assert a == b
+
+    def test_different_memory_not_equal(self):
+        assert named_strategy("TFT", 1) != named_strategy("TFT", 2)
+
+
+class TestNamed:
+    def test_all_names_construct_at_memory_two(self):
+        for name in NAMED_STRATEGIES:
+            s = named_strategy(name, 2)
+            assert s.memory == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(StrategyError, match="unknown named strategy"):
+            named_strategy("NOPE")
+
+    def test_wsls_moves_string_natural_order(self):
+        assert named_strategy("WSLS").moves_string() == "[0110]"
+
+    def test_wsls_paper_table5_string(self):
+        # The paper's Fig. 2 caption writes WSLS as [0101] in Table V order.
+        assert named_strategy("WSLS").paper_table5_string() == "[0101]"
+
+    def test_tft_copies_opponent(self):
+        tft = named_strategy("TFT")
+        # States CD (opp defected) and DD -> defect; CC and DC -> cooperate.
+        assert tft.table.tolist() == [0, 1, 0, 1]
+
+    def test_tft_lifted_to_memory_two_uses_last_round_only(self):
+        tft2 = named_strategy("TFT", 2)
+        sp = StateSpace(2)
+        for s in sp.iter_states():
+            assert tft2.table[s] == (s & 1)
+
+    def test_grim_defects_after_any_defection(self):
+        grim = named_strategy("GRIM", 2)
+        sp = StateSpace(2)
+        assert grim.table[0] == 0
+        assert all(grim.table[s] == 1 for s in range(1, sp.n_states))
+
+    def test_tf2t_needs_memory_two(self):
+        with pytest.raises(StrategyError):
+            named_strategy("TF2T", 1)
+
+    def test_tf2t_waits_for_two_defections(self):
+        tf2t = named_strategy("TF2T", 2)
+        sp = StateSpace(2)
+        one_defect = sp.encode([(0, 1), (0, 0)])
+        two_defects = sp.encode([(0, 1), (0, 1)])
+        assert tf2t.table[one_defect] == 0
+        assert tf2t.table[two_defects] == 1
+
+    def test_random_is_half(self):
+        assert np.all(named_strategy("RANDOM").table == 0.5)
+
+    def test_letters_string(self):
+        assert named_strategy("WSLS").letters_string() == "CDDC"
+
+    def test_repr_contains_name(self):
+        assert "WSLS" in repr(named_strategy("WSLS"))
+
+
+class TestRandomConstructors:
+    def test_random_pure_reproducible(self):
+        sp = StateSpace(2)
+        a = Strategy.random_pure(sp, np.random.default_rng(5))
+        b = Strategy.random_pure(sp, np.random.default_rng(5))
+        assert a == b
+
+    def test_random_mixed_in_range(self, rng):
+        s = Strategy.random_mixed(StateSpace(2), rng)
+        assert not s.is_pure or np.all((s.table == 0) | (s.table == 1))
+        assert s.table.min() >= 0 and s.table.max() <= 1

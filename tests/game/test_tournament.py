@@ -1,0 +1,116 @@
+"""Tests for the round-robin tournament API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.noise import NoiseModel
+from repro.game.strategy import named_strategy
+from repro.game.tournament import Tournament
+
+
+def roster(*names, memory=1):
+    return [(n, named_strategy(n, memory)) for n in names]
+
+
+class TestScoring:
+    def test_pairwise_matches_known_matchups(self):
+        t = Tournament(roster("ALLC", "ALLD", "TFT"), include_self=True)
+        result = t.play()
+        i = {n: k for k, n in enumerate(result.names)}
+        # ALLC vs ALLD over 200 rounds: 0 vs 800.
+        assert result.pairwise[i["ALLC"], i["ALLD"]] == 0
+        assert result.pairwise[i["ALLD"], i["ALLC"]] == 800
+        # TFT vs ALLD: 199 vs 203.
+        assert result.pairwise[i["TFT"], i["ALLD"]] == 199
+        # Self-play diagonal: one agent's score.
+        assert result.pairwise[i["ALLC"], i["ALLC"]] == 600
+
+    def test_totals_are_row_sums(self):
+        result = Tournament(roster("ALLC", "ALLD", "TFT", "WSLS")).play()
+        assert np.allclose(result.totals, result.pairwise.sum(axis=1))
+
+    def test_exclude_self(self):
+        result = Tournament(roster("ALLC", "ALLD"), include_self=False).play()
+        assert np.isnan(result.pairwise[0, 0])
+        assert result.totals[0] == 0  # ALLC only meets ALLD
+
+    def test_ranking_sorted(self):
+        result = Tournament(roster("ALLC", "ALLD", "TFT", "WSLS", "GRIM")).play()
+        scores = [s for _, s in result.ranking()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_of(self):
+        result = Tournament(roster("ALLC", "ALLD")).play()
+        assert result.score_of("ALLD") == result.totals[list(result.names).index("ALLD")]
+        with pytest.raises(GameError):
+            result.score_of("NOPE")
+
+    def test_render(self):
+        text = Tournament(roster("ALLC", "ALLD")).play().render(title="T")
+        assert "T" in text and "ALLD" in text
+
+
+class TestClassicResults:
+    def test_noiseless_retaliators_beat_alld_field(self):
+        """Axelrod's qualitative result: nice retaliatory strategies top
+        the table; unconditional defection does not win a repeated game."""
+        t = Tournament(roster("ALLC", "ALLD", "TFT", "WSLS", "GRIM", "GTFT", "RANDOM"))
+        result = t.play(repeats=10, seed=0)
+        ranking = [name for name, _ in result.ranking()]
+        assert ranking.index("ALLD") > ranking.index("TFT")
+        assert ranking[0] in {"TFT", "GRIM", "WSLS", "GTFT"}
+
+    def test_noise_flips_tft_below_wsls(self):
+        """§III-E: with execution errors WSLS outperforms TFT."""
+        t = Tournament(
+            roster("ALLC", "ALLD", "TFT", "WSLS", "GRIM", "GTFT", "RANDOM"),
+            noise=NoiseModel(0.05),
+        )
+        result = t.play(repeats=20, seed=1)
+        assert result.score_of("WSLS") > result.score_of("TFT")
+
+    def test_extortioner_beats_every_opponent_pairwise(self):
+        from repro.game.zd import extortionate
+
+        entrants = roster("ALLC", "WSLS", "GTFT", "RANDOM") + [
+            ("Extort-3", extortionate(3.0))
+        ]
+        result = Tournament(entrants).play(repeats=40, seed=2)
+        i = {n: k for k, n in enumerate(result.names)}
+        e = i["Extort-3"]
+        for name, j in i.items():
+            if name == "Extort-3":
+                continue
+            assert result.pairwise[e, j] >= result.pairwise[j, e] - 5.0, name
+
+
+class TestDeterminism:
+    def test_stochastic_repeatable_by_seed(self):
+        t = Tournament(roster("RANDOM", "TFT", "WSLS"))
+        a = t.play(repeats=3, seed=5)
+        b = Tournament(roster("RANDOM", "TFT", "WSLS")).play(repeats=3, seed=5)
+        assert np.array_equal(a.totals, b.totals)
+
+    def test_pure_noiseless_needs_no_rng(self):
+        result = Tournament(roster("ALLC", "ALLD")).play(repeats=2)
+        assert result.repeats == 2
+
+
+class TestValidation:
+    def test_needs_two_entrants(self):
+        with pytest.raises(GameError):
+            Tournament(roster("ALLC"))
+
+    def test_unique_names(self):
+        with pytest.raises(GameError):
+            Tournament(roster("ALLC") + roster("ALLC"))
+
+    def test_shared_memory_depth(self):
+        entrants = roster("TFT", memory=1) + roster("WSLS", memory=2)
+        with pytest.raises(GameError):
+            Tournament(entrants)
+
+    def test_repeats_positive(self):
+        with pytest.raises(GameError):
+            Tournament(roster("ALLC", "ALLD")).play(repeats=0)

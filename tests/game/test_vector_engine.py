@@ -1,0 +1,170 @@
+"""Tests for the vectorised tournament engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.engine import play_ipd
+from repro.game.noise import NoiseModel
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy, named_strategy
+from repro.game.vector_engine import VectorEngine, as_table_matrix
+
+
+def _random_matrix(space, n, rng, pure=True):
+    if pure:
+        return rng.integers(0, 2, size=(n, space.n_states), dtype=np.uint8)
+    return rng.random((n, space.n_states))
+
+
+class TestAsTableMatrix:
+    def test_accepts_pure(self, rng):
+        sp = StateSpace(1)
+        mat = as_table_matrix(sp, _random_matrix(sp, 3, rng))
+        assert mat.dtype == np.uint8
+
+    def test_accepts_mixed(self, rng):
+        sp = StateSpace(1)
+        mat = as_table_matrix(sp, _random_matrix(sp, 3, rng, pure=False))
+        assert mat.dtype == np.float64
+
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(GameError):
+            as_table_matrix(StateSpace(2), _random_matrix(StateSpace(1), 3, rng))
+
+    def test_rejects_bad_int_values(self):
+        with pytest.raises(GameError):
+            as_table_matrix(StateSpace(1), np.full((2, 4), 3, dtype=np.int64))
+
+    def test_rejects_out_of_range_probs(self):
+        with pytest.raises(GameError):
+            as_table_matrix(StateSpace(1), np.full((2, 4), 1.5))
+
+
+class TestAgainstScalarEngine:
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_pure_batch_matches_scalar(self, memory, rng):
+        sp = StateSpace(memory)
+        mat = _random_matrix(sp, 8, rng)
+        engine = VectorEngine(sp, rounds=80)
+        ia, ib = engine.round_robin_pairs(8)
+        res = engine.play(mat, ia, ib)
+        for g in range(ia.size):
+            ref = play_ipd(Strategy(sp, mat[ia[g]]), Strategy(sp, mat[ib[g]]), rounds=80)
+            assert res.fitness_a[g] == ref.fitness_a
+            assert res.fitness_b[g] == ref.fitness_b
+
+    def test_mixed_statistics_match_scalar(self, rng):
+        """Sampled payoffs agree in distribution with the scalar engine."""
+        sp = StateSpace(1)
+        mixed = np.array([[0.3, 0.7, 0.2, 0.8], [0.0, 1.0, 1.0, 0.0]])
+        engine = VectorEngine(sp, rounds=50)
+        n = 400
+        ia = np.zeros(n, dtype=np.intp)
+        ib = np.ones(n, dtype=np.intp)
+        res = engine.play(mixed, ia, ib, rng=np.random.default_rng(0))
+        scalar_rng = np.random.default_rng(1)
+        a = Strategy.mixed(sp, mixed[0])
+        b = Strategy.pure(sp, mixed[1].astype(int))
+        scalar = [play_ipd(a, b, rounds=50, rng=scalar_rng).fitness_a for _ in range(n)]
+        assert abs(res.fitness_a.mean() - np.mean(scalar)) < 6.0
+
+
+class TestBatchSemantics:
+    def test_empty_batch(self):
+        engine = VectorEngine(StateSpace(1))
+        res = engine.play(np.zeros((2, 4), dtype=np.uint8), np.array([], dtype=np.intp),
+                          np.array([], dtype=np.intp))
+        assert res.n_games == 0
+
+    def test_out_of_range_indices(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp)
+        mat = _random_matrix(sp, 2, rng)
+        with pytest.raises(GameError):
+            engine.play(mat, np.array([0]), np.array([5]))
+
+    def test_mismatched_index_lengths(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp)
+        mat = _random_matrix(sp, 2, rng)
+        with pytest.raises(GameError):
+            engine.play(mat, np.array([0, 1]), np.array([1]))
+
+    def test_mixed_needs_rng(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp)
+        with pytest.raises(GameError):
+            engine.play(_random_matrix(sp, 2, rng, pure=False), np.array([0]), np.array([1]))
+
+    def test_noise_needs_rng(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp, noise=NoiseModel(0.1))
+        with pytest.raises(GameError):
+            engine.play(_random_matrix(sp, 2, rng), np.array([0]), np.array([1]))
+
+    def test_rounds_validated(self):
+        with pytest.raises(GameError):
+            VectorEngine(StateSpace(1), rounds=0)
+
+    def test_work_counters(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp, rounds=10)
+        mat = _random_matrix(sp, 4, rng)
+        engine.play(mat, np.array([0, 1]), np.array([2, 3]))
+        assert engine.games_played == 2
+        assert engine.rounds_played == 20
+
+
+class TestCooperationRecording:
+    def test_allc_vs_alld_counts(self):
+        sp = StateSpace(1)
+        mat = np.vstack([named_strategy("ALLC").table, named_strategy("ALLD").table])
+        engine = VectorEngine(sp, rounds=10)
+        res = engine.play(mat, np.array([0]), np.array([1]), record_cooperation=True)
+        assert res.cooperations_a.tolist() == [10]
+        assert res.cooperations_b.tolist() == [0]
+        assert res.cooperation_rate() == 0.5
+
+    def test_rate_requires_recording(self, rng):
+        sp = StateSpace(1)
+        engine = VectorEngine(sp, rounds=5)
+        res = engine.play(_random_matrix(sp, 2, rng), np.array([0]), np.array([1]))
+        with pytest.raises(GameError):
+            res.cooperation_rate()
+
+
+class TestTournament:
+    def test_round_robin_pair_count(self):
+        engine = VectorEngine(StateSpace(1))
+        ia, ib = engine.round_robin_pairs(6)
+        assert ia.size == 15
+        ia2, ib2 = engine.round_robin_pairs(6, include_self=True)
+        assert ia2.size == 21
+
+    def test_tournament_credits_both_sides(self):
+        sp = StateSpace(1)
+        mat = np.vstack(
+            [named_strategy("ALLC").table, named_strategy("ALLD").table,
+             named_strategy("TFT").table]
+        )
+        engine = VectorEngine(sp, rounds=200)
+        fitness = engine.tournament(mat)
+        # ALLC: 0 (vs ALLD) + 600 (vs TFT); ALLD: 800 + 203; TFT: 600 + 199.
+        assert fitness.tolist() == [600.0, 1003.0, 799.0]
+
+    def test_tournament_alld_wins_single_round_robin(self):
+        """Defection dominates a one-shot-style mixed field (§III-A)."""
+        sp = StateSpace(1)
+        mat = np.vstack([
+            named_strategy("ALLC").table,
+            named_strategy("ALLD").table,
+            np.array([0, 0, 1, 1], dtype=np.uint8),
+        ])
+        engine = VectorEngine(sp, rounds=1)
+        fitness = engine.tournament(mat)
+        assert fitness.argmax() == 1
+
+    def test_negative_strategy_count(self):
+        with pytest.raises(GameError):
+            VectorEngine(StateSpace(1)).round_robin_pairs(-1)

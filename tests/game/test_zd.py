@@ -1,0 +1,123 @@
+"""Tests for zero-determinant strategies.
+
+The defining property — a ZD player unilaterally enforces
+``pi_A - kappa = chi (pi_B - kappa)`` in long-run average payoffs against
+*any* opponent — is verified with the exact Markov evaluator, which makes
+this a strong cross-check of both modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.game.markov import expected_pair_payoffs
+from repro.game.payoff import AXELROD_PAYOFFS, PAPER_PAYOFFS
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy, named_strategy
+from repro.game.zd import extortionate, generous, max_phi, zd_strategy
+
+SPACE = StateSpace(1)
+LONG_RUN_ROUNDS = 40_000
+
+
+def long_run_payoffs(strategy, opponent):
+    mat = np.vstack(
+        [np.asarray(strategy.table, dtype=float), np.asarray(opponent.table, dtype=float)]
+    )
+    ea, eb = expected_pair_payoffs(
+        SPACE, mat, np.array([0]), np.array([1]), rounds=LONG_RUN_ROUNDS
+    )
+    return ea[0] / LONG_RUN_ROUNDS, eb[0] / LONG_RUN_ROUNDS
+
+
+def opponents(rng, n_random=5):
+    out = [Strategy.random_mixed(SPACE, rng) for _ in range(n_random)]
+    out += [named_strategy(n) for n in ("ALLC", "ALLD", "WSLS", "GTFT")]
+    return out
+
+
+class TestEnforcedRelation:
+    @pytest.mark.parametrize("chi", [1.5, 3.0, 5.0])
+    def test_extortion_relation_holds_against_anyone(self, chi, rng):
+        ext = extortionate(chi)
+        p = PAPER_PAYOFFS.punishment
+        for opp in opponents(rng):
+            pi_a, pi_b = long_run_payoffs(ext, opp)
+            assert pi_a - p == pytest.approx(chi * (pi_b - p), abs=2e-3)
+
+    def test_generous_relation_holds(self, rng):
+        gen = generous(2.0)
+        r = PAPER_PAYOFFS.reward
+        for opp in opponents(rng, n_random=3):
+            pi_a, pi_b = long_run_payoffs(gen, opp)
+            assert pi_a - r == pytest.approx(2.0 * (pi_b - r), abs=2e-3)
+
+    def test_extortioner_never_loses(self, rng):
+        """chi > 1 with kappa = P: the extortioner's surplus >= opponent's."""
+        ext = extortionate(4.0)
+        p = PAPER_PAYOFFS.punishment
+        for opp in opponents(rng):
+            pi_a, pi_b = long_run_payoffs(ext, opp)
+            assert pi_a >= pi_b - 2e-3
+            assert pi_b >= p - 2e-3
+
+    def test_generous_never_wins(self, rng):
+        gen = generous(3.0)
+        for opp in opponents(rng, n_random=3):
+            pi_a, pi_b = long_run_payoffs(gen, opp)
+            assert pi_a <= pi_b + 2e-3
+
+    def test_works_under_other_payoffs(self, rng):
+        ext = extortionate(2.0, payoff=AXELROD_PAYOFFS)
+        p = AXELROD_PAYOFFS.punishment
+        opp = Strategy.random_mixed(SPACE, rng)
+        mat = np.vstack([np.asarray(ext.table, float), np.asarray(opp.table, float)])
+        ea, eb = expected_pair_payoffs(
+            SPACE, mat, np.array([0]), np.array([1]),
+            payoff=AXELROD_PAYOFFS, rounds=LONG_RUN_ROUNDS,
+        )
+        pi_a, pi_b = ea[0] / LONG_RUN_ROUNDS, eb[0] / LONG_RUN_ROUNDS
+        assert pi_a - p == pytest.approx(2.0 * (pi_b - p), abs=2e-3)
+
+
+class TestConstruction:
+    def test_probabilities_valid(self):
+        s = zd_strategy(chi=3.0, kappa=1.0)
+        assert not s.is_pure or True
+        assert s.table.min() >= 0 and s.table.max() <= 1
+
+    def test_alld_state_for_extortion(self):
+        # An extortioner always defects after mutual defection.
+        ext = extortionate(3.0)
+        assert ext.table[0b11] == 1.0
+
+    def test_generous_cooperates_after_cc(self):
+        gen = generous(2.0)
+        assert gen.table[0b00] == 0.0
+
+    def test_max_phi_positive(self):
+        assert max_phi(3.0, kappa=1.0) > 0
+
+    def test_phi_bound_enforced(self):
+        bound = max_phi(3.0, kappa=1.0)
+        with pytest.raises(StrategyError):
+            zd_strategy(3.0, kappa=1.0, phi=bound * 1.5)
+        zd_strategy(3.0, kappa=1.0, phi=bound)  # exactly at the bound is fine
+
+    def test_kappa_range_enforced(self):
+        with pytest.raises(StrategyError):
+            zd_strategy(2.0, kappa=0.5)  # below P
+        with pytest.raises(StrategyError):
+            zd_strategy(2.0, kappa=3.5)  # above R
+
+    def test_chi_validation(self):
+        with pytest.raises(StrategyError):
+            zd_strategy(-1.0, kappa=1.0)
+        with pytest.raises(StrategyError):
+            extortionate(1.0)
+        with pytest.raises(StrategyError):
+            generous(0.5)
+
+    def test_names(self):
+        assert extortionate(3.0).name == "Extort-3"
+        assert generous(2.0).name == "Generous-2"

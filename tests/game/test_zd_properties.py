@@ -1,0 +1,77 @@
+"""Property-based tests: the ZD relation holds across the parameter space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.markov import expected_pair_payoffs
+from repro.game.payoff import PAPER_PAYOFFS
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy
+from repro.game.zd import max_phi, zd_strategy
+
+SPACE = StateSpace(1)
+ROUNDS = 20_000
+
+
+@st.composite
+def zd_params(draw):
+    chi = draw(st.floats(min_value=1.1, max_value=8.0, allow_nan=False))
+    kappa = draw(st.floats(min_value=1.0, max_value=3.0, allow_nan=False))
+    phi_fraction = draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+    return chi, kappa, phi_fraction
+
+
+@st.composite
+def opponent_tables(draw):
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    return np.array(probs)
+
+
+class TestZDRelationProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(zd_params(), opponent_tables())
+    def test_relation_enforced_for_random_parameters_and_opponents(self, params, opp):
+        chi, kappa, phi_fraction = params
+        phi = phi_fraction * max_phi(chi, kappa)
+        zd = zd_strategy(chi, kappa, phi=phi)
+        mat = np.vstack([np.asarray(zd.table, float), opp])
+        ea, eb = expected_pair_payoffs(
+            SPACE, mat, np.array([0]), np.array([1]), rounds=ROUNDS
+        )
+        pi_a, pi_b = ea[0] / ROUNDS, eb[0] / ROUNDS
+        # The relation is asymptotic; small phi slows mixing, so allow a
+        # transient tolerance proportional to 1/(phi * rounds).
+        tolerance = max(5e-3, 2.0 / (phi * ROUNDS))
+        assert (pi_a - kappa) == pytest.approx(chi * (pi_b - kappa), abs=tolerance)
+
+    @settings(max_examples=25, deadline=None)
+    @given(zd_params())
+    def test_probabilities_always_valid(self, params):
+        chi, kappa, phi_fraction = params
+        phi = phi_fraction * max_phi(chi, kappa)
+        zd = zd_strategy(chi, kappa, phi=phi)
+        assert zd.table.min() >= 0.0
+        assert zd.table.max() <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(zd_params())
+    def test_self_play_payoff_is_kappa(self, params):
+        """Two identical ZD players both enforce pi - k = chi (pi' - k),
+        which forces pi = pi' = kappa."""
+        chi, kappa, phi_fraction = params
+        phi = phi_fraction * max_phi(chi, kappa)
+        zd = zd_strategy(chi, kappa, phi=phi)
+        table = np.asarray(zd.table, float)
+        mat = np.vstack([table, table])
+        ea, _ = expected_pair_payoffs(SPACE, mat, np.array([0]), np.array([1]), rounds=ROUNDS)
+        # Self-play mixing can be slow (near-absorbing DD for kappa ~ P),
+        # leaving a transient of order (pi_0 - kappa) * t_mix / rounds.
+        assert ea[0] / ROUNDS == pytest.approx(kappa, abs=0.05)

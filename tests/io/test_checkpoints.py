@@ -1,0 +1,71 @@
+"""Tests for bit-exact checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import CheckpointError
+from repro.io.checkpoints import load_checkpoint, save_checkpoint
+from repro.population.dynamics import EvolutionDriver
+
+
+class TestResume:
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        """Save at generation 60, resume, and land on the exact trajectory."""
+        cfg = SimulationConfig(memory=1, n_ssets=10, generations=150, seed=11)
+        full = EvolutionDriver(cfg)
+        full.run(150)
+
+        partial = EvolutionDriver(cfg)
+        partial.run(60)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(partial, path)
+
+        resumed = load_checkpoint(path)
+        assert resumed.generation == 60
+        resumed.run(90)
+        assert np.array_equal(
+            resumed.population.matrix(), full.population.matrix()
+        )
+
+    def test_mixed_run_resume(self, tmp_path):
+        cfg = SimulationConfig(
+            memory=1, n_ssets=6, generations=80, seed=5, strategy_kind="mixed"
+        )
+        full = EvolutionDriver(cfg)
+        full.run(80)
+        partial = EvolutionDriver(cfg)
+        partial.run(30)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(partial, path)
+        resumed = load_checkpoint(path)
+        resumed.run(50)
+        assert np.array_equal(resumed.population.matrix(), full.population.matrix())
+
+    def test_counters_restored(self, tmp_path, small_config):
+        driver = EvolutionDriver(small_config)
+        driver.run(40)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(driver, path)
+        resumed = load_checkpoint(path)
+        assert resumed.nature.n_pc_events == driver.nature.n_pc_events
+        assert resumed.nature.n_mutations == driver.nature.n_mutations
+
+    def test_config_restored(self, tmp_path, small_config):
+        driver = EvolutionDriver(small_config)
+        driver.run(5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(driver, path)
+        assert load_checkpoint(path).config == small_config
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

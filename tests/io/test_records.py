@@ -1,0 +1,95 @@
+"""Tests for event logs and run metadata."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import CheckpointError
+from repro.game.noise import NoiseModel
+from repro.io.records import (
+    config_from_dict,
+    config_to_dict,
+    read_event_csv,
+    read_run_metadata,
+    write_event_csv,
+    write_run_metadata,
+)
+from repro.population.dynamics import EvolutionDriver
+from repro.population.observers import HistoryObserver
+
+
+class TestConfigRoundtrip:
+    def test_default_roundtrip(self):
+        cfg = SimulationConfig(memory=2, n_ssets=12, generations=5, seed=3)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_nontrivial_roundtrip(self):
+        cfg = SimulationConfig(
+            memory=3,
+            n_ssets=7,
+            generations=9,
+            agents_per_sset=4,
+            rounds=77,
+            pc_rate=0.25,
+            mutation_rate=0.125,
+            mutation_distribution="ushaped",
+            beta=2.5,
+            noise=NoiseModel(0.03),
+            strategy_kind="mixed",
+            pc_rule="fermi",
+            include_self_play=True,
+            use_fitness_cache=False,
+            fitness_mode="expected",
+            seed=99,
+        )
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CheckpointError):
+            config_from_dict({"memory": 1})
+
+
+class TestEventCsv:
+    def test_roundtrip_row_count(self, tmp_path, small_config):
+        history = HistoryObserver()
+        EvolutionDriver(small_config, observers=[history]).run()
+        path = tmp_path / "events.csv"
+        count = write_event_csv(path, history.records)
+        assert count == small_config.generations
+        rows = read_event_csv(path)
+        assert len(rows) == count
+        assert rows[0]["generation"] == "1"
+
+    def test_pc_fields_filled_when_present(self, tmp_path):
+        cfg = SimulationConfig(
+            memory=1, n_ssets=6, generations=20, pc_rate=1.0, mutation_rate=0.0, seed=1
+        )
+        history = HistoryObserver()
+        EvolutionDriver(cfg, observers=[history]).run()
+        path = tmp_path / "events.csv"
+        write_event_csv(path, history.records)
+        rows = read_event_csv(path)
+        assert all(r["pc_teacher"] != "" for r in rows)
+        assert all(r["mutation_sset"] == "" for r in rows)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_event_csv(tmp_path / "nope.csv")
+
+
+class TestMetadata:
+    def test_roundtrip(self, tmp_path, small_config):
+        path = tmp_path / "run.json"
+        write_run_metadata(path, small_config, {"wsls_fraction": 0.85})
+        cfg, summary = read_run_metadata(path)
+        assert cfg == small_config
+        assert summary == {"wsls_fraction": 0.85}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_run_metadata(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            read_run_metadata(path)

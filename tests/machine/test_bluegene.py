@@ -1,0 +1,55 @@
+"""Tests for the complete Blue Gene machine specs."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.bluegene import bluegene_l, bluegene_p
+
+
+class TestPartitioning:
+    def test_bgl_max_ranks(self):
+        # The paper's small studies use 2,048 BG/L processors.
+        bgl = bluegene_l()
+        part = bgl.partition(2048)
+        assert part.n_nodes == 1024  # two cores per node
+
+    def test_bgp_full_machine(self):
+        bgp = bluegene_p()
+        part = bgp.partition(294912)
+        assert part.n_nodes == 73728
+        assert not part.is_power_of_two
+
+    def test_rank_bounds(self):
+        with pytest.raises(MachineModelError):
+            bluegene_l().partition(4096)
+
+    def test_torus_size_matches_partition(self):
+        bgp = bluegene_p()
+        net = bgp.torus(262144)
+        assert net.size == 65536
+
+
+class TestMemoryModel:
+    def test_memory_six_fits_bgl(self):
+        """The paper could run memory-six on BG/L's 512 MB nodes."""
+        bgl = bluegene_l()
+        assert bgl.fits_in_memory(memory_steps=6, n_ssets=1024, ssets_per_rank=8)
+
+    def test_footprint_components_grow_with_memory(self):
+        bgl = bluegene_l()
+        f1 = bgl.memory_footprint(1, 1024, 8)
+        f6 = bgl.memory_footprint(6, 1024, 8)
+        assert f6.states_table > f1.states_table
+        assert f6.strategy_view > f1.strategy_view
+        assert f6.total > f1.total
+
+    def test_bit_packing_shrinks_strategy_view(self):
+        bgl = bluegene_l()
+        packed = bgl.memory_footprint(6, 1024, 8, bit_packed=True)
+        plain = bgl.memory_footprint(6, 1024, 8, bit_packed=False)
+        assert packed.strategy_view * 8 == plain.strategy_view
+
+    def test_huge_population_exceeds_memory(self):
+        bgl = bluegene_l()
+        # A billion SSets' strategy views cannot fit one BG/L rank.
+        assert not bgl.fits_in_memory(memory_steps=6, n_ssets=1 << 30, ssets_per_rank=1)

@@ -1,0 +1,77 @@
+"""Tests for rank-mapping strategies (the paper's future-work study)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.machine.mapping import (
+    compare_mappings,
+    evaluate_mapping,
+    factor_dims,
+    snake_mapping,
+    xyzt_mapping,
+)
+from repro.mpi.topology import CartTopology
+
+
+class TestFactorDims:
+    def test_exact_product(self):
+        for n in (1, 6, 64, 72, 720, 73728):
+            dims = factor_dims(n)
+            assert int(np.prod(dims)) == n
+
+    def test_72_racks_shape(self):
+        # 73,728 nodes balance to (32, 48, 48) — no power-of-two padding.
+        assert factor_dims(73728) == (32, 48, 48)
+
+    def test_balanced(self):
+        dims = factor_dims(4096)
+        assert dims == (16, 16, 16)
+
+    def test_prime_goes_to_one_dim(self):
+        assert factor_dims(13) == (1, 1, 13)
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            factor_dims(0)
+        with pytest.raises(PartitionError):
+            factor_dims(8, n_dims=0)
+
+
+class TestSnakeMapping:
+    @pytest.mark.parametrize("dims", [(4,), (3, 4), (2, 3, 4), (3, 3, 3)])
+    def test_is_permutation(self, dims):
+        topo = CartTopology(dims)
+        perm = snake_mapping(topo)
+        assert sorted(perm.tolist()) == list(range(topo.size))
+
+    @pytest.mark.parametrize("dims", [(4,), (3, 4), (2, 3, 4), (4, 4, 4)])
+    def test_consecutive_ranks_are_neighbours(self, dims):
+        topo = CartTopology(dims)
+        perm = snake_mapping(topo)
+        for r in range(topo.size - 1):
+            assert topo.hop_distance(int(perm[r]), int(perm[r + 1])) == 1
+
+    def test_xyzt_has_wrap_jumps(self):
+        topo = CartTopology((4, 5))
+        metrics = evaluate_mapping(topo, xyzt_mapping(topo), "xyzt")
+        assert metrics.max_consecutive_hops > 1
+
+
+class TestCompare:
+    def test_snake_beats_xyzt_on_consecutive_hops(self):
+        results = {m.name: m for m in compare_mappings(72)}
+        assert results["snake"].mean_consecutive_hops == 1.0
+        assert results["xyzt"].mean_consecutive_hops > 1.0
+
+    def test_nature_distance_similar(self):
+        results = {m.name: m for m in compare_mappings(64)}
+        # Both start at node 0; average distance to everyone is topology-
+        # bound, so the mappings only differ modestly here.
+        ratio = results["snake"].mean_hops_to_nature / results["xyzt"].mean_hops_to_nature
+        assert 0.5 < ratio < 2.0
+
+    def test_evaluate_rejects_non_permutation(self):
+        topo = CartTopology((2, 2))
+        with pytest.raises(PartitionError):
+            evaluate_mapping(topo, np.zeros(4, dtype=int), "bad")

@@ -1,0 +1,31 @@
+"""Tests for node specifications."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.node import BGL_NODE, BGP_NODE, NodeSpec
+
+
+class TestPresets:
+    def test_bgl_memory_is_512mb(self):
+        # §VI-B-1: "the Blue Gene/L has only 512 MB of per-node memory".
+        assert BGL_NODE.memory_bytes == 512 * (1 << 20)
+
+    def test_bgp_spec(self):
+        # §V: quad SMP, 2 GB per node, 850 MHz.
+        assert BGP_NODE.cores == 4
+        assert BGP_NODE.memory_bytes == 2 * (1 << 30)
+        assert BGP_NODE.clock_hz == 850e6
+
+    def test_memory_per_rank(self):
+        assert BGP_NODE.memory_per_rank == BGP_NODE.memory_bytes // 4
+
+
+class TestValidation:
+    def test_rejects_bad_clock(self):
+        with pytest.raises(MachineModelError):
+            NodeSpec("x", clock_hz=0, cores=1, memory_bytes=1)
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(MachineModelError):
+            NodeSpec("x", clock_hz=1e9, cores=1, memory_bytes=1, compute_speed=0)

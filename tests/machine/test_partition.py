@@ -1,0 +1,59 @@
+"""Tests for Blue Gene partition shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.machine.partition import Partition, is_power_of_two, partition_shape
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 512, 65536])
+    def test_true_cases(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, 3, 6, 73728, -4])
+    def test_false_cases(self, n):
+        assert not is_power_of_two(n)
+
+
+class TestShapes:
+    def test_midplane_is_8x8x8(self):
+        part = partition_shape(512)
+        assert part.dims == (8, 8, 8)
+        assert part.mapping_efficiency == 1.0
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 65536])
+    def test_dims_product_matches_nodes(self, n):
+        part = partition_shape(n)
+        assert int(np.prod(part.dims)) == n
+
+    def test_large_partitions_near_cubic(self):
+        part = partition_shape(65536)
+        assert max(part.dims) / min(part.dims) <= 2
+
+    def test_topology_periodic(self):
+        assert partition_shape(64).topology.periodic
+
+    def test_nonpow2_penalised(self):
+        # 73,728 nodes = the paper's 72-rack BG/P.
+        part = partition_shape(73728)
+        assert not part.is_power_of_two
+        assert part.mapping_efficiency == pytest.approx(0.80)
+
+    def test_custom_penalty(self):
+        part = partition_shape(3, mapping_penalty=0.5)
+        assert part.mapping_efficiency == 0.5
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            partition_shape(0)
+        with pytest.raises(PartitionError):
+            partition_shape(4, mapping_penalty=1.0)
+
+
+class TestPartitionObject:
+    def test_fields(self):
+        part = Partition(n_nodes=8, dims=(1, 2, 4), mapping_efficiency=1.0)
+        assert part.topology.size == 8
+        assert part.is_power_of_two

@@ -1,0 +1,60 @@
+"""Tests for the torus network cost model."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.torus import TorusNetwork
+from repro.mpi.topology import CartTopology
+
+
+@pytest.fixture
+def net():
+    return TorusNetwork(
+        topology=CartTopology((4, 4, 4)),
+        link_bandwidth=100e6,
+        hop_latency=1e-7,
+        software_overhead=1e-6,
+    )
+
+
+class TestMessageTime:
+    def test_self_message_free(self, net):
+        assert net.message_time(0, 0, 1000) == 0.0
+
+    def test_alpha_beta_structure(self, net):
+        t_small = net.message_time(0, 1, 0)
+        t_big = net.message_time(0, 1, 10_000_000)
+        assert t_small == pytest.approx(1e-6 + 1e-7)
+        assert t_big == pytest.approx(t_small + 0.1)
+
+    def test_more_hops_cost_more(self, net):
+        near = net.message_time(0, 1, 100)
+        far_rank = net.topology.rank((2, 2, 2))
+        far = net.message_time(0, far_rank, 100)
+        assert far > near
+
+    def test_hops_variant_agrees(self, net):
+        dst = net.topology.rank((0, 0, 2))
+        assert net.message_time(0, dst, 64) == net.message_time_hops(2, 64)
+
+    def test_worst_case_uses_diameter(self, net):
+        assert net.worst_case_message_time(0) == net.message_time_hops(6, 0)
+
+    def test_average_bounded_by_worst(self, net):
+        assert net.average_message_time(0, 128) <= net.worst_case_message_time(128)
+
+    def test_negative_nbytes(self, net):
+        with pytest.raises(MachineModelError):
+            net.message_time(0, 1, -1)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(MachineModelError):
+            TorusNetwork(CartTopology((2,)), link_bandwidth=0, hop_latency=0,
+                         software_overhead=0)
+
+    def test_negative_latency(self):
+        with pytest.raises(MachineModelError):
+            TorusNetwork(CartTopology((2,)), link_bandwidth=1, hop_latency=-1,
+                         software_overhead=0)

@@ -1,0 +1,55 @@
+"""Tests for the collective tree network model."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.collective_tree import CollectiveTreeNetwork
+
+
+@pytest.fixture
+def tree():
+    return CollectiveTreeNetwork(bandwidth=350e6, level_latency=2.5e-6, software_overhead=3e-6)
+
+
+class TestDepth:
+    def test_single_node_zero(self):
+        assert CollectiveTreeNetwork.depth(1) == 0
+
+    @pytest.mark.parametrize("n,d", [(2, 1), (4, 2), (5, 3), (1024, 10), (65536, 16)])
+    def test_depth_log2_ceil(self, n, d):
+        assert CollectiveTreeNetwork.depth(n) == d
+
+    def test_rejects_zero(self):
+        with pytest.raises(MachineModelError):
+            CollectiveTreeNetwork.depth(0)
+
+
+class TestCosts:
+    def test_single_node_free(self, tree):
+        assert tree.bcast_time(1, 1000) == 0.0
+
+    def test_bcast_grows_logarithmically(self, tree):
+        t1k = tree.bcast_time(1024, 0)
+        t64k = tree.bcast_time(65536, 0)
+        assert t64k - t1k == pytest.approx(6 * 2.5e-6)
+
+    def test_payload_term(self, tree):
+        base = tree.bcast_time(64, 0)
+        assert tree.bcast_time(64, 350_000_000) == pytest.approx(base + 1.0)
+
+    def test_reduce_equals_bcast(self, tree):
+        assert tree.reduce_time(128, 64) == tree.bcast_time(128, 64)
+
+    def test_allreduce_is_double(self, tree):
+        assert tree.allreduce_time(128, 64) == pytest.approx(2 * tree.bcast_time(128, 64))
+
+    def test_barrier_zero_payload(self, tree):
+        assert tree.barrier_time(256) == tree.allreduce_time(256, 0)
+
+    def test_negative_bytes_rejected(self, tree):
+        with pytest.raises(MachineModelError):
+            tree.bcast_time(4, -1)
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            CollectiveTreeNetwork(bandwidth=0, level_latency=0, software_overhead=0)

@@ -1,0 +1,66 @@
+"""Tests for communication counters and the algorithm's traffic pattern."""
+
+import numpy as np
+
+from repro.mpi.counters import CommCounters, OpCount
+from repro.mpi.executor import run_spmd
+
+
+class TestOpCount:
+    def test_add(self):
+        op = OpCount()
+        op.add(2, 100)
+        op.add(1, 50)
+        assert (op.calls, op.messages, op.bytes) == (2, 3, 150)
+
+
+class TestCommCounters:
+    def test_record_and_get(self):
+        c = CommCounters()
+        c.record("send", messages=1, nbytes=10)
+        c.record("send", messages=1, nbytes=20)
+        got = c.get("send")
+        assert (got.calls, got.messages, got.bytes) == (2, 2, 30)
+
+    def test_unknown_op_zeros(self):
+        assert CommCounters().get("nothing").calls == 0
+
+    def test_snapshot_is_copy(self):
+        c = CommCounters()
+        c.record("bcast")
+        snap = c.snapshot()
+        snap["bcast"].calls = 99
+        assert c.get("bcast").calls == 1
+
+
+class TestTrafficPatterns:
+    def test_bcast_message_count_is_size_minus_one(self):
+        """A binomial broadcast delivers exactly one message per non-root."""
+        for size in (2, 4, 7, 16):
+            res = run_spmd(size, lambda comm: comm.bcast(b"x" * 8, root=0), timeout=30)
+            sends = res.world.counters.get("send")
+            assert sends.messages == size - 1
+
+    def test_reduce_message_count(self):
+        for size in (2, 5, 8):
+            res = run_spmd(size, lambda comm: comm.reduce(1, root=0), timeout=30)
+            assert res.world.counters.get("send").messages == size - 1
+
+    def test_gather_message_count(self):
+        res = run_spmd(6, lambda comm: comm.gather(comm.rank, root=0), timeout=30)
+        assert res.world.counters.get("send").messages == 5
+
+    def test_p2p_bytes_tracked_for_ndarray(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10, dtype=np.float64), dest=1, tag=1)
+            else:
+                comm.recv(source=0, tag=1, timeout=10)
+
+        res = run_spmd(2, prog, timeout=30)
+        assert res.world.counters.get("send").bytes == 80
+
+    def test_allreduce_messages(self):
+        # reduce (P-1) + bcast (P-1).
+        res = run_spmd(8, lambda comm: comm.allreduce(1), timeout=30)
+        assert res.world.counters.get("send").messages == 14

@@ -1,0 +1,60 @@
+"""Tests for the SPMD executor."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.executor import MAX_THREAD_RANKS, run_spmd
+
+
+class TestBasics:
+    def test_returns_indexed_by_rank(self):
+        res = run_spmd(6, lambda comm: comm.rank * 3, timeout=30)
+        assert res.returns == [0, 3, 6, 9, 12, 15]
+
+    def test_extra_args_passed(self):
+        res = run_spmd(3, lambda comm, a, b: (comm.rank, a, b), args=("x", 7), timeout=30)
+        assert res.returns[2] == (2, "x", 7)
+
+    def test_single_rank(self):
+        res = run_spmd(1, lambda comm: comm.size, timeout=30)
+        assert res.returns == [1]
+
+    def test_world_exposed(self):
+        res = run_spmd(2, lambda comm: None, timeout=30)
+        assert res.world.size == 2
+
+
+class TestErrors:
+    def test_first_failure_reraised(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise KeyError("rank1")
+            if comm.rank == 3:
+                raise ValueError("rank3")
+            comm.recv(source=0, timeout=10)  # never satisfied; must be unblocked
+
+        with pytest.raises((KeyError, ValueError)):
+            run_spmd(4, prog, timeout=30)
+
+    def test_size_bounds(self):
+        with pytest.raises(MPIError):
+            run_spmd(0, lambda comm: None)
+        with pytest.raises(MPIError):
+            run_spmd(MAX_THREAD_RANKS + 1, lambda comm: None)
+
+    def test_timeout_aborts(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, timeout=None)  # blocks forever
+
+        with pytest.raises(MPIError, match="timed out"):
+            run_spmd(2, prog, timeout=0.5)
+
+
+class TestScale:
+    def test_moderate_world(self):
+        def prog(comm):
+            return comm.allreduce(1)
+
+        res = run_spmd(64, prog, timeout=120)
+        assert all(v == 64 for v in res.returns)

@@ -1,0 +1,55 @@
+"""Stress tests: larger virtual worlds and heavier traffic."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.mpi.executor import run_spmd
+from repro.parallel.runner import ParallelSimulation
+from repro.population.dynamics import EvolutionDriver
+
+
+@pytest.mark.slow
+class TestLargeWorlds:
+    def test_collectives_at_256_ranks(self):
+        def prog(comm):
+            total = comm.allreduce(comm.rank)
+            gathered = comm.gather(comm.rank, root=0)
+            if comm.rank == 0:
+                assert gathered == list(range(comm.size))
+            data = comm.bcast(np.arange(64) if comm.rank == 0 else None, root=0)
+            return total + int(data.sum())
+
+        res = run_spmd(256, prog, timeout=300)
+        expected = 256 * 255 // 2 + 2016
+        assert all(v == expected for v in res.returns)
+
+    def test_parallel_simulation_at_32_ranks(self):
+        cfg = SimulationConfig(memory=1, n_ssets=48, generations=120, seed=77, rounds=20)
+        par = ParallelSimulation(cfg, n_ranks=32).run(timeout=300)
+        serial = EvolutionDriver(cfg).run()
+        assert np.array_equal(par.matrix, serial.population.matrix())
+
+
+class TestTrafficVolume:
+    def test_thousand_small_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(1000):
+                    comm.send(i, dest=1, tag=i % 7)
+                return None
+            seen = sorted(comm.recv(timeout=30) for _ in range(1000))
+            return seen == list(range(1000))
+
+        res = run_spmd(2, prog, timeout=120)
+        assert res.returns[1] is True
+
+    def test_large_payload(self):
+        payload = np.random.default_rng(0).random(1 << 18)  # 2 MiB
+
+        def prog(comm):
+            data = comm.bcast(payload if comm.rank == 0 else None, root=0)
+            return float(data.sum())
+
+        res = run_spmd(8, prog, timeout=120)
+        assert len(set(res.returns)) == 1

@@ -1,0 +1,84 @@
+"""Tests for Cartesian/torus rank layouts."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.topology import CartTopology
+
+
+class TestCoordinates:
+    def test_row_major_roundtrip(self):
+        topo = CartTopology((2, 3, 4))
+        for rank in range(topo.size):
+            assert topo.rank(topo.coords(rank)) == rank
+
+    def test_last_dim_fastest(self):
+        topo = CartTopology((2, 3, 4))
+        assert topo.coords(0) == (0, 0, 0)
+        assert topo.coords(1) == (0, 0, 1)
+        assert topo.coords(4) == (0, 1, 0)
+
+    def test_size(self):
+        assert CartTopology((8, 8, 8)).size == 512
+
+    def test_bad_dims(self):
+        with pytest.raises(MPIError):
+            CartTopology(())
+        with pytest.raises(MPIError):
+            CartTopology((0, 2))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(MPIError):
+            CartTopology((2, 2)).coords(4)
+
+    def test_coords_wrong_arity(self):
+        with pytest.raises(MPIError):
+            CartTopology((2, 2)).rank((1,))
+
+
+class TestShift:
+    def test_periodic_wrap(self):
+        topo = CartTopology((4,))
+        assert topo.shift(3, 0, 1) == 0
+        assert topo.shift(0, 0, -1) == 3
+
+    def test_non_periodic_bounds(self):
+        topo = CartTopology((4,), periodic=False)
+        with pytest.raises(MPIError):
+            topo.shift(3, 0, 1)
+
+    def test_bad_dim(self):
+        with pytest.raises(MPIError):
+            CartTopology((4,)).shift(0, 1, 1)
+
+
+class TestHops:
+    def test_neighbours_one_hop(self):
+        topo = CartTopology((4, 4, 4))
+        assert topo.hop_distance(0, topo.rank((0, 0, 1))) == 1
+        assert topo.hop_distance(0, topo.rank((1, 0, 0))) == 1
+
+    def test_torus_shortcut(self):
+        topo = CartTopology((8,))
+        # 0 -> 7 is one hop around the ring, not seven.
+        assert topo.hop_distance(0, 7) == 1
+
+    def test_mesh_no_shortcut(self):
+        topo = CartTopology((8,), periodic=False)
+        assert topo.hop_distance(0, 7) == 7
+
+    def test_diameter(self):
+        assert CartTopology((8, 8, 8)).max_hop_distance() == 12
+        assert CartTopology((8, 8, 8), periodic=False).max_hop_distance() == 21
+
+    def test_symmetry(self):
+        topo = CartTopology((3, 5))
+        for a in range(topo.size):
+            for b in range(topo.size):
+                assert topo.hop_distance(a, b) == topo.hop_distance(b, a)
+
+    def test_average_hops_matches_bruteforce(self):
+        topo = CartTopology((4, 3))
+        for rank in (0, 5, 11):
+            brute = sum(topo.hop_distance(rank, b) for b in range(topo.size)) / topo.size
+            assert topo.average_hops_from(rank) == pytest.approx(brute)

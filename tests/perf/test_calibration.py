@@ -1,0 +1,40 @@
+"""Tests for live cost-model calibration."""
+
+import pytest
+
+from repro.perf.calibration import calibrate, time_engine_round, time_lookup_round
+
+
+class TestTimers:
+    def test_engine_round_positive(self):
+        assert time_engine_round(1, rounds=20, batch=8) > 0
+
+    def test_lookup_round_positive(self):
+        assert time_lookup_round(1, rounds=10, games=2) > 0
+
+    def test_lookup_slower_at_high_memory(self):
+        """The linear search must get measurably slower as states grow."""
+        t_small = time_lookup_round(1, rounds=10, games=2)
+        t_big = time_lookup_round(4, rounds=10, games=2)
+        assert t_big > t_small
+
+
+class TestCalibrate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate(memories=(1, 2), lookup_memories=(1, 3), rounds=50)
+
+    def test_model_constants_positive(self, report):
+        m = report.model
+        assert m.round_base > 0
+        assert m.state_search_per_state > 0
+        assert m.per_generation_overhead > 0
+        assert m.label == "measured-python"
+
+    def test_samples_recorded(self, report):
+        assert set(report.incremental_round) == {1, 2}
+        assert set(report.lookup_round) == {1, 3}
+
+    def test_model_orders_engines_correctly(self, report):
+        m = report.model
+        assert m.seconds_per_round(4, "lookup") > m.seconds_per_round(4, "incremental")

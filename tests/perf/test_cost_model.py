@@ -1,0 +1,110 @@
+"""Tests for the cost model and its paper-fitted presets."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.perf.cost_model import CostModel, paper_bgl, paper_bgl_population, paper_bgp
+
+
+@pytest.fixture
+def model():
+    return CostModel(
+        round_base=1e-8,
+        state_search_per_state=1e-9,
+        state_incremental=2e-9,
+        per_game_overhead=1e-7,
+        per_generation_overhead=1e-3,
+    )
+
+
+class TestFormula:
+    def test_lookup_cost_grows_with_4_to_n(self, model):
+        t1 = model.seconds_per_round(1, "lookup")
+        t2 = model.seconds_per_round(2, "lookup")
+        assert t1 == pytest.approx(1e-8 + 2 * 4 * 1e-9)
+        assert t2 == pytest.approx(1e-8 + 2 * 16 * 1e-9)
+
+    def test_incremental_flat_in_memory(self, model):
+        assert model.seconds_per_round(1, "incremental") == model.seconds_per_round(
+            6, "incremental"
+        )
+
+    def test_game_cost(self, model):
+        assert model.seconds_per_game(1, 200) == pytest.approx(
+            1e-7 + 200 * model.seconds_per_round(1)
+        )
+
+    def test_override_wins(self):
+        m = CostModel(
+            round_base=1e-8,
+            state_search_per_state=1e-9,
+            state_incremental=0,
+            per_game_overhead=0,
+            per_generation_overhead=0,
+            per_memory_round_override={3: 42.0},
+        )
+        assert m.seconds_per_round(3) == 42.0
+        assert m.seconds_per_round(2) != 42.0
+
+    def test_validation(self, model):
+        with pytest.raises(PerfModelError):
+            model.seconds_per_round(0)
+        with pytest.raises(PerfModelError):
+            model.seconds_per_round(2, "nope")
+        with pytest.raises(PerfModelError):
+            model.seconds_per_game(1, 0)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(PerfModelError):
+            CostModel(
+                round_base=-1,
+                state_search_per_state=0,
+                state_incremental=0,
+                per_game_overhead=0,
+                per_generation_overhead=0,
+            )
+
+    def test_override_memory_range(self):
+        with pytest.raises(PerfModelError):
+            CostModel(
+                round_base=0, state_search_per_state=0, state_incremental=0,
+                per_game_overhead=0, per_generation_overhead=0,
+                per_memory_round_override={9: 1.0},
+            )
+
+
+class TestPaperPresets:
+    def test_bgl_monotone_in_memory(self):
+        m = paper_bgl()
+        times = [m.seconds_per_round(mem) for mem in range(1, 7)]
+        assert times == sorted(times)
+
+    def test_bgl_matches_table6_128proc_column(self):
+        """Round-tripping the fit: per-round costs x effective work = col 1.
+
+        Effective games per rank at 128 processors = the rank's share plus
+        the replicated-work equivalent (see the preset's docstring).
+        """
+        m = paper_bgl()
+        total_games = 1024 * 1023
+        eff_games = total_games / 128 + m.replicated_work_fraction * total_games
+        for mem, published in [(1, 26.5), (2, 2207), (6, 8690)]:
+            reconstructed = m.seconds_per_round(mem) * 200 * eff_games * 1000
+            assert reconstructed == pytest.approx(published, rel=1e-9)
+
+    def test_replicated_fraction_set_for_bgl_only(self):
+        assert paper_bgl().replicated_work_fraction > 0
+        assert paper_bgp().replicated_work_fraction == 0
+        assert paper_bgl_population().replicated_work_fraction == 0
+
+    def test_bgp_faster_than_bgl(self):
+        assert paper_bgp().seconds_per_round(6) < paper_bgl().seconds_per_round(6)
+
+    def test_population_preset_memory_one_only_override(self):
+        m = paper_bgl_population()
+        assert 1 in m.per_memory_round_override
+        assert m.label == "paper-bgl-population"
+
+    def test_labels(self):
+        assert paper_bgl().label == "paper-bgl"
+        assert paper_bgp().label == "paper-bgp"

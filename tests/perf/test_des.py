@@ -1,0 +1,79 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.perf.des import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        end = sim.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(n):
+            hits.append(sim.now)
+            if n:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: None))
+        assert sim.run() == 5.0
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending == 1
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        with pytest.raises(PerfModelError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(PerfModelError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(PerfModelError):
+            sim.run(max_events=100)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,67 @@
+"""Tests for the heterogeneous GPU-CPU model (paper future work)."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import bluegene_l
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import paper_bgl
+from repro.perf.heterogeneous import (
+    GPU_2012,
+    AcceleratorSpec,
+    HeterogeneousModel,
+    hybrid_speedup_by_memory,
+)
+from repro.perf.workload import WorkloadSpec
+
+
+class TestModel:
+    def test_compute_is_amdahl(self):
+        host = AnalyticModel(bluegene_l(), paper_bgl())
+        hybrid = HeterogeneousModel(bluegene_l(), paper_bgl(), GPU_2012)
+        w = WorkloadSpec.paper_memory_study(6)
+        t_host = host.compute_seconds(w, 128)
+        t_hybrid = hybrid.compute_seconds(w, 128)
+        assert t_hybrid == pytest.approx(
+            t_host / GPU_2012.kernel_speedup + GPU_2012.offload_overhead
+        )
+
+    def test_non_compute_terms_unchanged(self):
+        host = AnalyticModel(bluegene_l(), paper_bgl())
+        hybrid = HeterogeneousModel(bluegene_l(), paper_bgl(), GPU_2012)
+        w = WorkloadSpec.paper_memory_study(3)
+        gh = host.generation_breakdown(w, 256)
+        gy = hybrid.generation_breakdown(w, 256)
+        assert gy.pc_comm == gh.pc_comm
+        assert gy.sync == gh.sync
+        assert gy.overhead == gh.overhead
+        assert gy.compute < gh.compute
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            AcceleratorSpec("x", kernel_speedup=0, offload_overhead=0)
+        with pytest.raises(PerfModelError):
+            AcceleratorSpec("x", kernel_speedup=2, offload_overhead=-1)
+
+
+class TestSpeedupShape:
+    def test_speedup_grows_with_memory(self):
+        rows = hybrid_speedup_by_memory(bluegene_l(), paper_bgl(), GPU_2012, 128)
+        speedups = [s for _, _, _, s in rows]
+        assert speedups == sorted(speedups)
+
+    def test_kernel_bound_asymptote(self):
+        rows = hybrid_speedup_by_memory(
+            bluegene_l(), paper_bgl(), GPU_2012, 128, memories=(6,)
+        )
+        assert rows[0][3] == pytest.approx(GPU_2012.kernel_speedup, rel=0.05)
+
+    def test_offload_barely_pays_for_tiny_kernels(self):
+        """At 2,048 ranks the memory-one kernel is ~3 ms/generation; the
+        2 ms offload overhead eats most of the accelerator's win."""
+        rows = hybrid_speedup_by_memory(
+            bluegene_l(), paper_bgl(), GPU_2012, 2048, memories=(1, 6)
+        )
+        by_mem = {m: s for m, _, _, s in rows}
+        assert by_mem[1] < 2.0
+        assert by_mem[6] > 15.0

@@ -1,0 +1,85 @@
+"""Property-based tests for the performance model's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.bluegene import bluegene_l, bluegene_p
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import CostModel, paper_bgl
+from repro.perf.workload import WorkloadSpec
+
+ranks = st.sampled_from([2, 4, 16, 64, 128, 256, 512, 1024, 2048])
+memories = st.integers(1, 6)
+
+
+@st.composite
+def workloads(draw):
+    n_ssets = draw(st.sampled_from([8, 64, 512, 1024, 4096]))
+    return WorkloadSpec(
+        n_ssets=n_ssets,
+        games_per_sset=draw(st.integers(1, n_ssets)),
+        memory=draw(memories),
+        rounds=draw(st.sampled_from([1, 50, 200])),
+        generations=draw(st.sampled_from([1, 100, 1000])),
+        pc_rate=draw(st.sampled_from([0.0, 0.01, 0.1, 1.0])),
+        mutation_rate=draw(st.sampled_from([0.0, 0.05, 1.0])),
+    )
+
+
+MODEL = AnalyticModel(bluegene_l(), paper_bgl())
+
+
+class TestAnalyticProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(workloads(), ranks)
+    def test_all_components_nonnegative_and_finite(self, workload, n_ranks):
+        gen = MODEL.generation_breakdown(workload, n_ranks)
+        for part in (gen.compute, gen.pc_comm, gen.mutation_comm, gen.sync, gen.overhead):
+            assert part >= 0
+            assert part < float("inf")
+        assert gen.total > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_compute_monotone_in_ranks(self, workload):
+        times = [
+            MODEL.generation_breakdown(workload, p).compute for p in (2, 16, 256, 2048)
+        ]
+        assert all(b <= a + 1e-15 for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(workloads(), ranks)
+    def test_total_time_scales_linearly_in_generations(self, workload, n_ranks):
+        pred = MODEL.predict(workload, n_ranks)
+        assert pred.total_seconds == pred.generation.total * workload.generations
+
+    @settings(max_examples=40, deadline=None)
+    @given(memories, ranks, st.sampled_from([1, 50, 200]))
+    def test_lookup_never_cheaper_than_incremental(self, memory, n_ranks, rounds):
+        costs = CostModel(
+            round_base=1e-8,
+            state_search_per_state=1e-9,
+            state_incremental=1e-9,
+            per_game_overhead=0,
+            per_generation_overhead=1e-4,
+        )
+        w = WorkloadSpec(n_ssets=64, games_per_sset=63, memory=memory, rounds=rounds)
+        t_lookup = AnalyticModel(bluegene_l(), costs, "lookup").predict(w, n_ranks)
+        t_inc = AnalyticModel(bluegene_l(), costs, "incremental").predict(w, n_ranks)
+        assert t_lookup.total_seconds >= t_inc.total_seconds
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_nonpow2_pays_the_mapping_penalty(self, workload):
+        model = AnalyticModel(bluegene_p(), paper_bgl())
+        odd = model.predict(workload, 12288)  # 3 x 2^12 ranks: non-pow2
+        even = model.predict(workload, 8192)
+        assert odd.mapping_efficiency < 1.0
+        assert even.mapping_efficiency == 1.0
+        # The odd partition's per-generation cost is inflated by exactly
+        # the penalty relative to an unpenalised computation.
+        raw_compute = model.compute_seconds(workload, 12288)
+        assert odd.generation.compute * odd.mapping_efficiency == pytest.approx(
+            raw_compute, rel=1e-12
+        )

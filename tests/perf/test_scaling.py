@@ -1,0 +1,90 @@
+"""Tests for strong/weak scaling series."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import bluegene_l, bluegene_p
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import paper_bgl, paper_bgp
+from repro.perf.scaling import efficiency_series, strong_scaling, weak_scaling
+from repro.perf.workload import WorkloadSpec
+
+
+@pytest.fixture
+def model():
+    return AnalyticModel(bluegene_l(), paper_bgl())
+
+
+class TestStrongScaling:
+    def test_baseline_is_unity(self, model):
+        pts = strong_scaling(model, WorkloadSpec.paper_memory_study(2), [128, 256, 512])
+        assert pts[0].speedup == 1.0
+        assert pts[0].efficiency == 1.0
+
+    def test_efficiency_declines(self, model):
+        pts = strong_scaling(
+            model, WorkloadSpec.paper_memory_study(2), [128, 256, 512, 1024, 2048]
+        )
+        effs = [p.efficiency for p in pts]
+        assert effs == sorted(effs, reverse=True)
+        assert effs[-1] < 1.0
+
+    def test_rank_counts_sorted_and_deduped(self, model):
+        pts = strong_scaling(model, WorkloadSpec.paper_memory_study(1), [512, 128, 512])
+        assert [p.n_ranks for p in pts] == [128, 512]
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(PerfModelError):
+            strong_scaling(model, WorkloadSpec.paper_memory_study(1), [])
+
+    def test_fig7_published_anchors(self):
+        """99% efficiency through 16,384 ranks, ~82% at 262,144 (Fig. 7)."""
+        model = AnalyticModel(bluegene_p(), paper_bgp())
+        pts = strong_scaling(
+            model, WorkloadSpec.paper_strong_scaling_large(), [1024, 16384, 262144]
+        )
+        eff = {p.n_ranks: p.efficiency for p in pts}
+        assert eff[16384] == pytest.approx(0.99, abs=0.015)
+        assert eff[262144] == pytest.approx(0.82, abs=0.02)
+
+    def test_memory_steps_barely_affect_efficiency(self, model):
+        """Fig. 3's headline: memory depth has little effect on scaling."""
+        effs = {}
+        for mem in (2, 6):
+            pts = strong_scaling(model, WorkloadSpec.paper_memory_study(mem), [128, 2048])
+            effs[mem] = pts[-1].efficiency
+        assert abs(effs[2] - effs[6]) < 0.05
+
+    def test_population_size_improves_efficiency(self):
+        """Fig. 5's headline: more SSets -> better parallel efficiency."""
+        from repro.perf.cost_model import paper_bgl_population
+
+        model = AnalyticModel(bluegene_l(), paper_bgl_population())
+        small = strong_scaling(model, WorkloadSpec.paper_population_study(1024), [256, 2048])
+        big = strong_scaling(model, WorkloadSpec.paper_population_study(32768), [256, 2048])
+        assert big[-1].efficiency > small[-1].efficiency
+
+
+class TestWeakScaling:
+    def test_flat_runtime(self):
+        model = AnalyticModel(bluegene_p(), paper_bgp())
+        pts = weak_scaling(
+            model, lambda p: WorkloadSpec.paper_weak_scaling(p), [1024, 16384, 262144]
+        )
+        times = [p.seconds for p in pts]
+        # Fig. 6: "fluctuated by at most 1 second" across the sweep.
+        assert max(times) - min(times) < 0.005 * max(times)
+        assert all(abs(p.efficiency - 1.0) < 0.01 for p in pts)
+
+    def test_empty_rejected(self):
+        model = AnalyticModel(bluegene_p(), paper_bgp())
+        with pytest.raises(PerfModelError):
+            weak_scaling(model, lambda p: WorkloadSpec.paper_weak_scaling(p), [])
+
+
+class TestEfficiencySeries:
+    def test_pairs(self, model):
+        pts = strong_scaling(model, WorkloadSpec.paper_memory_study(1), [128, 256])
+        series = efficiency_series(pts)
+        assert series[0] == (128, 1.0)
+        assert len(series) == 2

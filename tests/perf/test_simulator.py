@@ -1,0 +1,80 @@
+"""Tests for the generation-timeline DES replay."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.machine.bluegene import bluegene_l
+from repro.perf.analytic import AnalyticModel
+from repro.perf.cost_model import paper_bgl
+from repro.perf.simulator import GenerationTimelineSimulator
+from repro.perf.workload import WorkloadSpec
+
+
+@pytest.fixture
+def sim():
+    return GenerationTimelineSimulator(bluegene_l(), paper_bgl())
+
+
+class TestAgreementWithAnalytic:
+    @pytest.mark.parametrize("procs", [64, 256, 1024])
+    def test_within_tolerance_of_closed_form(self, sim, procs):
+        """DES replay and closed form agree within 10% per generation."""
+        w = WorkloadSpec.paper_memory_study(3)
+        des = sim.run(w, procs, generations=20)
+        analytic = AnalyticModel(bluegene_l(), paper_bgl()).predict(w, procs)
+        assert des.seconds_per_generation == pytest.approx(
+            analytic.generation.total, rel=0.10
+        )
+
+    def test_event_counts_fire_at_configured_rates(self, sim):
+        w = WorkloadSpec(
+            n_ssets=64, games_per_sset=4, memory=1, generations=1,
+            pc_rate=1.0, mutation_rate=1.0,
+        )
+        res = sim.run(w, 16, generations=50)
+        assert res.pc_events == 50
+        assert res.mutations == 50
+
+
+class TestJitter:
+    def test_jitter_slows_makespan(self):
+        """Stragglers stretch the generation barrier (max over ranks)."""
+        w = WorkloadSpec.paper_memory_study(2)
+        calm = GenerationTimelineSimulator(bluegene_l(), paper_bgl(), compute_jitter=0.0)
+        noisy = GenerationTimelineSimulator(
+            bluegene_l(), paper_bgl(), compute_jitter=0.2, seed=4
+        )
+        t_calm = calm.run(w, 256, generations=10).makespan_seconds
+        t_noisy = noisy.run(w, 256, generations=10).makespan_seconds
+        assert t_noisy > t_calm
+
+    def test_jitter_reproducible_by_seed(self):
+        w = WorkloadSpec.paper_memory_study(1)
+        a = GenerationTimelineSimulator(bluegene_l(), paper_bgl(), compute_jitter=0.1, seed=7)
+        b = GenerationTimelineSimulator(bluegene_l(), paper_bgl(), compute_jitter=0.1, seed=7)
+        assert a.run(w, 64, 5).makespan_seconds == b.run(w, 64, 5).makespan_seconds
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(PerfModelError):
+            GenerationTimelineSimulator(bluegene_l(), paper_bgl(), compute_jitter=-0.1)
+
+
+class TestValidation:
+    def test_needs_two_ranks(self, sim):
+        with pytest.raises(PerfModelError):
+            sim.run(WorkloadSpec.paper_memory_study(1), 1)
+
+    def test_generations_positive(self, sim):
+        with pytest.raises(PerfModelError):
+            sim.run(WorkloadSpec.paper_memory_study(1), 4, generations=0)
+
+    def test_bad_engine(self):
+        with pytest.raises(PerfModelError):
+            GenerationTimelineSimulator(bluegene_l(), paper_bgl(), engine="warp")
+
+    def test_result_fields(self, sim):
+        res = sim.run(WorkloadSpec.paper_memory_study(1), 32, generations=3)
+        assert res.generations == 3
+        assert res.n_ranks == 32
+        assert res.events > 0
+        assert res.makespan_seconds > 0

@@ -1,0 +1,116 @@
+"""Tests for strategy-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.game.noise import NoiseModel
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy, named_strategy
+from repro.population.exploration import best_response_search, random_restart_search
+
+SPACE = StateSpace(1)
+
+
+def field(*names):
+    return np.vstack([named_strategy(n).table.astype(float) for n in names])
+
+
+class TestBestResponse:
+    def test_against_allc_achieves_full_exploitation(self):
+        """Best response to unconditional cooperators: defect every round.
+
+        Only states CC and DC are ever visited against ALLC, so the search
+        may leave the unvisited states' moves arbitrary — what must hold is
+        defection in both visited states and the full-temptation payoff.
+        """
+        result = best_response_search(field("ALLC", "ALLC", "ALLC"), SPACE, rounds=200)
+        assert result.fitness == 3 * 200 * 4
+        assert result.strategy.table[0b00] == 1  # defect after CC
+        assert result.strategy.table[0b10] == 1  # keep defecting after DC
+
+    def test_against_grim_cooperates(self):
+        """Against Grim triggers, any defection is ruinous — the search
+        must keep the cooperative moves on the visited path."""
+        result = best_response_search(field("GRIM", "GRIM"), SPACE, rounds=200)
+        assert result.fitness == 2 * 200 * 3  # mutual cooperation throughout
+
+    def test_fitness_never_decreases(self):
+        rng = np.random.default_rng(3)
+        opponents = rng.random((5, 4))
+        start = Strategy.random_pure(SPACE, rng)
+        base = best_response_search(opponents, SPACE, start=start, max_sweeps=0)
+        improved = best_response_search(opponents, SPACE, start=start)
+        assert improved.fitness >= base.fitness
+
+    def test_local_optimum_no_single_flip_helps(self):
+        rng = np.random.default_rng(5)
+        opponents = rng.random((4, 4))
+        result = best_response_search(opponents, SPACE)
+        from repro.population.exploration import _field_fitness
+        from repro.game.payoff import PAPER_PAYOFFS
+        from repro.game.noise import NO_NOISE
+
+        table = result.strategy.table.astype(np.uint8).copy()
+        for state in range(4):
+            table[state] ^= 1
+            neighbour = _field_fitness(table, opponents, SPACE, PAPER_PAYOFFS, 200, NO_NOISE)
+            table[state] ^= 1
+            assert neighbour <= result.fitness + 1e-9
+
+    def test_deterministic(self):
+        opponents = field("TFT", "WSLS", "ALLD")
+        a = best_response_search(opponents, SPACE)
+        b = best_response_search(opponents, SPACE)
+        assert a.strategy == b.strategy and a.fitness == b.fitness
+
+    def test_memory_two_search(self):
+        sp2 = StateSpace(2)
+        opponents = np.vstack([named_strategy("ALLC", 2).table.astype(float)])
+        result = best_response_search(opponents, sp2, rounds=100)
+        assert result.fitness == 100 * 4  # full exploitation
+        assert result.strategy.memory == 2
+
+    def test_noise_supported(self):
+        result = best_response_search(
+            field("TFT", "TFT"), SPACE, noise=NoiseModel(0.05), rounds=100
+        )
+        assert np.isfinite(result.fitness)
+
+    def test_counters(self):
+        result = best_response_search(field("ALLC",), SPACE)
+        assert result.evaluations >= 1 + 4  # initial + at least one sweep
+        assert result.flips >= 1
+
+
+class TestValidation:
+    def test_bad_opponents_shape(self):
+        with pytest.raises(ExperimentError):
+            best_response_search(np.zeros((2, 8)), SPACE)
+
+    def test_empty_field(self):
+        with pytest.raises(ExperimentError):
+            best_response_search(np.zeros((0, 4)), SPACE)
+
+    def test_mixed_start_rejected(self):
+        with pytest.raises(ExperimentError):
+            best_response_search(
+                field("ALLC"), SPACE, start=Strategy.mixed(SPACE, [0.5] * 4)
+            )
+
+    def test_wrong_memory_start(self):
+        with pytest.raises(ExperimentError):
+            best_response_search(field("ALLC"), SPACE, start=named_strategy("TFT", 2))
+
+
+class TestRandomRestart:
+    def test_at_least_as_good_as_single(self):
+        rng = np.random.default_rng(9)
+        opponents = rng.random((6, 4))
+        single = best_response_search(opponents, SPACE)
+        multi = random_restart_search(opponents, SPACE, np.random.default_rng(1), restarts=5)
+        assert multi.fitness >= single.fitness - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            random_restart_search(field("ALLC"), SPACE, np.random.default_rng(0), restarts=0)

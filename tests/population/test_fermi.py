@@ -1,0 +1,70 @@
+"""Tests for the Fermi pairwise-comparison probability (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.population.fermi import fermi_probability, fermi_probability_array
+
+
+class TestScalar:
+    def test_equal_payoffs_give_half(self):
+        assert fermi_probability(5.0, 5.0, beta=1.0) == pytest.approx(0.5)
+
+    def test_better_teacher_above_half(self):
+        assert fermi_probability(6.0, 5.0, beta=1.0) > 0.5
+
+    def test_worse_teacher_below_half(self):
+        assert fermi_probability(4.0, 5.0, beta=1.0) < 0.5
+
+    def test_beta_zero_is_coin_flip(self):
+        # "A small beta leads to almost random strategy selection."
+        assert fermi_probability(100.0, 0.0, beta=0.0) == pytest.approx(0.5)
+
+    def test_large_beta_is_deterministic(self):
+        # "As beta approaches infinity, the better strategy will always be adopted."
+        assert fermi_probability(6.0, 5.0, beta=1e6) == pytest.approx(1.0)
+        assert fermi_probability(5.0, 6.0, beta=1e6) == pytest.approx(0.0)
+
+    def test_exact_formula(self):
+        beta, pt, pl = 0.3, 7.0, 4.0
+        expected = 1.0 / (1.0 + np.exp(-beta * (pt - pl)))
+        assert fermi_probability(pt, pl, beta) == pytest.approx(expected)
+
+    def test_numerical_stability_extreme_gap(self):
+        assert fermi_probability(1e9, -1e9, beta=10.0) == 1.0
+        assert fermi_probability(-1e9, 1e9, beta=10.0) == 0.0
+
+    @pytest.mark.parametrize("beta", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(ConfigError):
+            fermi_probability(1.0, 0.0, beta)
+
+    def test_monotone_in_gap(self):
+        gaps = np.linspace(-5, 5, 21)
+        probs = [fermi_probability(g, 0.0, beta=0.7) for g in gaps]
+        assert all(b > a for a, b in zip(probs, probs[1:]))
+
+    def test_symmetry(self):
+        # p(t, l) + p(l, t) == 1.
+        p1 = fermi_probability(3.0, 1.0, beta=0.5)
+        p2 = fermi_probability(1.0, 3.0, beta=0.5)
+        assert p1 + p2 == pytest.approx(1.0)
+
+
+class TestArray:
+    def test_matches_scalar(self):
+        pt = np.array([1.0, 2.0, 3.0])
+        pl = np.array([3.0, 2.0, 1.0])
+        out = fermi_probability_array(pt, pl, beta=0.4)
+        expected = [fermi_probability(t, l, 0.4) for t, l in zip(pt, pl)]
+        assert np.allclose(out, expected)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigError):
+            fermi_probability_array(np.array([1.0]), np.array([0.0]), beta=-2.0)
+
+    def test_broadcasting(self):
+        out = fermi_probability_array(np.array([1.0, 2.0]), 1.5, beta=1.0)
+        assert out.shape == (2,)
+        assert out[0] < 0.5 < out[1]

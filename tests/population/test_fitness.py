@@ -1,0 +1,148 @@
+"""Tests for the three fitness-evaluation modes."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.game.noise import NoiseModel
+from repro.game.strategy import named_strategy
+from repro.game.vector_engine import VectorEngine
+from repro.population.fitness import FitnessEvaluator
+from repro.population.population import Population
+from repro.rng import StreamFactory
+
+
+def make(config):
+    streams = StreamFactory(config.seed)
+    pop = Population.random(config, streams.fresh("init"))
+    return pop, FitnessEvaluator(config, pop, streams), streams
+
+
+class TestDeterministicMode:
+    def test_mode_resolution(self, small_config):
+        _, ev, _ = make(small_config)
+        assert ev.mode == "deterministic"
+
+    def test_matches_direct_round_robin(self, small_config):
+        pop, ev, _ = make(small_config)
+        fitness = ev.all_fitness(generation=1)
+        engine = VectorEngine(small_config.space, rounds=small_config.rounds)
+        matrix = pop.matrix()
+        expected = []
+        for i in range(pop.n_ssets):
+            opponents = [j for j in range(pop.n_ssets) if j != i]
+            ia = np.full(len(opponents), i, dtype=np.intp)
+            ib = np.array(opponents, dtype=np.intp)
+            expected.append(float(engine.play(matrix, ia, ib).fitness_a.sum()))
+        assert np.allclose(fitness, expected)
+
+    def test_repeat_queries_hit_memo(self, small_config):
+        _, ev, _ = make(small_config)
+        ev.fitness([0, 1], generation=1)
+        computed = ev.pairs_computed
+        ev.fitness([0, 1], generation=2)
+        assert ev.pairs_computed == computed
+
+    def test_mutation_invalidates_row(self, small_config):
+        pop, ev, _ = make(small_config)
+        ev.fitness([0], generation=1)
+        computed = ev.pairs_computed
+        pop.set_strategy(1, 1 - pop.table_of(1).copy())
+        ev.fitness([0], generation=2)
+        # The mutated opponent's pair must be recomputed, nothing else.
+        assert ev.pairs_computed == computed + 1
+
+    def test_mutated_opponent_changes_fitness(self):
+        cfg = SimulationConfig(memory=1, n_ssets=3, seed=0)
+        pop = Population.uniform(cfg, named_strategy("ALLC"))
+        ev = FitnessEvaluator(cfg, pop, StreamFactory(0))
+        before = ev.fitness([0], 1)[0]
+        pop.set_strategy(1, named_strategy("ALLD").table.copy())
+        after = ev.fitness([0], 2)[0]
+        assert before == 2 * 200 * 3
+        assert after == 200 * 3 + 0  # one ALLC opponent, one ALLD opponent
+
+    def test_include_self_play_adds_self_game(self):
+        cfg = SimulationConfig(memory=1, n_ssets=4, seed=1, include_self_play=True)
+        cfg_no = cfg.with_updates(include_self_play=False)
+        pop, ev, _ = make(cfg)
+        pop_no, ev_no, _ = make(cfg_no)
+        assert np.array_equal(pop.matrix(), pop_no.matrix())
+        with_self = ev.fitness([0], 1)[0]
+        without = ev_no.fitness([0], 1)[0]
+        assert with_self >= without
+
+    def test_monomorphic_population_fitness(self):
+        cfg = SimulationConfig(memory=1, n_ssets=5, seed=0)
+        pop = Population.uniform(cfg, named_strategy("ALLC"))
+        ev = FitnessEvaluator(cfg, pop, StreamFactory(0))
+        # Every SSet plays 4 opponents of ALLC: 4 * 200 * 3.
+        assert np.allclose(ev.all_fitness(1), 4 * 200 * 3)
+
+    def test_prune_drops_dead_rows(self, small_config):
+        pop, ev, _ = make(small_config)
+        ev.all_fitness(1)
+        pop.set_strategy(0, 1 - pop.table_of(0).copy())
+        ev.prune()
+        live = set(int(s) for s in pop.live_slots())
+        assert set(ev._rows).issubset(live)
+
+
+class TestExpectedMode:
+    def test_equals_deterministic_for_pure(self, small_config):
+        cfg_exp = small_config.with_updates(fitness_mode="expected")
+        _, ev_det, _ = make(small_config)
+        _, ev_exp, _ = make(cfg_exp)
+        assert np.allclose(ev_det.all_fitness(1), ev_exp.all_fitness(1))
+
+    def test_mixed_expected_deterministic(self, mixed_config):
+        cfg = mixed_config.with_updates(fitness_mode="expected")
+        _, ev1, _ = make(cfg)
+        _, ev2, _ = make(cfg)
+        assert np.array_equal(ev1.all_fitness(1), ev2.all_fitness(1))
+
+    def test_noise_accepted(self):
+        cfg = SimulationConfig(
+            memory=1, n_ssets=4, seed=0, noise=NoiseModel(0.05), fitness_mode="expected"
+        )
+        _, ev, _ = make(cfg)
+        assert ev.mode == "expected"
+        assert np.all(np.isfinite(ev.all_fitness(1)))
+
+
+class TestSampledMode:
+    def test_mode_resolution_for_mixed(self, mixed_config):
+        _, ev, _ = make(mixed_config)
+        assert ev.mode == "sampled"
+
+    def test_same_generation_same_sample(self, mixed_config):
+        _, ev, _ = make(mixed_config)
+        a = ev.fitness([0, 1], generation=5)
+        b = ev.fitness([0, 1], generation=5)
+        assert np.array_equal(a, b)
+
+    def test_different_generations_differ(self, mixed_config):
+        _, ev, _ = make(mixed_config)
+        a = ev.fitness([0], generation=1)
+        b = ev.fitness([0], generation=2)
+        assert a[0] != b[0]
+
+    def test_pure_sampled_equals_deterministic(self, small_config):
+        cfg = small_config.with_updates(fitness_mode="sampled")
+        _, ev_s, _ = make(cfg)
+        _, ev_d, _ = make(small_config)
+        assert np.allclose(ev_s.all_fitness(1), ev_d.all_fitness(1))
+
+    def test_needs_streams(self, mixed_config):
+        pop = Population.random(mixed_config, StreamFactory(9).fresh("init"))
+        with pytest.raises(PopulationError):
+            FitnessEvaluator(mixed_config, pop, streams=None)
+
+
+class TestConfigMismatch:
+    def test_population_config_must_match(self, small_config):
+        pop = Population.random(small_config, StreamFactory(0).fresh("init"))
+        other = small_config.with_updates(n_ssets=16)
+        with pytest.raises(PopulationError):
+            FitnessEvaluator(other, pop, StreamFactory(0))

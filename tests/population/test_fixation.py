@@ -1,0 +1,102 @@
+"""Tests for analytic Moran fixation probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.game.strategy import named_strategy
+from repro.population.fixation import (
+    fixation_probability,
+    fixation_probability_from_payoffs,
+    pair_payoff_table,
+)
+from repro.population.moran import fixation_experiment
+
+
+def config(**overrides):
+    defaults = dict(memory=1, n_ssets=6, generations=1, seed=0, rounds=20)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestClosedForm:
+    def test_neutral_is_one_over_n(self):
+        for n in (2, 5, 10, 100):
+            rho = fixation_probability_from_payoffs(3, 3, 3, 3, n, beta=1.0)
+            assert rho == pytest.approx(1 / n)
+
+    def test_beta_zero_is_neutral_regardless_of_payoffs(self):
+        rho = fixation_probability_from_payoffs(10, 0, 99, 1, 8, beta=0.0)
+        assert rho == pytest.approx(1 / 8)
+
+    def test_advantageous_mutant_above_neutral(self):
+        rho = fixation_probability_from_payoffs(4, 4, 1, 1, 10, beta=0.1)
+        assert rho > 1 / 10
+
+    def test_disadvantaged_mutant_below_neutral(self):
+        rho = fixation_probability_from_payoffs(1, 1, 4, 4, 10, beta=0.1)
+        assert rho < 1 / 10
+
+    def test_monotone_in_beta_for_advantageous(self):
+        rhos = [
+            fixation_probability_from_payoffs(4, 4, 1, 1, 10, beta=b)
+            for b in (0.0, 0.05, 0.2, 1.0)
+        ]
+        assert rhos == sorted(rhos)
+
+    def test_extreme_selection_saturates_without_overflow(self):
+        up = fixation_probability_from_payoffs(1e5, 1e5, 0, 0, 50, beta=10.0)
+        down = fixation_probability_from_payoffs(0, 0, 1e5, 1e5, 50, beta=10.0)
+        assert up == pytest.approx(1.0)
+        assert down == pytest.approx(0.0, abs=1e-12)
+
+    def test_complementarity(self):
+        """rho_A(one A among B) and rho_B(one B among A) relate through the
+        product of transition ratios: both must lie in (0, 1) and order by
+        payoff advantage."""
+        rho_a = fixation_probability_from_payoffs(4, 2, 3, 1, 12, beta=0.3)
+        rho_b = fixation_probability_from_payoffs(1, 3, 2, 4, 12, beta=0.3)
+        assert 0 < rho_b < rho_a < 1
+
+    def test_validation(self):
+        with pytest.raises(PopulationError):
+            fixation_probability_from_payoffs(1, 1, 1, 1, 1, beta=0.1)
+        with pytest.raises(PopulationError):
+            fixation_probability_from_payoffs(1, 1, 1, 1, 5, beta=-1.0)
+
+
+class TestPairPayoffs:
+    def test_known_values(self):
+        cfg = config(rounds=200)
+        f_aa, f_ab, f_ba, f_bb = pair_payoff_table(
+            named_strategy("ALLD").table.astype(float),
+            named_strategy("ALLC").table.astype(float),
+            cfg,
+        )
+        assert (f_aa, f_ab, f_ba, f_bb) == (200.0, 800.0, 0.0, 600.0)
+
+
+class TestAgainstSimulation:
+    def test_analytic_matches_simulated_fixation(self):
+        """The closed form and the Moran simulation agree within binomial CI."""
+        cfg = config(beta=0.02, seed=500, rounds=10)
+        mutant = named_strategy("ALLD").table.astype(np.uint8)
+        resident = named_strategy("ALLC").table.astype(np.uint8)
+        analytic = fixation_probability(
+            mutant.astype(float), resident.astype(float), cfg
+        )
+        replicates = 300
+        simulated = fixation_experiment(resident, mutant, cfg, replicates=replicates)
+        sd = np.sqrt(analytic * (1 - analytic) / replicates)
+        assert abs(simulated - analytic) < 4 * sd + 0.01
+
+    def test_neutral_simulation_agrees(self):
+        cfg = config(beta=1.0, seed=900, rounds=10)
+        resident = named_strategy("ALLC").table.astype(np.uint8)
+        mutant = resident.copy()
+        mutant[0b01] = 1  # unreachable vs cooperators: payoff-neutral
+        analytic = fixation_probability(
+            mutant.astype(float), resident.astype(float), cfg
+        )
+        assert analytic == pytest.approx(1 / cfg.n_ssets)

@@ -1,0 +1,98 @@
+"""Tests for the Moran process, including the classic fixation predictions."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import PopulationError
+from repro.game.strategy import named_strategy
+from repro.population.moran import MoranDriver, fixation_experiment
+from repro.population.population import Population
+
+
+def config(**overrides):
+    defaults = dict(memory=1, n_ssets=6, generations=1, seed=0, rounds=20)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestDriver:
+    def test_population_size_constant(self):
+        driver = MoranDriver(config())
+        for _ in range(50):
+            driver.step()
+        assert driver.population.n_ssets == 6
+        driver.population.check_invariants()
+
+    def test_absorption_without_mutation(self):
+        driver = MoranDriver(config(seed=3))
+        steps = driver.run_until_fixation()
+        assert driver.population.n_unique == 1
+        assert steps >= 1
+
+    def test_deterministic_by_seed(self):
+        a = MoranDriver(config(seed=5))
+        b = MoranDriver(config(seed=5))
+        for _ in range(30):
+            sa, sb = a.step(), b.step()
+            assert (sa.parent, sa.replaced) == (sb.parent, sb.replaced)
+        assert np.array_equal(a.population.matrix(), b.population.matrix())
+
+    def test_max_steps_guard(self):
+        driver = MoranDriver(config(seed=1))
+        if driver.population.n_unique > 1:
+            with pytest.raises(PopulationError):
+                driver.run_until_fixation(max_steps=0)
+
+    def test_config_mismatch(self):
+        pop = Population.uniform(config(n_ssets=4), named_strategy("ALLC"))
+        with pytest.raises(PopulationError):
+            MoranDriver(config(n_ssets=6), population=pop)
+
+
+class TestFixationPredictions:
+    def test_neutral_mutant_fixes_at_one_over_n(self):
+        """The canonical Moran identity: rho_neutral = 1/N.
+
+        The mutant differs from the all-cooperate resident only in the CD
+        state, which an all-cooperating population never visits — so its
+        payoffs are identical and selection cannot see it.
+        """
+        cfg = config(beta=1.0, seed=100)
+        resident = named_strategy("ALLC").table.astype(np.uint8)
+        mutant = resident.copy()
+        mutant[0b01] = 1  # unreachable state against cooperators
+        replicates = 600
+        rho = fixation_experiment(resident, mutant, cfg, replicates=replicates)
+        # Binomial(600, 1/6): mean 100, sd ~9.1; accept +-4 sd.
+        assert abs(rho - 1 / 6) < 4 * np.sqrt((1 / 6) * (5 / 6) / replicates)
+
+    def test_strong_selection_favours_defection_against_allc(self):
+        """ALLD invading ALLC under strong selection fixes almost surely."""
+        cfg = config(beta=2.0, seed=7, rounds=10)
+        rho = fixation_experiment(
+            named_strategy("ALLC").table.astype(np.uint8),
+            named_strategy("ALLD").table.astype(np.uint8),
+            cfg,
+            replicates=40,
+        )
+        assert rho > 0.8
+
+    def test_strong_selection_disfavours_allc_invading_alld(self):
+        cfg = config(beta=2.0, seed=11, rounds=10)
+        rho = fixation_experiment(
+            named_strategy("ALLD").table.astype(np.uint8),
+            named_strategy("ALLC").table.astype(np.uint8),
+            cfg,
+            replicates=40,
+        )
+        assert rho < 0.1
+
+    def test_validation(self):
+        with pytest.raises(PopulationError):
+            fixation_experiment(
+                named_strategy("ALLC").table,
+                named_strategy("ALLD").table,
+                config(),
+                replicates=0,
+            )

@@ -1,0 +1,146 @@
+"""Tests for the Nature Agent's decision process."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.population.nature import NatureAgent, PCSelection
+from repro.rng import StreamFactory
+
+
+def agent(**overrides):
+    defaults = dict(memory=1, n_ssets=16, generations=1, seed=5)
+    defaults.update(overrides)
+    cfg = SimulationConfig(**defaults)
+    return NatureAgent(cfg, StreamFactory(cfg.seed)), cfg
+
+
+class TestSelectPC:
+    def test_rate_zero_never_fires(self):
+        nature, _ = agent(pc_rate=0.0)
+        assert all(nature.select_pc() is None for _ in range(200))
+
+    def test_rate_one_always_fires(self):
+        nature, _ = agent(pc_rate=1.0)
+        assert all(nature.select_pc() is not None for _ in range(200))
+
+    def test_teacher_learner_distinct(self):
+        nature, _ = agent(pc_rate=1.0, n_ssets=2)
+        for _ in range(100):
+            sel = nature.select_pc()
+            assert sel.teacher != sel.learner
+
+    def test_rate_statistics(self):
+        nature, _ = agent(pc_rate=0.3)
+        fires = sum(nature.select_pc() is not None for _ in range(4000))
+        assert 0.26 < fires / 4000 < 0.34
+
+    def test_selection_covers_all_ssets(self):
+        nature, cfg = agent(pc_rate=1.0, n_ssets=4)
+        seen = set()
+        for _ in range(400):
+            sel = nature.select_pc()
+            seen.add(sel.teacher)
+            seen.add(sel.learner)
+        assert seen == set(range(4))
+
+    def test_counter(self):
+        nature, _ = agent(pc_rate=1.0)
+        for _ in range(5):
+            nature.select_pc()
+        assert nature.n_pc_events == 5
+
+
+class TestDecideAdoption:
+    def test_paper_rule_blocks_worse_teacher(self):
+        nature, _ = agent(pc_rule="paper", beta=1.0)
+        sel = PCSelection(teacher=0, learner=1)
+        decision = nature.decide_adoption(sel, pi_teacher=1.0, pi_learner=5.0)
+        assert not decision.adopted
+        assert decision.probability == 0.0
+
+    def test_paper_rule_blocks_equal_fitness(self):
+        nature, _ = agent(pc_rule="paper")
+        decision = nature.decide_adoption(PCSelection(0, 1), 3.0, 3.0)
+        assert not decision.adopted
+
+    def test_paper_rule_adopts_much_better_teacher(self):
+        nature, _ = agent(pc_rule="paper", beta=10.0)
+        decision = nature.decide_adoption(PCSelection(0, 1), 100.0, 0.0)
+        assert decision.adopted
+        assert decision.probability == pytest.approx(1.0)
+
+    def test_fermi_rule_can_adopt_worse_teacher(self):
+        nature, _ = agent(pc_rule="fermi", beta=0.0)
+        adoptions = sum(
+            nature.decide_adoption(PCSelection(0, 1), 0.0, 10.0).adopted for _ in range(600)
+        )
+        # beta = 0: coin flip regardless of fitness.
+        assert 240 < adoptions < 360
+
+    def test_decision_carries_payoffs(self):
+        nature, _ = agent()
+        d = nature.decide_adoption(PCSelection(3, 4), 7.0, 2.0)
+        assert (d.teacher, d.learner) == (3, 4)
+        assert (d.pi_teacher, d.pi_learner) == (7.0, 2.0)
+
+    def test_adoption_counter(self):
+        nature, _ = agent(beta=100.0)
+        for _ in range(4):
+            nature.decide_adoption(PCSelection(0, 1), 10.0, 0.0)
+        assert nature.n_adoptions == 4
+
+
+class TestSelectMutation:
+    @staticmethod
+    def draw(rng):
+        return rng.integers(0, 2, size=4).astype(np.uint8)
+
+    def test_rate_zero_never_fires(self):
+        nature, _ = agent(mutation_rate=0.0)
+        assert all(nature.select_mutation(self.draw) is None for _ in range(200))
+
+    def test_rate_one_always_fires(self):
+        nature, _ = agent(mutation_rate=1.0)
+        assert all(nature.select_mutation(self.draw) is not None for _ in range(50))
+
+    def test_table_shape_validated(self):
+        nature, _ = agent(mutation_rate=1.0)
+        with pytest.raises(Exception):
+            nature.select_mutation(lambda rng: np.zeros(3))
+
+    def test_sset_in_range(self):
+        nature, cfg = agent(mutation_rate=1.0)
+        for _ in range(100):
+            mut = nature.select_mutation(self.draw)
+            assert 0 <= mut.sset < cfg.n_ssets
+
+    def test_counter(self):
+        nature, _ = agent(mutation_rate=1.0)
+        for _ in range(3):
+            nature.select_mutation(self.draw)
+        assert nature.n_mutations == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        n1, _ = agent(seed=9, pc_rate=0.5, mutation_rate=0.5)
+        n2, _ = agent(seed=9, pc_rate=0.5, mutation_rate=0.5)
+        for _ in range(100):
+            s1, s2 = n1.select_pc(), n2.select_pc()
+            assert (s1 is None) == (s2 is None)
+            if s1 is not None:
+                assert (s1.teacher, s1.learner) == (s2.teacher, s2.learner)
+                d1 = n1.decide_adoption(s1, 5.0, 3.0)
+                d2 = n2.decide_adoption(s2, 5.0, 3.0)
+                assert d1.adopted == d2.adopted
+            m1 = n1.select_mutation(self_draw)
+            m2 = n2.select_mutation(self_draw)
+            assert (m1 is None) == (m2 is None)
+            if m1 is not None:
+                assert m1.sset == m2.sset
+                assert np.array_equal(m1.table, m2.table)
+
+
+def self_draw(rng):
+    return rng.integers(0, 2, size=4).astype(np.uint8)

@@ -1,0 +1,60 @@
+"""Tests for observers independent of the driver."""
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.game.strategy import named_strategy
+from repro.population.dynamics import EvolutionDriver
+from repro.population.observers import (
+    GenerationRecord,
+    HistoryObserver,
+    TrajectoryObserver,
+)
+from repro.population.population import Population
+
+
+def record(gen, pc=None, mutation=None, n_unique=1, changed=False):
+    return GenerationRecord(
+        generation=gen, pc=pc, mutation=mutation, n_unique=n_unique, changed=changed
+    )
+
+
+class TestHistoryObserver:
+    def test_counts_empty(self):
+        h = HistoryObserver()
+        assert h.n_adoptions == 0
+        assert h.n_mutations == 0
+
+    def test_counts_from_driver(self, small_config):
+        h = HistoryObserver()
+        result = EvolutionDriver(small_config, observers=[h]).run()
+        assert h.n_adoptions == result.n_adoptions
+        assert h.n_mutations == result.n_mutations
+
+
+class TestTrajectoryObserver:
+    def test_sampling_cadence(self, small_config):
+        t = TrajectoryObserver(every=10)
+        EvolutionDriver(small_config, observers=[t]).run()
+        assert t.generations == [10, 20, 30, 40, 50]
+        assert len(t.n_unique) == 5
+        assert len(t.mean_defection) == 5
+
+    def test_mean_defection_of_monomorphic_population(self):
+        cfg = SimulationConfig(
+            memory=1, n_ssets=4, generations=2, pc_rate=0.0, mutation_rate=0.0, seed=0
+        )
+        pop = Population.uniform(cfg, named_strategy("ALLD"))
+        t = TrajectoryObserver(every=1)
+        EvolutionDriver(cfg, population=pop, observers=[t]).run()
+        assert np.allclose(t.mean_defection, 1.0)
+
+    def test_weighting_by_counts(self):
+        cfg = SimulationConfig(
+            memory=1, n_ssets=4, generations=1, pc_rate=0.0, mutation_rate=0.0, seed=0
+        )
+        matrix = np.vstack([named_strategy("ALLD").table] * 3 + [named_strategy("ALLC").table])
+        pop = Population(cfg, matrix)
+        t = TrajectoryObserver(every=1)
+        EvolutionDriver(cfg, population=pop, observers=[t]).run()
+        assert t.mean_defection[0] == 0.75

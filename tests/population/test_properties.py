@@ -1,0 +1,60 @@
+"""Property-based tests on population bookkeeping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.population.population import Population
+from repro.rng import StreamFactory
+
+N_SSETS = 6
+N_STATES = 4
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of adopt/mutate operations."""
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        if draw(st.booleans()):
+            ops.append(
+                ("adopt", draw(st.integers(0, N_SSETS - 1)), draw(st.integers(0, N_SSETS - 1)))
+            )
+        else:
+            table = draw(
+                st.lists(st.integers(0, 1), min_size=N_STATES, max_size=N_STATES)
+            )
+            ops.append(("mutate", draw(st.integers(0, N_SSETS - 1)), table))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations(), st.integers(0, 5))
+def test_bookkeeping_invariants_hold_under_any_op_sequence(ops, seed):
+    cfg = SimulationConfig(memory=1, n_ssets=N_SSETS, generations=1, seed=seed)
+    pop = Population.random(cfg, StreamFactory(seed).fresh("init"))
+    shadow = pop.matrix()  # plain-matrix model of what the store should hold
+    for op in ops:
+        if op[0] == "adopt":
+            _, learner, teacher = op
+            pop.adopt(learner, teacher)
+            shadow[learner] = shadow[teacher]
+        else:
+            _, sset, table = op
+            arr = np.array(table, dtype=np.uint8)
+            pop.set_strategy(sset, arr)
+            shadow[sset] = arr
+        pop.check_invariants()
+        assert np.array_equal(pop.matrix(), shadow)
+        assert pop.n_unique == len(np.unique(shadow, axis=0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 1000))
+def test_random_population_dedup_counts(seed):
+    cfg = SimulationConfig(memory=1, n_ssets=8, generations=1, seed=0)
+    pop = Population.random(cfg, StreamFactory(seed).fresh("init"))
+    matrix = pop.matrix()
+    assert pop.n_unique == len(np.unique(matrix, axis=0))
+    assert int(pop.counts().sum()) == 8

@@ -1,0 +1,70 @@
+"""Tests for lattice geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.spatial.lattice import MOORE, VON_NEUMANN, Lattice
+
+
+class TestConstruction:
+    def test_neighbor_counts(self):
+        assert Lattice(5, 5, "moore").n_neighbors == 8
+        assert Lattice(5, 5, "von_neumann").n_neighbors == 4
+
+    def test_n_cells(self):
+        assert Lattice(4, 7).n_cells == 28
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Lattice(2, 5)
+        with pytest.raises(ConfigError):
+            Lattice(5, 5, "hexagonal")
+
+    def test_offsets_exclude_self(self):
+        assert (0, 0) not in MOORE
+        assert (0, 0) not in VON_NEUMANN
+
+
+class TestNeighborViews:
+    def test_shape(self):
+        lat = Lattice(4, 5)
+        views = lat.neighbor_views(np.arange(20).reshape(4, 5))
+        assert views.shape == (8, 4, 5)
+
+    def test_values_match_manual_lookup(self):
+        lat = Lattice(4, 4, "von_neumann")
+        grid = np.arange(16).reshape(4, 4)
+        views = lat.neighbor_views(grid)
+        for k, (dr, dc) in enumerate(lat.offsets):
+            for r in range(4):
+                for c in range(4):
+                    assert views[k, r, c] == grid[(r + dr) % 4, (c + dc) % 4]
+
+    def test_periodic_wrap(self):
+        lat = Lattice(3, 3, "von_neumann")
+        grid = np.zeros((3, 3), dtype=int)
+        grid[0, 0] = 7
+        views = lat.neighbor_views(grid)
+        # Cell (2, 0) sees (0, 0)'s value through the wrap via offset (1, 0)...
+        up_idx = lat.offsets.index((1, 0))
+        assert views[up_idx, 2, 0] == 7
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            Lattice(3, 3).neighbor_views(np.zeros((4, 4)))
+
+
+class TestSeeds:
+    def test_random_grid_density(self, rng):
+        grid = Lattice(50, 50).random_grid(rng, p_defect=0.3)
+        assert 0.25 < grid.mean() < 0.35
+
+    def test_random_grid_validation(self, rng):
+        with pytest.raises(ConfigError):
+            Lattice(5, 5).random_grid(rng, p_defect=1.5)
+
+    def test_single_defector(self):
+        grid = Lattice(9, 9).single_defector_grid()
+        assert grid.sum() == 1
+        assert grid[4, 4] == 1

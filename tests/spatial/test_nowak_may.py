@@ -1,0 +1,112 @@
+"""Tests for the Nowak-May spatial PD, including the classic regimes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.spatial.lattice import Lattice
+from repro.spatial.nowak_may import NowakMayGame
+
+
+class TestPayoffs:
+    def test_all_cooperators(self):
+        lat = Lattice(5, 5)
+        game = NowakMayGame(lat, b=1.9, grid=np.zeros((5, 5), dtype=np.uint8))
+        # 8 cooperating neighbours + self = 9 each.
+        assert np.all(game.payoffs() == 9.0)
+
+    def test_all_defectors_earn_nothing(self):
+        lat = Lattice(5, 5)
+        game = NowakMayGame(lat, b=1.9, grid=np.ones((5, 5), dtype=np.uint8))
+        assert np.all(game.payoffs() == 0.0)
+
+    def test_lone_defector_scores_8b(self):
+        lat = Lattice(9, 9)
+        game = NowakMayGame(lat, b=1.9, grid=lat.single_defector_grid())
+        assert game.payoffs()[4, 4] == pytest.approx(8 * 1.9)
+
+    def test_no_self_interaction_option(self):
+        lat = Lattice(5, 5)
+        game = NowakMayGame(
+            lat, b=1.9, grid=np.zeros((5, 5), dtype=np.uint8),
+            include_self_interaction=False,
+        )
+        assert np.all(game.payoffs() == 8.0)
+
+
+class TestClassicRegimes:
+    def test_small_b_lone_defector_cannot_spread(self):
+        """b < 9/8: the defector's 8b never beats an interior C's 9."""
+        lat = Lattice(21, 21)
+        game = NowakMayGame(lat, b=1.1, grid=lat.single_defector_grid())
+        game.run(30)
+        assert game.cooperation_fraction() >= 1.0 - 1 / lat.n_cells
+
+    def test_above_nine_eighths_defection_spreads(self):
+        lat = Lattice(21, 21)
+        game = NowakMayGame(lat, b=1.2, grid=lat.single_defector_grid())
+        before = game.cooperation_fraction()
+        game.run(5)
+        assert game.cooperation_fraction() < before
+
+    def test_large_b_defection_sweeps(self):
+        lat = Lattice(31, 31)
+        rng = np.random.default_rng(0)
+        game = NowakMayGame(lat, b=2.5, grid=lat.random_grid(rng, 0.5))
+        game.run(60)
+        assert game.cooperation_fraction() < 0.05
+
+    @pytest.mark.slow
+    def test_chaotic_regime_hits_the_318_asymptote(self):
+        """1.8 < b < 2 from random starts: cooperation settles near
+        12 ln2 - 8 ~ 0.318 regardless of the initial density (NM 1992)."""
+        lat = Lattice(99, 99)
+        rng = np.random.default_rng(1)
+        for p_defect in (0.1, 0.5):
+            game = NowakMayGame(lat, b=1.9, grid=lat.random_grid(rng, p_defect))
+            series = game.run(200)
+            tail = np.mean(series[-20:])
+            assert tail == pytest.approx(12 * np.log(2) - 8, abs=0.05), p_defect
+
+    def test_coexistence_regime_small_grid(self):
+        """The same regime at a cheaper size: persistent coexistence."""
+        lat = Lattice(49, 49)
+        game = NowakMayGame(lat, b=1.9, grid=lat.single_defector_grid())
+        series = game.run(80)
+        assert 0.05 < series[-1] < 0.95
+
+
+class TestDynamics:
+    def test_deterministic(self):
+        lat = Lattice(15, 15)
+        rng = np.random.default_rng(4)
+        grid = lat.random_grid(rng, 0.4)
+        a = NowakMayGame(lat, b=1.9, grid=grid)
+        b_game = NowakMayGame(lat, b=1.9, grid=grid)
+        a.run(20)
+        b_game.run(20)
+        assert np.array_equal(a.grid, b_game.grid)
+
+    def test_initial_grid_not_aliased(self):
+        lat = Lattice(9, 9)
+        grid = lat.single_defector_grid()
+        game = NowakMayGame(lat, b=2.5, grid=grid)
+        game.run(3)
+        assert grid.sum() == 1  # caller's array untouched
+
+    def test_render(self):
+        lat = Lattice(3, 3)
+        game = NowakMayGame(lat, b=1.9, grid=lat.single_defector_grid())
+        text = game.render()
+        assert text.count("#") == 1
+        assert text.count(".") == 8
+
+    def test_validation(self):
+        lat = Lattice(5, 5)
+        with pytest.raises(ConfigError):
+            NowakMayGame(lat, b=1.0, grid=np.zeros((5, 5), dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            NowakMayGame(lat, b=1.9, grid=np.full((5, 5), 2, dtype=np.uint8))
+        game = NowakMayGame(lat, b=1.9, grid=np.zeros((5, 5), dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            game.run(-1)

@@ -1,0 +1,111 @@
+"""Tests for the spatial iterated PD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.game.noise import NoiseModel
+from repro.game.strategy import named_strategy
+from repro.spatial.lattice import Lattice
+from repro.spatial.spatial_ipd import SpatialIPD
+
+
+def roster(*names):
+    return [(n, named_strategy(n)) for n in names]
+
+
+@pytest.fixture
+def lattice():
+    return Lattice(12, 12)
+
+
+class TestConstruction:
+    def test_validation(self, lattice):
+        with pytest.raises(ConfigError):
+            SpatialIPD(lattice, [], np.zeros((12, 12), dtype=int))
+        with pytest.raises(ConfigError):
+            SpatialIPD(lattice, roster("TFT", "TFT"), np.zeros((12, 12), dtype=int))
+        with pytest.raises(ConfigError):
+            SpatialIPD(lattice, roster("TFT"), np.ones((12, 12), dtype=int) * 5)
+        mixed_memory = roster("TFT") + [("WSLS2", named_strategy("WSLS", 2))]
+        with pytest.raises(ConfigError):
+            SpatialIPD(lattice, mixed_memory, np.zeros((12, 12), dtype=int))
+
+
+class TestPairMatrix:
+    def test_matches_known_payoffs(self, lattice):
+        game = SpatialIPD(
+            lattice, roster("ALLC", "ALLD"), np.zeros((12, 12), dtype=int), rounds=200
+        )
+        pair = game.pair_matrix()
+        assert pair[0, 0] == 600  # ALLC vs ALLC
+        assert pair[0, 1] == 0    # ALLC vs ALLD
+        assert pair[1, 0] == 800
+        assert pair[1, 1] == 200
+
+
+class TestDynamics:
+    def test_monomorphic_grid_is_stable(self, lattice):
+        game = SpatialIPD(lattice, roster("WSLS", "ALLD"), np.zeros((12, 12), dtype=int))
+        game.run(5)
+        assert game.shares()["WSLS"] == 1.0
+
+    def test_lone_defector_grabs_its_neighbourhood_in_one_shot_games(self, lattice):
+        """With rounds=1 a lone ALLD out-earns adjacent cooperators (8T > 8R)
+        and converts its Moore neighbourhood — then stalls, because block
+        defectors earn mostly P while the cooperative far field earns R."""
+        grid = np.zeros((12, 12), dtype=int)
+        grid[6, 6] = 1
+        game = SpatialIPD(lattice, roster("ALLC", "ALLD"), grid, rounds=1)
+        game.step()
+        assert game.shares()["ALLD"] == pytest.approx(9 / 144)
+        game.run(3)
+        assert game.shares()["ALLD"] == pytest.approx(9 / 144)  # stalled
+
+    def test_repeated_games_protect_cooperators(self, lattice):
+        """At 200 rounds mutual cooperation's total (600) dwarfs the one-off
+        temptation edge, so an ALLD block cannot recruit at all."""
+        grid = np.zeros((12, 12), dtype=int)
+        grid[5:7, 5:7] = 1
+        game = SpatialIPD(lattice, roster("ALLC", "ALLD"), grid, rounds=200)
+        before = game.shares()["ALLD"]
+        game.run(3)
+        assert game.shares()["ALLD"] == before
+
+    def test_wsls_displaces_alld_under_noise(self, lattice):
+        """The §III-E robustness story, spatially: noisy WSLS domains
+        out-earn defector domains and take over."""
+        rng = np.random.default_rng(2)
+        grid = rng.integers(0, 2, size=(12, 12))
+        game = SpatialIPD(
+            lattice, roster("WSLS", "ALLD"), grid, noise=NoiseModel(0.05)
+        )
+        game.run(25)
+        assert game.shares()["WSLS"] > 0.9
+
+    def test_deterministic(self, lattice):
+        rng = np.random.default_rng(3)
+        grid = rng.integers(0, 3, size=(12, 12))
+        r = roster("WSLS", "ALLD", "TFT")
+        a = SpatialIPD(lattice, r, grid, noise=NoiseModel(0.02))
+        b = SpatialIPD(lattice, r, grid, noise=NoiseModel(0.02))
+        a.run(10)
+        b.run(10)
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_shares_sum_to_one(self, lattice):
+        rng = np.random.default_rng(5)
+        game = SpatialIPD(
+            lattice, roster("TFT", "ALLD", "GRIM"), rng.integers(0, 3, size=(12, 12))
+        )
+        game.run(4)
+        assert sum(game.shares().values()) == pytest.approx(1.0)
+
+    def test_render_uses_initials(self, lattice):
+        game = SpatialIPD(lattice, roster("WSLS", "ALLD"), np.zeros((12, 12), dtype=int))
+        assert set(game.render().replace("\n", "")) == {"w"}
+
+    def test_negative_steps(self, lattice):
+        game = SpatialIPD(lattice, roster("WSLS"), np.zeros((12, 12), dtype=int))
+        with pytest.raises(Exception):
+            game.run(-1)

@@ -1,0 +1,51 @@
+"""Guards on the generated API index and docstring coverage."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import gen_api_index  # noqa: E402
+
+
+class TestApiIndex:
+    def test_docs_api_md_is_fresh(self):
+        """docs/api.md must match a regeneration (run tools/gen_api_index.py)."""
+        path = REPO_ROOT / "docs" / "api.md"
+        assert path.exists(), "run: python tools/gen_api_index.py"
+        assert path.read_text() == gen_api_index.render()
+
+    def test_every_public_item_has_a_docstring(self):
+        """No public export may ship without documentation."""
+        import importlib
+        import inspect
+
+        missing = []
+        for module_name in gen_api_index.iter_public_modules():
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.ismodule(obj):
+                    continue
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{module_name}.{name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_all_submodules_define_all(self):
+        """Every package __init__ curates an __all__ (API is deliberate)."""
+        import importlib
+        import pkgutil
+
+        import repro
+
+        undeclared = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if not info.ispkg:
+                continue
+            module = importlib.import_module(info.name)
+            if not getattr(module, "__all__", None):
+                undeclared.append(info.name)
+        assert not undeclared, f"packages without __all__: {undeclared}"

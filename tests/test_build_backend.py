@@ -1,0 +1,117 @@
+"""Tests for the in-tree PEP 517 build backend.
+
+The backend is what makes ``pip install -e .`` work offline (no ``wheel``
+package); these tests build real artefacts into a temp dir and inspect
+them, so a regression here would break installation itself.
+"""
+
+import os
+import sys
+import tarfile
+import zipfile
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import _build_backend as backend  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def in_repo_root(monkeypatch):
+    """PEP 517 runs the backend with cwd = project root."""
+    monkeypatch.chdir(REPO_ROOT)
+
+
+class TestEditableWheel:
+    @pytest.fixture(scope="class")
+    def wheel(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("editable")
+        name = backend.build_editable(str(out))
+        return out / name
+
+    def test_name_and_tag(self, wheel):
+        assert wheel.name == "repro-1.0.0-py3-none-any.whl"
+        assert wheel.exists()
+
+    def test_pth_points_at_src(self, wheel):
+        with zipfile.ZipFile(wheel) as zf:
+            pth = zf.read("__editable__.repro.pth").decode().strip()
+        assert pth == str(REPO_ROOT / "src")
+
+    def test_dist_info_complete(self, wheel):
+        with zipfile.ZipFile(wheel) as zf:
+            names = set(zf.namelist())
+            meta = zf.read("repro-1.0.0.dist-info/METADATA").decode()
+        for member in ("METADATA", "WHEEL", "RECORD", "entry_points.txt"):
+            assert f"repro-1.0.0.dist-info/{member}" in names
+        assert "Name: repro" in meta
+        assert "Requires-Dist: numpy>=1.24" in meta
+
+    def test_record_lists_all_members(self, wheel):
+        with zipfile.ZipFile(wheel) as zf:
+            names = set(zf.namelist())
+            record = zf.read("repro-1.0.0.dist-info/RECORD").decode().splitlines()
+        recorded = {line.split(",")[0] for line in record if line}
+        assert recorded == names
+
+    def test_entry_point(self, wheel):
+        with zipfile.ZipFile(wheel) as zf:
+            eps = zf.read("repro-1.0.0.dist-info/entry_points.txt").decode()
+        assert "repro-experiment = repro.experiments.cli:main" in eps
+
+
+class TestRegularWheel:
+    def test_contains_package_sources(self, tmp_path):
+        name = backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            names = set(zf.namelist())
+        assert "repro/__init__.py" in names
+        assert "repro/game/engine.py" in names
+        assert not any(n.endswith(".pyc") for n in names)
+
+    def test_wheel_record_hashes_verify(self, tmp_path):
+        import base64
+        import hashlib
+
+        name = backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            record = zf.read("repro-1.0.0.dist-info/RECORD").decode().splitlines()
+            for line in record:
+                path, digest, _size = line.split(",")
+                if not digest:
+                    continue
+                data = zf.read(path)
+                expected = (
+                    "sha256="
+                    + base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+                    .rstrip(b"=")
+                    .decode()
+                )
+                assert digest == expected, path
+
+
+class TestSdist:
+    def test_contains_project_tree(self, tmp_path):
+        name = backend.build_sdist(str(tmp_path))
+        with tarfile.open(tmp_path / name) as tf:
+            names = tf.getnames()
+        assert "repro-1.0.0/pyproject.toml" in names
+        assert "repro-1.0.0/src/repro/__init__.py" in names
+        assert "repro-1.0.0/PKG-INFO" in names
+        assert not any("__pycache__" in n for n in names)
+
+
+class TestHookProtocol:
+    def test_requires_hooks_empty(self):
+        assert backend.get_requires_for_build_wheel() == []
+        assert backend.get_requires_for_build_editable() == []
+        assert backend.get_requires_for_build_sdist() == []
+
+    def test_prepare_metadata(self, tmp_path):
+        info = backend.prepare_metadata_for_build_wheel(str(tmp_path))
+        assert info == "repro-1.0.0.dist-info"
+        assert (tmp_path / info / "METADATA").exists()
+        assert os.path.getsize(tmp_path / info / "METADATA") > 0

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    @pytest.mark.parametrize(
+        "exc,also",
+        [
+            (errors.ConfigError, ValueError),
+            (errors.PayoffError, ValueError),
+            (errors.StrategyError, ValueError),
+            (errors.StateSpaceError, ValueError),
+            (errors.ScheduleError, ValueError),
+            (errors.RankError, ValueError),
+            (errors.CommAbortError, RuntimeError),
+            (errors.TagMismatchError, RuntimeError),
+            (errors.PartitionError, ValueError),
+            (errors.CalibrationError, RuntimeError),
+            (errors.CheckpointError, RuntimeError),
+        ],
+    )
+    def test_dual_inheritance_for_idiomatic_catching(self, exc, also):
+        assert issubclass(exc, also)
+
+    def test_family_groupings(self):
+        assert issubclass(errors.PayoffError, errors.GameError)
+        assert issubclass(errors.StrategyError, errors.GameError)
+        assert issubclass(errors.ScheduleError, errors.PopulationError)
+        assert issubclass(errors.CommAbortError, errors.MPIError)
+        assert issubclass(errors.PartitionError, errors.MachineModelError)
+        assert issubclass(errors.CalibrationError, errors.PerfModelError)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TagMismatchError("x")

@@ -1,0 +1,73 @@
+"""Smoke tests: the example scripts must actually run.
+
+Each example executes as a subprocess (fresh interpreter, like a user
+would) with its cheapest configuration.  The two multi-minute examples
+(wsls_emergence at full scale, memory_study's live measurement sweep) are
+marked slow.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "TFT vs ALLD" in out
+        assert "nearest classics" in out
+
+    def test_tournament_axelrod(self):
+        out = run_example("tournament_axelrod.py")
+        assert "Noiseless round robin" in out
+        assert "WSLS" in out
+
+    def test_zd_extortion(self):
+        out = run_example("zd_extortion.py")
+        assert "Enforced relation" in out
+        assert "Extort-3" in out
+
+    def test_invasion_analysis(self):
+        out = run_example("invasion_analysis.py")
+        assert "resists every listed invader" in out
+        assert "WSLS" in out
+
+    def test_spatial_pd(self):
+        out = run_example("spatial_pd.py")
+        assert "Nowak-May" in out
+        assert "0.318" in out
+
+    def test_wsls_emergence_scaled_down(self):
+        out = run_example(
+            "wsls_emergence.py", "--n-ssets", "10", "--generations", "2000",
+            "--trace-every", "1000",
+        )
+        assert "Fig. 2(b)" in out
+        assert "WSLS fraction" in out
+
+    @pytest.mark.slow
+    def test_memory_study(self):
+        out = run_example("memory_study.py", timeout=420.0)
+        assert "Table VI" in out
+        assert "lookup" in out
+
+    @pytest.mark.slow
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py", timeout=420.0)
+        assert "bit-identical to serial: True" in out
+        assert "Fig. 7" in out

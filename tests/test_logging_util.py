@@ -1,0 +1,42 @@
+"""Tests for logging helpers."""
+
+import logging
+
+from repro.logging_util import enable_console, get_logger, timed
+
+
+class TestGetLogger:
+    def test_root(self):
+        assert get_logger().name == "repro"
+
+    def test_namespacing(self):
+        assert get_logger("perf.des").name == "repro.perf.des"
+
+    def test_already_qualified(self):
+        assert get_logger("repro.mpi").name == "repro.mpi"
+
+
+class TestEnableConsole:
+    def test_idempotent(self):
+        logger = enable_console()
+        n = len(logger.handlers)
+        enable_console()
+        assert len(logger.handlers) == n
+        assert logger.level == logging.INFO
+
+
+class TestTimed:
+    def test_records_duration(self):
+        with timed("block") as record:
+            sum(range(1000))
+        assert record["seconds"] is not None
+        assert record["seconds"] >= 0
+
+    def test_duration_recorded_on_exception(self):
+        record = None
+        try:
+            with timed("boom") as record:
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert record["seconds"] is not None

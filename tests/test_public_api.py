@@ -1,0 +1,72 @@
+"""Tests for the package's public surface and docstring examples."""
+
+import doctest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_names_present(self):
+        # The README's import line must keep working.
+        from repro import (  # noqa: F401
+            EvolutionDriver,
+            PAPER_PAYOFFS,
+            Population,
+            SimulationConfig,
+            Strategy,
+            StrategySpace,
+            VectorEngine,
+            named_strategy,
+            play_ipd,
+        )
+
+
+class TestDoctests:
+    """Docstring examples in key modules must actually run."""
+
+    def test_rng_doctests(self):
+        import repro.rng
+
+        failures, _ = doctest.testmod(repro.rng, verbose=False)
+        assert failures == 0
+
+    def test_states_doctests(self):
+        import repro.game.states
+
+        failures, _ = doctest.testmod(repro.game.states, verbose=False)
+        assert failures == 0
+
+    def test_strategy_doctests(self):
+        import repro.game.strategy
+
+        failures, _ = doctest.testmod(repro.game.strategy, verbose=False)
+        assert failures == 0
+
+    def test_strategy_space_doctests(self):
+        import repro.game.strategy_space
+
+        failures, _ = doctest.testmod(repro.game.strategy_space, verbose=False)
+        assert failures == 0
+
+    def test_driver_doctest(self):
+        import repro.population.dynamics
+
+        failures, _ = doctest.testmod(repro.population.dynamics, verbose=False)
+        assert failures == 0
+
+    def test_runner_doctest(self):
+        import repro.parallel.runner
+
+        failures, _ = doctest.testmod(repro.parallel.runner, verbose=False)
+        assert failures == 0
+
+    def test_package_doctest(self):
+        failures, _ = doctest.testmod(repro, verbose=False)
+        assert failures == 0
