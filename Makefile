@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast bench repro docs clean
+.PHONY: install test test-fast test-chaos bench repro docs clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# Fault-injection runs: crash/hang/drop chaos against the fault-tolerant
+# parallel runner (minutes, not seconds — heartbeat timeouts are real time).
+test-chaos:
+	pytest tests/ -m chaos
 
 bench:
 	pytest benchmarks/ --benchmark-only

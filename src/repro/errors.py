@@ -22,6 +22,10 @@ __all__ = [
     "CommAbortError",
     "TagMismatchError",
     "RankError",
+    "RecvTimeoutError",
+    "RankFailedError",
+    "RankCrashError",
+    "FaultPlanError",
     "MachineModelError",
     "PartitionError",
     "PerfModelError",
@@ -77,6 +81,30 @@ class TagMismatchError(MPIError, RuntimeError):
 
 class RankError(MPIError, ValueError):
     """A rank index is outside the communicator's size."""
+
+
+class RecvTimeoutError(MPIError, TimeoutError):
+    """A ``recv`` gave up waiting for a matching message.
+
+    Carries the source/tag the receiver was matching on, so retry loops and
+    failure detectors can report exactly which channel went quiet.
+    """
+
+
+class RankFailedError(MPIError, RuntimeError):
+    """A peer rank is dead or unresponsive (no message, no acknowledgement)."""
+
+
+class RankCrashError(MPIError, RuntimeError):
+    """An injected fault terminated this rank (raised *inside* the victim).
+
+    Under ``run_spmd(..., on_rank_failure="continue")`` this is the one
+    exception that kills a single rank without aborting the whole world.
+    """
+
+
+class FaultPlanError(MPIError, ValueError):
+    """A fault-injection plan is malformed or inconsistent."""
 
 
 class MachineModelError(ReproError):

@@ -15,18 +15,34 @@ integers).  No pickle — checkpoints are safe to share.
 from __future__ import annotations
 
 import json
+import re
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.config import SimulationConfig
 from repro.errors import CheckpointError
 from repro.io.records import config_from_dict, config_to_dict
 from repro.population.dynamics import EvolutionDriver
 from repro.population.population import Population
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_VERSION",
+    "ParallelCheckpoint",
+    "save_parallel_checkpoint",
+    "load_parallel_checkpoint",
+    "latest_parallel_checkpoint",
+    "PARALLEL_CHECKPOINT_VERSION",
+]
 
 CHECKPOINT_VERSION = 1
+
+PARALLEL_CHECKPOINT_VERSION = 1
+
+_PARALLEL_CKPT_RE = re.compile(r"^ckpt_(\d{8})\.npz$")
 
 
 def _stream_states(driver: EvolutionDriver) -> dict:
@@ -123,3 +139,124 @@ def load_checkpoint(path: str | Path) -> EvolutionDriver:
     driver.nature.n_adoptions = int(nature.get("n_adoptions", 0))
     driver.nature.n_mutations = int(nature.get("n_mutations", 0))
     return driver
+
+
+# -- parallel (fault-tolerant) checkpoints --------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParallelCheckpoint:
+    """Resumable state of a :class:`~repro.parallel.runner.ParallelSimulation`.
+
+    Because every rank's population replica is identical and all worker
+    randomness is keyed by ``(generation, sset)``, the only cursor state a
+    parallel run carries is the Nature Agent's: its sequential
+    ``("nature",)`` PCG64 stream position and its event counters.  A resumed
+    run therefore continues the exact trajectory from ``generation + 1`` at
+    *any* rank count.
+    """
+
+    config: SimulationConfig
+    generation: int
+    matrix: np.ndarray
+    nature_rng_state: dict
+    n_pc_events: int
+    n_adoptions: int
+    n_mutations: int
+    failed_ranks: tuple[int, ...] = ()
+
+
+def _rng_state_to_json(state: dict) -> dict:
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": str(state["state"]["state"]),
+        "inc": str(state["state"]["inc"]),
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+
+
+def _rng_state_from_json(data: dict) -> dict:
+    return {
+        "bit_generator": data["bit_generator"],
+        "state": {"state": int(data["state"]), "inc": int(data["inc"])},
+        "has_uint32": int(data["has_uint32"]),
+        "uinteger": int(data["uinteger"]),
+    }
+
+
+def save_parallel_checkpoint(state: ParallelCheckpoint, path: str | Path) -> Path:
+    """Write a parallel run's resumable state to ``path`` (.npz); returns it.
+
+    When ``path`` is a directory, the file is named ``ckpt_<generation>.npz``
+    inside it, which is the layout :func:`latest_parallel_checkpoint` scans.
+    """
+    path = Path(path)
+    if path.is_dir() or path.suffix != ".npz":
+        path.mkdir(parents=True, exist_ok=True)
+        path = path / f"ckpt_{state.generation:08d}.npz"
+    meta = {
+        "version": PARALLEL_CHECKPOINT_VERSION,
+        "kind": "parallel",
+        "config": config_to_dict(state.config),
+        "generation": int(state.generation),
+        "nature_rng": _rng_state_to_json(state.nature_rng_state),
+        "nature": {
+            "n_pc_events": int(state.n_pc_events),
+            "n_adoptions": int(state.n_adoptions),
+            "n_mutations": int(state.n_mutations),
+        },
+        "failed_ranks": [int(r) for r in state.failed_ranks],
+    }
+    np.savez_compressed(
+        path,
+        matrix=state.matrix,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_parallel_checkpoint(path: str | Path) -> ParallelCheckpoint:
+    """Read back a :func:`save_parallel_checkpoint` file."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path) as data:
+            matrix = data["matrix"]
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if meta.get("kind") != "parallel":
+        raise CheckpointError(f"{path} is not a parallel checkpoint (kind={meta.get('kind')!r})")
+    if meta.get("version") != PARALLEL_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"parallel checkpoint version {meta.get('version')} unsupported"
+            f" (expected {PARALLEL_CHECKPOINT_VERSION})"
+        )
+    nature = meta.get("nature", {})
+    return ParallelCheckpoint(
+        config=config_from_dict(meta["config"]),
+        generation=int(meta["generation"]),
+        matrix=matrix,
+        nature_rng_state=_rng_state_from_json(meta["nature_rng"]),
+        n_pc_events=int(nature.get("n_pc_events", 0)),
+        n_adoptions=int(nature.get("n_adoptions", 0)),
+        n_mutations=int(nature.get("n_mutations", 0)),
+        failed_ranks=tuple(int(r) for r in meta.get("failed_ranks", ())),
+    )
+
+
+def latest_parallel_checkpoint(directory: str | Path) -> Path | None:
+    """The highest-generation ``ckpt_*.npz`` in ``directory`` (None if none)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for entry in directory.iterdir():
+        match = _PARALLEL_CKPT_RE.match(entry.name)
+        if match is not None:
+            gen = int(match.group(1))
+            if best is None or gen > best[0]:
+                best = (gen, entry)
+    return None if best is None else best[1]

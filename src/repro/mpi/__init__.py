@@ -10,11 +10,20 @@ traffic:
 * :mod:`repro.mpi.topology` — Cartesian/torus rank layouts.
 * :mod:`repro.mpi.counters` — per-operation message/byte tallies.
 * :mod:`repro.mpi.status` — matching wildcards and delivery metadata.
+* :mod:`repro.mpi.faults` — seeded fault injection (drops, delays,
+  duplicates, corruptions, rank crashes and hangs) for chaos testing.
 """
 
 from repro.mpi.comm import Comm, World, payload_nbytes
 from repro.mpi.counters import CommCounters, OpCount
 from repro.mpi.executor import SPMDResult, run_spmd
+from repro.mpi.faults import (
+    CorruptedPayload,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+)
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
 from repro.mpi.topology import CartTopology
 
@@ -31,4 +40,9 @@ __all__ = [
     "MAX_USER_TAG",
     "Status",
     "CartTopology",
+    "CorruptedPayload",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
 ]

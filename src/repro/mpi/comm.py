@@ -21,15 +21,25 @@ For the paper's 262,144-rank scales use the performance model
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import CommAbortError, MPIError, RankError
+from repro.errors import (
+    CommAbortError,
+    MPIError,
+    RankCrashError,
+    RankError,
+    RankFailedError,
+    RecvTimeoutError,
+)
 from repro.mpi.counters import CommCounters
+from repro.mpi.faults import CorruptedPayload, FaultInjector
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
 
 __all__ = ["World", "Comm", "payload_nbytes"]
@@ -41,6 +51,8 @@ _TAG_SCATTER = 3 << 28
 _TAG_REDUCE = 4 << 28
 _TAG_BARRIER = 5 << 28
 _TAG_ALLGATHER = 6 << 28
+_TAG_RDATA = 8 << 28
+_TAG_RACK = 9 << 28
 _SEQ_MASK = (1 << 28) - 1
 
 
@@ -80,19 +92,28 @@ class _Mailbox:
         return None
 
     def take(
-        self, source: int, tag: int, abort: threading.Event, timeout: float | None
+        self, source: int, tag: int, world: "World", timeout: float | None
     ) -> tuple[int, int, Any, int]:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self.lock:
             while True:
-                if abort.is_set():
+                if world.abort_event.is_set():
                     raise CommAbortError("communicator aborted while waiting for a message")
                 idx = self._match_index(source, tag)
                 if idx is not None:
                     return self.messages.pop(idx)
+                if source != ANY_SOURCE and world.is_failed(source):
+                    raise RankFailedError(
+                        f"rank {source} failed while a recv was waiting on tag={tag}"
+                    )
+                if world.stop_event.is_set():
+                    raise CommAbortError("world shut down while waiting for a message")
                 if deadline is not None and time.monotonic() >= deadline:
-                    raise MPIError(f"recv timed out waiting for source={source} tag={tag}")
-                # Wake periodically to observe aborts even with no traffic.
+                    raise RecvTimeoutError(
+                        f"recv timed out after {timeout} s waiting for"
+                        f" source={source} tag={tag}"
+                    )
+                # Wake periodically to observe aborts/failures even with no traffic.
                 self.ready.wait(timeout=0.05)
 
     def probe(self, source: int, tag: int) -> Status | None:
@@ -103,15 +124,36 @@ class _Mailbox:
             src, tg, _payload, nbytes = self.messages[idx]
             return Status(source=src, tag=tg, nbytes=nbytes)
 
+    def take_matching(
+        self, predicate: Callable[[int, int, Any], bool]
+    ) -> list[tuple[int, int, Any, int]]:
+        """Remove and return every pending message matching ``predicate``.
+
+        Non-blocking; used by the reliable layer to service resent frames
+        out of band while a rank is itself blocked in ``send_reliable``.
+        """
+        with self.lock:
+            taken: list[tuple[int, int, Any, int]] = []
+            kept: list[tuple[int, int, Any, int]] = []
+            for msg in self.messages:
+                (taken if predicate(msg[0], msg[1], msg[2]) else kept).append(msg)
+            self.messages[:] = kept
+            return taken
+
 
 class World:
     """Shared state of one virtual MPI job: mailboxes, counters, abort flag.
 
     Create one :class:`World` per SPMD program (the executor does this) and
     hand each rank its :class:`Comm` via :meth:`comm`.
+
+    An optional :class:`~repro.mpi.faults.FaultInjector` makes the network
+    unreliable: it decides, per point-to-point transmission, whether the
+    message is dropped, delayed, duplicated, or corrupted, and which ranks
+    crash or hang at generation boundaries (see :meth:`Comm.fault_point`).
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, injector: FaultInjector | None = None) -> None:
         if size < 1:
             raise MPIError(f"world size must be >= 1, got {size}")
         self.size = size
@@ -119,6 +161,11 @@ class World:
         self.counters = CommCounters()
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None
+        self.injector = injector
+        self.stop_event = threading.Event()
+        self.failed_ranks: set[int] = set()
+        self.failure_reasons: dict[int, str] = {}
+        self._failed_lock = threading.Lock()
         self._comms: dict[int, "Comm"] = {}
         self._comms_lock = threading.Lock()
 
@@ -138,17 +185,43 @@ class World:
         """Poison the world: every blocked or future operation raises."""
         self.abort_reason = reason
         self.abort_event.set()
+        self._wake_all()
+
+    def shutdown(self) -> None:
+        """Gracefully end the job: wake hung/blocked ranks without poisoning.
+
+        Unlike :meth:`abort` this is not an error — it releases ranks that
+        are permanently silent (injected hangs, falsely-suspected stragglers)
+        so the executor can join every thread after a degraded run completes.
+        """
+        self.stop_event.set()
+        self._wake_all()
+
+    def mark_failed(self, rank: int, reason: str = "") -> None:
+        """Record ``rank`` as dead; receivers waiting on it fail fast."""
+        with self._failed_lock:
+            self.failed_ranks.add(rank)
+            self.failure_reasons.setdefault(rank, reason)
+        self._wake_all()
+
+    def is_failed(self, rank: int) -> bool:
+        """Whether ``rank`` has been marked dead."""
+        return rank in self.failed_ranks
+
+    def _wake_all(self) -> None:
         for box in self.mailboxes:
             with box.lock:
                 box.ready.notify_all()
 
 
-
 class _Request:
     """Handle for a non-blocking operation."""
 
-    def __init__(self, wait_fn: Callable[[], Any]) -> None:
+    def __init__(
+        self, wait_fn: Callable[[], Any], test_fn: Callable[[], bool] | None = None
+    ) -> None:
         self._wait_fn = wait_fn
+        self._test_fn = test_fn
         self._done = False
         self._value: Any = None
 
@@ -160,8 +233,33 @@ class _Request:
         return self._value
 
     def test(self) -> bool:
-        """True when already completed (does not block for sends)."""
-        return self._done
+        """True when the operation has completed; never blocks.
+
+        For sends, completion means the message reached the destination
+        mailbox (delay faults keep the request pending until delivery).  For
+        receives, a matching pending message is consumed and the request
+        completes.
+        """
+        if self._done:
+            return True
+        if self._test_fn is not None and self._test_fn():
+            self.wait()
+            return True
+        return False
+
+
+def _blob_checksum(blob: bytes) -> bytes:
+    return hashlib.blake2b(blob, digest_size=8).digest()
+
+
+@dataclass(frozen=True)
+class _ReliablePacket:
+    """On-wire frame of the reliable layer: sequenced, checksummed payload."""
+
+    seq: int
+    tag: int
+    blob: bytes
+    checksum: bytes
 
 
 class Comm:
@@ -171,6 +269,13 @@ class Comm:
     objects (ndarrays pass by reference — the virtual network is
     zero-copy, so senders must not mutate buffers after sending, exactly
     like MPI's no-touch rule for non-blocking sends).
+
+    Two delivery grades are offered.  Plain :meth:`send`/:meth:`recv` trust
+    the network (fine without fault injection — the virtual network is
+    perfectly reliable by default).  :meth:`send_reliable`/
+    :meth:`recv_reliable` add sequence numbers, checksums, acknowledgements
+    with retry + exponential backoff, and receiver-side deduplication, so
+    they survive injected drops, duplicates and corruptions.
     """
 
     def __init__(self, world: World, rank: int) -> None:
@@ -178,6 +283,8 @@ class Comm:
         self.rank = rank
         self.size = world.size
         self._collective_seq: dict[int, int] = {}
+        self._reliable_seq: dict[int, int] = {}
+        self._reliable_seen: dict[int, set[int]] = {}
 
     # -- point-to-point -----------------------------------------------------------
 
@@ -190,11 +297,47 @@ class Comm:
         if self.world.abort_event.is_set():
             raise CommAbortError(self.world.abort_reason or "communicator aborted")
 
-    def _send_raw(self, payload: Any, dest: int, tag: int) -> None:
+    def _send_raw(self, payload: Any, dest: int, tag: int) -> threading.Event:
+        """Hand ``payload`` to the network; returns an Event set at delivery.
+
+        Without a fault injector delivery is immediate.  With one, the
+        message may be dropped (the event is still set — the buffer was
+        consumed, the *network* lost it), delayed (a timer delivers late and
+        sets the event then), duplicated, or corrupted.
+        """
         self._check_abort()
         nbytes = payload_nbytes(payload)
-        self.world.counters.record("send", messages=1, nbytes=nbytes)
+        counters = self.world.counters
+        counters.record("send", messages=1, nbytes=nbytes)
+        delivered = threading.Event()
+        injector = self.world.injector
+        if injector is None:
+            self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes)
+            delivered.set()
+            return delivered
+        deliveries, fired = injector.plan_send(self.rank, dest, tag)
+        for record in fired:
+            counters.record(f"fault_{record.kind}", messages=0, nbytes=nbytes)
+        if not deliveries:
+            delivered.set()
+            return delivered
+        for action in deliveries:
+            load = CorruptedPayload(nbytes) if action.corrupt else payload
+            if action.delay > 0.0:
+                timer = threading.Timer(
+                    action.delay, self._deliver, args=(dest, tag, load, nbytes, delivered)
+                )
+                timer.daemon = True
+                timer.start()
+            else:
+                self._deliver(dest, tag, load, nbytes, delivered)
+        return delivered
+
+    def _deliver(
+        self, dest: int, tag: int, payload: Any, nbytes: int, delivered: threading.Event
+    ) -> None:
         self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes)
+        delivered.set()
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Send ``payload`` to ``dest``; completes immediately (buffered send)."""
@@ -204,11 +347,22 @@ class Comm:
         self._send_raw(payload, dest, tag)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> _Request:
-        """Non-blocking send (delivery is immediate in the virtual network)."""
-        self.send(payload, dest, tag)
-        req = _Request(lambda: None)
-        req.wait()
-        return req
+        """Non-blocking send; the request completes when the message is delivered.
+
+        The buffer is handed to the network immediately (so ordering matches
+        :meth:`send` even if the caller never waits); ``test()``/``wait()``
+        track actual delivery, which delay faults can push into the future.
+        """
+        self._check_rank(dest, "destination")
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
+        delivered = self._send_raw(payload, dest, tag)
+
+        def _wait() -> None:
+            delivered.wait()
+            return None
+
+        return _Request(_wait, test_fn=delivered.is_set)
 
     def recv(
         self,
@@ -220,21 +374,30 @@ class Comm:
         """Receive one matching message (blocking).
 
         With ``return_status=True`` returns ``(payload, Status)``.
-        ``timeout`` (seconds) turns a hang into an :class:`MPIError` —
-        useful in tests; production code leaves it None.
+        ``timeout`` (seconds) turns a hang into a
+        :class:`~repro.errors.RecvTimeoutError`; a recv from a rank known to
+        have failed raises :class:`~repro.errors.RankFailedError` once no
+        buffered message can satisfy it.
         """
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         src, tg, payload, nbytes = self.world.mailboxes[self.rank].take(
-            source, tag, self.world.abort_event, timeout
+            source, tag, self.world, timeout
         )
         if return_status:
             return payload, Status(source=src, tag=tg, nbytes=nbytes)
         return payload
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _Request:
-        """Non-blocking receive; ``wait()`` returns the payload."""
-        return _Request(lambda: self.recv(source=source, tag=tag))
+        """Non-blocking receive; ``wait()`` returns the payload.
+
+        ``test()`` probes without blocking and completes the receive when a
+        matching message is already pending.
+        """
+        return _Request(
+            lambda: self.recv(source=source, tag=tag),
+            test_fn=lambda: self.probe(source, tag) is not None,
+        )
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
         """Non-blocking probe: Status of a matching pending message, or None."""
@@ -245,6 +408,162 @@ class Comm:
         """Poison every rank of the communicator."""
         self.world.abort(f"rank {self.rank}: {reason}")
         raise CommAbortError(self.world.abort_reason or reason)
+
+    # -- fault injection -----------------------------------------------------------
+
+    def fault_point(self, generation: int) -> None:
+        """Give the fault injector a chance to kill this rank; no-op without one.
+
+        Rank programs call this once per generation.  An injected ``crash``
+        raises :class:`~repro.errors.RankCrashError` immediately; ``hang``
+        blocks silently until the world is shut down or aborted, then exits
+        the rank quietly.
+        """
+        injector = self.world.injector
+        if injector is None:
+            return
+        kind = injector.rank_fault(self.rank, generation)
+        if kind is None:
+            return
+        self.world.counters.record(f"fault_{kind}", messages=0, nbytes=0)
+        if kind == "crash":
+            raise RankCrashError(
+                f"rank {self.rank}: injected crash at generation {generation}"
+            )
+        # Hang: permanent silence until the job ends one way or the other.
+        while not (self.world.stop_event.is_set() or self.world.abort_event.is_set()):
+            self.world.stop_event.wait(timeout=0.05)
+        if self.world.abort_event.is_set():
+            raise CommAbortError(self.world.abort_reason or "world aborted")
+        raise RankCrashError(
+            f"rank {self.rank}: injected hang at generation {generation}"
+            " (released at shutdown)"
+        )
+
+    # -- reliable messaging --------------------------------------------------------
+
+    def _service_reliable_duplicates(self) -> None:
+        """Re-acknowledge resent frames whose payload was already delivered.
+
+        A peer whose earlier acknowledgement was dropped keeps resending
+        while this rank is itself blocked in :meth:`send_reliable`; without
+        out-of-band re-acks the pair deadlocks (the two-generals tail).
+        Only frames with already-seen sequence numbers are consumed — their
+        payload reached the application, so a re-ack is all they need.
+        """
+
+        def _is_dup(source: int, tag: int, payload: Any) -> bool:
+            return (
+                tag & ~_SEQ_MASK == _TAG_RDATA
+                and isinstance(payload, _ReliablePacket)
+                and payload.seq in self._reliable_seen.get(source, ())
+            )
+
+        for source, _tag, packet, _nbytes in self.world.mailboxes[self.rank].take_matching(
+            _is_dup
+        ):
+            self.world.counters.record("reliable_dedup", messages=0, nbytes=0)
+            self._send_raw(True, source, _TAG_RACK | (packet.seq & _SEQ_MASK))
+
+    def send_reliable(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int = 0,
+        *,
+        ack_timeout: float = 0.25,
+        max_retries: int = 8,
+        backoff: float = 2.0,
+    ) -> int:
+        """Acknowledged send: survives injected drops, duplicates, corruptions.
+
+        The payload travels as a sequenced, checksummed frame; the receiver's
+        :meth:`recv_reliable` acknowledges it.  Missing acknowledgements
+        trigger resends with exponential backoff (``ack_timeout``,
+        ``ack_timeout * backoff``, ...).  Returns the number of
+        transmissions used.
+
+        Raises
+        ------
+        RankFailedError
+            When ``dest`` is known dead, or no acknowledgement arrives
+            within ``max_retries + 1`` transmissions.
+        """
+        self._check_rank(dest, "destination")
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
+        seq = self._reliable_seq.get(dest, 0)
+        self._reliable_seq[dest] = seq + 1
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        packet = _ReliablePacket(seq=seq, tag=tag, blob=blob, checksum=_blob_checksum(blob))
+        ack_tag = _TAG_RACK | (seq & _SEQ_MASK)
+        wait = ack_timeout
+        for attempt in range(max_retries + 1):
+            self._send_raw(packet, dest, _TAG_RDATA | tag)
+            if attempt:
+                self.world.counters.record("reliable_retry", messages=0, nbytes=len(blob))
+            deadline = time.monotonic() + wait
+            acked = False
+            while not acked:
+                self._service_reliable_duplicates()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                try:
+                    self.recv(source=dest, tag=ack_tag, timeout=min(0.05, remaining))
+                    acked = True
+                except RecvTimeoutError:
+                    continue
+            if acked:
+                self.world.counters.record("reliable_send", messages=0, nbytes=len(blob))
+                return attempt + 1
+            wait *= backoff
+        raise RankFailedError(
+            f"rank {self.rank}: no acknowledgement from rank {dest} for tag={tag}"
+            f" seq={seq} after {max_retries + 1} transmissions"
+        )
+
+    def recv_reliable(
+        self, source: int = ANY_SOURCE, tag: int = 0, timeout: float | None = None
+    ) -> Any:
+        """Receive one :meth:`send_reliable` message: ack, dedup, verify.
+
+        Corrupted frames are discarded without acknowledgement (the sender
+        resends); duplicated/resent frames are acknowledged again but
+        delivered to the caller only once.  ``timeout`` bounds the *total*
+        wait across discarded frames.
+        """
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._service_reliable_duplicates()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0.0:
+                raise RecvTimeoutError(
+                    f"recv_reliable timed out after {timeout} s waiting for"
+                    f" source={source} tag={tag}"
+                )
+            slice_ = 0.05 if remaining is None else min(0.05, remaining)
+            try:
+                packet, status = self.recv(
+                    source=source, tag=_TAG_RDATA | tag, timeout=slice_, return_status=True
+                )
+            except RecvTimeoutError:
+                continue
+            if (
+                not isinstance(packet, _ReliablePacket)
+                or _blob_checksum(packet.blob) != packet.checksum
+            ):
+                self.world.counters.record("reliable_corrupt", messages=0, nbytes=status.nbytes)
+                continue  # treat as lost; the sender will resend
+            self._send_raw(True, status.source, _TAG_RACK | (packet.seq & _SEQ_MASK))
+            seen = self._reliable_seen.setdefault(status.source, set())
+            if packet.seq in seen:
+                self.world.counters.record("reliable_dedup", messages=0, nbytes=0)
+                continue
+            seen.add(packet.seq)
+            return pickle.loads(packet.blob)
 
     # -- collectives ---------------------------------------------------------------
 

@@ -7,6 +7,19 @@ count *exactly*: every point-to-point message, every collective call, every
 byte.  The tests assert the algorithm's communication pattern (e.g. a PC
 event costs one broadcast plus two point-to-point fitness returns), and the
 performance model is calibrated against these counts.
+
+Fault injection and fault tolerance report through the same tallies:
+
+* ``fault_drop`` / ``fault_delay`` / ``fault_duplicate`` / ``fault_corrupt``
+  — injected message faults, one call per fired fault;
+* ``fault_crash`` / ``fault_hang`` — injected rank deaths at
+  :meth:`~repro.mpi.comm.Comm.fault_point`;
+* ``reliable_send`` / ``reliable_retry`` / ``reliable_dedup`` /
+  ``reliable_corrupt`` — the acknowledged-messaging layer's traffic
+  (successful sends, resends after missing acks, duplicate frames
+  re-acknowledged and discarded, frames failing their checksum);
+* ``heartbeat`` / ``degradation`` — the fault-tolerant runner's liveness
+  checks and graceful-degradation steps.
 """
 
 from __future__ import annotations

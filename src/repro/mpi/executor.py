@@ -19,9 +19,10 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import CommAbortError, MPIError
+from repro.errors import CommAbortError, MPIError, RankCrashError
 from repro.logging_util import get_logger
 from repro.mpi.comm import Comm, World
+from repro.mpi.faults import FaultInjector
 
 __all__ = ["run_spmd", "SPMDResult"]
 
@@ -42,10 +43,14 @@ class SPMDResult:
         Per-rank return values, indexed by rank.
     world:
         The world the program ran in (counters remain readable).
+    failed_ranks:
+        Ranks that died to injected faults under
+        ``on_rank_failure="continue"`` (empty otherwise).
     """
 
     returns: list[Any]
     world: World
+    failed_ranks: tuple[int, ...] = ()
 
 
 def run_spmd(
@@ -53,6 +58,8 @@ def run_spmd(
     fn: Callable[..., Any],
     args: Sequence[Any] = (),
     timeout: float | None = 300.0,
+    fault_injector: FaultInjector | None = None,
+    on_rank_failure: str = "abort",
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -67,6 +74,15 @@ def run_spmd(
     timeout:
         Seconds to wait for completion before aborting the world; ``None``
         waits forever.
+    fault_injector:
+        Optional chaos: a :class:`~repro.mpi.faults.FaultInjector` attached
+        to the world's message delivery and the ranks' ``fault_point`` calls.
+    on_rank_failure:
+        ``"abort"`` (default): any rank death aborts the world, like
+        ``MPI_Abort``.  ``"continue"``: a rank killed by an injected fault
+        (:class:`~repro.errors.RankCrashError`) is recorded in
+        ``world.failed_ranks`` and the survivors keep running — the
+        fault-tolerant runner's mode.
 
     Raises
     ------
@@ -75,7 +91,9 @@ def run_spmd(
     """
     if not 1 <= n_ranks <= MAX_THREAD_RANKS:
         raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
-    world = World(n_ranks)
+    if on_rank_failure not in ("abort", "continue"):
+        raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
+    world = World(n_ranks, injector=fault_injector)
     returns: list[Any] = [None] * n_ranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -87,6 +105,15 @@ def run_spmd(
         except CommAbortError:
             # Secondary casualty of another rank's failure; keep quiet.
             pass
+        except RankCrashError as exc:
+            if on_rank_failure == "continue":
+                # Injected death: this rank is gone, the job survives.
+                _LOG.debug("rank %d died to injected fault: %r", rank, exc)
+                world.mark_failed(rank, str(exc))
+            else:
+                with failures_lock:
+                    failures.append((rank, exc))
+                world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
         except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
             with failures_lock:
                 failures.append((rank, exc))
@@ -115,4 +142,6 @@ def run_spmd(
         # A rank called abort() deliberately (no other exception to blame):
         # surface it — like MPI_Abort, the job did not complete normally.
         raise CommAbortError(world.abort_reason or "world aborted")
-    return SPMDResult(returns=returns, world=world)
+    return SPMDResult(
+        returns=returns, world=world, failed_ranks=tuple(sorted(world.failed_ranks))
+    )

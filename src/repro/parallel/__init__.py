@@ -9,18 +9,27 @@
 from repro.parallel.decomposition import (
     SSetDecomposition,
     agents_per_processor,
+    owner_map_with_failures,
     table8_rows,
 )
-from repro.parallel.protocol import GenerationHeader, MutationUpdate, PCOutcome, TAG_FITNESS
+from repro.parallel.protocol import (
+    TAG_FITNESS,
+    DegradationEvent,
+    GenerationHeader,
+    MutationUpdate,
+    PCOutcome,
+)
 from repro.parallel.runner import ParallelRunResult, ParallelSimulation
 
 __all__ = [
     "SSetDecomposition",
     "agents_per_processor",
+    "owner_map_with_failures",
     "table8_rows",
     "GenerationHeader",
     "MutationUpdate",
     "PCOutcome",
+    "DegradationEvent",
     "TAG_FITNESS",
     "ParallelRunResult",
     "ParallelSimulation",

@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.errors import ScheduleError
 
-__all__ = ["SSetDecomposition", "agents_per_processor", "table8_rows"]
+__all__ = [
+    "SSetDecomposition",
+    "agents_per_processor",
+    "owner_map_with_failures",
+    "table8_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,37 @@ class SSetDecomposition:
             seen.extend(self.ssets_of_rank(rank).tolist())
         if seen != list(range(self.n_ssets)):
             raise ScheduleError("worker blocks do not tile the SSet range")
+
+
+def owner_map_with_failures(
+    n_ssets: int, n_ranks: int, failed_ranks: tuple[int, ...] = ()
+) -> np.ndarray:
+    """Owner rank of every SSet after redistributing failed workers' blocks.
+
+    Starts from the block decomposition and, for each failed worker in
+    ascending rank order, deals its SSets round-robin over the surviving
+    workers.  Pure arithmetic: every rank computes the same map from the
+    same failure set without communication, which is what lets the
+    fault-tolerant runner degrade without a recovery collective.
+    """
+    decomp = SSetDecomposition(n_ssets, n_ranks)
+    owners = np.empty(n_ssets, dtype=np.intp)
+    for rank in range(1, n_ranks):
+        owners[decomp.ssets_of_rank(rank)] = rank
+    failed = sorted({int(r) for r in failed_ranks})
+    for rank in failed:
+        if not 1 <= rank < n_ranks:
+            raise ScheduleError(
+                f"failed rank {rank} out of worker range [1, {n_ranks})"
+                " (the Nature rank cannot be redistributed)"
+            )
+    live = [r for r in range(1, n_ranks) if r not in failed]
+    if not live:
+        raise ScheduleError("no surviving workers to own SSets")
+    for dead in failed:
+        for i, sset in enumerate(np.flatnonzero(owners == dead)):
+            owners[sset] = live[i % len(live)]
+    return owners
 
 
 def agents_per_processor(n_ssets: int, n_procs: int, agents_per_sset: int | None = None) -> int:

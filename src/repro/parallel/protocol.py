@@ -27,13 +27,28 @@ import numpy as np
 
 __all__ = [
     "TAG_FITNESS",
+    "TAG_CONTROL",
+    "TAG_REPORT",
     "GenerationHeader",
     "PCOutcome",
     "MutationUpdate",
+    "FTHeader",
+    "FTFitnessRequest",
+    "FTUpdate",
+    "FTShutdown",
+    "FTFinal",
+    "WorkerReport",
+    "DegradationEvent",
 ]
 
 #: Point-to-point tag for fitness returns to the Nature Agent.
 TAG_FITNESS = 7
+
+#: Reliable-channel tag for Nature -> worker control messages (FT runner).
+TAG_CONTROL = 11
+
+#: Reliable-channel tag for worker -> Nature reports (FT runner).
+TAG_REPORT = 12
 
 
 @dataclass(frozen=True)
@@ -71,3 +86,104 @@ class MutationUpdate:
 
     sset: int
     table: np.ndarray
+
+
+# -- fault-tolerant protocol ----------------------------------------------------------
+#
+# The fault-tolerant runner replaces the collective tree with a reliable
+# point-to-point star: every generation, Nature sends each live worker an
+# FTHeader, collects one WorkerReport per worker (the heartbeat), and closes
+# the generation with an FTUpdate.  When a worker that owed fitness died
+# mid-generation, Nature re-requests from the new owner with FTFitnessRequest.
+# All of these travel over Comm.send_reliable / recv_reliable, so injected
+# drops, duplicates and corruptions cannot desynchronise the protocol.
+
+
+@dataclass(frozen=True)
+class FTHeader:
+    """FT step 1 (Nature -> each live worker): this generation's work order.
+
+    ``failed_ranks`` is the cumulative failure set; workers derive their
+    (possibly reassigned) SSet ownership from it with
+    :func:`~repro.parallel.decomposition.owner_map_with_failures`.
+    ``teacher_owner``/``learner_owner`` name the ranks that must return
+    fitness (-1 when no pairwise comparison fires).
+    """
+
+    generation: int
+    pc_teacher: int = -1
+    pc_learner: int = -1
+    teacher_owner: int = -1
+    learner_owner: int = -1
+    failed_ranks: tuple[int, ...] = ()
+
+    @property
+    def has_pc(self) -> bool:
+        """Whether a pairwise comparison fires this generation."""
+        return self.pc_teacher >= 0
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """FT step 2 (worker -> Nature): the per-generation heartbeat.
+
+    Doubles as the fitness return: ``pi_teacher``/``pi_learner`` are filled
+    by the worker that owns the corresponding SSet, None otherwise.
+    """
+
+    rank: int
+    generation: int
+    pi_teacher: float | None = None
+    pi_learner: float | None = None
+
+
+@dataclass(frozen=True)
+class FTFitnessRequest:
+    """Nature -> worker: recompute fitness after the original owner died."""
+
+    generation: int
+    pc_teacher: int
+    pc_learner: int
+    want_teacher: bool
+    want_learner: bool
+
+
+@dataclass(frozen=True)
+class FTUpdate:
+    """FT step 3 (Nature -> each live worker): close the generation.
+
+    Carries the adoption outcome and mutation (either may be None) plus the
+    failure set as of the end of the generation, so workers fold newly
+    detected deaths into the next generation's ownership map.
+    """
+
+    generation: int
+    outcome: PCOutcome | None
+    mutation: MutationUpdate | None
+    failed_ranks: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FTShutdown:
+    """Nature -> worker: the run is over; send an FTFinal and exit."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class FTFinal:
+    """Worker -> Nature at shutdown: replica digest and work accounting."""
+
+    rank: int
+    digest: bytes
+    games_played: int
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One graceful-degradation step recorded by the fault-tolerant runner."""
+
+    generation: int
+    rank: int
+    reason: str
+    reassigned_ssets: tuple[int, ...]

@@ -24,20 +24,37 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.config import SimulationConfig
-from repro.errors import MPIError
+from repro.errors import MPIError, RankCrashError, RankFailedError, RecvTimeoutError
+from repro.io.checkpoints import (
+    ParallelCheckpoint,
+    latest_parallel_checkpoint,
+    load_parallel_checkpoint,
+    save_parallel_checkpoint,
+)
 from repro.mpi.comm import Comm
 from repro.mpi.counters import OpCount
 from repro.mpi.executor import run_spmd
-from repro.parallel.decomposition import SSetDecomposition
+from repro.mpi.faults import FaultInjector, FaultPlan, FaultRecord
+from repro.parallel.decomposition import SSetDecomposition, owner_map_with_failures
 from repro.parallel.protocol import (
+    TAG_CONTROL,
+    TAG_FITNESS,
+    TAG_REPORT,
+    DegradationEvent,
+    FTFinal,
+    FTFitnessRequest,
+    FTHeader,
+    FTShutdown,
+    FTUpdate,
     GenerationHeader,
     MutationUpdate,
     PCOutcome,
-    TAG_FITNESS,
+    WorkerReport,
 )
 from repro.population.fitness import FitnessEvaluator
 from repro.population.nature import NatureAgent, PCSelection
@@ -80,6 +97,15 @@ class ParallelRunResult:
     counters: dict[str, OpCount]
     n_ranks: int
     games_played_per_rank: tuple[int, ...]
+    #: Ranks lost to faults during the run (empty for fault-free runs).
+    failed_ranks: tuple[int, ...] = ()
+    #: Graceful-degradation steps, in the order Nature detected them.
+    degradations: tuple[DegradationEvent, ...] = ()
+    #: The injector's fired-fault log in canonical order (chaos tests
+    #: assert two runs with the same plan saw the identical schedule).
+    fault_events: tuple[FaultRecord, ...] = ()
+    #: Checkpoint files written during the run, oldest first.
+    checkpoints: tuple[str, ...] = ()
 
 
 def _replica_digest(matrix: np.ndarray) -> bytes:
@@ -198,6 +224,315 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
     return out
 
 
+# -- fault-tolerant execution ---------------------------------------------------------
+#
+# The fault-tolerant rank program replaces the collective tree with a
+# reliable point-to-point star (see repro.parallel.protocol).  Nature
+# heartbeats every live worker each generation; dead or silent workers are
+# detected, their SSets redistributed to survivors, and the run continues.
+# Because fitness is a deterministic function of (population, generation,
+# sset) on every rank, redistribution does not perturb the trajectory: a
+# crash-degraded run still matches the fault-free population bit for bit.
+
+
+@dataclass(frozen=True)
+class _FTOptions:
+    """Knobs of the fault-tolerant rank program (internal)."""
+
+    heartbeat_timeout: float = 5.0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    start_generation: int = 0
+    start_matrix: np.ndarray | None = None
+    start_nature_rng: dict | None = None
+    start_counters: tuple[int, int, int] = (0, 0, 0)
+    start_failed: tuple[int, ...] = ()
+
+
+def _eager_slate(comm, config, population, evaluator, streams, owned, gen) -> int:
+    """Play every owned SSet's full opponent slate (the paper's §IV-D workload)."""
+    games_played = 0
+    assign = population.assignment()
+    tables = population.tables_view()
+    for sset in owned:
+        opponents = np.array(
+            [j for j in range(config.n_ssets) if j != sset or config.include_self_play],
+            dtype=np.intp,
+        )
+        ia = np.full(opponents.size, assign[sset], dtype=np.intp)
+        ib = assign[opponents]
+        rng = (
+            streams.fresh("eager", gen, int(sset))
+            if not config.deterministic_games
+            else None
+        )
+        evaluator.engine.play(tables, ia, ib, rng=rng)
+        games_played += opponents.size
+    return games_played
+
+
+def _rank_program_ft(comm: Comm, config: SimulationConfig, eager_games: bool, opts: _FTOptions):
+    """The fault-tolerant SPMD body executed by every rank."""
+    streams = StreamFactory(config.seed)
+    if opts.start_matrix is None:
+        population = Population.random(config, streams.fresh("init"))
+    else:
+        population = Population(config, np.array(opts.start_matrix, copy=True))
+    evaluator = FitnessEvaluator(config, population, streams)
+    failed = set(opts.start_failed)
+    if comm.rank == 0:
+        return _ft_nature(comm, config, population, streams, failed, opts)
+    return _ft_worker(comm, config, eager_games, population, evaluator, streams, failed)
+
+
+def _ft_worker(comm, config, eager_games, population, evaluator, streams, failed) -> dict:
+    try:
+        return _ft_worker_loop(comm, config, eager_games, population, evaluator, streams, failed)
+    except (RankFailedError, RecvTimeoutError) as exc:
+        if comm.world.is_failed(0):
+            raise  # Nature is dead: the job cannot finish, fail loudly.
+        # Partitioned from a live Nature (or falsely declared dead): die
+        # quietly and let Nature's failure detection degrade the run.
+        raise RankCrashError(f"rank {comm.rank}: lost contact with Nature ({exc})") from exc
+
+
+def _ft_worker_loop(comm, config, eager_games, population, evaluator, streams, failed) -> dict:
+    games_played = 0
+    while True:
+        msg = comm.recv_reliable(source=0, tag=TAG_CONTROL)
+        if isinstance(msg, FTShutdown):
+            break
+        if isinstance(msg, FTHeader):
+            gen = msg.generation
+            comm.fault_point(gen)
+            failed = set(msg.failed_ranks)
+            if eager_games:
+                owners = owner_map_with_failures(
+                    config.n_ssets, comm.size, tuple(sorted(failed))
+                )
+                owned = np.flatnonzero(owners == comm.rank)
+                games_played += _eager_slate(
+                    comm, config, population, evaluator, streams, owned, gen
+                )
+            pi_t = pi_l = None
+            if msg.has_pc:
+                if msg.teacher_owner == comm.rank:
+                    pi_t = float(evaluator.fitness([msg.pc_teacher], generation=gen)[0])
+                if msg.learner_owner == comm.rank:
+                    pi_l = float(evaluator.fitness([msg.pc_learner], generation=gen)[0])
+            comm.send_reliable(
+                WorkerReport(rank=comm.rank, generation=gen, pi_teacher=pi_t, pi_learner=pi_l),
+                dest=0,
+                tag=TAG_REPORT,
+            )
+        elif isinstance(msg, FTFitnessRequest):
+            pi_t = (
+                float(evaluator.fitness([msg.pc_teacher], generation=msg.generation)[0])
+                if msg.want_teacher
+                else None
+            )
+            pi_l = (
+                float(evaluator.fitness([msg.pc_learner], generation=msg.generation)[0])
+                if msg.want_learner
+                else None
+            )
+            comm.send_reliable(
+                WorkerReport(
+                    rank=comm.rank, generation=msg.generation, pi_teacher=pi_t, pi_learner=pi_l
+                ),
+                dest=0,
+                tag=TAG_REPORT,
+            )
+        elif isinstance(msg, FTUpdate):
+            if msg.outcome is not None and msg.outcome.adopted:
+                population.adopt(msg.outcome.learner, msg.outcome.teacher)
+            if msg.mutation is not None:
+                population.set_strategy(msg.mutation.sset, msg.mutation.table)
+            failed = set(msg.failed_ranks)
+        else:
+            raise MPIError(f"rank {comm.rank}: unexpected control message {type(msg).__name__}")
+    digest = _replica_digest(population.matrix())
+    comm.send_reliable(
+        FTFinal(rank=comm.rank, digest=digest, games_played=games_played),
+        dest=0,
+        tag=TAG_REPORT,
+    )
+    return {"digest": digest, "games_played": games_played}
+
+
+def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
+    nature = NatureAgent(config, streams)
+    if opts.start_nature_rng is not None:
+        streams.stream("nature").bit_generator.state = opts.start_nature_rng
+        nature.n_pc_events, nature.n_adoptions, nature.n_mutations = opts.start_counters
+    size = comm.size
+    live = [r for r in range(1, size) if r not in failed]
+    degradations: list[DegradationEvent] = []
+    checkpoints: list[str] = []
+    hb = opts.heartbeat_timeout
+
+    def owners_now() -> np.ndarray:
+        return owner_map_with_failures(config.n_ssets, size, tuple(sorted(failed)))
+
+    def declare_failed(rank: int, gen: int, reason: str) -> None:
+        if rank in failed:
+            return
+        lost = tuple(int(s) for s in np.flatnonzero(owners_now() == rank))
+        failed.add(rank)
+        if rank in live:
+            live.remove(rank)
+        comm.world.mark_failed(rank, reason)
+        comm.world.counters.record("degradation", messages=0, nbytes=0)
+        degradations.append(
+            DegradationEvent(generation=gen, rank=rank, reason=reason, reassigned_ssets=lost)
+        )
+
+    for gen in range(opts.start_generation + 1, config.generations + 1):
+        comm.fault_point(gen)
+        if not live:
+            raise MPIError(f"generation {gen}: all worker ranks failed; cannot continue")
+        selection = nature.select_pc()
+        owners = owners_now()
+        header = FTHeader(
+            generation=gen,
+            pc_teacher=selection.teacher if selection else -1,
+            pc_learner=selection.learner if selection else -1,
+            teacher_owner=int(owners[selection.teacher]) if selection else -1,
+            learner_owner=int(owners[selection.learner]) if selection else -1,
+            failed_ranks=tuple(sorted(failed)),
+        )
+        for rank in list(live):
+            try:
+                comm.send_reliable(header, dest=rank, tag=TAG_CONTROL)
+            except RankFailedError as exc:
+                declare_failed(rank, gen, f"header not acknowledged: {exc}")
+
+        # Heartbeat round: one report per live worker, deadline-bounded.
+        pi_t = pi_l = None
+        for rank in list(live):
+            try:
+                report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+            except (RecvTimeoutError, RankFailedError) as exc:
+                declare_failed(rank, gen, f"no heartbeat: {type(exc).__name__}")
+                continue
+            if report.generation != gen:
+                raise MPIError(
+                    f"nature desynchronised: rank {rank} reported generation"
+                    f" {report.generation} != {gen}"
+                )
+            comm.world.counters.record("heartbeat", messages=0, nbytes=0)
+            if report.pi_teacher is not None:
+                pi_t = report.pi_teacher
+            if report.pi_learner is not None:
+                pi_l = report.pi_learner
+
+        # Fitness recovery: the owner died mid-generation, ask the new owner.
+        while selection is not None and (pi_t is None or pi_l is None):
+            if not live:
+                raise MPIError(f"generation {gen}: all worker ranks failed mid-PC")
+            owners = owners_now()
+            wanted: dict[int, list[bool]] = {}
+            if pi_t is None:
+                wanted.setdefault(int(owners[selection.teacher]), [False, False])[0] = True
+            if pi_l is None:
+                wanted.setdefault(int(owners[selection.learner]), [False, False])[1] = True
+            for rank, (want_t, want_l) in wanted.items():
+                request = FTFitnessRequest(
+                    generation=gen,
+                    pc_teacher=selection.teacher,
+                    pc_learner=selection.learner,
+                    want_teacher=want_t,
+                    want_learner=want_l,
+                )
+                try:
+                    comm.send_reliable(request, dest=rank, tag=TAG_CONTROL)
+                    report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+                except (RecvTimeoutError, RankFailedError) as exc:
+                    declare_failed(rank, gen, f"fitness re-request failed: {type(exc).__name__}")
+                    continue
+                if report.pi_teacher is not None:
+                    pi_t = report.pi_teacher
+                if report.pi_learner is not None:
+                    pi_l = report.pi_learner
+
+        outcome = None
+        if selection is not None:
+            decision = nature.decide_adoption(selection, float(pi_t), float(pi_l))
+            outcome = PCOutcome(
+                teacher=selection.teacher,
+                learner=selection.learner,
+                adopted=decision.adopted,
+                pi_teacher=decision.pi_teacher,
+                pi_learner=decision.pi_learner,
+                probability=decision.probability,
+            )
+            if outcome.adopted:
+                population.adopt(outcome.learner, outcome.teacher)
+        mut_sel = nature.select_mutation(population.random_strategy_table)
+        update = FTUpdate(
+            generation=gen,
+            outcome=outcome,
+            mutation=(
+                MutationUpdate(sset=mut_sel.sset, table=mut_sel.table)
+                if mut_sel is not None
+                else None
+            ),
+            failed_ranks=tuple(sorted(failed)),
+        )
+        if mut_sel is not None:
+            population.set_strategy(mut_sel.sset, mut_sel.table)
+        for rank in list(live):
+            try:
+                comm.send_reliable(update, dest=rank, tag=TAG_CONTROL)
+            except RankFailedError as exc:
+                declare_failed(rank, gen, f"update not acknowledged: {exc}")
+
+        if (
+            opts.checkpoint_dir is not None
+            and opts.checkpoint_every > 0
+            and gen % opts.checkpoint_every == 0
+        ):
+            state = ParallelCheckpoint(
+                config=config,
+                generation=gen,
+                matrix=population.matrix(),
+                nature_rng_state=streams.stream("nature").bit_generator.state,
+                n_pc_events=nature.n_pc_events,
+                n_adoptions=nature.n_adoptions,
+                n_mutations=nature.n_mutations,
+                failed_ranks=tuple(sorted(failed)),
+            )
+            checkpoints.append(str(save_parallel_checkpoint(state, opts.checkpoint_dir)))
+
+    # Shutdown: collect final digests from survivors, then release stragglers.
+    matrix = population.matrix()
+    digest = _replica_digest(matrix)
+    finals: dict[int, FTFinal] = {}
+    for rank in list(live):
+        try:
+            comm.send_reliable(FTShutdown(generation=config.generations), dest=rank,
+                               tag=TAG_CONTROL)
+            finals[rank] = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+        except (RecvTimeoutError, RankFailedError) as exc:
+            declare_failed(rank, config.generations, f"lost at shutdown: {type(exc).__name__}")
+    for rank, final in finals.items():
+        if final.digest != digest:
+            raise MPIError(f"population replica diverged on rank {rank}")
+    comm.world.shutdown()
+    return {
+        "matrix": matrix,
+        "digest": digest,
+        "games_played": 0,
+        "n_pc_events": nature.n_pc_events,
+        "n_adoptions": nature.n_adoptions,
+        "n_mutations": nature.n_mutations,
+        "games_by_rank": {rank: final.games_played for rank, final in finals.items()},
+        "degradations": tuple(degradations),
+        "failed_ranks": tuple(sorted(failed)),
+        "checkpoints": tuple(checkpoints),
+    }
+
+
 class ParallelSimulation:
     """Runs the full model on ``n_ranks`` virtual MPI ranks.
 
@@ -213,6 +548,23 @@ class ParallelSimulation:
         useful for validating the performance model's work accounting.
         Off by default: the trajectory only ever consumes fitness at PC
         events, so lazy evaluation is equivalent and far cheaper.
+    fault_plan:
+        Optional :class:`~repro.mpi.faults.FaultPlan` describing the chaos
+        to inject (message drops, delays, duplicates, corruptions, rank
+        crashes and hangs).  Implies the fault-tolerant protocol unless
+        ``fault_tolerant=False`` is forced.
+    fault_tolerant:
+        Force the protocol choice.  ``None`` (default) picks the
+        fault-tolerant star when a fault plan or checkpointing is
+        configured, the classic collective-tree protocol otherwise.
+    heartbeat_timeout:
+        Seconds Nature waits for a worker's per-generation report before
+        declaring the rank failed (fault-tolerant protocol only).
+    checkpoint_dir:
+        Directory for periodic :func:`~repro.io.checkpoints.save_parallel_checkpoint`
+        files; enables restart via :meth:`resume`.
+    checkpoint_every:
+        Checkpoint cadence in generations (0 disables).
 
     Examples
     --------
@@ -224,23 +576,127 @@ class ParallelSimulation:
     """
 
     def __init__(
-        self, config: SimulationConfig, n_ranks: int, eager_games: bool = False
+        self,
+        config: SimulationConfig,
+        n_ranks: int,
+        eager_games: bool = False,
+        *,
+        fault_plan: FaultPlan | None = None,
+        fault_tolerant: bool | None = None,
+        heartbeat_timeout: float = 5.0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
+        if checkpoint_every < 0:
+            raise MPIError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
         self.config = config
         self.n_ranks = int(n_ranks)
         self.eager_games = bool(eager_games)
+        self.fault_plan = fault_plan
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
+        self.checkpoint_every = int(checkpoint_every)
+        wants_ckpt = self.checkpoint_dir is not None and self.checkpoint_every > 0
+        self.fault_tolerant = (
+            bool(fault_tolerant)
+            if fault_tolerant is not None
+            else (fault_plan is not None and not fault_plan.is_trivial) or wants_ckpt
+        )
+        self._start = _FTOptions(
+            heartbeat_timeout=self.heartbeat_timeout,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: str | Path | ParallelCheckpoint,
+        n_ranks: int,
+        **kwargs,
+    ) -> "ParallelSimulation":
+        """Build a simulation that continues from a parallel checkpoint.
+
+        ``checkpoint`` may be a checkpoint file, a directory (the latest
+        ``ckpt_*.npz`` inside it is used), or an already-loaded
+        :class:`~repro.io.checkpoints.ParallelCheckpoint`.  The resumed run
+        replays the exact trajectory the uninterrupted run would have
+        produced, at any rank count.  Keyword arguments are forwarded to the
+        constructor (``eager_games``, ``fault_plan``, ``checkpoint_dir``...).
+        """
+        if not isinstance(checkpoint, ParallelCheckpoint):
+            path = Path(checkpoint)
+            if path.is_dir():
+                found = latest_parallel_checkpoint(path)
+                if found is None:
+                    raise MPIError(f"no parallel checkpoints in {path}")
+                path = found
+            checkpoint = load_parallel_checkpoint(path)
+        sim = cls(checkpoint.config, n_ranks, fault_tolerant=True, **kwargs)
+        sim._start = _FTOptions(
+            heartbeat_timeout=sim.heartbeat_timeout,
+            checkpoint_dir=sim.checkpoint_dir,
+            checkpoint_every=sim.checkpoint_every,
+            start_generation=checkpoint.generation,
+            start_matrix=checkpoint.matrix,
+            start_nature_rng=checkpoint.nature_rng_state,
+            start_counters=(
+                checkpoint.n_pc_events,
+                checkpoint.n_adoptions,
+                checkpoint.n_mutations,
+            ),
+            start_failed=checkpoint.failed_ranks,
+        )
+        return sim
 
     def run(self, timeout: float | None = 600.0) -> ParallelRunResult:
         """Execute the SPMD program and assemble the result."""
+        injector = (
+            FaultInjector(self.fault_plan)
+            if self.fault_plan is not None and not self.fault_plan.is_trivial
+            else None
+        )
+        if not self.fault_tolerant:
+            spmd = run_spmd(
+                self.n_ranks,
+                _rank_program,
+                args=(self.config, self.eager_games),
+                timeout=timeout,
+                fault_injector=injector,
+            )
+            nature_out = spmd.returns[0]
+            return ParallelRunResult(
+                matrix=nature_out["matrix"],
+                generation=self.config.generations,
+                n_pc_events=nature_out["n_pc_events"],
+                n_adoptions=nature_out["n_adoptions"],
+                n_mutations=nature_out["n_mutations"],
+                counters=spmd.world.counters.snapshot(),
+                n_ranks=self.n_ranks,
+                games_played_per_rank=tuple(out["games_played"] for out in spmd.returns),
+                fault_events=() if injector is None else injector.schedule(),
+            )
+
         spmd = run_spmd(
             self.n_ranks,
-            _rank_program,
-            args=(self.config, self.eager_games),
+            _rank_program_ft,
+            args=(self.config, self.eager_games, self._start),
             timeout=timeout,
+            fault_injector=injector,
+            on_rank_failure="continue",
         )
         nature_out = spmd.returns[0]
+        if nature_out is None:
+            raise MPIError("the Nature rank did not complete; no result to assemble")
+        games_by_rank: dict[int, int] = nature_out["games_by_rank"]
+        games = [0] * self.n_ranks
+        for rank in range(1, self.n_ranks):
+            if rank in games_by_rank:
+                games[rank] = games_by_rank[rank]
+            elif isinstance(spmd.returns[rank], dict):
+                games[rank] = spmd.returns[rank].get("games_played", 0)
         return ParallelRunResult(
             matrix=nature_out["matrix"],
             generation=self.config.generations,
@@ -249,5 +705,9 @@ class ParallelSimulation:
             n_mutations=nature_out["n_mutations"],
             counters=spmd.world.counters.snapshot(),
             n_ranks=self.n_ranks,
-            games_played_per_rank=tuple(out["games_played"] for out in spmd.returns),
+            games_played_per_rank=tuple(games),
+            failed_ranks=nature_out["failed_ranks"],
+            degradations=nature_out["degradations"],
+            fault_events=() if injector is None else injector.schedule(),
+            checkpoints=nature_out["checkpoints"],
         )

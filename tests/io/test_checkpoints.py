@@ -5,8 +5,16 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import CheckpointError
-from repro.io.checkpoints import load_checkpoint, save_checkpoint
+from repro.io.checkpoints import (
+    ParallelCheckpoint,
+    latest_parallel_checkpoint,
+    load_checkpoint,
+    load_parallel_checkpoint,
+    save_checkpoint,
+    save_parallel_checkpoint,
+)
 from repro.population.dynamics import EvolutionDriver
+from repro.rng import StreamFactory
 
 
 class TestResume:
@@ -69,3 +77,65 @@ class TestErrors:
         path.write_bytes(b"garbage")
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+
+def _parallel_state(config, generation, failed=()):
+    streams = StreamFactory(config.seed)
+    rng = streams.stream("nature")
+    rng.random(17)  # advance so the cursor is non-trivial
+    return ParallelCheckpoint(
+        config=config,
+        generation=generation,
+        matrix=np.arange(config.n_ssets * 4, dtype=np.int64).reshape(config.n_ssets, 4) % 3,
+        nature_rng_state=rng.bit_generator.state,
+        n_pc_events=5,
+        n_adoptions=2,
+        n_mutations=1,
+        failed_ranks=tuple(failed),
+    )
+
+
+class TestParallelCheckpoints:
+    def test_round_trip(self, tmp_path, small_config):
+        state = _parallel_state(small_config, 40, failed=(2,))
+        path = save_parallel_checkpoint(state, tmp_path / "run.npz")
+        loaded = load_parallel_checkpoint(path)
+        assert loaded.config == small_config
+        assert loaded.generation == 40
+        assert np.array_equal(loaded.matrix, state.matrix)
+        assert loaded.nature_rng_state == state.nature_rng_state
+        assert (loaded.n_pc_events, loaded.n_adoptions, loaded.n_mutations) == (5, 2, 1)
+        assert loaded.failed_ranks == (2,)
+
+    def test_rng_state_resumes_identically(self, tmp_path, small_config):
+        state = _parallel_state(small_config, 10)
+        path = save_parallel_checkpoint(state, tmp_path / "run.npz")
+        loaded = load_parallel_checkpoint(path)
+        a = StreamFactory(small_config.seed).stream("nature")
+        a.bit_generator.state = state.nature_rng_state
+        b = StreamFactory(small_config.seed).stream("nature")
+        b.bit_generator.state = loaded.nature_rng_state
+        assert np.array_equal(a.random(32), b.random(32))
+
+    def test_directory_layout_and_latest(self, tmp_path, small_config):
+        for gen in (10, 30, 20):
+            save_parallel_checkpoint(_parallel_state(small_config, gen), tmp_path)
+        latest = latest_parallel_checkpoint(tmp_path)
+        assert latest is not None and latest.name == "ckpt_00000030.npz"
+        assert load_parallel_checkpoint(latest).generation == 30
+
+    def test_latest_on_empty_or_missing_directory(self, tmp_path):
+        assert latest_parallel_checkpoint(tmp_path) is None
+        assert latest_parallel_checkpoint(tmp_path / "nope") is None
+
+    def test_serial_checkpoint_rejected_as_parallel(self, tmp_path, small_config):
+        driver = EvolutionDriver(small_config)
+        driver.run(5)
+        path = tmp_path / "serial.npz"
+        save_checkpoint(driver, path)
+        with pytest.raises(CheckpointError, match="not a parallel checkpoint"):
+            load_parallel_checkpoint(path)
+
+    def test_missing_parallel_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_parallel_checkpoint(tmp_path / "nope.npz")

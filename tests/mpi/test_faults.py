@@ -1,0 +1,237 @@
+"""Tests for seeded fault injection: plans, determinism, injected behaviour."""
+
+import time
+
+import pytest
+
+from repro.errors import FaultPlanError, RankCrashError
+from repro.mpi.executor import run_spmd
+from repro.mpi.faults import (
+    CorruptedPayload,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+)
+
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_p=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crash_p=-0.1)
+
+    def test_event_kinds_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="meteor", rank=1, op_index=0)
+
+    def test_message_events_need_op_index(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="drop", rank=1)
+
+    def test_rank_events_need_generation(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="crash", rank=1)
+
+    def test_is_trivial(self):
+        assert FaultPlan().is_trivial
+        assert not FaultPlan(drop_p=0.1).is_trivial
+        assert not FaultPlan(events=(FaultEvent(kind="crash", rank=1, generation=3),)).is_trivial
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            drop_p=0.05,
+            duplicate_p=0.01,
+            delay_seconds=0.2,
+            events=(
+                FaultEvent(kind="drop", rank=2, op_index=7, dest=0),
+                FaultEvent(kind="hang", rank=3, generation=10),
+                FaultEvent(kind="delay", rank=1, op_index=0, delay=0.5),
+            ),
+            immune_ranks=(0, 1),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_with_events_appends(self):
+        plan = FaultPlan(seed=1).with_events(FaultEvent(kind="crash", rank=2, generation=5))
+        assert len(plan.events) == 1
+        assert plan.events[0].kind == "crash"
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed=9, drop_p=0.3, duplicate_p=0.2, crash_p=0.1, immune_ranks=())
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for src in range(4):
+            for op in range(50):
+                assert a.plan_send(src, 0, 0) == b.plan_send(src, 0, 0)
+        for rank in range(4):
+            for gen in range(50):
+                assert a.rank_fault(rank, gen) == b.rank_fault(rank, gen)
+        assert a.schedule() == b.schedule()
+
+    def test_different_seed_different_schedule(self):
+        schedules = []
+        for seed in (1, 2):
+            inj = FaultInjector(FaultPlan(seed=seed, drop_p=0.3))
+            for op in range(200):
+                inj.plan_send(1, 0, 0)
+            schedules.append(inj.schedule())
+        assert schedules[0] != schedules[1]
+
+    def test_rank_faults_immune_ranks_never_fire(self):
+        inj = FaultInjector(FaultPlan(seed=3, crash_p=1.0, immune_ranks=(0,)))
+        assert inj.rank_fault(0, 1) is None
+        assert inj.rank_fault(1, 1) == "crash"
+
+    def test_schedule_is_sorted(self):
+        inj = FaultInjector(FaultPlan(seed=3, crash_p=1.0, immune_ranks=()))
+        inj.rank_fault(3, 7)
+        inj.rank_fault(1, 2)
+        assert inj.schedule() == tuple(sorted(inj.schedule()))
+
+
+class TestExplicitEvents:
+    def test_targeted_drop_fires_on_nth_send(self):
+        plan = FaultPlan(events=(FaultEvent(kind="drop", rank=0, op_index=1),))
+        inj = FaultInjector(plan)
+        deliveries, fired = inj.plan_send(0, 1, 0)
+        assert len(deliveries) == 1 and not fired
+        deliveries, fired = inj.plan_send(0, 1, 0)
+        assert deliveries == [] and fired == [
+            FaultRecord(kind="drop", rank=0, op_index=1, dest=1)
+        ]
+
+    def test_dest_filter(self):
+        plan = FaultPlan(events=(FaultEvent(kind="drop", rank=0, op_index=0, dest=2),))
+        deliveries, fired = FaultInjector(plan).plan_send(0, 1, 0)
+        assert len(deliveries) == 1 and not fired
+
+    def test_duplicate_yields_two_deliveries(self):
+        plan = FaultPlan(events=(FaultEvent(kind="duplicate", rank=0, op_index=0),))
+        deliveries, _ = FaultInjector(plan).plan_send(0, 1, 0)
+        assert len(deliveries) == 2
+
+    def test_explicit_delay_overrides_plan_default(self):
+        plan = FaultPlan(
+            delay_seconds=9.0,
+            events=(FaultEvent(kind="delay", rank=0, op_index=0, delay=0.01),),
+        )
+        deliveries, _ = FaultInjector(plan).plan_send(0, 1, 0)
+        assert deliveries[0].delay == 0.01
+
+
+class TestInjectedBehaviour:
+    def test_drop_loses_plain_message(self):
+        plan = FaultPlan(events=(FaultEvent(kind="drop", rank=0, op_index=0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", dest=1)
+                comm.send("kept", dest=1)
+            else:
+                return comm.recv(source=0, timeout=10)
+
+        res = run_spmd(2, prog, timeout=30, fault_injector=FaultInjector(plan))
+        assert res.returns[1] == "kept"
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan(events=(FaultEvent(kind="duplicate", rank=0, op_index=0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+            else:
+                return [comm.recv(source=0, timeout=10) for _ in range(2)]
+
+        res = run_spmd(2, prog, timeout=30, fault_injector=FaultInjector(plan))
+        assert res.returns[1] == ["x", "x"]
+
+    def test_corrupt_replaces_payload_with_sentinel(self):
+        plan = FaultPlan(events=(FaultEvent(kind="corrupt", rank=0, op_index=0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"real": "data"}, dest=1)
+            else:
+                return comm.recv(source=0, timeout=10)
+
+        res = run_spmd(2, prog, timeout=30, fault_injector=FaultInjector(plan))
+        assert isinstance(res.returns[1], CorruptedPayload)
+
+    def test_delay_defers_delivery(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="delay", rank=0, op_index=0, delay=0.3),)
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("late", dest=1)
+            else:
+                start = time.monotonic()
+                payload = comm.recv(source=0, timeout=10)
+                return payload, time.monotonic() - start
+
+        res = run_spmd(2, prog, timeout=30, fault_injector=FaultInjector(plan))
+        payload, elapsed = res.returns[1]
+        assert payload == "late"
+        assert elapsed >= 0.25
+
+    def test_crash_aborts_world_by_default(self):
+        plan = FaultPlan(events=(FaultEvent(kind="crash", rank=1, generation=1),))
+
+        def prog(comm):
+            comm.fault_point(1)
+            return comm.rank
+
+        with pytest.raises(RankCrashError):
+            run_spmd(3, prog, timeout=30, fault_injector=FaultInjector(plan))
+
+    def test_crash_with_continue_policy_records_failed_rank(self):
+        plan = FaultPlan(events=(FaultEvent(kind="crash", rank=1, generation=1),))
+
+        def prog(comm):
+            comm.fault_point(1)
+            return comm.rank
+
+        res = run_spmd(
+            3,
+            prog,
+            timeout=30,
+            fault_injector=FaultInjector(plan),
+            on_rank_failure="continue",
+        )
+        assert res.failed_ranks == (1,)
+        assert res.returns[0] == 0 and res.returns[1] is None and res.returns[2] == 2
+
+    def test_hang_released_by_shutdown(self):
+        plan = FaultPlan(events=(FaultEvent(kind="hang", rank=1, generation=1),))
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.fault_point(1)  # never returns until shutdown
+                return "unreachable"
+            comm.world.shutdown()
+            return "done"
+
+        res = run_spmd(
+            2,
+            prog,
+            timeout=30,
+            fault_injector=FaultInjector(plan),
+            on_rank_failure="continue",
+        )
+        assert res.returns[0] == "done"
+        assert res.failed_ranks == (1,)
+
+    def test_fault_counters_recorded(self):
+        plan = FaultPlan(events=(FaultEvent(kind="drop", rank=0, op_index=0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", dest=1)
+
+        res = run_spmd(2, prog, timeout=30, fault_injector=FaultInjector(plan))
+        assert res.world.counters.get("fault_drop").calls == 1
