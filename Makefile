@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos bench repro docs clean
+.PHONY: install test test-fast test-chaos bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -26,6 +26,13 @@ repro:
 
 docs:
 	python tools/gen_api_index.py
+
+# Fail if docs/api.md is stale or any public module is missing from it,
+# then execute every Python snippet in the prose docs.
+docs-check:
+	python tools/gen_api_index.py --check
+	python tools/check_doc_snippets.py README.md docs/tutorial.md \
+		docs/architecture.md docs/observability.md
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/output reproduction

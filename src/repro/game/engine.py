@@ -23,6 +23,7 @@ from repro.errors import GameError
 from repro.game.noise import NO_NOISE, NoiseModel
 from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
 from repro.game.strategy import Strategy
+from repro.obs.tracer import get_tracer
 
 __all__ = ["GameResult", "play_ipd", "DEFAULT_ROUNDS"]
 
@@ -122,6 +123,8 @@ def play_ipd(
     if stochastic and rng is None:
         raise GameError("mixed strategies or noise require an rng")
 
+    tracer = get_tracer()
+    trace_t0 = tracer.now() if tracer.enabled else 0.0
     space = strat_a.space
     table_a = strat_a.table
     table_b = strat_b.table
@@ -156,6 +159,11 @@ def play_ipd(
         state_a = space.push(state_a, move_a, move_b)
         state_b = space.push(state_b, move_b, move_a)
 
+    if tracer.enabled:
+        tracer.complete(
+            "play_ipd", cat="game", ts=trace_t0, dur=tracer.now() - trace_t0,
+            args={"rounds": rounds},
+        )
     return GameResult(
         fitness_a=fitness_a,
         fitness_b=fitness_b,

@@ -26,6 +26,7 @@ from repro.game.noise import NO_NOISE, NoiseModel
 from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
 from repro.game.states import StateSpace
 from repro.game.strategy import Strategy
+from repro.obs.tracer import get_tracer
 
 __all__ = ["StatesTable", "build_states_table", "find_state", "play_ipd_lookup"]
 
@@ -109,6 +110,8 @@ def play_ipd_lookup(
     table = states_table if states_table is not None else build_states_table(space)
     if table.space != space:
         raise GameError("states_table was built for a different memory depth")
+    tracer = get_tracer()
+    trace_t0 = tracer.now() if tracer.enabled else 0.0
 
     pay = payoff.table
     n = space.memory
@@ -142,4 +145,9 @@ def play_ipd_lookup(
         view_b[1:] = view_b[:-1]
         view_b[0, 0], view_b[0, 1] = move_b, move_a
 
+    if tracer.enabled:
+        tracer.complete(
+            "play_ipd_lookup", cat="game", ts=trace_t0, dur=tracer.now() - trace_t0,
+            args={"rounds": rounds, "memory": space.memory},
+        )
     return GameResult(fitness_a=fitness_a, fitness_b=fitness_b, rounds=rounds)

@@ -25,6 +25,7 @@ from repro.game.engine import DEFAULT_ROUNDS
 from repro.game.noise import NO_NOISE, NoiseModel
 from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
 from repro.game.states import StateSpace
+from repro.obs.tracer import get_tracer
 
 __all__ = ["VectorEngine", "BatchResult", "as_table_matrix"]
 
@@ -156,6 +157,8 @@ class VectorEngine:
             empty = np.empty(0, dtype=np.float64)
             zero = np.empty(0, dtype=np.int64)
             return BatchResult(empty, empty.copy(), self.rounds, zero, zero.copy())
+        tracer = get_tracer()
+        trace_t0 = tracer.now() if tracer.enabled else 0.0
 
         # Per-game tables gathered once: rows_a[g] is player A's full table.
         rows_a = mat[ia]
@@ -196,6 +199,12 @@ class VectorEngine:
 
         self.games_played += n_games
         self.rounds_played += n_games * self.rounds
+        if tracer.enabled:
+            tracer.complete(
+                "vector_engine.play", cat="game", ts=trace_t0,
+                dur=tracer.now() - trace_t0,
+                args={"games": int(n_games), "rounds": self.rounds},
+            )
         empty = np.empty(0, dtype=np.int64)
         return BatchResult(
             fitness_a=fit_a,
@@ -236,10 +245,18 @@ class VectorEngine:
         mat = as_table_matrix(self.space, tables)
         n = mat.shape[0]
         ia, ib = self.round_robin_pairs(n, include_self=include_self)
+        tracer = get_tracer()
+        trace_t0 = tracer.now() if tracer.enabled else 0.0
         res = self.play(mat, ia, ib, rng=rng, record_cooperation=record_cooperation)
         fitness = np.zeros(n, dtype=np.float64)
         np.add.at(fitness, ia, res.fitness_a)
         np.add.at(fitness, ib, res.fitness_b)
+        if tracer.enabled:
+            tracer.complete(
+                "vector_engine.tournament", cat="game", ts=trace_t0,
+                dur=tracer.now() - trace_t0,
+                args={"strategies": int(n), "games": int(ia.size)},
+            )
         return fitness
 
     def __repr__(self) -> str:

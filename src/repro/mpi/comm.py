@@ -41,6 +41,7 @@ from repro.errors import (
 from repro.mpi.counters import CommCounters
 from repro.mpi.faults import CorruptedPayload, FaultInjector
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["World", "Comm", "payload_nbytes"]
 
@@ -78,22 +79,26 @@ class _Mailbox:
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.ready = threading.Condition(self.lock)
-        self.messages: list[tuple[int, int, Any, int]] = []  # (source, tag, payload, nbytes)
+        # (source, tag, payload, nbytes, msg_id) — msg_id joins send to recv
+        # in exported traces (0 when tracing is off).
+        self.messages: list[tuple[int, int, Any, int, int]] = []
 
-    def deliver(self, source: int, tag: int, payload: Any, nbytes: int) -> None:
+    def deliver(
+        self, source: int, tag: int, payload: Any, nbytes: int, msg_id: int = 0
+    ) -> None:
         with self.lock:
-            self.messages.append((source, tag, payload, nbytes))
+            self.messages.append((source, tag, payload, nbytes, msg_id))
             self.ready.notify_all()
 
     def _match_index(self, source: int, tag: int) -> int | None:
-        for i, (src, tg, _payload, _n) in enumerate(self.messages):
+        for i, (src, tg, _payload, _n, _mid) in enumerate(self.messages):
             if (source == ANY_SOURCE or src == source) and (tag == ANY_TAG or tg == tag):
                 return i
         return None
 
     def take(
         self, source: int, tag: int, world: "World", timeout: float | None
-    ) -> tuple[int, int, Any, int]:
+    ) -> tuple[int, int, Any, int, int]:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self.lock:
             while True:
@@ -121,20 +126,20 @@ class _Mailbox:
             idx = self._match_index(source, tag)
             if idx is None:
                 return None
-            src, tg, _payload, nbytes = self.messages[idx]
+            src, tg, _payload, nbytes, _mid = self.messages[idx]
             return Status(source=src, tag=tg, nbytes=nbytes)
 
     def take_matching(
         self, predicate: Callable[[int, int, Any], bool]
-    ) -> list[tuple[int, int, Any, int]]:
+    ) -> list[tuple[int, int, Any, int, int]]:
         """Remove and return every pending message matching ``predicate``.
 
         Non-blocking; used by the reliable layer to service resent frames
         out of band while a rank is itself blocked in ``send_reliable``.
         """
         with self.lock:
-            taken: list[tuple[int, int, Any, int]] = []
-            kept: list[tuple[int, int, Any, int]] = []
+            taken: list[tuple[int, int, Any, int, int]] = []
+            kept: list[tuple[int, int, Any, int, int]] = []
             for msg in self.messages:
                 (taken if predicate(msg[0], msg[1], msg[2]) else kept).append(msg)
             self.messages[:] = kept
@@ -151,14 +156,25 @@ class World:
     unreliable: it decides, per point-to-point transmission, whether the
     message is dropped, delayed, duplicated, or corrupted, and which ranks
     crash or hang at generation boundaries (see :meth:`Comm.fault_point`).
+
+    An optional :class:`~repro.obs.tracer.Tracer` records every send, recv,
+    collective and reliable-layer operation as timed per-rank events; when
+    omitted the no-op :data:`~repro.obs.tracer.NULL_TRACER` keeps the hot
+    paths free of tracing cost.
     """
 
-    def __init__(self, size: int, injector: FaultInjector | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        injector: FaultInjector | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         if size < 1:
             raise MPIError(f"world size must be >= 1, got {size}")
         self.size = size
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.counters = CommCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.abort_event = threading.Event()
         self.abort_reason: str | None = None
         self.injector = injector
@@ -309,34 +325,66 @@ class Comm:
         nbytes = payload_nbytes(payload)
         counters = self.world.counters
         counters.record("send", messages=1, nbytes=nbytes)
+        tracer = self.world.tracer
+        tracing = tracer.enabled
+        msg_id = tracer.new_flow_id() if tracing else 0
+        t0 = tracer.now() if tracing else 0.0
         delivered = threading.Event()
         injector = self.world.injector
         if injector is None:
-            self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes)
+            self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes, msg_id)
             delivered.set()
+            if tracing:
+                tracer.msg_send(
+                    self.rank, dest, tag, nbytes,
+                    ts=t0, dur=tracer.now() - t0, flow_id=msg_id,
+                )
             return delivered
         deliveries, fired = injector.plan_send(self.rank, dest, tag)
         for record in fired:
             counters.record(f"fault_{record.kind}", messages=0, nbytes=nbytes)
+            if tracing:
+                tracer.instant(
+                    f"fault_{record.kind}", cat="mpi.fault", rank=self.rank,
+                    args={"dest": dest, "tag": tag},
+                )
         if not deliveries:
             delivered.set()
+            if tracing:
+                tracer.msg_send(
+                    self.rank, dest, tag, nbytes,
+                    ts=t0, dur=tracer.now() - t0, flow_id=0,  # dropped: no arrow
+                )
             return delivered
         for action in deliveries:
             load = CorruptedPayload(nbytes) if action.corrupt else payload
             if action.delay > 0.0:
                 timer = threading.Timer(
-                    action.delay, self._deliver, args=(dest, tag, load, nbytes, delivered)
+                    action.delay,
+                    self._deliver,
+                    args=(dest, tag, load, nbytes, delivered, msg_id),
                 )
                 timer.daemon = True
                 timer.start()
             else:
-                self._deliver(dest, tag, load, nbytes, delivered)
+                self._deliver(dest, tag, load, nbytes, delivered, msg_id)
+        if tracing:
+            tracer.msg_send(
+                self.rank, dest, tag, nbytes,
+                ts=t0, dur=tracer.now() - t0, flow_id=msg_id,
+            )
         return delivered
 
     def _deliver(
-        self, dest: int, tag: int, payload: Any, nbytes: int, delivered: threading.Event
+        self,
+        dest: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        delivered: threading.Event,
+        msg_id: int = 0,
     ) -> None:
-        self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes)
+        self.world.mailboxes[dest].deliver(self.rank, tag, payload, nbytes, msg_id)
         delivered.set()
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
@@ -381,9 +429,15 @@ class Comm:
         """
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
-        src, tg, payload, nbytes = self.world.mailboxes[self.rank].take(
+        tracer = self.world.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
+        src, tg, payload, nbytes, msg_id = self.world.mailboxes[self.rank].take(
             source, tag, self.world, timeout
         )
+        if tracer.enabled:
+            tracer.msg_recv(
+                self.rank, src, tg, nbytes, ts=t0, dur=tracer.now() - t0, flow_id=msg_id
+            )
         if return_status:
             return payload, Status(source=src, tag=tg, nbytes=nbytes)
         return payload
@@ -426,6 +480,12 @@ class Comm:
         if kind is None:
             return
         self.world.counters.record(f"fault_{kind}", messages=0, nbytes=0)
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"fault_{kind}", cat="mpi.fault", rank=self.rank,
+                args={"generation": generation},
+            )
         if kind == "crash":
             raise RankCrashError(
                 f"rank {self.rank}: injected crash at generation {generation}"
@@ -459,9 +519,9 @@ class Comm:
                 and payload.seq in self._reliable_seen.get(source, ())
             )
 
-        for source, _tag, packet, _nbytes in self.world.mailboxes[self.rank].take_matching(
-            _is_dup
-        ):
+        for source, _tag, packet, _nbytes, _mid in self.world.mailboxes[
+            self.rank
+        ].take_matching(_is_dup):
             self.world.counters.record("reliable_dedup", messages=0, nbytes=0)
             self._send_raw(True, source, _TAG_RACK | (packet.seq & _SEQ_MASK))
 
@@ -489,6 +549,31 @@ class Comm:
             When ``dest`` is known dead, or no acknowledgement arrives
             within ``max_retries + 1`` transmissions.
         """
+        tracer = self.world.tracer
+        if not tracer.enabled:
+            return self._send_reliable(
+                payload, dest, tag,
+                ack_timeout=ack_timeout, max_retries=max_retries, backoff=backoff,
+            )
+        with tracer.span(
+            "send_reliable", cat="mpi.reliable", rank=self.rank,
+            args={"dest": dest, "tag": tag},
+        ):
+            return self._send_reliable(
+                payload, dest, tag,
+                ack_timeout=ack_timeout, max_retries=max_retries, backoff=backoff,
+            )
+
+    def _send_reliable(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int,
+        *,
+        ack_timeout: float,
+        max_retries: int,
+        backoff: float,
+    ) -> int:
         self._check_rank(dest, "destination")
         if not 0 <= tag <= MAX_USER_TAG:
             raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
@@ -533,6 +618,18 @@ class Comm:
         delivered to the caller only once.  ``timeout`` bounds the *total*
         wait across discarded frames.
         """
+        tracer = self.world.tracer
+        if not tracer.enabled:
+            return self._recv_reliable(source, tag, timeout)
+        with tracer.span(
+            "recv_reliable", cat="mpi.reliable", rank=self.rank,
+            args={"source": source, "tag": tag},
+        ):
+            return self._recv_reliable(source, tag, timeout)
+
+    def _recv_reliable(
+        self, source: int = ANY_SOURCE, tag: int = 0, timeout: float | None = None
+    ) -> Any:
         if not 0 <= tag <= MAX_USER_TAG:
             raise MPIError(f"user tags must lie in [0, {MAX_USER_TAG}], got {tag}")
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -575,6 +672,16 @@ class Comm:
     def _vrank(self, root: int) -> int:
         return (self.rank - root) % self.size
 
+    def _traced_collective(self, name: str, root: int | None = None):
+        """A span for one collective call, or ``None`` when tracing is off."""
+        tracer = self.world.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.span(
+            name, cat="mpi.coll", rank=self.rank,
+            args=None if root is None else {"root": root},
+        )
+
     def bcast(self, payload: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the payload on every rank.
 
@@ -582,6 +689,13 @@ class Comm:
         the paper uses for PC-pair announcements, mutation announcements and
         strategy updates.
         """
+        span = self._traced_collective("bcast", root)
+        if span is None:
+            return self._bcast(payload, root)
+        with span:
+            return self._bcast(payload, root)
+
+    def _bcast(self, payload: Any, root: int) -> Any:
         self._check_rank(root, "root")
         tag = self._collective_tag(_TAG_BCAST)
         size = self.size
@@ -604,6 +718,13 @@ class Comm:
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Gather one payload per rank to ``root`` (rank order preserved)."""
+        span = self._traced_collective("gather", root)
+        if span is None:
+            return self._gather(payload, root)
+        with span:
+            return self._gather(payload, root)
+
+    def _gather(self, payload: Any, root: int) -> list[Any] | None:
         self._check_rank(root, "root")
         tag = self._collective_tag(_TAG_GATHER)
         if self.rank != root:
@@ -619,6 +740,13 @@ class Comm:
 
     def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one payload to each rank from ``root``'s list."""
+        span = self._traced_collective("scatter", root)
+        if span is None:
+            return self._scatter(payloads, root)
+        with span:
+            return self._scatter(payloads, root)
+
+    def _scatter(self, payloads: Sequence[Any] | None, root: int) -> Any:
         self._check_rank(root, "root")
         tag = self._collective_tag(_TAG_SCATTER)
         if self.rank == root:
@@ -642,6 +770,15 @@ class Comm:
         ``op`` must be associative; contributions are combined in an order
         that is deterministic for a given world size.
         """
+        span = self._traced_collective("reduce", root)
+        if span is None:
+            return self._reduce(payload, op, root)
+        with span:
+            return self._reduce(payload, op, root)
+
+    def _reduce(
+        self, payload: Any, op: Callable[[Any, Any], Any] | None, root: int
+    ) -> Any:
         self._check_rank(root, "root")
         if op is None:
             op = lambda a, b: a + b  # noqa: E731
@@ -667,11 +804,25 @@ class Comm:
 
     def allreduce(self, payload: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Reduce to rank 0, then broadcast the result to everyone."""
+        span = self._traced_collective("allreduce")
+        if span is None:
+            return self._allreduce(payload, op)
+        with span:
+            return self._allreduce(payload, op)
+
+    def _allreduce(self, payload: Any, op: Callable[[Any, Any], Any] | None) -> Any:
         result = self.reduce(payload, op=op, root=0)
         return self.bcast(result, root=0)
 
     def allgather(self, payload: Any) -> list[Any]:
         """Gather to rank 0, then broadcast the full list."""
+        span = self._traced_collective("allgather")
+        if span is None:
+            return self._allgather(payload)
+        with span:
+            return self._allgather(payload)
+
+    def _allgather(self, payload: Any) -> list[Any]:
         tag_unused = self._collective_tag(_TAG_ALLGATHER)  # keeps seq aligned across ranks
         del tag_unused
         gathered = self.gather(payload, root=0)
@@ -679,6 +830,13 @@ class Comm:
 
     def barrier(self) -> None:
         """Synchronise all ranks (reduce + bcast of a token)."""
+        span = self._traced_collective("barrier")
+        if span is None:
+            return self._barrier()
+        with span:
+            return self._barrier()
+
+    def _barrier(self) -> None:
         self._collective_tag(_TAG_BARRIER)  # alignment only
         self.allreduce(0)
         self.world.counters.record("barrier", messages=0, nbytes=0)

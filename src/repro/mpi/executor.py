@@ -16,6 +16,7 @@ performance at scale is the job of :mod:`repro.perf`.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -23,6 +24,7 @@ from repro.errors import CommAbortError, MPIError, RankCrashError
 from repro.logging_util import get_logger
 from repro.mpi.comm import Comm, World
 from repro.mpi.faults import FaultInjector
+from repro.obs.tracer import Tracer, activate
 
 __all__ = ["run_spmd", "SPMDResult"]
 
@@ -60,6 +62,7 @@ def run_spmd(
     timeout: float | None = 300.0,
     fault_injector: FaultInjector | None = None,
     on_rank_failure: str = "abort",
+    tracer: Tracer | None = None,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -83,6 +86,13 @@ def run_spmd(
         (:class:`~repro.errors.RankCrashError`) is recorded in
         ``world.failed_ranks`` and the survivors keep running — the
         fault-tolerant runner's mode.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When given, every network
+        operation and every instrumented phase lands on the tracer as
+        per-rank timed events (each rank thread is bound to its rank, and
+        the tracer is the process-active one for the duration of the run,
+        so engine-level instrumentation is attributed too).  ``None``
+        (default) keeps tracing off at near-zero cost.
 
     Raises
     ------
@@ -93,13 +103,20 @@ def run_spmd(
         raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
     if on_rank_failure not in ("abort", "continue"):
         raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
-    world = World(n_ranks, injector=fault_injector)
+    world = World(n_ranks, injector=fault_injector, tracer=tracer)
     returns: list[Any] = [None] * n_ranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
+    if tracer is not None and tracer.enabled:
+        named = tracer.rank_names()
+        for rank in range(n_ranks):
+            if rank not in named:
+                tracer.name_rank(rank, f"rank {rank}")
 
     def run_rank(rank: int) -> None:
         comm = world.comm(rank)
+        if tracer is not None and tracer.enabled:
+            tracer.set_rank(rank)
         try:
             returns[rank] = fn(comm, *args)
         except CommAbortError:
@@ -124,15 +141,19 @@ def run_spmd(
         threading.Thread(target=run_rank, args=(rank,), name=f"vmpi-rank-{rank}", daemon=True)
         for rank in range(n_ranks)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            world.abort("executor timeout")
-            for t2 in threads:
-                t2.join(timeout=5.0)
-            raise MPIError(f"SPMD program timed out after {timeout} s")
+    # While the world runs, the run's tracer is also the process-active one,
+    # so rank-agnostic instrumentation (the game engines) reaches it.
+    scope = activate(tracer) if tracer is not None else nullcontext()
+    with scope:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+            if t.is_alive():
+                world.abort("executor timeout")
+                for t2 in threads:
+                    t2.join(timeout=5.0)
+                raise MPIError(f"SPMD program timed out after {timeout} s")
 
     if failures:
         failures.sort(key=lambda item: item[0])

@@ -1,0 +1,57 @@
+"""Observability: per-rank tracing, metrics and trace exporters.
+
+The paper's analysis is a timeline story — game play overlapping the Nature
+Agent's broadcasts and fitness gathers — and this package makes that
+timeline visible on the virtual runtime:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` (thread-safe span/instant/flow
+  recorder with per-rank attribution) and the :data:`NULL_TRACER` no-op
+  default, so tracing is free when off.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters, gauges
+  and histograms; absorbs :class:`~repro.mpi.counters.CommCounters`.
+* :mod:`repro.obs.export` — Perfetto/Chrome trace JSON (per-rank tracks,
+  send→recv flow arrows), plain-text timelines, metrics dumps.
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.json``
+  renders a run summary from an exported trace.
+
+Enable tracing on the runners: ``run_spmd(..., tracer=Tracer())`` or
+``ParallelSimulation(..., trace=True)`` (the result then carries the tracer
+as ``result.trace``).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    metrics_json,
+    timeline_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    activate,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "get_tracer",
+    "set_tracer",
+    "activate",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "timeline_text",
+    "metrics_json",
+]

@@ -1,0 +1,214 @@
+"""Metrics: counters, gauges and histograms for one run.
+
+A :class:`MetricsRegistry` is the scalar half of the observability story —
+where the tracer answers "when did it happen", the registry answers "how
+much of it happened".  It absorbs the virtual network's
+:class:`~repro.mpi.counters.CommCounters` snapshots (one ``mpi.<op>.*``
+family per operation), carries run-level gauges (rank count, generations,
+failures), and histograms of whatever durations the instrumentation feeds
+it.  Everything serialises to plain JSON via :meth:`MetricsRegistry.to_dict`
+and round-trips with :meth:`MetricsRegistry.from_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (microseconds-friendly log scale).
+DEFAULT_BUCKETS = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing tally."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket distribution summary (count/sum/min/max + buckets).
+
+    ``bounds`` are the inclusive upper edges of each bucket; observations
+    above the last edge land in the implicit overflow bucket at the end of
+    ``bucket_counts`` (which therefore has ``len(bounds) + 1`` entries).
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {self.bounds}")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, edge in enumerate(self.bounds):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe name → metric store for one run.
+
+    Metrics are created on first access (``counter("x").inc()``); names are
+    dotted paths by convention (``mpi.send.bytes``, ``run.n_ranks``,
+    ``phase.play.us``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access (create on first use) ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at zero if absent."""
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at zero if absent."""
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, bounds: Iterable[float] | None = None) -> Histogram:
+        """The histogram called ``name``, created with ``bounds`` if absent."""
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = Histogram(
+                    bounds=DEFAULT_BUCKETS if bounds is None else tuple(bounds)
+                )
+                self._histograms[name] = found
+            return found
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand for ``counter(name).inc(amount)``."""
+        self.counter(name).inc(amount)
+
+    # -- absorption ----------------------------------------------------------
+
+    def absorb_comm_counters(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a :meth:`CommCounters.snapshot` into ``mpi.<op>.*`` counters.
+
+        Each operation contributes ``mpi.<op>.calls``, ``.messages`` and
+        ``.bytes``; repeated absorption accumulates (absorb each world once).
+        """
+        for op, tally in snapshot.items():
+            self.inc(f"mpi.{op}.calls", tally.calls)  # type: ignore[attr-defined]
+            self.inc(f"mpi.{op}.messages", tally.messages)  # type: ignore[attr-defined]
+            self.inc(f"mpi.{op}.bytes", tally.bytes)  # type: ignore[attr-defined]
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form: counters, gauges and histogram summaries."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: {
+                        "count": h.count,
+                        "sum": h.total,
+                        "min": h.min if h.count else None,
+                        "max": h.max if h.count else None,
+                        "mean": h.mean,
+                        "bounds": list(h.bounds),
+                        "bucket_counts": list(h.bucket_counts),
+                    }
+                    for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, summary in data.get("histograms", {}).items():
+            hist = registry.histogram(name, bounds=summary.get("bounds"))
+            hist.count = int(summary.get("count", 0))
+            hist.total = float(summary.get("sum", 0.0))
+            if summary.get("min") is not None:
+                hist.min = float(summary["min"])
+            if summary.get("max") is not None:
+                hist.max = float(summary["max"])
+            counts = summary.get("bucket_counts")
+            if counts:
+                hist.bucket_counts = [int(c) for c in counts]
+        return registry
+
+    def render(self) -> str:
+        """Human-readable table of every metric, sorted by name."""
+        data = self.to_dict()
+        lines: list[str] = []
+        if data["gauges"]:
+            lines.append("gauges:")
+            lines += [f"  {k:<40} {v:g}" for k, v in data["gauges"].items()]
+        if data["counters"]:
+            lines.append("counters:")
+            lines += [f"  {k:<40} {v:g}" for k, v in data["counters"].items()]
+        if data["histograms"]:
+            lines.append("histograms:")
+            for k, h in data["histograms"].items():
+                lines.append(
+                    f"  {k:<40} n={h['count']} mean={h['mean']:.3g}"
+                    f" min={h['min'] if h['min'] is not None else '-'}"
+                    f" max={h['max'] if h['max'] is not None else '-'}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)},"
+                f" gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+            )

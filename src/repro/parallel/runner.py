@@ -56,6 +56,7 @@ from repro.parallel.protocol import (
     PCOutcome,
     WorkerReport,
 )
+from repro.obs.tracer import Tracer
 from repro.population.fitness import FitnessEvaluator
 from repro.population.nature import NatureAgent, PCSelection
 from repro.population.population import Population
@@ -106,6 +107,11 @@ class ParallelRunResult:
     fault_events: tuple[FaultRecord, ...] = ()
     #: Checkpoint files written during the run, oldest first.
     checkpoints: tuple[str, ...] = ()
+    #: The run's :class:`~repro.obs.Tracer` when tracing was requested
+    #: (``ParallelSimulation(..., trace=...)``); ``None`` otherwise.  Export
+    #: it with :func:`repro.obs.write_chrome_trace` or summarise with
+    #: :func:`repro.obs.timeline_text`.
+    trace: Tracer | None = None
 
 
 def _replica_digest(matrix: np.ndarray) -> bytes:
@@ -124,33 +130,37 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
     nature = NatureAgent(config, streams) if comm.rank == decomp.nature_rank else None
     owned = decomp.ssets_of_rank(comm.rank)
     games_played = 0
+    tracer = comm.world.tracer
 
     for gen in range(1, config.generations + 1):
+        gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
+        gen_span.__enter__()
         if eager_games and owned.size:
             # Faithful mode: every generation, every owned SSet plays its
             # full opponent slate (§IV-D), whether or not a PC will consume
             # the fitness.  The trajectory is unaffected — PC fitness still
             # comes from the evaluator's deterministic/keyed-stream path.
-            assign = population.assignment()
-            tables = population.tables_view()
-            for sset in owned:
-                opponents = np.array(
-                    [
-                        j
-                        for j in range(config.n_ssets)
-                        if j != sset or config.include_self_play
-                    ],
-                    dtype=np.intp,
-                )
-                ia = np.full(opponents.size, assign[sset], dtype=np.intp)
-                ib = assign[opponents]
-                rng = (
-                    streams.fresh("eager", gen, int(sset))
-                    if not config.deterministic_games
-                    else None
-                )
-                evaluator.engine.play(tables, ia, ib, rng=rng)
-                games_played += opponents.size
+            with tracer.span("play", rank=comm.rank, args={"gen": gen}):
+                assign = population.assignment()
+                tables = population.tables_view()
+                for sset in owned:
+                    opponents = np.array(
+                        [
+                            j
+                            for j in range(config.n_ssets)
+                            if j != sset or config.include_self_play
+                        ],
+                        dtype=np.intp,
+                    )
+                    ia = np.full(opponents.size, assign[sset], dtype=np.intp)
+                    ib = assign[opponents]
+                    rng = (
+                        streams.fresh("eager", gen, int(sset))
+                        if not config.deterministic_games
+                        else None
+                    )
+                    evaluator.engine.play(tables, ia, ib, rng=rng)
+                    games_played += opponents.size
         # Step 1: generation header down the tree.
         if nature is not None:
             selection = nature.select_pc()
@@ -161,38 +171,40 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
             )
         else:
             header = None
-        header = comm.bcast(header, root=decomp.nature_rank)
+        with tracer.span("header", rank=comm.rank, args={"gen": gen}):
+            header = comm.bcast(header, root=decomp.nature_rank)
         if header.generation != gen:
             raise MPIError(f"rank {comm.rank} desynchronised: header {header.generation} != {gen}")
 
         # Steps 2-3: fitness returns and the adoption decision.
         if header.has_pc:
-            teacher, learner = header.pc_teacher, header.pc_learner
-            if comm.rank == decomp.owner_of(teacher):
-                (pi,) = evaluator.fitness([teacher], generation=gen)
-                comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_TEACHER)
-            if comm.rank == decomp.owner_of(learner):
-                (pi,) = evaluator.fitness([learner], generation=gen)
-                comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_LEARNER)
-            if nature is not None:
-                pi_t = comm.recv(source=decomp.owner_of(teacher), tag=_TAG_TEACHER)
-                pi_l = comm.recv(source=decomp.owner_of(learner), tag=_TAG_LEARNER)
-                decision = nature.decide_adoption(
-                    PCSelection(teacher=teacher, learner=learner), pi_t, pi_l
-                )
-                outcome = PCOutcome(
-                    teacher=teacher,
-                    learner=learner,
-                    adopted=decision.adopted,
-                    pi_teacher=decision.pi_teacher,
-                    pi_learner=decision.pi_learner,
-                    probability=decision.probability,
-                )
-            else:
-                outcome = None
-            outcome = comm.bcast(outcome, root=decomp.nature_rank)
-            if outcome.adopted:
-                population.adopt(outcome.learner, outcome.teacher)
+            with tracer.span("pc_step", rank=comm.rank, args={"gen": gen}):
+                teacher, learner = header.pc_teacher, header.pc_learner
+                if comm.rank == decomp.owner_of(teacher):
+                    (pi,) = evaluator.fitness([teacher], generation=gen)
+                    comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_TEACHER)
+                if comm.rank == decomp.owner_of(learner):
+                    (pi,) = evaluator.fitness([learner], generation=gen)
+                    comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_LEARNER)
+                if nature is not None:
+                    pi_t = comm.recv(source=decomp.owner_of(teacher), tag=_TAG_TEACHER)
+                    pi_l = comm.recv(source=decomp.owner_of(learner), tag=_TAG_LEARNER)
+                    decision = nature.decide_adoption(
+                        PCSelection(teacher=teacher, learner=learner), pi_t, pi_l
+                    )
+                    outcome = PCOutcome(
+                        teacher=teacher,
+                        learner=learner,
+                        adopted=decision.adopted,
+                        pi_teacher=decision.pi_teacher,
+                        pi_learner=decision.pi_learner,
+                        probability=decision.probability,
+                    )
+                else:
+                    outcome = None
+                outcome = comm.bcast(outcome, root=decomp.nature_rank)
+                if outcome.adopted:
+                    population.adopt(outcome.learner, outcome.teacher)
 
         # Step 4: mutation broadcast.
         if nature is not None:
@@ -204,9 +216,11 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
             )
         else:
             update = None
-        update = comm.bcast(update, root=decomp.nature_rank)
+        with tracer.span("mutation", rank=comm.rank, args={"gen": gen}):
+            update = comm.bcast(update, root=decomp.nature_rank)
         if update is not None:
             population.set_strategy(update.sset, update.table)
+        gen_span.__exit__(None, None, None)
 
     matrix = population.matrix()
     digests = comm.allgather(_replica_digest(matrix))
@@ -298,33 +312,39 @@ def _ft_worker(comm, config, eager_games, population, evaluator, streams, failed
 
 def _ft_worker_loop(comm, config, eager_games, population, evaluator, streams, failed) -> dict:
     games_played = 0
+    tracer = comm.world.tracer
     while True:
         msg = comm.recv_reliable(source=0, tag=TAG_CONTROL)
         if isinstance(msg, FTShutdown):
             break
         if isinstance(msg, FTHeader):
             gen = msg.generation
+            gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
+            gen_span.__enter__()
             comm.fault_point(gen)
             failed = set(msg.failed_ranks)
             if eager_games:
-                owners = owner_map_with_failures(
-                    config.n_ssets, comm.size, tuple(sorted(failed))
-                )
-                owned = np.flatnonzero(owners == comm.rank)
-                games_played += _eager_slate(
-                    comm, config, population, evaluator, streams, owned, gen
-                )
+                with tracer.span("play", rank=comm.rank, args={"gen": gen}):
+                    owners = owner_map_with_failures(
+                        config.n_ssets, comm.size, tuple(sorted(failed))
+                    )
+                    owned = np.flatnonzero(owners == comm.rank)
+                    games_played += _eager_slate(
+                        comm, config, population, evaluator, streams, owned, gen
+                    )
             pi_t = pi_l = None
             if msg.has_pc:
-                if msg.teacher_owner == comm.rank:
-                    pi_t = float(evaluator.fitness([msg.pc_teacher], generation=gen)[0])
-                if msg.learner_owner == comm.rank:
-                    pi_l = float(evaluator.fitness([msg.pc_learner], generation=gen)[0])
+                with tracer.span("fitness", rank=comm.rank, args={"gen": gen}):
+                    if msg.teacher_owner == comm.rank:
+                        pi_t = float(evaluator.fitness([msg.pc_teacher], generation=gen)[0])
+                    if msg.learner_owner == comm.rank:
+                        pi_l = float(evaluator.fitness([msg.pc_learner], generation=gen)[0])
             comm.send_reliable(
                 WorkerReport(rank=comm.rank, generation=gen, pi_teacher=pi_t, pi_learner=pi_l),
                 dest=0,
                 tag=TAG_REPORT,
             )
+            gen_span.__exit__(None, None, None)
         elif isinstance(msg, FTFitnessRequest):
             pi_t = (
                 float(evaluator.fitness([msg.pc_teacher], generation=msg.generation)[0])
@@ -370,6 +390,7 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
     degradations: list[DegradationEvent] = []
     checkpoints: list[str] = []
     hb = opts.heartbeat_timeout
+    tracer = comm.world.tracer
 
     def owners_now() -> np.ndarray:
         return owner_map_with_failures(config.n_ssets, size, tuple(sorted(failed)))
@@ -383,11 +404,17 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             live.remove(rank)
         comm.world.mark_failed(rank, reason)
         comm.world.counters.record("degradation", messages=0, nbytes=0)
+        tracer.instant(
+            "degradation", rank=comm.rank,
+            args={"gen": gen, "failed_rank": rank, "reason": reason},
+        )
         degradations.append(
             DegradationEvent(generation=gen, rank=rank, reason=reason, reassigned_ssets=lost)
         )
 
     for gen in range(opts.start_generation + 1, config.generations + 1):
+        gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
+        gen_span.__enter__()
         comm.fault_point(gen)
         if not live:
             raise MPIError(f"generation {gen}: all worker ranks failed; cannot continue")
@@ -401,13 +428,16 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             learner_owner=int(owners[selection.learner]) if selection else -1,
             failed_ranks=tuple(sorted(failed)),
         )
-        for rank in list(live):
-            try:
-                comm.send_reliable(header, dest=rank, tag=TAG_CONTROL)
-            except RankFailedError as exc:
-                declare_failed(rank, gen, f"header not acknowledged: {exc}")
+        with tracer.span("header", rank=comm.rank, args={"gen": gen}):
+            for rank in list(live):
+                try:
+                    comm.send_reliable(header, dest=rank, tag=TAG_CONTROL)
+                except RankFailedError as exc:
+                    declare_failed(rank, gen, f"header not acknowledged: {exc}")
 
         # Heartbeat round: one report per live worker, deadline-bounded.
+        hb_span = tracer.span("heartbeat", rank=comm.rank, args={"gen": gen})
+        hb_span.__enter__()
         pi_t = pi_l = None
         for rank in list(live):
             try:
@@ -425,7 +455,10 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                 pi_t = report.pi_teacher
             if report.pi_learner is not None:
                 pi_l = report.pi_learner
+        hb_span.__exit__(None, None, None)
 
+        pc_span = tracer.span("pc_step", rank=comm.rank, args={"gen": gen})
+        pc_span.__enter__()
         # Fitness recovery: the owner died mid-generation, ask the new owner.
         while selection is not None and (pi_t is None or pi_l is None):
             if not live:
@@ -486,23 +519,26 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                 comm.send_reliable(update, dest=rank, tag=TAG_CONTROL)
             except RankFailedError as exc:
                 declare_failed(rank, gen, f"update not acknowledged: {exc}")
+        pc_span.__exit__(None, None, None)
 
         if (
             opts.checkpoint_dir is not None
             and opts.checkpoint_every > 0
             and gen % opts.checkpoint_every == 0
         ):
-            state = ParallelCheckpoint(
-                config=config,
-                generation=gen,
-                matrix=population.matrix(),
-                nature_rng_state=streams.stream("nature").bit_generator.state,
-                n_pc_events=nature.n_pc_events,
-                n_adoptions=nature.n_adoptions,
-                n_mutations=nature.n_mutations,
-                failed_ranks=tuple(sorted(failed)),
-            )
-            checkpoints.append(str(save_parallel_checkpoint(state, opts.checkpoint_dir)))
+            with tracer.span("checkpoint", rank=comm.rank, args={"gen": gen}):
+                state = ParallelCheckpoint(
+                    config=config,
+                    generation=gen,
+                    matrix=population.matrix(),
+                    nature_rng_state=streams.stream("nature").bit_generator.state,
+                    n_pc_events=nature.n_pc_events,
+                    n_adoptions=nature.n_adoptions,
+                    n_mutations=nature.n_mutations,
+                    failed_ranks=tuple(sorted(failed)),
+                )
+                checkpoints.append(str(save_parallel_checkpoint(state, opts.checkpoint_dir)))
+        gen_span.__exit__(None, None, None)
 
     # Shutdown: collect final digests from survivors, then release stragglers.
     matrix = population.matrix()
@@ -565,6 +601,15 @@ class ParallelSimulation:
         files; enables restart via :meth:`resume`.
     checkpoint_every:
         Checkpoint cadence in generations (0 disables).
+    trace:
+        Observability.  ``True`` creates a fresh :class:`~repro.obs.Tracer`;
+        an existing :class:`~repro.obs.Tracer` is used as given.  The traced
+        run records per-rank generation-phase spans and every virtual-MPI
+        message, absorbs the network counters into the tracer's metrics
+        registry, and returns the tracer as ``result.trace`` for export
+        (:func:`repro.obs.write_chrome_trace`).  ``False`` (default) keeps
+        tracing off at near-zero cost; the trajectory is bit-identical
+        either way.
 
     Examples
     --------
@@ -586,6 +631,7 @@ class ParallelSimulation:
         heartbeat_timeout: float = 5.0,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
+        trace: bool | Tracer = False,
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
@@ -598,6 +644,12 @@ class ParallelSimulation:
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
         self.checkpoint_every = int(checkpoint_every)
+        if trace is True:
+            self.tracer: Tracer | None = Tracer()
+        elif trace is False or trace is None:
+            self.tracer = None
+        else:
+            self.tracer = trace
         wants_ckpt = self.checkpoint_dir is not None and self.checkpoint_every > 0
         self.fault_tolerant = (
             bool(fault_tolerant)
@@ -651,6 +703,17 @@ class ParallelSimulation:
         )
         return sim
 
+    def _finish_trace(self, spmd) -> None:
+        """Fold the run's facts into the tracer's metrics registry."""
+        if self.tracer is None:
+            return
+        metrics = self.tracer.metrics
+        metrics.absorb_comm_counters(spmd.world.counters.snapshot())
+        metrics.gauge("run.n_ranks").set(self.n_ranks)
+        metrics.gauge("run.generations").set(self.config.generations)
+        metrics.gauge("run.n_ssets").set(self.config.n_ssets)
+        metrics.gauge("run.failed_ranks").set(len(spmd.world.failed_ranks))
+
     def run(self, timeout: float | None = 600.0) -> ParallelRunResult:
         """Execute the SPMD program and assemble the result."""
         injector = (
@@ -658,6 +721,10 @@ class ParallelSimulation:
             if self.fault_plan is not None and not self.fault_plan.is_trivial
             else None
         )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.name_rank(0, "nature (rank 0)")
+            for rank in range(1, self.n_ranks):
+                self.tracer.name_rank(rank, f"worker (rank {rank})")
         if not self.fault_tolerant:
             spmd = run_spmd(
                 self.n_ranks,
@@ -665,7 +732,9 @@ class ParallelSimulation:
                 args=(self.config, self.eager_games),
                 timeout=timeout,
                 fault_injector=injector,
+                tracer=self.tracer,
             )
+            self._finish_trace(spmd)
             nature_out = spmd.returns[0]
             return ParallelRunResult(
                 matrix=nature_out["matrix"],
@@ -677,6 +746,7 @@ class ParallelSimulation:
                 n_ranks=self.n_ranks,
                 games_played_per_rank=tuple(out["games_played"] for out in spmd.returns),
                 fault_events=() if injector is None else injector.schedule(),
+                trace=self.tracer,
             )
 
         spmd = run_spmd(
@@ -686,7 +756,9 @@ class ParallelSimulation:
             timeout=timeout,
             fault_injector=injector,
             on_rank_failure="continue",
+            tracer=self.tracer,
         )
+        self._finish_trace(spmd)
         nature_out = spmd.returns[0]
         if nature_out is None:
             raise MPIError("the Nature rank did not complete; no result to assemble")
@@ -710,4 +782,5 @@ class ParallelSimulation:
             degradations=nature_out["degradations"],
             fault_events=() if injector is None else injector.schedule(),
             checkpoints=nature_out["checkpoints"],
+            trace=self.tracer,
         )

@@ -1,0 +1,113 @@
+"""Tests for the metrics registry: counters, gauges, histograms, round-trips."""
+
+import pytest
+
+from repro.mpi.counters import CommCounters
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(-1)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram()
+        for v in (1.0, 10.0, 100.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(111.0)
+        assert h.min == 1.0
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(37.0)
+
+    def test_empty_mean(self):
+        assert Histogram().mean == 0.0
+
+    def test_bucket_counts_cover_all_observations(self):
+        h = Histogram()
+        for v in (0.0, 0.5, 2.0, 1e9):  # below first bound and above last
+            h.observe(v)
+        assert sum(h.bucket_counts) == 4
+        assert len(h.bucket_counts) == len(h.bounds) + 1
+        assert h.bucket_counts[-1] == 1  # the 1e9 overflow
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_create_on_access(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.counter("a").inc(3)
+        assert reg.counter("a").value == 5
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.0)
+        assert reg.gauge("g").value == 7
+
+    def test_inc_shorthand(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 3)
+        assert reg.counter("n").value == 3
+
+    def test_histogram_custom_bounds_kept(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        assert reg.histogram("h") is h
+        assert h.bounds == (1.0, 2.0)
+
+    def test_absorb_comm_counters(self):
+        counters = CommCounters()
+        counters.record("send", messages=2, nbytes=64)
+        counters.record("bcast", messages=3, nbytes=30)
+        reg = MetricsRegistry()
+        reg.absorb_comm_counters(counters.snapshot())
+        assert reg.counter("mpi.send.calls").value == 1
+        assert reg.counter("mpi.send.messages").value == 2
+        assert reg.counter("mpi.send.bytes").value == 64
+        assert reg.counter("mpi.bcast.bytes").value == 30
+
+    def test_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h").observe(5.0)
+        again = MetricsRegistry.from_dict(reg.to_dict())
+        assert again.to_dict() == reg.to_dict()
+
+    def test_empty_histogram_serialises_null_extremes(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        summary = reg.to_dict()["histograms"]["h"]
+        assert summary["min"] is None and summary["max"] is None
+        again = MetricsRegistry.from_dict(reg.to_dict())
+        assert again.to_dict() == reg.to_dict()
+
+    def test_render_mentions_names(self):
+        reg = MetricsRegistry()
+        reg.counter("hello.calls").inc()
+        assert "hello.calls" in reg.render()
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()

@@ -1,0 +1,186 @@
+"""Tests for the span tracer: recording, attribution, flows, activation."""
+
+import threading
+
+from repro.obs.tracer import (
+    DRIVER_RANK,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activate,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tr = Tracer()
+        with tr.span("phase_x", rank=3, args={"gen": 7}):
+            pass
+        (e,) = tr.events()
+        assert e.ph == "X"
+        assert e.name == "phase_x"
+        assert e.cat == "phase"
+        assert e.rank == 3
+        assert e.args == {"gen": 7}
+        assert e.dur >= 0.0
+
+    def test_nested_spans_both_recorded(self):
+        tr = Tracer()
+        with tr.span("outer", rank=0):
+            with tr.span("inner", rank=0):
+                pass
+        names = [e.name for e in tr.events()]
+        assert names == ["inner", "outer"]  # inner closes first
+        inner, outer = tr.events()
+        assert outer.ts <= inner.ts
+        assert outer.ts + outer.dur >= inner.ts + inner.dur
+
+    def test_complete_records_given_window(self):
+        tr = Tracer()
+        tr.complete("manual", ts=10.0, dur=5.0, rank=1)
+        (e,) = tr.events()
+        assert (e.ts, e.dur) == (10.0, 5.0)
+
+    def test_instant(self):
+        tr = Tracer()
+        tr.instant("tick", rank=2, args={"k": 1})
+        (e,) = tr.events()
+        assert e.ph == "i"
+        assert e.dur == 0.0
+
+    def test_seq_is_monotonic(self):
+        tr = Tracer()
+        for _ in range(5):
+            tr.instant("t", rank=0)
+        seqs = [e.seq for e in tr.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_clear_and_len(self):
+        tr = Tracer()
+        tr.instant("a", rank=0)
+        assert len(tr) == 1
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestRankAttribution:
+    def test_unbound_thread_is_driver(self):
+        tr = Tracer()
+        assert tr.current_rank() == DRIVER_RANK
+        tr.instant("x")
+        assert tr.events()[0].rank == DRIVER_RANK
+
+    def test_set_rank_is_thread_local(self):
+        tr = Tracer()
+        tr.set_rank(9)
+        seen = {}
+
+        def other():
+            seen["rank"] = tr.current_rank()
+            tr.set_rank(4)
+            tr.instant("from_other")
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert seen["rank"] == DRIVER_RANK  # binding does not leak across threads
+        assert tr.current_rank() == 9
+        assert tr.events()[0].rank == 4
+
+    def test_name_rank(self):
+        tr = Tracer()
+        tr.name_rank(0, "nature")
+        tr.name_rank(1, "worker")
+        assert tr.rank_names() == {0: "nature", 1: "worker"}
+
+
+class TestFlows:
+    def test_flow_ids_unique_and_nonzero(self):
+        tr = Tracer()
+        ids = [tr.new_flow_id() for _ in range(10)]
+        assert 0 not in ids
+        assert len(set(ids)) == 10
+
+    def test_msg_send_recv_pair(self):
+        tr = Tracer()
+        fid = tr.new_flow_id()
+        tr.msg_send(0, 1, 42, 100, ts=5.0, dur=2.0, flow_id=fid)
+        tr.msg_recv(1, 0, 42, 100, ts=9.0, dur=1.0, flow_id=fid)
+        by_ph = {e.ph: e for e in tr.events()}
+        assert set(by_ph) == {"X", "s", "f"} or len(tr.events()) == 4
+        sends = [e for e in tr.events() if e.name == "send"]
+        recvs = [e for e in tr.events() if e.name == "recv"]
+        starts = [e for e in tr.events() if e.ph == "s"]
+        finishes = [e for e in tr.events() if e.ph == "f"]
+        assert len(sends) == len(recvs) == len(starts) == len(finishes) == 1
+        assert starts[0].flow_id == finishes[0].flow_id == fid
+        # flow points sit inside their enclosing slices so viewers can bind them
+        assert sends[0].ts <= starts[0].ts <= sends[0].ts + sends[0].dur
+        assert recvs[0].ts <= finishes[0].ts <= recvs[0].ts + recvs[0].dur
+
+    def test_flow_id_zero_suppresses_arrow(self):
+        tr = Tracer()
+        tr.msg_send(0, 1, 7, 10, ts=0.0, dur=1.0, flow_id=0)
+        assert [e.ph for e in tr.events()] == ["X"]
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        tr = Tracer()
+        n_threads, per_thread = 8, 200
+
+        def work(rank):
+            tr.set_rank(rank)
+            for i in range(per_thread):
+                tr.instant("e", args={"i": i})
+
+        threads = [threading.Thread(target=work, args=(r,)) for r in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = tr.events()
+        assert len(events) == n_threads * per_thread
+        assert len({e.seq for e in events}) == len(events)
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("x", rank=0):
+            NULL_TRACER.instant("y")
+        NULL_TRACER.complete("z", ts=0.0, dur=1.0)
+        NULL_TRACER.msg_send(0, 1, 0, 0, ts=0.0, dur=0.0, flow_id=1)
+        NULL_TRACER.msg_recv(1, 0, 0, 0, ts=0.0, dur=0.0, flow_id=1)
+        assert len(NULL_TRACER) == 0
+
+    def test_flow_ids_are_zero(self):
+        assert NULL_TRACER.new_flow_id() == 0
+
+    def test_span_returns_shared_handle(self):
+        assert NullTracer().span("a") is NullTracer().span("b")
+
+
+class TestActivation:
+    def test_default_active_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_activate_restores_previous(self):
+        tr = Tracer()
+        with activate(tr) as active:
+            assert active is tr
+            assert get_tracer() is tr
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert prev is NULL_TRACER
+        assert get_tracer() is NULL_TRACER

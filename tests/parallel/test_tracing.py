@@ -1,0 +1,155 @@
+"""Integration tests: traced parallel runs export valid, useful traces.
+
+The acceptance path of the observability subsystem: an 8-rank
+:class:`~repro.parallel.runner.ParallelSimulation` run with ``trace=True``
+must yield a Perfetto-loadable Chrome trace with one named track per rank,
+generation-phase spans, and paired message-flow events — and tracing must
+never change the science (traced and untraced trajectories are identical).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.mpi.executor import run_spmd
+from repro.mpi.faults import FaultEvent, FaultPlan
+from repro.obs.export import chrome_trace, load_trace, timeline_text, write_chrome_trace
+from repro.obs.report import render_report
+from repro.obs.tracer import NULL_TRACER, Tracer, get_tracer
+from repro.parallel.runner import ParallelSimulation
+
+CFG = SimulationConfig(n_ssets=8, generations=6, seed=17)
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    sim = ParallelSimulation(CFG, n_ranks=8, trace=True)
+    return sim.run()
+
+
+class TestTracedRun:
+    def test_trace_attached(self, traced_result):
+        assert isinstance(traced_result.trace, Tracer)
+        assert len(traced_result.trace) > 0
+
+    def test_one_named_track_per_rank(self, traced_result, tmp_path):
+        path = write_chrome_trace(traced_result.trace, tmp_path / "run.json")
+        doc = load_trace(path)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert len(names) == 8  # tids 1..8 for ranks 0..7
+        assert names[1] == "nature (rank 0)"
+        assert all("worker" in names[tid] for tid in range(2, 9))
+        slice_tids = {e["tid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert slice_tids == set(range(1, 9))  # every rank produced spans
+
+    def test_generation_phase_spans_on_every_rank(self, traced_result):
+        events = traced_result.trace.events()
+        gen_spans = [e for e in events if e.ph == "X" and e.name == "generation"]
+        assert {e.rank for e in gen_spans} == set(range(8))
+        assert {e.args["gen"] for e in gen_spans} == set(range(1, CFG.generations + 1))
+        phases = {e.name for e in events if e.ph == "X" and e.cat == "phase"}
+        assert {"header", "mutation"} <= phases
+
+    def test_message_flows_pair_up(self, traced_result):
+        events = traced_result.trace.events()
+        starts = {e.flow_id for e in events if e.ph == "s"}
+        finishes = {e.flow_id for e in events if e.ph == "f"}
+        assert starts, "no message flows recorded"
+        assert finishes <= starts  # every arrow lands somewhere it started
+        # The collective protocol delivers everything it sends.
+        assert starts == finishes
+
+    def test_collective_spans_recorded(self, traced_result):
+        events = traced_result.trace.events()
+        colls = {e.name for e in events if e.cat == "mpi.coll"}
+        assert "bcast" in colls
+
+    def test_metrics_absorbed(self, traced_result):
+        metrics = traced_result.trace.metrics
+        assert metrics.gauge("run.n_ranks").value == 8
+        assert metrics.gauge("run.generations").value == CFG.generations
+        assert metrics.counter("mpi.send.calls").value > 0
+        assert metrics.counter("mpi.send.bytes").value > 0
+
+    def test_export_is_valid_json_and_reportable(self, traced_result, tmp_path):
+        path = write_chrome_trace(traced_result.trace, tmp_path / "run.json")
+        doc = json.loads(path.read_text())  # strict JSON, as Perfetto demands
+        report = render_report(doc, per_rank=True)
+        assert "total 6 generations" in report
+        assert "nature (rank 0)" in report
+        text = timeline_text(traced_result.trace)
+        assert "header=" in text
+
+
+class TestDeterminism:
+    def test_traced_and_untraced_runs_identical(self, traced_result):
+        untraced = ParallelSimulation(CFG, n_ranks=8, trace=False).run()
+        assert untraced.trace is None
+        assert np.array_equal(traced_result.matrix, untraced.matrix)
+        assert traced_result.n_pc_events == untraced.n_pc_events
+        assert traced_result.n_adoptions == untraced.n_adoptions
+        assert traced_result.n_mutations == untraced.n_mutations
+
+    def test_tracing_off_leaves_null_tracer_active(self):
+        ParallelSimulation(CFG, n_ranks=2).run()
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracer_instance_can_be_supplied(self):
+        tr = Tracer()
+        res = ParallelSimulation(CFG, n_ranks=2, trace=tr).run()
+        assert res.trace is tr
+        assert len(tr) > 0
+
+
+class TestFaultTolerantTracing:
+    def test_degradation_and_ft_phases_appear(self):
+        cfg = SimulationConfig(n_ssets=8, generations=30, seed=11)
+        plan = FaultPlan(seed=5, events=(FaultEvent(kind="crash", rank=2, generation=10),))
+        sim = ParallelSimulation(
+            cfg, n_ranks=4, fault_plan=plan, fault_tolerant=True, trace=True
+        )
+        res = sim.run()
+        assert res.failed_ranks == (2,)
+        events = res.trace.events()
+        names = {e.name for e in events}
+        assert "heartbeat" in names
+        assert "pc_step" in names
+        instants = [e for e in events if e.ph == "i" and e.name == "degradation"]
+        assert len(instants) == 1
+        assert instants[0].args["failed_rank"] == 2
+        assert res.trace.metrics.gauge("run.failed_ranks").value == 1
+
+    def test_reliable_spans_in_ft_mode(self):
+        cfg = SimulationConfig(n_ssets=4, generations=5, seed=2)
+        res = ParallelSimulation(cfg, n_ranks=2, fault_tolerant=True, trace=True).run()
+        cats = {e.cat for e in res.trace.events()}
+        assert "mpi.reliable" in cats
+
+
+class TestRunSpmdTracer:
+    def test_tracer_param_records_p2p(self):
+        tr = Tracer()
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 16, dest=1, tag=9)
+                return None
+            return comm.recv(source=0, tag=9)
+
+        run_spmd(2, program, tracer=tr)
+        sends = [e for e in tr.events() if e.name == "send"]
+        recvs = [e for e in tr.events() if e.name == "recv"]
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0].rank == 0 and recvs[0].rank == 1
+        assert sends[0].flow_id == recvs[0].flow_id != 0
+        assert sends[0].args["nbytes"] == recvs[0].args["nbytes"] == 16
+
+    def test_untraced_world_records_nothing(self):
+        res = run_spmd(2, lambda comm: comm.bcast(b"y", root=0))
+        assert res.world.tracer is NULL_TRACER

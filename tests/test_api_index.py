@@ -49,3 +49,19 @@ class TestApiIndex:
             if not getattr(module, "__all__", None):
                 undeclared.append(info.name)
         assert not undeclared, f"packages without __all__: {undeclared}"
+
+    def test_no_module_is_invisible_to_the_index(self):
+        """Every public-looking module declares __all__ (gen_api_index flags rest)."""
+        assert gen_api_index.unindexed_modules() == []
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        """--check exits 0 on a fresh index and 1 after any drift."""
+        assert gen_api_index.main(["--check"]) == 0
+        path = REPO_ROOT / "docs" / "api.md"
+        original = path.read_text()
+        try:
+            path.write_text(original + "drift\n")
+            assert gen_api_index.main(["--check"]) == 1
+            assert "stale" in capsys.readouterr().err
+        finally:
+            path.write_text(original)

@@ -1,0 +1,83 @@
+"""Tests for the doc-snippet smoke checker (tools/check_doc_snippets.py)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_doc_snippets  # noqa: E402
+
+
+SAMPLE = """# Doc
+
+```python
+x = 1
+```
+
+Some prose.
+
+<!-- snippet: skip -->
+```python
+raise RuntimeError("never runs")
+```
+
+```bash
+echo not python
+```
+
+```python
+y = x + 1
+assert y == 2
+```
+"""
+
+
+class TestExtractBlocks:
+    def test_finds_python_blocks_and_skip_markers(self):
+        blocks = check_doc_snippets.extract_blocks(SAMPLE)
+        assert len(blocks) == 3  # bash block excluded
+        codes = [code for _, code, _ in blocks]
+        assert codes[0] == "x = 1"
+        skips = [skip for _, _, skip in blocks]
+        assert skips == [False, True, False]
+
+    def test_line_numbers_point_at_code(self):
+        lines = SAMPLE.splitlines()
+        for start, code, _ in check_doc_snippets.extract_blocks(SAMPLE):
+            first = code.splitlines()[0]
+            assert lines[start - 1] == first  # 1-based
+
+
+class TestRunFile:
+    def test_cumulative_namespace_and_skips(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(SAMPLE)
+        ran, skipped, errors = check_doc_snippets.run_file(doc)
+        assert (ran, skipped, errors) == (2, 1, [])  # y = x + 1 saw x
+
+    def test_failure_reported_with_location(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("```python\nboom\n```\n")
+        ran, skipped, errors = check_doc_snippets.run_file(doc)
+        assert ran == 0 and len(errors) == 1
+        assert "bad.md:2" in errors[0]
+        assert "NameError" in errors[0]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("```python\npass\n```\n")
+        assert check_doc_snippets.main([str(good)]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\n1/0\n```\n")
+        assert check_doc_snippets.main([str(bad)]) == 1
+        assert "snippet failed" in capsys.readouterr().err
+
+
+class TestRepoDocsAreCovered:
+    def test_docs_check_target_lists_all_prose_docs(self):
+        """Every prose doc with python snippets is wired into make docs-check."""
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        for doc in ("README.md", "docs/tutorial.md", "docs/architecture.md",
+                    "docs/observability.md"):
+            assert doc in makefile, f"{doc} missing from the docs-check target"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Execute every Python snippet in the docs and fail on the first error.
+
+Fenced ```python blocks are extracted per markdown file and executed
+cumulatively (each file gets one namespace, so later snippets may use
+earlier imports and variables — exactly how a reader follows along).
+Execution happens inside a scratch working directory, so snippets that
+write checkpoints or traces stay self-contained.
+
+A block can opt out by being preceded (within three lines) by the marker:
+
+    <!-- snippet: skip -->
+
+Use it for illustrative fragments that are not meant to run (pseudo-code,
+snippets requiring optional dependencies).  ``bash`` blocks are always
+skipped.  Run:
+
+    python tools/check_doc_snippets.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+SKIP_MARKER = "<!-- snippet: skip -->"
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_blocks(text: str) -> list[tuple[int, str, bool]]:
+    """(start_line, code, skipped) for every fenced python block."""
+    blocks: list[tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE.match(lines[i])
+        if match and match.group(1) == "python":
+            skip = any(
+                SKIP_MARKER in lines[j] for j in range(max(0, i - 3), i)
+            )
+            start = i + 1
+            j = start
+            while j < len(lines) and not lines[j].startswith("```"):
+                j += 1
+            blocks.append((start + 1, "\n".join(lines[start:j]), skip))
+            i = j + 1
+        else:
+            i += 1
+    return blocks
+
+
+def run_file(path: Path) -> tuple[int, int, list[str]]:
+    """Execute all blocks of one file; returns (ran, skipped, errors)."""
+    blocks = extract_blocks(path.read_text())
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    ran = skipped = 0
+    errors: list[str] = []
+    for line, code, skip in blocks:
+        if skip:
+            skipped += 1
+            continue
+        try:
+            exec(compile(code, f"{path}:{line}", "exec"), namespace)
+            ran += 1
+        except Exception:
+            tb = traceback.format_exc(limit=3)
+            errors.append(f"{path}:{line}: snippet failed\n{tb}")
+            break  # later blocks in this file likely depend on this one
+    return ran, skipped, errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, help="markdown files to check")
+    opts = parser.parse_args(argv)
+
+    failures: list[str] = []
+    origin = Path.cwd()
+    for path in opts.files:
+        path = path.resolve()
+        with tempfile.TemporaryDirectory(prefix="doc-snippets-") as scratch:
+            os.chdir(scratch)
+            try:
+                ran, skipped, errors = run_file(path)
+            finally:
+                os.chdir(origin)
+        note = f" ({skipped} skipped)" if skipped else ""
+        rel = path.relative_to(origin) if path.is_relative_to(origin) else path
+        print(f"{rel}: {ran} snippet(s) ok{note}")
+        failures.extend(errors)
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
