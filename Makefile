@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -15,6 +15,11 @@ test-fast:
 # parallel runner (minutes, not seconds — heartbeat timeouts are real time).
 test-chaos:
 	pytest tests/ -m chaos
+
+# Process-backend SPMD suite: every rank forks a real OS process, so the
+# tests keep world sizes small (<= 4 ranks) to stay fast on shared runners.
+test-procexec:
+	pytest tests/ -m procexec
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,77 @@
+"""Thread vs process SPMD backends on memory-3 vectorised game play.
+
+The point of the process backend is wall-clock: rank programs dominated by
+pure-Python/NumPy game play serialise on the GIL under the thread backend
+but spread across cores as OS processes.  This bench runs the identical
+rank program — each rank plays its slice of a memory-3 round robin and the
+world allreduces a fitness checksum — under both backends and reports the
+ratio.  The speedup assertion only applies on multi-core hosts; a 1-CPU
+runner still exercises both paths and emits the table.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.game.states import StateSpace
+from repro.game.vector_engine import VectorEngine
+from repro.mpi.executor import run_spmd
+
+from ._util import emit
+
+MEMORY = 3
+N_STRATEGIES = 96
+ROUNDS = 200
+REPEATS = 40
+N_RANKS = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) >= 2 else 2
+
+
+def _play_slice(comm, mat, rounds, repeats):
+    """Play this rank's share of the round robin; allreduce a checksum."""
+    engine = VectorEngine(StateSpace(MEMORY), rounds=rounds)
+    ia, ib = engine.round_robin_pairs(mat.shape[0])
+    ia, ib = ia[comm.rank :: comm.size], ib[comm.rank :: comm.size]
+    local = 0.0
+    for _ in range(repeats):
+        res = engine.play(mat, ia, ib)
+        local += float(res.fitness_a.sum() + res.fitness_b.sum())
+    return comm.allreduce(local)
+
+
+def _timed(backend, mat):
+    t0 = time.perf_counter()
+    res = run_spmd(
+        N_RANKS, _play_slice, args=(mat, ROUNDS, REPEATS), timeout=600, backend=backend
+    )
+    elapsed = time.perf_counter() - t0
+    return elapsed, res.returns[0]
+
+
+def test_backend_speedup():
+    rng = np.random.default_rng(7)
+    mat = rng.integers(0, 2, size=(N_STRATEGIES, StateSpace(MEMORY).n_states), dtype=np.uint8)
+
+    # Warm both paths once (imports, fork machinery), then measure.
+    _timed("thread", mat)
+    _timed("process", mat)
+    t_thread, sum_thread = _timed("thread", mat)
+    t_process, sum_process = _timed("process", mat)
+
+    # Same games, same deterministic engine: the science must agree exactly.
+    assert sum_thread == sum_process
+
+    speedup = t_thread / t_process if t_process else float("inf")
+    lines = [
+        f"memory-{MEMORY} round robin, {N_STRATEGIES} strategies x {ROUNDS} rounds"
+        f" x {REPEATS} repeats, {N_RANKS} ranks ({os.cpu_count()} cores)",
+        f"{'backend':<10} {'wall s':>8}",
+        f"{'thread':<10} {t_thread:>8.3f}",
+        f"{'process':<10} {t_process:>8.3f}",
+        f"process speedup: {speedup:.2f}x",
+    ]
+    emit("backend_speedup", "\n".join(lines))
+
+    if (os.cpu_count() or 1) >= 2:
+        # On a multi-core host real parallelism must beat the GIL.
+        assert speedup > 1.0, f"expected process backend to win, got {speedup:.2f}x"

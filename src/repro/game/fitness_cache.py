@@ -37,6 +37,12 @@ def strategy_row_digest(row: np.ndarray) -> bytes:
 class FitnessCache:
     """LRU cache of deterministic pair fitness keyed by strategy digests.
 
+    A cached payoff is only valid for the game parameters it was computed
+    under, so the cache *pins itself* to the first engine it plays through
+    (:meth:`VectorEngine.fingerprint`: memory depth, payoff matrix, rounds,
+    noise) and raises on any attempt to reuse it with a differently
+    configured engine.  :meth:`clear` unpins along with dropping the data.
+
     Parameters
     ----------
     maxsize:
@@ -49,23 +55,45 @@ class FitnessCache:
             raise GameError(f"maxsize must be positive or None, got {maxsize}")
         self.maxsize = maxsize
         self._store: OrderedDict[tuple[bytes, bytes], tuple[float, float]] = OrderedDict()
+        self._engine_fingerprint: bytes | None = None
         self.hits = 0
         self.misses = 0
+        self.pending_served = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
-        """Drop all cached pairs and reset statistics."""
+        """Drop all cached pairs, reset statistics, unpin the engine."""
         self._store.clear()
+        self._engine_fingerprint = None
         self.hits = 0
         self.misses = 0
+        self.pending_served = 0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache since the last clear."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of requested games that did not need fresh play.
+
+        Counts both true cache hits and games served from a duplicate pair
+        played earlier in the same batch (``pending_served``); ``misses``
+        is then exactly the number of games actually played.
+        """
+        served = self.hits + self.pending_served
+        total = served + self.misses
+        return served / total if total else 0.0
+
+    def _check_engine(self, engine: VectorEngine) -> None:
+        """Pin to the first engine's configuration; reject any other."""
+        fingerprint = engine.fingerprint()
+        if self._engine_fingerprint is None:
+            self._engine_fingerprint = fingerprint
+        elif fingerprint != self._engine_fingerprint:
+            raise GameError(
+                "this FitnessCache is pinned to a different engine configuration"
+                " (memory/payoff/rounds/noise); use a separate cache per engine"
+                " or clear() this one"
+            )
 
     # -- raw access -----------------------------------------------------------
 
@@ -114,6 +142,10 @@ class FitnessCache:
         ----------
         engine:
             A noiseless :class:`~repro.game.vector_engine.VectorEngine`.
+            The first call pins the cache to this engine's
+            :meth:`~repro.game.vector_engine.VectorEngine.fingerprint`;
+            later calls with a differently configured engine raise
+            :class:`~repro.errors.GameError`.
         tables:
             Pure (integer) strategy matrix.
         ia, ib:
@@ -133,6 +165,7 @@ class FitnessCache:
             raise GameError("the fitness cache only applies to pure strategies")
         if not engine.noise.is_noiseless:
             raise GameError("the fitness cache only applies to noiseless play")
+        self._check_engine(engine)
         ia = np.asarray(ia, dtype=np.intp)
         ib = np.asarray(ib, dtype=np.intp)
         if digests is None:
@@ -157,6 +190,10 @@ class FitnessCache:
                 pending[key] = [(g, swapped)]
                 miss_idx.append(g)
             else:
+                # Duplicate of a pair already queued in this batch: it will
+                # be served from that single game, so it is not a miss.
+                self.misses -= 1
+                self.pending_served += 1
                 slot.append((g, swapped))
 
         if miss_idx:
@@ -177,5 +214,6 @@ class FitnessCache:
     def __repr__(self) -> str:
         return (
             f"FitnessCache(size={len(self)}, maxsize={self.maxsize},"
-            f" hits={self.hits}, misses={self.misses})"
+            f" hits={self.hits}, misses={self.misses},"
+            f" pending_served={self.pending_served})"
         )

@@ -16,6 +16,7 @@ equality game-by-game for pure strategies and statistically for mixed ones.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -122,6 +123,22 @@ class VectorEngine:
         # Running tally of work done, for perf-model calibration.
         self.games_played = 0
         self.rounds_played = 0
+
+    def fingerprint(self) -> bytes:
+        """Stable 16-byte identity of this engine's game parameters.
+
+        Two engines share a fingerprint exactly when a deterministic game
+        between the same pure strategies yields the same payoffs under
+        both: memory depth, payoff matrix, rounds and noise all
+        participate.  :class:`~repro.game.fitness_cache.FitnessCache` pins
+        itself to this value so cached fitness can never be served under
+        different game parameters.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr((self.space.memory, self.space.n_states, self.rounds)).encode())
+        h.update(np.ascontiguousarray(self.payoff.table, dtype=np.float64).tobytes())
+        h.update(repr(float(self.noise.rate)).encode())
+        return h.digest()
 
     # -- main entry ---------------------------------------------------------
 
@@ -240,7 +257,11 @@ class VectorEngine:
         Every unordered pair plays once; both players' payoffs from that
         single game are credited.  This matches the paper's accounting where
         the matchup (i, j) contributes to both SSet i's and SSet j's
-        relative fitness.
+        relative fitness.  A self-matchup (``include_self=True``) has one
+        strategy on both sides of the board, so it is credited the *average*
+        of the two seats' payoffs — one agent's score, the same accounting
+        as :meth:`repro.game.tournament.Tournament.play`'s halved diagonal
+        (for deterministic play the two seats tie and the average is exact).
         """
         mat = as_table_matrix(self.space, tables)
         n = mat.shape[0]
@@ -251,6 +272,14 @@ class VectorEngine:
         fitness = np.zeros(n, dtype=np.float64)
         np.add.at(fitness, ia, res.fitness_a)
         np.add.at(fitness, ib, res.fitness_b)
+        if include_self:
+            self_games = ia == ib
+            if np.any(self_games):
+                np.add.at(
+                    fitness,
+                    ia[self_games],
+                    -(res.fitness_a[self_games] + res.fitness_b[self_games]) / 2.0,
+                )
         if tracer.enabled:
             tracer.complete(
                 "vector_engine.tournament", cat="game", ts=trace_t0,

@@ -77,6 +77,19 @@ class CommCounters:
         with self._lock:
             return {k: OpCount(v.calls, v.messages, v.bytes) for k, v in self.ops.items()}
 
+    def absorb(self, snapshot: dict[str, OpCount]) -> None:
+        """Fold another counter set's :meth:`snapshot` into this one.
+
+        The process-backend executor tallies traffic per rank process and
+        merges the per-process snapshots into the world's counters here.
+        """
+        with self._lock:
+            for op, count in snapshot.items():
+                tally = self.ops[op]
+                tally.calls += count.calls
+                tally.messages += count.messages
+                tally.bytes += count.bytes
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{k}={v.calls}c/{v.messages}m/{v.bytes}B" for k, v in sorted(self.snapshot().items())

@@ -9,8 +9,11 @@ failure in the caller, with the other ranks' blocked operations unwound via
 
 Threads give concurrency, not parallelism (the GIL serialises pure-Python
 sections) — which is exactly what a *correctness* substrate needs: identical
-message-passing semantics at any rank count that fits in memory.  Wall-clock
-performance at scale is the job of :mod:`repro.perf`.
+message-passing semantics at any rank count that fits in memory.  For true
+multi-core execution pass ``backend="process"``, which delegates to
+:mod:`repro.mpi.procexec` (ranks as OS processes, same ``Comm`` API, same
+results).  Modelled performance at Blue Gene scale is the job of
+:mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -63,6 +66,7 @@ def run_spmd(
     fault_injector: FaultInjector | None = None,
     on_rank_failure: str = "abort",
     tracer: Tracer | None = None,
+    backend: str = "thread",
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -93,12 +97,33 @@ def run_spmd(
         the tracer is the process-active one for the duration of the run,
         so engine-level instrumentation is attributed too).  ``None``
         (default) keeps tracing off at near-zero cost.
+    backend:
+        ``"thread"`` (default) runs ranks as threads in this process — the
+        correctness substrate.  ``"process"`` delegates to
+        :func:`repro.mpi.procexec.run_spmd_process`: ranks as OS processes
+        with their own GILs, for real multi-core throughput.  Rank programs
+        that follow the deterministic-RNG contract produce bit-identical
+        results under either backend.
 
     Raises
     ------
     The first rank exception, re-raised in the caller, or
     :class:`~repro.errors.MPIError` on timeout.
     """
+    if backend == "process":
+        from repro.mpi.procexec import run_spmd_process
+
+        return run_spmd_process(
+            n_ranks,
+            fn,
+            args=args,
+            timeout=timeout,
+            fault_injector=fault_injector,
+            on_rank_failure=on_rank_failure,
+            tracer=tracer,
+        )
+    if backend != "thread":
+        raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
     if not 1 <= n_ranks <= MAX_THREAD_RANKS:
         raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
     if on_rank_failure not in ("abort", "continue"):

@@ -1,0 +1,498 @@
+"""Process-based SPMD executor: ranks as OS processes, true multi-core play.
+
+The thread executor (:mod:`repro.mpi.executor`) is the *correctness*
+substrate — faithful message-passing semantics at any rank count, but the
+GIL serialises pure-Python sections, so game play gains no wall-clock
+parallelism.  This module is the *throughput* substrate: the same rank
+programs, the same :class:`~repro.mpi.comm.Comm` API (tagged p2p,
+collectives, reliable delivery, timeouts, fault points), but every rank is
+a real operating-system process with its own interpreter and its own GIL.
+
+Transport
+---------
+Each rank owns one :class:`multiprocessing.Queue` as its inbound wire.  A
+rank's :class:`~repro.mpi.comm.Comm` sees a world whose remote mailboxes
+pickle ``(source, tag, payload, nbytes, msg_id)`` frames onto the
+destination's queue; a pump thread in the destination process drains its
+queue into a regular in-process :class:`~repro.mpi.comm._Mailbox`, so tag
+matching, wildcards, timeouts and non-overtaking order are byte-for-byte
+the thread backend's logic.  Abort, shutdown and failed-rank state live in
+shared memory (:class:`multiprocessing.Event` plus a flag array), which
+blocked receives already poll.
+
+Unlike the thread backend's zero-copy network, every payload crosses a
+process boundary by value: payloads must be picklable, and senders get a
+private copy semantics for free (mutating a buffer after ``send`` cannot
+corrupt the message).
+
+Determinism
+-----------
+Rank programs that derive all randomness from their rank and seed (the
+:class:`~repro.rng.StreamFactory` contract) produce bit-identical results
+under either backend — the backend-parity tests assert identical
+population trajectories from :class:`~repro.parallel.runner.ParallelSimulation`.
+Fault injection stays deterministic too: each process evaluates the same
+pure ``(seed, kind, key)`` hash schedule against its own send counter, and
+the fired-fault logs are merged back into the caller's injector.  Under
+``on_rank_failure="continue"`` an injected ``crash``/``hang`` kills the
+*process* (a real ``os._exit``), which is exactly the failure mode the
+fault-tolerant runner is built to survive.
+
+Observability
+-------------
+When a tracer is passed, every rank process records into a private tracer
+sharing the parent's clock epoch and a rank-striped flow-id space; the
+per-process buffers are shipped back with the rank results and merged into
+the caller's tracer, so one Perfetto export shows all rank tracks with
+send→recv arrows intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as stdlib_queue
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommAbortError, MPIError, RankCrashError
+from repro.logging_util import get_logger
+from repro.mpi.comm import Comm, World, _Mailbox
+from repro.mpi.counters import CommCounters
+from repro.mpi.executor import SPMDResult
+from repro.mpi.faults import FaultInjector, FaultPlan
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
+
+__all__ = ["run_spmd_process", "MAX_PROCESS_RANKS"]
+
+_LOG = get_logger("mpi.procexec")
+
+#: OS processes are far heavier than threads; virtual worlds beyond this
+#: belong to the thread backend or the performance model.
+MAX_PROCESS_RANKS = 256
+
+#: Exit code of a rank process killed by an injected fault under
+#: ``on_rank_failure="continue"`` — a deliberate, recognisable process death.
+_CRASH_EXIT = 70
+
+#: Flow ids allocated by rank ``r``'s tracer start at ``(r + 1) << 40``, so
+#: per-process id spaces never collide with each other or with the parent.
+_FLOW_STRIDE = 1 << 40
+
+#: Extra seconds granted after the deadline for result-queue stragglers.
+_DRAIN_GRACE = 0.5
+
+
+class _RemoteMailbox:
+    """A peer rank's mailbox as seen from this process: deliver-only.
+
+    Frames are pre-pickled *in the sending thread*, so an unpicklable
+    payload raises in the sender (where the bug is) instead of killing the
+    queue's feeder thread asynchronously.
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def deliver(
+        self, source: int, tag: int, payload: Any, nbytes: int, msg_id: int = 0
+    ) -> None:
+        try:
+            frame = pickle.dumps(
+                (source, tag, payload, nbytes, msg_id), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise MPIError(
+                f"payload for tag={tag} is not picklable, which the process"
+                f" backend requires: {exc!r}"
+            ) from exc
+        self._queue.put(frame)
+
+
+#: Sentinel frame that stops a pump thread.
+_PUMP_STOP = b""
+
+
+def _pump(queue, mailbox: _Mailbox) -> None:
+    """Drain one rank's inbound queue into its in-process mailbox."""
+    while True:
+        frame = queue.get()
+        if frame == _PUMP_STOP:
+            return
+        source, tag, payload, nbytes, msg_id = pickle.loads(frame)
+        mailbox.deliver(source, tag, payload, nbytes, msg_id)
+
+
+class _SharedState:
+    """The cross-process slice of world state (picklable, spawn-safe)."""
+
+    def __init__(self, ctx, size: int) -> None:
+        self.abort_event = ctx.Event()
+        self.stop_event = ctx.Event()
+        self.failed_flags = ctx.Array("b", size, lock=False)
+        self.abort_reason_buf = ctx.Array("c", 1024)
+
+
+class _ProcWorld:
+    """One rank process's view of the world — duck-types :class:`World`.
+
+    Everything :class:`~repro.mpi.comm.Comm` and the rank programs touch is
+    here: local mailbox + remote deliver-only mailboxes, per-process
+    counters/tracer/injector, and the shared abort/stop/failure state.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        queues,
+        shared: _SharedState,
+        result_queue,
+        injector: FaultInjector | None,
+        tracer: Tracer,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.counters = CommCounters()
+        self.tracer = tracer
+        self.injector = injector
+        self._shared = shared
+        self._result_queue = result_queue
+        self.abort_event = shared.abort_event
+        self.stop_event = shared.stop_event
+        self.local_mailbox = _Mailbox()
+        self.mailboxes: list[Any] = [
+            self.local_mailbox if r == rank else _RemoteMailbox(queues[r])
+            for r in range(size)
+        ]
+
+    @property
+    def abort_reason(self) -> str | None:
+        raw = self._shared.abort_reason_buf.value
+        return raw.decode("utf-8", "replace") if raw else None
+
+    def abort(self, reason: str) -> None:
+        """Poison the world: every blocked or future operation raises."""
+        buf = self._shared.abort_reason_buf
+        with buf.get_lock():
+            if not buf.value:
+                buf.value = reason.encode("utf-8", "replace")[:1023]
+        self.abort_event.set()
+        self._wake_local()
+
+    def shutdown(self) -> None:
+        """Gracefully end the job: wake hung/blocked ranks without poisoning."""
+        self.stop_event.set()
+        self._wake_local()
+
+    def mark_failed(self, rank: int, reason: str = "") -> None:
+        """Record ``rank`` as dead; receivers waiting on it fail fast."""
+        self._shared.failed_flags[rank] = 1
+        self._result_queue.put(("failed", rank, reason))
+        self._wake_local()
+
+    def is_failed(self, rank: int) -> bool:
+        """Whether ``rank`` has been marked dead (shared across processes)."""
+        return bool(self._shared.failed_flags[rank])
+
+    def _wake_local(self) -> None:
+        with self.local_mailbox.lock:
+            self.local_mailbox.ready.notify_all()
+
+
+def _ship(result_queue, message: tuple) -> None:
+    """Put a control message and make a best effort to flush it."""
+    try:
+        result_queue.put(message)
+    except Exception:  # pragma: no cover - the parent will see a hard death
+        _LOG.exception("rank result could not be shipped")
+
+
+def _rank_main(
+    rank: int,
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any],
+    queues,
+    shared: _SharedState,
+    result_queue,
+    fault_plan: FaultPlan | None,
+    on_rank_failure: str,
+    trace_epoch: float | None,
+    rank_name: str | None,
+) -> None:
+    """Entry point of one rank process (module-level for spawn support)."""
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    tracing = trace_epoch is not None
+    tracer = (
+        Tracer(epoch=trace_epoch, flow_start=(rank + 1) * _FLOW_STRIDE + 1)
+        if tracing
+        else None
+    )
+    world = _ProcWorld(
+        rank, n_ranks, queues, shared, result_queue,
+        injector, tracer if tracer is not None else NULL_TRACER,
+    )
+    pump = threading.Thread(
+        target=_pump,
+        args=(queues[rank], world.local_mailbox),
+        name=f"vmpi-pump-{rank}",
+        daemon=True,
+    )
+    pump.start()
+    comm = Comm(world, rank)
+    if tracer is not None:
+        tracer.set_rank(rank)
+        if rank_name:
+            tracer.name_rank(rank, rank_name)
+
+    def _epilogue() -> tuple[dict, list, list]:
+        counters = world.counters.snapshot()
+        fault_log = list(injector.log) if injector is not None else []
+        events = tracer.events() if tracer is not None else []
+        return counters, fault_log, events
+
+    scope = activate(tracer) if tracer is not None else None
+    try:
+        if scope is not None:
+            scope.__enter__()
+        try:
+            value = fn(comm, *args)
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+    except CommAbortError:
+        # Secondary casualty of another rank's failure; keep quiet.
+        counters, fault_log, events = _epilogue()
+        _ship(result_queue, ("quiet", rank, None, counters, fault_log, events))
+    except RankCrashError as exc:
+        counters, fault_log, events = _epilogue()
+        if on_rank_failure == "continue":
+            # Injected death becomes real death: mark the rank failed in
+            # shared memory (survivors' receives fail fast), ship the
+            # bookkeeping, then kill the process for real.
+            _LOG.debug("rank %d dying to injected fault: %r", rank, exc)
+            world.mark_failed(rank, str(exc))
+            _ship(result_queue, ("selfdead", rank, str(exc), counters, fault_log, events))
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(_CRASH_EXIT)
+        world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        _ship(result_queue, ("err", rank, _pickle_exc(exc), counters, fault_log, events))
+    except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
+        _LOG.debug("rank %d failed: %r", rank, exc)
+        counters, fault_log, events = _epilogue()
+        world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        _ship(result_queue, ("err", rank, _pickle_exc(exc), counters, fault_log, events))
+    else:
+        counters, fault_log, events = _epilogue()
+        try:
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            err = MPIError(f"rank {rank} returned an unpicklable value: {exc!r}")
+            world.abort(str(err))
+            _ship(result_queue, ("err", rank, _pickle_exc(err), counters, fault_log, events))
+        else:
+            _ship(result_queue, ("done", rank, value, counters, fault_log, events))
+    result_queue.close()
+    result_queue.join_thread()
+
+
+def _pickle_exc(exc: BaseException) -> bytes:
+    """Exception as a pickle blob, degraded to ``MPIError(repr)`` if needed."""
+    try:
+        return pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return pickle.dumps(
+            MPIError(f"unpicklable rank exception: {exc!r}"),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+
+def _pick_context(start_method: str | None):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    # fork keeps closures and non-module functions working and starts far
+    # faster; spawn is the portable fallback.
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_spmd_process(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    timeout: float | None = 300.0,
+    fault_injector: FaultInjector | None = None,
+    on_rank_failure: str = "abort",
+    tracer: Tracer | None = None,
+    start_method: str | None = None,
+) -> SPMDResult:
+    """Run ``fn(comm, *args)`` on ``n_ranks`` OS processes and join them.
+
+    The process-backend twin of :func:`repro.mpi.executor.run_spmd` — same
+    parameters, same :class:`~repro.mpi.executor.SPMDResult`, same abort /
+    timeout / ``on_rank_failure`` semantics — plus ``start_method`` to force
+    a :mod:`multiprocessing` start method (default: ``fork`` when available,
+    else ``spawn``; under ``spawn`` the rank program, its arguments and all
+    payloads must be picklable, and the rank program must be importable at
+    module level).
+
+    Returns an :class:`SPMDResult` whose ``world`` is a parent-side
+    :class:`~repro.mpi.comm.World` container holding the merged traffic
+    counters and failure records of all rank processes.
+    """
+    if not 1 <= n_ranks <= MAX_PROCESS_RANKS:
+        raise MPIError(f"n_ranks must be in [1, {MAX_PROCESS_RANKS}], got {n_ranks}")
+    if on_rank_failure not in ("abort", "continue"):
+        raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
+    ctx = _pick_context(start_method)
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        named = tracer.rank_names()
+        for rank in range(n_ranks):
+            if rank not in named:
+                tracer.name_rank(rank, f"rank {rank}")
+    rank_names = tracer.rank_names() if tracing else {}
+
+    queues = [ctx.Queue() for _ in range(n_ranks)]
+    result_queue = ctx.Queue()
+    shared = _SharedState(ctx, n_ranks)
+    fault_plan = fault_injector.plan if fault_injector is not None else None
+
+    processes = [
+        ctx.Process(
+            target=_rank_main,
+            args=(
+                rank, n_ranks, fn, tuple(args), queues, shared, result_queue,
+                fault_plan, on_rank_failure,
+                tracer.epoch if tracing else None,
+                rank_names.get(rank),
+            ),
+            name=f"vmpi-rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(n_ranks)
+    ]
+    for proc in processes:
+        proc.start()
+
+    returns: list[Any] = [None] * n_ranks
+    failures: list[tuple[int, BaseException]] = []
+    failure_reasons: dict[int, str] = {}
+    merged_counters = CommCounters()
+    merged_faults: list = []
+    merged_events: list = []
+    pending = set(range(n_ranks))
+    dead_since: dict[int, float] = {}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    timed_out = False
+
+    def _consume(message) -> None:
+        kind, rank = message[0], message[1]
+        if kind == "failed":
+            failure_reasons.setdefault(rank, message[2])
+            return
+        _kind, _rank, payload, counters, fault_log, events = message
+        merged_counters.absorb(counters)
+        merged_faults.extend(fault_log)
+        merged_events.extend(events)
+        if kind == "done":
+            returns[rank] = payload
+        elif kind == "err":
+            failures.append((rank, pickle.loads(payload)))
+        elif kind == "selfdead":
+            failure_reasons.setdefault(rank, payload)
+        pending.discard(rank)
+        dead_since.pop(rank, None)
+
+    while pending:
+        try:
+            message = result_queue.get(timeout=0.05)
+        except stdlib_queue.Empty:
+            message = None
+        if message is not None:
+            _consume(message)
+            continue
+        now = time.monotonic()
+        for rank in sorted(pending):
+            proc = processes[rank]
+            if proc.is_alive() or proc.exitcode is None:
+                continue
+            # Dead without a report: give queue stragglers a short grace,
+            # then classify the death from the exit code alone.
+            first_seen = dead_since.setdefault(rank, now)
+            if now - first_seen < _DRAIN_GRACE:
+                continue
+            pending.discard(rank)
+            if proc.exitcode == 0:
+                continue  # reported result already consumed or rank was quiet
+            if proc.exitcode == _CRASH_EXIT and on_rank_failure == "continue":
+                shared.failed_flags[rank] = 1
+                failure_reasons.setdefault(rank, "rank process died to an injected fault")
+            else:
+                exc = MPIError(f"rank {rank} process died with exit code {proc.exitcode}")
+                failures.append((rank, exc))
+                shared.abort_event.set()
+        if deadline is not None and now >= deadline:
+            timed_out = True
+            break
+
+    if timed_out:
+        buf = shared.abort_reason_buf
+        with buf.get_lock():
+            if not buf.value:
+                buf.value = b"executor timeout"
+        shared.abort_event.set()
+        for proc in processes:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+    for proc in processes:
+        proc.join(timeout=10.0)
+        if proc.is_alive():  # pragma: no cover - last-resort cleanup
+            proc.terminate()
+            proc.join(timeout=5.0)
+    # Late reports (e.g. results racing the deadline) still carry counters.
+    while True:
+        try:
+            _consume(result_queue.get_nowait())
+        except stdlib_queue.Empty:
+            break
+    for queue in queues:
+        queue.cancel_join_thread()
+        queue.close()
+    result_queue.cancel_join_thread()
+    result_queue.close()
+
+    if fault_injector is not None and merged_faults:
+        with fault_injector._lock:
+            fault_injector.log.extend(merged_faults)
+    if tracing and merged_events:
+        tracer.absorb_events(merged_events)
+
+    world = World(n_ranks, injector=fault_injector, tracer=tracer)
+    world.counters.absorb(merged_counters.snapshot())
+    failed = {r for r in range(n_ranks) if shared.failed_flags[r]}
+    for rank in sorted(failed):
+        world.failed_ranks.add(rank)
+        world.failure_reasons.setdefault(rank, failure_reasons.get(rank, ""))
+    if shared.abort_event.is_set():
+        world.abort_event.set()
+        world.abort_reason = shared.abort_reason_buf.value.decode("utf-8", "replace") or None
+
+    if timed_out:
+        raise MPIError(f"SPMD program timed out after {timeout} s")
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        _rank, exc = failures[0]
+        raise exc
+    if world.abort_event.is_set():
+        raise CommAbortError(world.abort_reason or "world aborted")
+    return SPMDResult(
+        returns=returns, world=world, failed_ranks=tuple(sorted(failed))
+    )

@@ -148,15 +148,26 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
-        self._epoch = time.perf_counter()
+    def __init__(self, *, epoch: float | None = None, flow_start: int = 1) -> None:
+        # ``epoch`` lets cooperating tracers share one time origin: the
+        # process-backend executor hands every rank process the parent
+        # tracer's epoch (``perf_counter`` is system-wide on the supported
+        # platforms), so merged events line up on one timeline.
+        # ``flow_start`` offsets the flow-id space so per-process tracers
+        # never collide (a flow id must join exactly one send to one recv).
+        self._epoch = time.perf_counter() if epoch is None else float(epoch)
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
         self._seq = itertools.count()
-        self._flow_seq = itertools.count(1)
+        self._flow_seq = itertools.count(int(flow_start))
         self._tls = threading.local()
         self._rank_names: dict[int, str] = {}
         self.metrics = MetricsRegistry()
+
+    @property
+    def epoch(self) -> float:
+        """This tracer's time origin (a ``time.perf_counter`` value)."""
+        return self._epoch
 
     # -- clocks & rank attribution ------------------------------------------
 
@@ -299,6 +310,31 @@ class Tracer:
                 TraceEvent(
                     ph="f", name="msg", cat="mpi.flow", rank=rank,
                     ts=ts + dur / 2.0, seq=next(self._seq), flow_id=flow_id,
+                )
+            )
+
+    def absorb_events(self, events: list[TraceEvent]) -> None:
+        """Merge events recorded by another tracer into this one.
+
+        Used by the process-backend executor: each rank process records
+        into its own tracer (sharing this tracer's epoch), ships its event
+        list back, and the parent folds everything into one timeline.
+        Sequence numbers are re-assigned here in timestamp order, so the
+        merged virtual clock stays monotone with wall time; timestamps,
+        ranks and flow ids are kept verbatim.
+        """
+        for event in sorted(events, key=lambda e: (e.ts, e.seq)):
+            self._record(
+                TraceEvent(
+                    ph=event.ph,
+                    name=event.name,
+                    cat=event.cat,
+                    rank=event.rank,
+                    ts=event.ts,
+                    dur=event.dur,
+                    seq=next(self._seq),
+                    flow_id=event.flow_id,
+                    args=event.args,
                 )
             )
 

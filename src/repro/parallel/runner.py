@@ -610,6 +610,15 @@ class ParallelSimulation:
         (:func:`repro.obs.write_chrome_trace`).  ``False`` (default) keeps
         tracing off at near-zero cost; the trajectory is bit-identical
         either way.
+    backend:
+        Execution substrate for the SPMD ranks.  ``"thread"`` (default)
+        runs every rank as a thread in this process — exact semantics,
+        no multi-core speedup (the GIL).  ``"process"`` runs every rank
+        as an OS process (:mod:`repro.mpi.procexec`): real parallelism
+        for game play, the same deterministic trajectory bit for bit.
+        With the process backend an injected ``crash``/``hang`` kills the
+        rank's *process*; the fault-tolerant protocol degrades around the
+        real death exactly as it does around the simulated one.
 
     Examples
     --------
@@ -632,12 +641,16 @@ class ParallelSimulation:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
         trace: bool | Tracer = False,
+        backend: str = "thread",
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
         if checkpoint_every < 0:
             raise MPIError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if backend not in ("thread", "process"):
+            raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
         self.config = config
+        self.backend = backend
         self.n_ranks = int(n_ranks)
         self.eager_games = bool(eager_games)
         self.fault_plan = fault_plan
@@ -733,6 +746,7 @@ class ParallelSimulation:
                 timeout=timeout,
                 fault_injector=injector,
                 tracer=self.tracer,
+                backend=self.backend,
             )
             self._finish_trace(spmd)
             nature_out = spmd.returns[0]
@@ -757,6 +771,7 @@ class ParallelSimulation:
             fault_injector=injector,
             on_rank_failure="continue",
             tracer=self.tracer,
+            backend=self.backend,
         )
         self._finish_trace(spmd)
         nature_out = spmd.returns[0]

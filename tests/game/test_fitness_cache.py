@@ -130,3 +130,90 @@ class TestPlayPairs:
         noisy = VectorEngine(sp, rounds=10, noise=NoiseModel(0.1))
         with pytest.raises(GameError):
             FitnessCache().play_pairs(noisy, mat, np.array([0]), np.array([1]))
+
+
+class TestEngineBinding:
+    """The cache must never serve fitness computed under other game rules."""
+
+    def test_mismatched_rounds_rejected(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        cache.play_pairs(engine, mat, ia, ib)
+        other = VectorEngine(sp, rounds=engine.rounds + 50)
+        # Pre-fix this silently returned 50-round fitness for a 100-round
+        # engine; now the configuration mismatch is an error.
+        with pytest.raises(GameError, match="pinned"):
+            cache.play_pairs(other, mat, ia, ib)
+
+    def test_mismatched_payoff_rejected(self, setup):
+        from repro.game.payoff import PayoffMatrix
+
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        cache.play_pairs(engine, mat, ia, ib)
+        other = VectorEngine(
+            sp, rounds=engine.rounds, payoff=PayoffMatrix(temptation=5.0)
+        )
+        with pytest.raises(GameError, match="pinned"):
+            cache.play_pairs(other, mat, ia, ib)
+
+    def test_equivalent_engine_accepted(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        cache.play_pairs(engine, mat, ia, ib)
+        twin = VectorEngine(sp, rounds=engine.rounds)  # same parameters
+        fa, fb = cache.play_pairs(twin, mat, ia, ib)
+        direct = engine.play(mat, ia, ib)
+        assert np.array_equal(fa, direct.fitness_a)
+        assert twin.games_played == 0  # everything served from cache
+
+    def test_clear_unpins(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia, ib = engine.round_robin_pairs(6)
+        cache.play_pairs(engine, mat, ia, ib)
+        cache.clear()
+        other = VectorEngine(sp, rounds=engine.rounds + 50)
+        fa, fb = cache.play_pairs(other, mat, ia, ib)
+        direct = other.play(mat, ia, ib)
+        assert np.array_equal(fa, direct.fitness_a)
+
+
+class TestBatchStats:
+    """Within-batch duplicates of a missing pair are not misses."""
+
+    def test_pending_served_counted_separately(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia = np.array([0, 1, 0], dtype=np.intp)
+        ib = np.array([1, 0, 1], dtype=np.intp)  # same unordered pair 3x
+        cache.play_pairs(engine, mat, ia, ib)
+        assert engine.games_played == 1
+        assert cache.misses == 1  # exactly the games actually played
+        assert cache.pending_served == 2
+        assert cache.hits == 0
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_second_batch_all_hits(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia = np.array([0, 1, 0], dtype=np.intp)
+        ib = np.array([1, 0, 1], dtype=np.intp)
+        cache.play_pairs(engine, mat, ia, ib)
+        cache.play_pairs(engine, mat, ia, ib)
+        assert cache.hits == 3
+        assert cache.misses == 1
+        assert cache.pending_served == 2
+        assert cache.hit_rate == pytest.approx(5 / 6)
+
+    def test_clear_resets_pending_served(self, setup):
+        sp, mat, engine = setup
+        cache = FitnessCache()
+        ia = np.array([0, 1], dtype=np.intp)
+        ib = np.array([1, 0], dtype=np.intp)
+        cache.play_pairs(engine, mat, ia, ib)
+        cache.clear()
+        assert cache.pending_served == 0 and cache.hit_rate == 0.0

@@ -168,3 +168,31 @@ class TestTournament:
     def test_negative_strategy_count(self):
         with pytest.raises(GameError):
             VectorEngine(StateSpace(1)).round_robin_pairs(-1)
+
+    def test_self_play_credits_one_agents_score(self):
+        """A self-matchup contributes one seat's payoff, not both summed.
+
+        Pre-fix, ``tournament(include_self=True)`` credited both halves of
+        a diagonal game while ``Tournament.play`` halves the diagonal —
+        the two disagreed by exactly one self-game payoff per strategy.
+        """
+        sp = StateSpace(1)
+        mat = np.vstack([named_strategy("ALLC").table])
+        engine = VectorEngine(sp, rounds=200)
+        fitness = engine.tournament(mat, include_self=True)
+        # ALLC vs itself: 200 rounds of mutual cooperation, one agent scores
+        # 200 * R = 600 — not 1200.
+        assert fitness.tolist() == [600.0]
+
+    def test_self_play_matches_tournament_class(self):
+        """Vector totals equal Tournament.play's halved-diagonal accounting."""
+        from repro.game.tournament import Tournament
+
+        sp = StateSpace(1)
+        names = ["ALLC", "ALLD", "TFT", "WSLS"]
+        entrants = [(n, named_strategy(n)) for n in names]
+        mat = np.vstack([s.table for _, s in entrants])
+        engine = VectorEngine(sp, rounds=200)
+        vec_totals = engine.tournament(mat, include_self=True)
+        ref = Tournament(entrants, include_self=True).play()
+        assert np.allclose(vec_totals, ref.totals)

@@ -1,0 +1,80 @@
+"""Backend parity: thread and process SPMD backends give the same science.
+
+All randomness in a ``ParallelSimulation`` comes from seed-keyed streams
+(:mod:`repro.rng.streams`), never from scheduling, so switching the rank
+substrate from threads to OS processes must not move a single bit of the
+trajectory.  These runs fork real processes per rank — world sizes stay
+small and generation counts short.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.mpi.faults import FaultEvent, FaultPlan
+from repro.parallel.runner import ParallelSimulation
+
+pytestmark = pytest.mark.procexec
+
+
+@pytest.fixture(scope="module")
+def config() -> SimulationConfig:
+    return SimulationConfig(memory=1, n_ssets=8, generations=40, seed=13, rounds=10)
+
+
+class TestTrajectoryParity:
+    def test_plain_run_bit_identical(self, config):
+        threaded = ParallelSimulation(config, n_ranks=3, backend="thread").run(timeout=300)
+        processed = ParallelSimulation(config, n_ranks=3, backend="process").run(timeout=300)
+        assert np.array_equal(threaded.matrix, processed.matrix)
+        assert threaded.n_pc_events == processed.n_pc_events
+
+    def test_plain_run_traffic_matches(self, config):
+        threaded = ParallelSimulation(config, n_ranks=3, backend="thread").run(timeout=300)
+        processed = ParallelSimulation(config, n_ranks=3, backend="process").run(timeout=300)
+        assert (
+            threaded.counters["send"].messages == processed.counters["send"].messages
+        )
+        assert threaded.counters["bcast"].calls == processed.counters["bcast"].calls
+
+    def test_fault_tolerant_protocol_bit_identical(self, config):
+        threaded = ParallelSimulation(
+            config, n_ranks=3, fault_tolerant=True, backend="thread"
+        ).run(timeout=300)
+        processed = ParallelSimulation(
+            config, n_ranks=3, fault_tolerant=True, backend="process"
+        ).run(timeout=300)
+        assert np.array_equal(threaded.matrix, processed.matrix)
+        assert threaded.failed_ranks == processed.failed_ranks == ()
+
+
+@pytest.mark.chaos
+class TestProcessCrashChaos:
+    def test_worker_process_death_degrades_and_matches(self, config):
+        """An injected crash kills a real OS process; survivors finish the
+        run and — crash-only chaos being trajectory-neutral — reproduce the
+        fault-free matrix bit-exactly."""
+        plan = FaultPlan(seed=1, events=(FaultEvent(kind="crash", rank=2, generation=20),))
+        baseline = ParallelSimulation(
+            config, n_ranks=4, fault_tolerant=True, backend="process"
+        ).run(timeout=300)
+        result = ParallelSimulation(
+            config, n_ranks=4, fault_plan=plan, heartbeat_timeout=2.0, backend="process"
+        ).run(timeout=300)
+        assert result.failed_ranks == (2,)
+        assert len(result.degradations) == 1
+        assert result.degradations[0].generation == 20
+        assert np.array_equal(result.matrix, baseline.matrix)
+
+    def test_same_fault_seed_same_schedule_across_backends(self, config):
+        """Fault schedules are pure functions of (seed, kind, key), so the
+        same plan fires identically whether ranks are threads or processes."""
+        plan = FaultPlan(seed=1, events=(FaultEvent(kind="crash", rank=2, generation=20),))
+        runs = [
+            ParallelSimulation(
+                config, n_ranks=4, fault_plan=plan, heartbeat_timeout=2.0, backend=backend
+            ).run(timeout=300)
+            for backend in ("thread", "process")
+        ]
+        assert runs[0].failed_ranks == runs[1].failed_ranks == (2,)
+        assert np.array_equal(runs[0].matrix, runs[1].matrix)
