@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -20,6 +20,11 @@ test-chaos:
 # tests keep world sizes small (<= 4 ranks) to stay fast on shared runners.
 test-procexec:
 	pytest tests/ -m procexec
+
+# Shared-memory transport: pool unit tests plus the thread/process/shm
+# parity runs and their /dev/shm leak checks.
+test-shm:
+	pytest tests/ -m shm
 
 bench:
 	pytest benchmarks/ --benchmark-only

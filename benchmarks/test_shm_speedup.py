@@ -1,0 +1,116 @@
+"""Shared-memory vs pickle transport on process-backend broadcasts.
+
+The paper's algorithm broadcasts strategy tables every generation, and the
+tables grow as :math:`4^n` with memory depth — at memory 4 and up the
+process backend's pickle-through-a-pipe path pays for each tree edge what
+the shared-memory path pays once.  This bench broadcasts pre-generated
+memory-4/5/6 tables across a 4-rank world with the transport on and off and
+reports the per-size speedup; the results land both in
+``benchmarks/output/shm_speedup.txt`` and machine-readably in
+``BENCH_shm.json`` at the repo root.
+
+Timing happens *inside* the rank program (the broadcast loop only), so
+process spawn and import cost do not dilute the transport comparison.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mpi.executor import run_spmd
+
+from ._util import emit
+
+N_RANKS = 4
+REPEATS = 8
+
+#: (memory depth, n_strategies) -> table of n_strategies x 4**memory uint8.
+SIZES = [(4, 2048), (5, 4096), (6, 4096)]
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shm.json"
+
+
+def _bcast_loop(comm, shape, repeats, seed):
+    """Broadcast ``repeats`` fresh tables; return (loop seconds, checksum)."""
+    rng = np.random.default_rng(seed)
+    tables = [
+        rng.integers(0, 2, size=shape, dtype=np.uint8) if comm.rank == 0 else None
+        for _ in range(repeats)
+    ]
+    comm.barrier()
+    checksum = 0.0
+    t0 = time.perf_counter()
+    for table in tables:
+        table = comm.bcast(table, root=0)
+        checksum += float(table.sum())
+    elapsed = time.perf_counter() - t0
+    return elapsed, checksum
+
+
+def _measure(shape, *, shared_memory):
+    res = run_spmd(
+        N_RANKS,
+        _bcast_loop,
+        args=(shape, REPEATS, 17),
+        timeout=600,
+        backend="process",
+        shared_memory=shared_memory,
+    )
+    times = [r[0] for r in res.returns]
+    checksums = {r[1] for r in res.returns}
+    assert len(checksums) == 1, "ranks disagree on broadcast content"
+    return max(times), checksums.pop()
+
+
+def test_shm_bcast_speedup():
+    rows = []
+    for memory, n_strategies in SIZES:
+        shape = (n_strategies, 4**memory)
+        nbytes = n_strategies * 4**memory
+        # Warm both paths (fork machinery, pool creation), then measure.
+        _measure(shape, shared_memory=True)
+        _measure(shape, shared_memory=False)
+        t_shm, sum_shm = _measure(shape, shared_memory=True)
+        t_pickle, sum_pickle = _measure(shape, shared_memory=False)
+        assert sum_shm == sum_pickle  # same bits through either transport
+        rows.append(
+            {
+                "memory": memory,
+                "n_strategies": n_strategies,
+                "table_mib": nbytes / 2**20,
+                "pickle_s": t_pickle,
+                "shm_s": t_shm,
+                "speedup": t_pickle / t_shm if t_shm else float("inf"),
+            }
+        )
+
+    lines = [
+        f"{N_RANKS}-rank bcast x {REPEATS} repeats ({os.cpu_count()} cores)",
+        f"{'memory':<8} {'table MiB':>10} {'pickle s':>10} {'shm s':>10} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['memory']:<8} {row['table_mib']:>10.2f} {row['pickle_s']:>10.3f}"
+            f" {row['shm_s']:>10.3f} {row['speedup']:>7.2f}x"
+        )
+    emit("shm_speedup", "\n".join(lines))
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "experiment": "shm_bcast_speedup",
+                "n_ranks": N_RANKS,
+                "repeats": REPEATS,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The transport's reason to exist: memory-4+ tables must broadcast at
+    # least twice as fast as the pickle path moves them.
+    best = max(row["speedup"] for row in rows)
+    assert best >= 2.0, f"expected >= 2x bcast speedup at memory-4+ sizes, got {best:.2f}x"

@@ -67,6 +67,8 @@ def run_spmd(
     on_rank_failure: str = "abort",
     tracer: Tracer | None = None,
     backend: str = "thread",
+    shared_memory: bool = True,
+    shm_threshold: int | None = None,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -104,6 +106,13 @@ def run_spmd(
         with their own GILs, for real multi-core throughput.  Rank programs
         that follow the deterministic-RNG contract produce bit-identical
         results under either backend.
+    shared_memory, shm_threshold:
+        Process-backend transport tuning (see
+        :func:`repro.mpi.procexec.run_spmd_process`): ndarray/``bytes``
+        payload leaves of at least ``shm_threshold`` bytes travel through
+        pooled shared-memory segments; ``shared_memory=False`` forces the
+        pickle path.  Ignored under the thread backend, whose network is
+        zero-copy already.
 
     Raises
     ------
@@ -112,6 +121,7 @@ def run_spmd(
     """
     if backend == "process":
         from repro.mpi.procexec import run_spmd_process
+        from repro.mpi.shm import DEFAULT_THRESHOLD
 
         return run_spmd_process(
             n_ranks,
@@ -121,6 +131,8 @@ def run_spmd(
             fault_injector=fault_injector,
             on_rank_failure=on_rank_failure,
             tracer=tracer,
+            shared_memory=shared_memory,
+            shm_threshold=DEFAULT_THRESHOLD if shm_threshold is None else shm_threshold,
         )
     if backend != "thread":
         raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")

@@ -25,6 +25,17 @@ process boundary by value: payloads must be picklable, and senders get a
 private copy semantics for free (mutating a buffer after ``send`` cannot
 corrupt the message).
 
+Large ndarray (and ``bytes``) leaves skip the pipe entirely by default:
+the zero-copy shared-memory path (:mod:`repro.mpi.shm`) writes them into
+pooled, ref-counted ``multiprocessing.shared_memory`` segments and ships
+only small ``(shape, dtype, segment, offset)`` descriptors in the pickled
+frame — a broadcast of a big strategy table writes one segment total
+instead of re-serialising per destination.  The pump thread materialises a
+private copy on delivery, so application semantics (and trajectories) are
+bit-identical to the pickle path; ``shared_memory=False`` disables the
+path, and the parent unlinks every segment after the join, so injected
+process crashes cannot leak ``/dev/shm`` entries.
+
 Determinism
 -----------
 Rank programs that derive all randomness from their rank and seed (the
@@ -59,6 +70,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import CommAbortError, MPIError, RankCrashError
 from repro.logging_util import get_logger
+from repro.mpi import shm as _shm
 from repro.mpi.comm import Comm, World, _Mailbox
 from repro.mpi.counters import CommCounters
 from repro.mpi.executor import SPMDResult
@@ -77,10 +89,6 @@ MAX_PROCESS_RANKS = 256
 #: ``on_rank_failure="continue"`` — a deliberate, recognisable process death.
 _CRASH_EXIT = 70
 
-#: Flow ids allocated by rank ``r``'s tracer start at ``(r + 1) << 40``, so
-#: per-process id spaces never collide with each other or with the parent.
-_FLOW_STRIDE = 1 << 40
-
 #: Extra seconds granted after the deadline for result-queue stragglers.
 _DRAIN_GRACE = 0.5
 
@@ -90,17 +98,22 @@ class _RemoteMailbox:
 
     Frames are pre-pickled *in the sending thread*, so an unpicklable
     payload raises in the sender (where the bug is) instead of killing the
-    queue's feeder thread asynchronously.
+    queue's feeder thread asynchronously.  With a shared-memory pool
+    attached, large leaves are swapped for segment descriptors first, so
+    the frame that crosses the pipe stays small.
     """
 
-    __slots__ = ("_queue",)
+    __slots__ = ("_queue", "_pool")
 
-    def __init__(self, queue) -> None:
+    def __init__(self, queue, pool=None) -> None:
         self._queue = queue
+        self._pool = pool
 
     def deliver(
         self, source: int, tag: int, payload: Any, nbytes: int, msg_id: int = 0
     ) -> None:
+        if self._pool is not None:
+            payload = _shm.encode_payload(payload, self._pool)
         try:
             frame = pickle.dumps(
                 (source, tag, payload, nbytes, msg_id), protocol=pickle.HIGHEST_PROTOCOL
@@ -117,24 +130,41 @@ class _RemoteMailbox:
 _PUMP_STOP = b""
 
 
-def _pump(queue, mailbox: _Mailbox) -> None:
-    """Drain one rank's inbound queue into its in-process mailbox."""
+def _pump(queue, mailbox: _Mailbox, pool=None, world=None) -> None:
+    """Drain one rank's inbound queue into its in-process mailbox.
+
+    Shared-memory descriptors are materialised here — before tag matching —
+    so the mailbox (and everything above it) only ever sees ordinary
+    payloads, exactly as on the pickle path.
+    """
     while True:
         frame = queue.get()
         if frame == _PUMP_STOP:
             return
         source, tag, payload, nbytes, msg_id = pickle.loads(frame)
+        if pool is not None:
+            try:
+                payload = _shm.decode_payload(payload, pool)
+            except Exception as exc:  # pragma: no cover - defensive
+                _LOG.exception("shm materialisation failed")
+                if world is not None:
+                    world.abort(f"shm materialisation failed: {exc!r}")
+                continue
         mailbox.deliver(source, tag, payload, nbytes, msg_id)
 
 
 class _SharedState:
     """The cross-process slice of world state (picklable, spawn-safe)."""
 
-    def __init__(self, ctx, size: int) -> None:
+    def __init__(
+        self, ctx, size: int, shm_table=None, shm_threshold: int = _shm.DEFAULT_THRESHOLD
+    ) -> None:
         self.abort_event = ctx.Event()
         self.stop_event = ctx.Event()
         self.failed_flags = ctx.Array("b", size, lock=False)
         self.abort_reason_buf = ctx.Array("c", 1024)
+        self.shm_table = shm_table
+        self.shm_threshold = shm_threshold
 
 
 class _ProcWorld:
@@ -164,9 +194,19 @@ class _ProcWorld:
         self._result_queue = result_queue
         self.abort_event = shared.abort_event
         self.stop_event = shared.stop_event
+        self.shm_pool = (
+            _shm.ShmPool(
+                shared.shm_table,
+                threshold=shared.shm_threshold,
+                counters=self.counters,
+                tracer=tracer if tracer.enabled else None,
+            )
+            if shared.shm_table is not None and _shm.SHM_AVAILABLE
+            else None
+        )
         self.local_mailbox = _Mailbox()
         self.mailboxes: list[Any] = [
-            self.local_mailbox if r == rank else _RemoteMailbox(queues[r])
+            self.local_mailbox if r == rank else _RemoteMailbox(queues[r], self.shm_pool)
             for r in range(size)
         ]
 
@@ -224,14 +264,13 @@ def _rank_main(
     on_rank_failure: str,
     trace_epoch: float | None,
     rank_name: str | None,
+    flow_start: int,
 ) -> None:
     """Entry point of one rank process (module-level for spawn support)."""
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     tracing = trace_epoch is not None
     tracer = (
-        Tracer(epoch=trace_epoch, flow_start=(rank + 1) * _FLOW_STRIDE + 1)
-        if tracing
-        else None
+        Tracer(epoch=trace_epoch, flow_start=flow_start) if tracing else None
     )
     world = _ProcWorld(
         rank, n_ranks, queues, shared, result_queue,
@@ -239,7 +278,7 @@ def _rank_main(
     )
     pump = threading.Thread(
         target=_pump,
-        args=(queues[rank], world.local_mailbox),
+        args=(queues[rank], world.local_mailbox, world.shm_pool, world),
         name=f"vmpi-pump-{rank}",
         daemon=True,
     )
@@ -331,6 +370,8 @@ def run_spmd_process(
     on_rank_failure: str = "abort",
     tracer: Tracer | None = None,
     start_method: str | None = None,
+    shared_memory: bool = True,
+    shm_threshold: int = _shm.DEFAULT_THRESHOLD,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` OS processes and join them.
 
@@ -341,6 +382,13 @@ def run_spmd_process(
     else ``spawn``; under ``spawn`` the rank program, its arguments and all
     payloads must be picklable, and the rank program must be importable at
     module level).
+
+    ``shared_memory`` (default on) routes ndarray/``bytes`` payload leaves
+    of at least ``shm_threshold`` bytes through pooled
+    :mod:`multiprocessing.shared_memory` segments instead of the frame
+    pickle (see :mod:`repro.mpi.shm`); ``shared_memory=False`` is the
+    escape hatch that forces every byte through the pipe.  Either way the
+    delivered values — and therefore trajectories — are identical.
 
     Returns an :class:`SPMDResult` whose ``world`` is a parent-side
     :class:`~repro.mpi.comm.World` container holding the merged traffic
@@ -361,8 +409,17 @@ def run_spmd_process(
 
     queues = [ctx.Queue() for _ in range(n_ranks)]
     result_queue = ctx.Queue()
-    shared = _SharedState(ctx, n_ranks)
+    shm_table = (
+        _shm.SegmentTable(ctx)
+        if shared_memory and _shm.SHM_AVAILABLE and n_ranks > 1
+        else None
+    )
+    shared = _SharedState(ctx, n_ranks, shm_table=shm_table, shm_threshold=shm_threshold)
     fault_plan = fault_injector.plan if fault_injector is not None else None
+    # Stripes are reserved from the parent tracer (never reused across runs),
+    # so per-process flow ids stay globally unique even when one tracer
+    # accumulates several executor runs (restarts, resumed simulations).
+    flow_starts = [tracer.reserve_flow_stripe() if tracing else 0 for _ in range(n_ranks)]
 
     processes = [
         ctx.Process(
@@ -372,6 +429,7 @@ def run_spmd_process(
                 fault_plan, on_rank_failure,
                 tracer.epoch if tracing else None,
                 rank_names.get(rank),
+                flow_starts[rank],
             ),
             name=f"vmpi-rank-{rank}",
             daemon=True,
@@ -468,6 +526,12 @@ def run_spmd_process(
         queue.close()
     result_queue.cancel_join_thread()
     result_queue.close()
+    if shm_table is not None:
+        # Every rank process is joined (or terminated) by now; sweep the
+        # whole pool so crashed ranks cannot leak /dev/shm segments.
+        destroyed = shm_table.destroy_all()
+        if destroyed:
+            _LOG.debug("unlinked %d shared-memory segments", destroyed)
 
     if fault_injector is not None and merged_faults:
         with fault_injector._lock:

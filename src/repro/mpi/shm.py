@@ -1,0 +1,642 @@
+"""Zero-copy shared-memory transport for the process backend.
+
+The process backend (:mod:`repro.mpi.procexec`) moves every message by
+value: frames are pickled onto a :class:`multiprocessing.Queue` and squeezed
+through a pipe, so a broadcast of an ndarray strategy table is serialised
+once per tree edge and copied through the kernel twice per hop.  Strategy
+tables grow as :math:`4^n` with memory depth, and the paper's algorithm
+broadcasts them every generation — at memory-4-and-up table sizes the pipe
+becomes the dominant cost of a generation.
+
+This module supplies the fast path: payloads whose leaves are large numpy
+arrays (or large ``bytes``, which is what the reliable layer's pickled
+blobs are) travel as :class:`ShmRef` descriptors — ``(shape, dtype,
+segment, offset)`` plus a content digest — while the bytes themselves sit
+in a :mod:`multiprocessing.shared_memory` segment written **once**.  The
+pickled frame carries only the small control portion; a broadcast shares a
+single segment across every destination instead of re-serialising per rank.
+
+Design
+------
+Segments are *pooled* and *ref-counted* through a :class:`SegmentTable`
+created by the parent process and inherited by every rank process:
+
+* a sender placing an array acquires a free slot (reusing an
+  existing segment of sufficient size when one is idle), writes the bytes,
+  and bumps the slot's refcount once per destination;
+* the receiving pump thread materialises a private copy on delivery, so
+  application semantics are exactly the pickle path's (mutating a received
+  table cannot corrupt anyone else) — the reference is then tied to the
+  materialised array's lifetime, which lets a forwarding rank re-share the
+  *same* segment with its own subtree children without copying;
+* when the refcount returns to zero the slot is reclaimed for reuse —
+  segments are recycled, not unlinked, during the run;
+* the **parent** unlinks every segment after the join
+  (:meth:`SegmentTable.destroy_all`), so a rank killed mid-run by an
+  injected crash cannot leak ``/dev/shm`` entries.
+
+Integrity follows the reliable layer's split: the descriptor rides inside
+the (checksummed) frame, and carries a BLAKE2 digest of the content
+computed at share time.  Digest verification on materialise is opt-in
+(``verify=True``) — the reliable layer already re-checksums materialised
+blobs end-to-end, and the plain path never verified pickled payloads
+either, so the default keeps materialisation memcpy-bound.
+
+Everything degrades gracefully: when the pool is exhausted (or the payload
+is below ``threshold``) the leaf simply stays in the pickled frame, and
+``shared_memory=False`` on :func:`~repro.mpi.procexec.run_spmd_process`
+disables the path entirely.  Trajectories are bit-identical either way —
+the transport moves the same values, only through different memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import threading
+import weakref
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.logging_util import get_logger
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    _shared_memory = None
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "DEFAULT_THRESHOLD",
+    "MAX_SEGMENTS",
+    "SEGMENT_PREFIX",
+    "ShmRef",
+    "SegmentTable",
+    "ShmPool",
+    "register_shareable",
+    "shareable_fields",
+    "encode_payload",
+    "decode_payload",
+]
+
+_LOG = get_logger("mpi.shm")
+
+#: Whether :mod:`multiprocessing.shared_memory` exists on this platform.
+SHM_AVAILABLE = _shared_memory is not None
+
+#: Leaves smaller than this stay in the pickled frame: below ~64 KiB the
+#: descriptor round-trip costs more than the pipe does.
+DEFAULT_THRESHOLD = 64 * 1024
+
+#: Slots per job.  The pool recycles aggressively (a slot frees as soon as
+#: every materialised copy is dropped), so a small table suffices; an
+#: exhausted pool falls back to the pickle path rather than blocking.
+MAX_SEGMENTS = 64
+
+#: All segment names start with this, so tests (and operators) can audit
+#: ``/dev/shm`` for leaks without knowing job ids.
+SEGMENT_PREFIX = "repro-shm"
+
+_JOB_SEQ = itertools.count()
+
+#: Segments are sized in powers of two at or above this, so differently
+#: sized tables of the same order of magnitude reuse each other's slots.
+_MIN_SEGMENT = 64 * 1024
+
+
+def _segment_size(nbytes: int) -> int:
+    size = _MIN_SEGMENT
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+def _digest(view) -> bytes:
+    return hashlib.blake2b(view, digest_size=8).digest()
+
+
+_TRACKER_LOCK = threading.RLock()
+
+
+class _tracker_suppressed:
+    """Context manager making resource-tracker (un)registration a no-op.
+
+    Segment lifecycle belongs to the parent's :meth:`SegmentTable.destroy_all`
+    sweep; letting each rank's resource tracker also "clean up" would
+    double-unlink live segments and warn about "leaks" whenever a rank exits
+    first (on Python < 3.13 even plain *attaches* register).  Registration is
+    suppressed during construction — and unregistration during ``unlink()``,
+    which unregisters unconditionally — rather than balanced with explicit
+    unregister calls: the tracker's cache is one set shared by every forked
+    process, so unbalanced pairs from different ranks make it spam KeyErrors.
+    """
+
+    def __enter__(self):
+        _TRACKER_LOCK.acquire()
+        try:
+            from multiprocessing import resource_tracker
+        except ImportError:  # pragma: no cover - exotic builds only
+            self._tracker = None
+            return self
+        self._tracker = resource_tracker
+        self._register = resource_tracker.register
+        self._unregister = resource_tracker.unregister
+        original_register = self._register
+        original_unregister = self._unregister
+
+        def _skip_register(rname, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - nothing else here
+                original_register(rname, rtype)
+
+        def _skip_unregister(rname, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - nothing else here
+                original_unregister(rname, rtype)
+
+        resource_tracker.register = _skip_register
+        resource_tracker.unregister = _skip_unregister
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._tracker is not None:
+            self._tracker.register = self._register
+            self._tracker.unregister = self._unregister
+        _TRACKER_LOCK.release()
+        return False
+
+
+def _open_segment(name: str, *, create: bool = False, size: int = 0):
+    """Construct a ``SharedMemory`` handle the resource tracker never sees."""
+    with _tracker_suppressed():
+        if create:
+            return _shared_memory.SharedMemory(name=name, create=True, size=size)
+        return _shared_memory.SharedMemory(name=name)
+
+
+def _unlink_segment(seg) -> None:
+    """Close and unlink ``seg`` without notifying the resource tracker."""
+    with _tracker_suppressed():
+        seg.close()
+        seg.unlink()
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Wire descriptor of one shared-memory-carried leaf.
+
+    The pickled frame carries this instead of the bytes: which segment
+    (``name``/``slot``/``gen``), where in it (``offset`` — always 0 with the
+    one-leaf-per-segment pool, kept for wire-format completeness), what to
+    rebuild (``shape``/``dtype``/``kind``) and a content ``digest`` for
+    opt-in end-to-end verification.
+    """
+
+    slot: int
+    gen: int
+    name: str
+    offset: int
+    nbytes: int
+    shape: tuple[int, ...]
+    dtype: str
+    digest: bytes
+    kind: str = "ndarray"  # or "bytes"
+
+
+class SegmentTable:
+    """Cross-process slot registry: one per job, created by the parent.
+
+    Each slot is (refcount, segment size, generation).  ``size == 0`` means
+    the slot has never had a segment; ``refs == 0`` with ``size > 0`` means
+    an idle segment is available for reuse.  ``gen`` increments whenever a
+    slot's segment is replaced by a larger one, which is how attached
+    processes know a cached mapping went stale.
+    """
+
+    def __init__(self, ctx, max_segments: int = MAX_SEGMENTS) -> None:
+        self.job = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_JOB_SEQ)}"
+        self.max_segments = int(max_segments)
+        # RLock: release() may run from a GC-triggered finalizer while the
+        # same thread already holds the lock inside acquire().
+        self.lock = ctx.RLock()
+        self.refs = ctx.Array("q", self.max_segments, lock=False)
+        self.sizes = ctx.Array("q", self.max_segments, lock=False)
+        self.gens = ctx.Array("q", self.max_segments, lock=False)
+
+    def segment_name(self, slot: int) -> str:
+        """The OS-level name of ``slot``'s segment."""
+        return f"{self.job}-{slot}"
+
+    def release(self, slot: int) -> None:
+        """Drop one reference to ``slot`` (idempotence is the caller's job)."""
+        with self.lock:
+            self.refs[slot] -= 1
+            if self.refs[slot] < 0:  # pragma: no cover - double-release guard
+                self.refs[slot] = 0
+
+    def destroy_all(self) -> int:
+        """Unlink every segment the job ever created; returns the count.
+
+        Called by the parent after the rank processes are joined.  Refcounts
+        are ignored deliberately: a crashed rank's references can never be
+        released, and at this point no live process will touch the pool
+        again — this sweep is what makes injected process death leak-free.
+        """
+        if _shared_memory is None:  # pragma: no cover - platform gate
+            return 0
+        destroyed = 0
+        with self.lock:
+            for slot in range(self.max_segments):
+                if self.sizes[slot] <= 0:
+                    continue
+                try:
+                    _unlink_segment(_open_segment(self.segment_name(slot)))
+                    destroyed += 1
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+                self.refs[slot] = 0
+                self.sizes[slot] = 0
+        return destroyed
+
+
+class _Export:
+    """Process-local record of an object currently backed by a slot."""
+
+    __slots__ = ("ref", "slot", "gen", "shmref")
+
+    def __init__(self, obj: Any, slot: int, gen: int, shmref: ShmRef) -> None:
+        # bytes cannot be weak-referenced; exports are ndarray-only.
+        self.ref = weakref.ref(obj)
+        self.slot = slot
+        self.gen = gen
+        self.shmref = shmref
+
+
+class ShmPool:
+    """One process's handle onto the job's segment pool.
+
+    Owns the process-local attach cache, the export cache that makes
+    repeated shares of the same array (broadcast fan-out, tree forwarding)
+    reference the segment already written, and the finalizers that return
+    references when arrays are garbage-collected.  Thread-safe: the sender
+    thread, delayed-delivery timers and the pump thread all use it.
+    """
+
+    def __init__(
+        self,
+        table: SegmentTable,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        counters=None,
+        tracer=None,
+        verify: bool = False,
+    ) -> None:
+        self.table = table
+        self.threshold = max(1, int(threshold))
+        self.counters = counters
+        self.tracer = tracer
+        self.verify = bool(verify)
+        self._lock = threading.RLock()
+        self._attached: dict[int, tuple[int, Any]] = {}  # slot -> (gen, SharedMemory)
+        self._exports: dict[int, _Export] = {}  # id(array) -> export
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count(self, op: str, nbytes: int) -> None:
+        if self.counters is not None:
+            self.counters.record(op, messages=1, nbytes=nbytes)
+
+    def _instant(self, name: str, args: dict) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(name, cat="mpi.shm", args=args)
+
+    def _prune_exports(self) -> None:
+        dead = [key for key, exp in self._exports.items() if exp.ref() is None]
+        for key in dead:
+            del self._exports[key]
+
+    # -- segment plumbing ----------------------------------------------------
+
+    def _attach(self, slot: int, gen: int):
+        with self._lock:
+            cached = self._attached.get(slot)
+            if cached is not None and cached[0] == gen:
+                return cached[1]
+            if cached is not None:
+                cached[1].close()
+                del self._attached[slot]
+            try:
+                seg = _open_segment(self.table.segment_name(slot))
+            except FileNotFoundError as exc:
+                raise MPIError(
+                    f"shared-memory segment for slot {slot} vanished mid-run"
+                    " (descriptor outlived the pool?)"
+                ) from exc
+            self._attached[slot] = (gen, seg)
+            return seg
+
+    def _acquire_slot(self, nbytes: int) -> tuple[int, int] | None:
+        """A slot whose segment holds ``nbytes``, refcount pre-set to 1.
+
+        Preference order: smallest idle segment that fits, then a virgin
+        slot, then regrowing the smallest idle segment.  Returns
+        ``(slot, gen)`` or ``None`` when every slot is busy (caller falls
+        back to the pickle path).
+        """
+        table = self.table
+        need = _segment_size(nbytes)
+        with table.lock:
+            fit = virgin = idle = -1
+            for slot in range(table.max_segments):
+                if table.refs[slot] != 0:
+                    continue
+                size = table.sizes[slot]
+                if size == 0:
+                    if virgin < 0:
+                        virgin = slot
+                elif size >= nbytes:
+                    if fit < 0 or size < table.sizes[fit]:
+                        fit = slot
+                else:
+                    if idle < 0 or size < table.sizes[idle]:
+                        idle = slot
+            slot = fit if fit >= 0 else (virgin if virgin >= 0 else idle)
+            if slot < 0:
+                return None
+            grow = table.sizes[slot] < nbytes
+            table.refs[slot] = 1
+            if not grow:
+                return slot, table.gens[slot]
+            # Virgin slot or regrow: (re)create the segment at `need` bytes.
+            name = table.segment_name(slot)
+            if table.sizes[slot] > 0:
+                try:
+                    _unlink_segment(_open_segment(name))
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            try:
+                seg = _open_segment(name, create=True, size=need)
+            except Exception:
+                table.refs[slot] = 0
+                table.sizes[slot] = 0
+                raise
+            table.sizes[slot] = need
+            table.gens[slot] += 1
+            gen = table.gens[slot]
+            with self._lock:
+                cached = self._attached.pop(slot, None)
+                if cached is not None:
+                    cached[1].close()
+                self._attached[slot] = (gen, seg)
+            self._count("shm.segments", need)
+            return slot, gen
+
+    # -- share / materialise -------------------------------------------------
+
+    def share(self, leaf) -> ShmRef | None:
+        """Place ``leaf`` (ndarray or bytes) in the pool; returns a descriptor.
+
+        Adds one reference for the destination this share serves.  A repeat
+        share of the same (still-live) ndarray reuses the already written
+        segment — that is the broadcast fan-out path.  Returns ``None`` when
+        the pool is exhausted; the caller sends the leaf in-frame instead.
+        """
+        is_array = isinstance(leaf, np.ndarray)
+        nbytes = leaf.nbytes if is_array else len(leaf)
+        if is_array:
+            with self._lock:
+                export = self._exports.get(id(leaf))
+                if export is not None and export.ref() is leaf:
+                    with self.table.lock:
+                        self.table.refs[export.slot] += 1
+                    self._count("shm.reuse", nbytes)
+                    self._instant(
+                        "shm_share",
+                        {"slot": export.slot, "nbytes": nbytes, "reuse": True},
+                    )
+                    return export.shmref
+        acquired = self._acquire_slot(nbytes)
+        if acquired is None:
+            self._count("shm.fallback", nbytes)
+            _LOG.debug("shm pool exhausted; %d-byte leaf falls back to pickle", nbytes)
+            return None
+        slot, gen = acquired
+        seg = self._attach(slot, gen)
+        if is_array:
+            src = np.asarray(leaf)
+            dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf)
+            dst[...] = src
+            shmref = ShmRef(
+                slot=slot,
+                gen=gen,
+                name=self.table.segment_name(slot),
+                offset=0,
+                nbytes=nbytes,
+                shape=tuple(src.shape),
+                dtype=src.dtype.str,
+                digest=_digest(dst.reshape(-1).view(np.uint8)),
+            )
+        else:
+            seg.buf[:nbytes] = leaf
+            shmref = ShmRef(
+                slot=slot,
+                gen=gen,
+                name=self.table.segment_name(slot),
+                offset=0,
+                nbytes=nbytes,
+                shape=(nbytes,),
+                dtype="bytes",
+                digest=_digest(seg.buf[:nbytes]),
+                kind="bytes",
+            )
+        # The acquire ref becomes the receiver's ref.  For ndarrays, add an
+        # exporter hold tied to the array's lifetime so fan-out reuses the
+        # segment; bytes cannot carry weakrefs, so their shares are one-shot.
+        if is_array:
+            with self.table.lock:
+                self.table.refs[slot] += 1
+            with self._lock:
+                if len(self._exports) > 256:
+                    self._prune_exports()
+                self._exports[id(leaf)] = _Export(leaf, slot, gen, shmref)
+            weakref.finalize(leaf, self._drop_export, id(leaf), slot)
+        self._count("shm", nbytes)
+        self._instant("shm_share", {"slot": slot, "nbytes": nbytes, "reuse": False})
+        return shmref
+
+    def _drop_export(self, key: int, slot: int) -> None:
+        with self._lock:
+            export = self._exports.get(key)
+            if export is not None and export.slot == slot and export.ref() is None:
+                del self._exports[key]
+        self.table.release(slot)
+
+    def materialize(self, ref: ShmRef):
+        """Rebuild a private copy of a descriptor's content.
+
+        For ndarrays the delivered reference is handed on to the
+        materialised copy (released when it is garbage-collected), so a
+        forwarding rank can re-share the same segment; ``bytes`` release
+        immediately after the copy.
+        """
+        seg = self._attach(ref.slot, ref.gen)
+        if ref.kind == "bytes":
+            out: Any = bytes(seg.buf[: ref.nbytes])
+            if self.verify and _digest(out) != ref.digest:
+                self.table.release(ref.slot)
+                raise MPIError(f"shm content digest mismatch for slot {ref.slot}")
+            self.table.release(ref.slot)
+            return out
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        out = np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+        out[...] = view
+        if self.verify and _digest(out.reshape(-1).view(np.uint8)) != ref.digest:
+            self.table.release(ref.slot)
+            raise MPIError(f"shm content digest mismatch for slot {ref.slot}")
+        with self._lock:
+            self._exports[id(out)] = _Export(out, ref.slot, ref.gen, ref)
+        weakref.finalize(out, self._drop_export, id(out), ref.slot)
+        return out
+
+    def close(self) -> None:
+        """Detach every cached segment mapping (does not unlink)."""
+        with self._lock:
+            for _gen, seg in self._attached.values():
+                try:
+                    seg.close()
+                except Exception:  # pragma: no cover - buffers may be exported
+                    pass
+            self._attached.clear()
+
+
+# -- payload transforms -----------------------------------------------------------
+
+#: Dataclass types whose (listed) fields may carry shareable leaves.  The
+#: transform never recurses into unregistered dataclasses — protocol types
+#: opt in explicitly (see :mod:`repro.parallel.protocol`).
+_SHAREABLE: dict[type, tuple[str, ...]] = {}
+
+#: How deep the transform follows containers before giving up.
+_MAX_DEPTH = 4
+
+
+def register_shareable(cls: type, field_names: tuple[str, ...]) -> None:
+    """Declare that ``cls`` (a dataclass) may carry large leaves in ``field_names``."""
+    if not is_dataclass(cls):
+        raise MPIError(f"register_shareable needs a dataclass, got {cls!r}")
+    known = {f.name for f in fields(cls)}
+    for name in field_names:
+        if name not in known:
+            raise MPIError(f"{cls.__name__} has no field {name!r}")
+    _SHAREABLE[cls] = tuple(field_names)
+
+
+def shareable_fields(cls: type) -> tuple[str, ...] | None:
+    """The registered shareable fields of ``cls`` (None when unregistered)."""
+    return _SHAREABLE.get(cls)
+
+
+def _encode(obj: Any, pool: ShmPool, depth: int) -> tuple[Any, bool]:
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= pool.threshold:
+            ref = pool.share(obj)
+            if ref is not None:
+                return ref, True
+        return obj, False
+    if isinstance(obj, bytes):
+        if len(obj) >= pool.threshold:
+            ref = pool.share(obj)
+            if ref is not None:
+                return ref, True
+        return obj, False
+    if depth >= _MAX_DEPTH:
+        return obj, False
+    if isinstance(obj, (list, tuple)):
+        out = []
+        changed = False
+        for item in obj:
+            new, did = _encode(item, pool, depth + 1)
+            out.append(new)
+            changed = changed or did
+        if not changed:
+            return obj, False
+        return (type(obj)(out) if isinstance(obj, tuple) else out), True
+    if isinstance(obj, dict):
+        changed = False
+        out_d = {}
+        for key, value in obj.items():
+            new, did = _encode(value, pool, depth + 1)
+            out_d[key] = new
+            changed = changed or did
+        return (out_d, True) if changed else (obj, False)
+    names = _SHAREABLE.get(type(obj))
+    if names:
+        updates = {}
+        for name in names:
+            value = getattr(obj, name)
+            if value is None:
+                continue
+            new, did = _encode(value, pool, depth + 1)
+            if did:
+                updates[name] = new
+        if updates:
+            return replace(obj, **updates), True
+    return obj, False
+
+
+def _decode(obj: Any, pool: ShmPool, depth: int) -> tuple[Any, bool]:
+    if isinstance(obj, ShmRef):
+        return pool.materialize(obj), True
+    if depth >= _MAX_DEPTH:
+        return obj, False
+    if isinstance(obj, (list, tuple)):
+        out = []
+        changed = False
+        for item in obj:
+            new, did = _decode(item, pool, depth + 1)
+            out.append(new)
+            changed = changed or did
+        if not changed:
+            return obj, False
+        return (type(obj)(out) if isinstance(obj, tuple) else out), True
+    if isinstance(obj, dict):
+        changed = False
+        out_d = {}
+        for key, value in obj.items():
+            new, did = _decode(value, pool, depth + 1)
+            out_d[key] = new
+            changed = changed or did
+        return (out_d, True) if changed else (obj, False)
+    names = _SHAREABLE.get(type(obj))
+    if names:
+        updates = {}
+        for name in names:
+            value = getattr(obj, name)
+            if value is None:
+                continue
+            new, did = _decode(value, pool, depth + 1)
+            if did:
+                updates[name] = new
+        if updates:
+            return replace(obj, **updates), True
+    return obj, False
+
+
+def encode_payload(payload: Any, pool: ShmPool) -> Any:
+    """Replace large leaves of ``payload`` with :class:`ShmRef` descriptors.
+
+    Leaves are ndarrays and ``bytes`` at or above the pool's threshold,
+    found at the top level, inside lists/tuples/dicts (to depth 4), or in
+    the registered fields of opted-in dataclasses.  Anything else — and
+    anything the pool cannot place — is returned as-is for the pickle path.
+    """
+    out, _changed = _encode(payload, pool, 0)
+    return out
+
+
+def decode_payload(payload: Any, pool: ShmPool) -> Any:
+    """Materialise every :class:`ShmRef` in ``payload`` (inverse of encode)."""
+    out, _changed = _decode(payload, pool, 0)
+    return out

@@ -50,6 +50,11 @@ __all__ = [
 #: Rank attributed to events recorded outside any SPMD rank thread.
 DRIVER_RANK = -1
 
+#: Width of one flow-id stripe handed out by :meth:`Tracer.reserve_flow_stripe`.
+#: A stripe is private to one cooperating (per-process) tracer, so flow ids
+#: minted in different processes can never collide after the merge.
+FLOW_STRIDE = 1 << 40
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -160,6 +165,7 @@ class Tracer:
         self._events: list[TraceEvent] = []
         self._seq = itertools.count()
         self._flow_seq = itertools.count(int(flow_start))
+        self._next_stripe = 1
         self._tls = threading.local()
         self._rank_names: dict[int, str] = {}
         self.metrics = MetricsRegistry()
@@ -196,6 +202,22 @@ class Tracer:
     def new_flow_id(self) -> int:
         """Allocate a fresh message-flow id (joins a send to its recv)."""
         return next(self._flow_seq)
+
+    def reserve_flow_stripe(self) -> int:
+        """Reserve a disjoint flow-id stripe for a cooperating tracer.
+
+        Each call returns the start of a fresh :data:`FLOW_STRIDE`-wide id
+        range that is never handed out again for the lifetime of this
+        tracer.  The process-backend executor reserves one stripe per rank
+        process *per run*, so tracers created across multiple runs on the
+        same parent tracer (restarted ranks, resumed simulations) cannot
+        mint flow ids colliding with a surviving buffer's — nor with this
+        tracer's own ids, which live in stripe 0.
+        """
+        with self._lock:
+            start = self._next_stripe * FLOW_STRIDE + 1
+            self._next_stripe += 1
+            return start
 
     # -- recording ----------------------------------------------------------
 

@@ -33,6 +33,11 @@ class SSetDecomposition:
     workers taking one extra.  All methods are pure arithmetic — any rank
     answers ownership questions without communication, as the paper's
     implementation does.
+
+    More workers than SSets is legal: the surplus workers own empty blocks
+    (``ssets_of_rank`` returns an empty array) and :meth:`owner_of` never
+    names them, so they simply idle through the fitness steps while still
+    participating in the collectives.
     """
 
     n_ssets: int
@@ -94,10 +99,24 @@ class SSetDecomposition:
         return -(-self.n_ssets // self.n_workers)
 
     def validate(self) -> None:
-        """Assert the blocks tile the SSet range exactly (used by tests)."""
+        """Assert the blocks tile the SSet range and agree with :meth:`owner_of`.
+
+        Used by tests; also the guard behind the zero-SSet-worker contract —
+        a decomposition whose ``owner_of`` named a rank outside that rank's
+        own block would strand a fitness request on a worker that will never
+        answer it.
+        """
         seen: list[int] = []
         for rank in range(1, self.n_ranks):
-            seen.extend(self.ssets_of_rank(rank).tolist())
+            block = self.ssets_of_rank(rank)
+            seen.extend(block.tolist())
+            for sset in block:
+                owner = self.owner_of(int(sset))
+                if owner != rank:
+                    raise ScheduleError(
+                        f"owner_of({int(sset)}) = {owner} disagrees with"
+                        f" ssets_of_rank({rank})"
+                    )
         if seen != list(range(self.n_ssets)):
             raise ScheduleError("worker blocks do not tile the SSet range")
 

@@ -67,6 +67,11 @@ __all__ = ["ParallelSimulation", "ParallelRunResult"]
 _TAG_TEACHER = TAG_FITNESS
 _TAG_LEARNER = TAG_FITNESS + 1
 
+#: Nature's wait for a plain-protocol fitness return.  Owners always exist
+#: (zero-SSet workers are never named by ``owner_of``), so this firing means
+#: an ownership-map bug — and failing fast beats hanging the whole run.
+_FITNESS_TIMEOUT = 120.0
+
 
 @dataclass(frozen=True)
 class ParallelRunResult:
@@ -187,8 +192,25 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
                     (pi,) = evaluator.fitness([learner], generation=gen)
                     comm.send(float(pi), dest=decomp.nature_rank, tag=_TAG_LEARNER)
                 if nature is not None:
-                    pi_t = comm.recv(source=decomp.owner_of(teacher), tag=_TAG_TEACHER)
-                    pi_l = comm.recv(source=decomp.owner_of(learner), tag=_TAG_LEARNER)
+                    t_owner = decomp.owner_of(teacher)
+                    l_owner = decomp.owner_of(learner)
+                    try:
+                        pi_t = comm.recv(
+                            source=t_owner, tag=_TAG_TEACHER, timeout=_FITNESS_TIMEOUT
+                        )
+                        pi_l = comm.recv(
+                            source=l_owner, tag=_TAG_LEARNER, timeout=_FITNESS_TIMEOUT
+                        )
+                    except RecvTimeoutError as exc:
+                        # Owners are pure arithmetic shared by every rank, so
+                        # a missing return means the ownership maps diverged
+                        # (e.g. a worker that believes it owns nothing):
+                        # surface the bug instead of hanging Nature forever.
+                        raise MPIError(
+                            f"no fitness return for PC ({teacher} -> {learner})"
+                            f" from owners ({t_owner}, {l_owner}) at generation"
+                            f" {gen}: ownership maps inconsistent?"
+                        ) from exc
                     decision = nature.decide_adoption(
                         PCSelection(teacher=teacher, learner=learner), pi_t, pi_l
                     )
@@ -619,6 +641,14 @@ class ParallelSimulation:
         With the process backend an injected ``crash``/``hang`` kills the
         rank's *process*; the fault-tolerant protocol degrades around the
         real death exactly as it does around the simulated one.
+    shared_memory, shm_threshold:
+        Process-backend transport tuning: strategy tables (and any other
+        ndarray/``bytes`` payload leaves) of at least ``shm_threshold``
+        bytes travel through pooled shared-memory segments instead of the
+        per-destination frame pickle (:mod:`repro.mpi.shm`);
+        ``shared_memory=False`` is the escape hatch forcing every byte
+        through the pipe.  The trajectory is bit-identical either way.
+        Ignored under the thread backend.
 
     Examples
     --------
@@ -642,6 +672,8 @@ class ParallelSimulation:
         checkpoint_every: int = 0,
         trace: bool | Tracer = False,
         backend: str = "thread",
+        shared_memory: bool = True,
+        shm_threshold: int | None = None,
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
@@ -651,6 +683,8 @@ class ParallelSimulation:
             raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
         self.config = config
         self.backend = backend
+        self.shared_memory = bool(shared_memory)
+        self.shm_threshold = shm_threshold
         self.n_ranks = int(n_ranks)
         self.eager_games = bool(eager_games)
         self.fault_plan = fault_plan
@@ -747,6 +781,8 @@ class ParallelSimulation:
                 fault_injector=injector,
                 tracer=self.tracer,
                 backend=self.backend,
+                shared_memory=self.shared_memory,
+                shm_threshold=self.shm_threshold,
             )
             self._finish_trace(spmd)
             nature_out = spmd.returns[0]
@@ -772,6 +808,8 @@ class ParallelSimulation:
             on_rank_failure="continue",
             tracer=self.tracer,
             backend=self.backend,
+            shared_memory=self.shared_memory,
+            shm_threshold=self.shm_threshold,
         )
         self._finish_trace(spmd)
         nature_out = spmd.returns[0]

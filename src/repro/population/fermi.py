@@ -20,18 +20,33 @@ from repro.errors import ConfigError
 __all__ = ["fermi_probability", "fermi_probability_array"]
 
 
+def _check_beta(beta: float) -> None:
+    if np.isnan(beta) or beta < 0:
+        raise ConfigError(f"beta must be non-negative (inf allowed), got {beta}")
+
+
 def fermi_probability(pi_teacher: float, pi_learner: float, beta: float) -> float:
-    """Adoption probability for scalar payoffs (numerically stable for any β)."""
-    if beta < 0 or not np.isfinite(beta):
-        raise ConfigError(f"beta must be finite and non-negative, got {beta}")
-    return float(expit(beta * (float(pi_teacher) - float(pi_learner))))
+    """Adoption probability for scalar payoffs (numerically stable for any β).
+
+    ``beta=inf`` is the deterministic-imitation limit the module docstring
+    promises: the fitter strategy always wins (probability 1 when the
+    teacher is fitter, 0 when less fit, a fair coin on exact ties —
+    ``expit``'s own limit, since the exponent is 0 regardless of β).
+    """
+    _check_beta(beta)
+    diff = float(pi_teacher) - float(pi_learner)
+    if np.isinf(beta):
+        # beta * 0 would be nan; take the limit explicitly.
+        return 1.0 if diff > 0 else (0.0 if diff < 0 else 0.5)
+    return float(expit(beta * diff))
 
 
 def fermi_probability_array(
     pi_teacher: np.ndarray, pi_learner: np.ndarray, beta: float
 ) -> np.ndarray:
     """Vectorised :func:`fermi_probability` over payoff arrays."""
-    if beta < 0 or not np.isfinite(beta):
-        raise ConfigError(f"beta must be finite and non-negative, got {beta}")
+    _check_beta(beta)
     diff = np.asarray(pi_teacher, dtype=np.float64) - np.asarray(pi_learner, dtype=np.float64)
+    if np.isinf(beta):
+        return np.where(diff > 0, 1.0, np.where(diff < 0, 0.0, 0.5))
     return expit(beta * diff)

@@ -214,3 +214,19 @@ class TestTracerMerge:
                 flows.setdefault(e.flow_id, set()).add(e.ph)
         # At least one send->recv pair shares a flow id with both ends.
         assert any({"s", "f"} <= phases for phases in flows.values())
+
+    def test_flow_stripes_unique_across_successive_runs(self):
+        """Regression: a second run on the same tracer must draw fresh flow
+        stripes.  Stripes used to be a pure function of rank, so a restarted
+        rank's buffer reused a surviving (earlier) rank's flow-id range and
+        the merged Perfetto export bound unrelated arrows together."""
+        tracer = Tracer()
+        run_spmd_process(2, _traced_pingpong, timeout=120, tracer=tracer)
+        first = {e.flow_id for e in tracer.events() if e.flow_id}
+        assert first, "expected flow arrows from the first run"
+        run_spmd_process(2, _traced_pingpong, timeout=120, tracer=tracer)
+        second = {e.flow_id for e in tracer.events() if e.flow_id} - first
+        assert second, "expected fresh flow ids from the second run"
+        assert not (first & second)
+        # Parent-side ids live in stripe 0, below every rank stripe.
+        assert tracer.new_flow_id() < min(first | second)

@@ -1,0 +1,287 @@
+"""Unit tests for the zero-copy shared-memory transport (repro.mpi.shm).
+
+The pool runs entirely in-process here: the same ``ShmPool`` plays sender
+(``share``/``encode_payload``) and receiver (``materialize``/
+``decode_payload``), which exercises every slot-lifecycle path without
+forking.  The process-backend integration lives in
+``tests/parallel/test_backend_parity.py``.
+"""
+
+import dataclasses
+import gc
+import glob
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.counters import CommCounters
+from repro.mpi.shm import (
+    DEFAULT_THRESHOLD,
+    SEGMENT_PREFIX,
+    SHM_AVAILABLE,
+    SegmentTable,
+    ShmPool,
+    ShmRef,
+    decode_payload,
+    encode_payload,
+    register_shareable,
+    shareable_fields,
+)
+
+pytestmark = [
+    pytest.mark.shm,
+    pytest.mark.skipif(not SHM_AVAILABLE, reason="no multiprocessing.shared_memory"),
+]
+
+
+@pytest.fixture()
+def ctx():
+    return multiprocessing.get_context("fork")
+
+
+@pytest.fixture()
+def table(ctx):
+    tab = SegmentTable(ctx, max_segments=4)
+    yield tab
+    tab.destroy_all()
+    assert glob.glob(f"/dev/shm/{tab.job}-*") == []
+
+
+@pytest.fixture()
+def pool(table):
+    p = ShmPool(table, threshold=1, counters=CommCounters())
+    yield p
+    p.close()
+
+
+class TestRoundTrip:
+    def test_ndarray_round_trip_is_private_copy(self, pool):
+        src = np.arange(4096, dtype=np.int64).reshape(64, 64)
+        ref = pool.share(src)
+        assert isinstance(ref, ShmRef)
+        assert ref.kind == "ndarray"
+        assert ref.nbytes == src.nbytes
+        out = pool.materialize(ref)
+        assert np.array_equal(out, src)
+        # Receiver's copy is private: mutating it cannot reach the sender.
+        out[0, 0] = -1
+        assert src[0, 0] == 0
+
+    def test_bytes_round_trip(self, pool):
+        blob = bytes(range(256)) * 16
+        ref = pool.share(blob)
+        assert ref.kind == "bytes"
+        assert pool.materialize(ref) == blob
+
+    def test_non_contiguous_array_round_trip(self, pool):
+        base = np.arange(200, dtype=np.float64).reshape(10, 20)
+        src = base[:, ::2]  # strided view
+        ref = pool.share(src)
+        assert np.array_equal(pool.materialize(ref), src)
+
+    def test_dtype_and_shape_survive(self, pool):
+        src = np.linspace(0, 1, 81, dtype=np.float32).reshape(3, 27)
+        out = pool.materialize(pool.share(src))
+        assert out.dtype == src.dtype and out.shape == src.shape
+
+
+class TestSlotLifecycle:
+    def test_refcount_returns_to_zero_after_gc(self, pool, table):
+        src = np.ones(1024, dtype=np.float64)
+        ref = pool.share(src)
+        slot = ref.slot
+        out = pool.materialize(ref)
+        assert table.refs[slot] > 0
+        del src, out
+        gc.collect()
+        assert table.refs[slot] == 0  # slot idle, segment reusable
+
+    def test_idle_segment_is_reused_not_recreated(self, pool, table):
+        first = pool.share(b"x" * 1000)
+        pool.materialize(first)  # bytes release on materialise
+        second = pool.share(b"y" * 1000)
+        assert second.slot == first.slot
+        assert second.gen == first.gen  # same segment, no recreation
+        assert pool.counters.get("shm.segments").calls == 1
+        pool.materialize(second)
+
+    def test_regrow_bumps_generation(self, ctx):
+        # One slot forces the regrow path (a bigger table would prefer a
+        # virgin slot over recreating an undersized idle segment).
+        tab = SegmentTable(ctx, max_segments=1)
+        pool = ShmPool(tab, threshold=1)
+        try:
+            small = pool.share(b"s" * 100)
+            pool.materialize(small)
+            big = pool.share(b"b" * (512 * 1024))
+            assert big.slot == small.slot  # regrew the idle slot
+            assert big.gen == small.gen + 1
+            assert tab.sizes[big.slot] >= 512 * 1024
+            assert pool.materialize(big) == b"b" * (512 * 1024)
+        finally:
+            pool.close()
+            tab.destroy_all()
+
+    def test_exhausted_pool_falls_back(self, ctx):
+        tab = SegmentTable(ctx, max_segments=1)
+        pool = ShmPool(tab, threshold=1, counters=CommCounters())
+        try:
+            held = np.zeros(512, dtype=np.int64)
+            assert pool.share(held) is not None
+            overflow = pool.share(np.ones(512, dtype=np.int64))
+            assert overflow is None  # caller keeps the leaf in-frame
+            assert pool.counters.get("shm.fallback").calls == 1
+            payload = encode_payload(np.full(512, 7.0), pool)
+            assert isinstance(payload, np.ndarray)  # untouched on fallback
+        finally:
+            pool.close()
+            tab.destroy_all()
+
+    def test_destroy_all_ignores_refcounts(self, ctx):
+        # A crashed rank never releases; the parent sweep must still unlink.
+        tab = SegmentTable(ctx, max_segments=4)
+        pool = ShmPool(tab, threshold=1)
+        keep = np.arange(64)
+        pool.share(keep)  # refs held by exporter + receiver
+        pool.close()
+        assert tab.destroy_all() == 1
+        assert glob.glob(f"/dev/shm/{tab.job}-*") == []
+
+
+class TestFanOutReuse:
+    def test_repeat_share_of_live_array_reuses_segment(self, pool):
+        src = np.arange(2048, dtype=np.int64)
+        first = pool.share(src)
+        second = pool.share(src)  # bcast fan-out: same array, next dest
+        assert second == first
+        counts = pool.counters
+        assert counts.get("shm").calls == 1
+        assert counts.get("shm.reuse").calls == 1
+        assert counts.get("shm.segments").calls == 1
+        pool.materialize(first)
+        pool.materialize(second)
+
+    def test_materialized_copy_can_be_reshared(self, pool):
+        # Tree forwarding: a materialised table re-shares the same segment.
+        src = np.arange(2048, dtype=np.int64)
+        ref = pool.share(src)
+        mid = pool.materialize(ref)
+        forwarded = pool.share(mid)
+        assert forwarded.slot == ref.slot and forwarded.gen == ref.gen
+        assert pool.counters.get("shm.reuse").calls == 1
+        assert np.array_equal(pool.materialize(forwarded), src)
+
+    def test_bytes_shares_are_one_shot(self, pool):
+        blob = b"z" * 4096
+        first = pool.share(blob)
+        pool.materialize(first)
+        second = pool.share(blob)  # no weakref on bytes -> fresh share
+        pool.materialize(second)
+        assert pool.counters.get("shm").calls == 2
+        assert pool.counters.get("shm.reuse").calls == 0
+
+
+class TestPayloadTransforms:
+    def test_threshold_gates_small_leaves(self, table):
+        pool = ShmPool(table, threshold=DEFAULT_THRESHOLD)
+        try:
+            small = np.zeros(16, dtype=np.int8)
+            assert encode_payload(small, pool) is small
+            assert encode_payload(b"tiny", pool) == b"tiny"
+        finally:
+            pool.close()
+
+    def test_containers_encode_and_decode(self, pool):
+        arr = np.arange(512, dtype=np.float64)
+        payload = {"tables": [arr, arr * 2], "tag": ("keep", 3)}
+        encoded = encode_payload(payload, pool)
+        assert isinstance(encoded["tables"][0], ShmRef)
+        assert encoded["tag"] == ("keep", 3)
+        decoded = decode_payload(encoded, pool)
+        assert np.array_equal(decoded["tables"][0], arr)
+        assert np.array_equal(decoded["tables"][1], arr * 2)
+
+    def test_registered_dataclass_fields_round_trip(self, pool):
+        @dataclasses.dataclass(frozen=True)
+        class Update:
+            generation: int
+            table: np.ndarray | None
+
+        register_shareable(Update, ("table",))
+        assert shareable_fields(Update) == ("table",)
+        msg = Update(generation=7, table=np.arange(1024, dtype=np.uint8))
+        encoded = encode_payload(msg, pool)
+        assert isinstance(encoded.table, ShmRef)
+        assert encoded.generation == 7
+        decoded = decode_payload(encoded, pool)
+        assert np.array_equal(decoded.table, msg.table)
+        none_msg = Update(generation=8, table=None)
+        assert encode_payload(none_msg, pool) is none_msg
+
+    def test_unregistered_dataclass_left_alone(self, pool):
+        @dataclasses.dataclass(frozen=True)
+        class Opaque:
+            table: np.ndarray
+
+        msg = Opaque(table=np.arange(1024, dtype=np.uint8))
+        assert encode_payload(msg, pool) is msg
+
+    def test_register_shareable_validates(self):
+        class NotADataclass:
+            pass
+
+        with pytest.raises(MPIError, match="dataclass"):
+            register_shareable(NotADataclass, ("x",))
+
+        @dataclasses.dataclass
+        class Msg:
+            a: int
+
+        with pytest.raises(MPIError, match="no field"):
+            register_shareable(Msg, ("missing",))
+
+
+class TestIntegrity:
+    def test_opt_in_digest_verification_catches_corruption(self, table):
+        pool = ShmPool(table, threshold=1, verify=True)
+        try:
+            src = np.arange(1024, dtype=np.int64)
+            ref = pool.share(src)
+            seg = pool._attach(ref.slot, ref.gen)
+            seg.buf[0] = (seg.buf[0] + 1) % 256  # flip a byte in place
+            with pytest.raises(MPIError, match="digest mismatch"):
+                pool.materialize(ref)
+        finally:
+            pool.close()
+
+    def test_verification_off_by_default(self, pool):
+        assert pool.verify is False
+
+    def test_vanished_segment_raises_mpierror(self, ctx):
+        tab = SegmentTable(ctx, max_segments=2)
+        pool = ShmPool(tab, threshold=1)
+        try:
+            ref = pool.share(b"q" * 300)
+            tab.destroy_all()
+            pool.close()  # drop the attach cache so materialise must re-open
+            with pytest.raises(MPIError, match="vanished"):
+                pool.materialize(ref)
+        finally:
+            pool.close()
+            tab.destroy_all()
+
+
+class TestNaming:
+    def test_segments_carry_the_audit_prefix(self, pool, table):
+        ref = pool.share(np.zeros(256, dtype=np.int64))
+        assert ref.name.startswith(f"{SEGMENT_PREFIX}-")
+        assert glob.glob(f"/dev/shm/{ref.name}") != []
+        pool.materialize(ref)
+
+    def test_job_names_are_unique(self, ctx):
+        first, second = SegmentTable(ctx), SegmentTable(ctx)
+        assert first.job != second.job
+        first.destroy_all()
+        second.destroy_all()

@@ -38,6 +38,22 @@ class TestBlocks:
         assert sum(owned) == 3
         assert max(owned) == 1
 
+    def test_surplus_workers_never_named_as_owners(self):
+        # Regression: with 7 workers for 3 SSets, owner_of must only ever
+        # name the first 3 workers — a fitness request routed to a
+        # zero-block worker would never be answered.
+        d = SSetDecomposition(n_ssets=3, n_ranks=8)
+        d.validate()
+        owners = {d.owner_of(s) for s in range(3)}
+        assert owners == {1, 2, 3}
+        for rank in range(4, 8):
+            assert d.ssets_of_rank(rank).size == 0
+
+    def test_owner_and_blocks_agree_over_shape_sweep(self):
+        for n_ssets in range(1, 12):
+            for n_ranks in range(2, 14):
+                SSetDecomposition(n_ssets=n_ssets, n_ranks=n_ranks).validate()
+
     def test_validation(self):
         with pytest.raises(ScheduleError):
             SSetDecomposition(n_ssets=4, n_ranks=1)

@@ -35,10 +35,19 @@ class TestScalar:
         assert fermi_probability(1e9, -1e9, beta=10.0) == 1.0
         assert fermi_probability(-1e9, 1e9, beta=10.0) == 0.0
 
-    @pytest.mark.parametrize("beta", [-1.0, float("nan"), float("inf")])
+    @pytest.mark.parametrize("beta", [-1.0, float("nan")])
     def test_rejects_bad_beta(self, beta):
         with pytest.raises(ConfigError):
             fermi_probability(1.0, 0.0, beta)
+
+    def test_infinite_beta_is_deterministic_limit(self):
+        # Regression: beta=inf used to raise ConfigError although the
+        # docstring promises "beta -> inf makes the fitter strategy always
+        # win".  The limit is exact, not approximate.
+        assert fermi_probability(6.0, 5.0, beta=float("inf")) == 1.0
+        assert fermi_probability(5.0, 6.0, beta=float("inf")) == 0.0
+        # Ties keep expit's own limit (exponent 0 regardless of beta).
+        assert fermi_probability(5.0, 5.0, beta=float("inf")) == 0.5
 
     def test_monotone_in_gap(self):
         gaps = np.linspace(-5, 5, 21)
@@ -63,6 +72,23 @@ class TestArray:
     def test_rejects_bad_beta(self):
         with pytest.raises(ConfigError):
             fermi_probability_array(np.array([1.0]), np.array([0.0]), beta=-2.0)
+        with pytest.raises(ConfigError):
+            fermi_probability_array(np.array([1.0]), np.array([0.0]), beta=float("nan"))
+
+    def test_infinite_beta_is_deterministic_limit(self):
+        # Regression twin of the scalar test: inf must not raise, and must
+        # hit the exact 0/1/0.5 limit elementwise (beta * 0 would be nan).
+        out = fermi_probability_array(
+            np.array([6.0, 5.0, 5.0]), np.array([5.0, 6.0, 5.0]), beta=float("inf")
+        )
+        assert out.tolist() == [1.0, 0.0, 0.5]
+
+    def test_infinite_beta_matches_scalar(self):
+        pt = np.array([1.0, 2.0, 3.0])
+        pl = np.array([3.0, 2.0, 1.0])
+        out = fermi_probability_array(pt, pl, beta=float("inf"))
+        expected = [fermi_probability(t, l, float("inf")) for t, l in zip(pt, pl)]
+        assert out.tolist() == expected
 
     def test_broadcasting(self):
         out = fermi_probability_array(np.array([1.0, 2.0]), 1.5, beta=1.0)
