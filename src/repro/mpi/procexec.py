@@ -119,11 +119,21 @@ class _RemoteMailbox:
                 (source, tag, payload, nbytes, msg_id), protocol=pickle.HIGHEST_PROTOCOL
             )
         except Exception as exc:
+            # The frame never reaches the wire: hand back the segment
+            # references the encode just charged, or the slots stay busy
+            # (and the pool silently shrinks) for the rest of the run.
+            if self._pool is not None:
+                _shm.release_payload(payload, self._pool)
             raise MPIError(
                 f"payload for tag={tag} is not picklable, which the process"
                 f" backend requires: {exc!r}"
             ) from exc
-        self._queue.put(frame)
+        try:
+            self._queue.put(frame)
+        except Exception:
+            if self._pool is not None:
+                _shm.release_payload(payload, self._pool)
+            raise
 
 
 #: Sentinel frame that stops a pump thread.

@@ -81,6 +81,7 @@ __all__ = [
     "shareable_fields",
     "encode_payload",
     "decode_payload",
+    "release_payload",
 ]
 
 _LOG = get_logger("mpi.shm")
@@ -190,8 +191,8 @@ class ShmRef:
     The pickled frame carries this instead of the bytes: which segment
     (``name``/``slot``/``gen``), where in it (``offset`` — always 0 with the
     one-leaf-per-segment pool, kept for wire-format completeness), what to
-    rebuild (``shape``/``dtype``/``kind``) and a content ``digest`` for
-    opt-in end-to-end verification.
+    rebuild (``shape``/``dtype``/``kind``/``order``) and a content
+    ``digest`` for opt-in end-to-end verification.
     """
 
     slot: int
@@ -203,6 +204,9 @@ class ShmRef:
     dtype: str
     digest: bytes
     kind: str = "ndarray"  # or "bytes"
+    #: Memory layout the receiver rebuilds: "C" or "F".  Mirrors pickle's
+    #: semantics — F-contiguous arrays keep Fortran order across the wire.
+    order: str = "C"
 
 
 class SegmentTable:
@@ -282,6 +286,12 @@ class ShmPool:
     reference the segment already written, and the finalizers that return
     references when arrays are garbage-collected.  Thread-safe: the sender
     thread, delayed-delivery timers and the pump thread all use it.
+
+    Lock discipline: the process-local pool lock (``self._lock``) and the
+    cross-process ``SegmentTable.lock`` are **never held together** — every
+    critical section takes exactly one of the two.  Nesting them in either
+    order would let two threads (sender vs. a delayed-delivery timer or a
+    GC finalizer) deadlock ABBA-style and hang the run.
     """
 
     def __init__(
@@ -365,33 +375,41 @@ class ShmPool:
             slot = fit if fit >= 0 else (virgin if virgin >= 0 else idle)
             if slot < 0:
                 return None
-            grow = table.sizes[slot] < nbytes
+            old_size = table.sizes[slot]
+            grow = old_size < nbytes
             table.refs[slot] = 1
             if not grow:
                 return slot, table.gens[slot]
-            # Virgin slot or regrow: (re)create the segment at `need` bytes.
-            name = table.segment_name(slot)
-            if table.sizes[slot] > 0:
-                try:
-                    _unlink_segment(_open_segment(name))
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
-            try:
-                seg = _open_segment(name, create=True, size=need)
-            except Exception:
-                table.refs[slot] = 0
-                table.sizes[slot] = 0
-                raise
             table.sizes[slot] = need
             table.gens[slot] += 1
             gen = table.gens[slot]
-            with self._lock:
-                cached = self._attached.pop(slot, None)
-                if cached is not None:
-                    cached[1].close()
-                self._attached[slot] = (gen, seg)
-            self._count("shm.segments", need)
-            return slot, gen
+        # Virgin slot or regrow: (re)create the segment at `need` bytes.
+        # This runs with table.lock *released* — refs[slot] == 1 already
+        # reserves the slot against every other acquirer, and taking the
+        # pool lock inside table.lock would invert the pool→table order
+        # (lock discipline: the two locks are never held together).  No
+        # receiver can race the new generation either: its descriptor only
+        # exists once share() returns.
+        name = table.segment_name(slot)
+        if old_size > 0:
+            try:
+                _unlink_segment(_open_segment(name))
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        try:
+            seg = _open_segment(name, create=True, size=need)
+        except Exception:
+            with table.lock:
+                table.refs[slot] = 0
+                table.sizes[slot] = 0
+            raise
+        with self._lock:
+            cached = self._attached.pop(slot, None)
+            if cached is not None:
+                cached[1].close()
+            self._attached[slot] = (gen, seg)
+        self._count("shm.segments", need)
+        return slot, gen
 
     # -- share / materialise -------------------------------------------------
 
@@ -408,15 +426,23 @@ class ShmPool:
         if is_array:
             with self._lock:
                 export = self._exports.get(id(leaf))
-                if export is not None and export.ref() is leaf:
-                    with self.table.lock:
-                        self.table.refs[export.slot] += 1
-                    self._count("shm.reuse", nbytes)
-                    self._instant(
-                        "shm_share",
-                        {"slot": export.slot, "nbytes": nbytes, "reuse": True},
-                    )
-                    return export.shmref
+                if export is not None and export.ref() is not leaf:
+                    export = None
+            if export is not None:
+                # Refcount bump happens outside self._lock (lock discipline:
+                # pool and table locks are never held together).  Safe
+                # unlocked: the caller's strong reference to ``leaf`` keeps
+                # the export's finalizer from firing, so the exporter hold
+                # pins refs[slot] >= 1 and the slot cannot be reclaimed
+                # between the lookup and this increment.
+                with self.table.lock:
+                    self.table.refs[export.slot] += 1
+                self._count("shm.reuse", nbytes)
+                self._instant(
+                    "shm_share",
+                    {"slot": export.slot, "nbytes": nbytes, "reuse": True},
+                )
+                return export.shmref
         acquired = self._acquire_slot(nbytes)
         if acquired is None:
             self._count("shm.fallback", nbytes)
@@ -426,7 +452,13 @@ class ShmPool:
         seg = self._attach(slot, gen)
         if is_array:
             src = np.asarray(leaf)
-            dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf)
+            # Match the pickle path's layout semantics exactly: F-contiguous
+            # arrays cross the wire in Fortran order; everything else
+            # (including strided views) arrives as a C-contiguous copy.
+            # Layout-sensitive consumers (replica digests hash tobytes())
+            # must see the same memory order on both transports.
+            order = "F" if src.flags.f_contiguous and not src.flags.c_contiguous else "C"
+            dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf, order=order)
             dst[...] = src
             shmref = ShmRef(
                 slot=slot,
@@ -436,7 +468,8 @@ class ShmPool:
                 nbytes=nbytes,
                 shape=tuple(src.shape),
                 dtype=src.dtype.str,
-                digest=_digest(dst.reshape(-1).view(np.uint8)),
+                digest=_digest(seg.buf[:nbytes]),
+                order=order,
             )
         else:
             seg.buf[:nbytes] = leaf
@@ -489,10 +522,10 @@ class ShmPool:
                 raise MPIError(f"shm content digest mismatch for slot {ref.slot}")
             self.table.release(ref.slot)
             return out
-        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
-        out = np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf, order=ref.order)
+        out = np.empty(ref.shape, dtype=np.dtype(ref.dtype), order=ref.order)
         out[...] = view
-        if self.verify and _digest(out.reshape(-1).view(np.uint8)) != ref.digest:
+        if self.verify and _digest(seg.buf[: ref.nbytes]) != ref.digest:
             self.table.release(ref.slot)
             raise MPIError(f"shm content digest mismatch for slot {ref.slot}")
         with self._lock:
@@ -538,6 +571,19 @@ def shareable_fields(cls: type) -> tuple[str, ...] | None:
     return _SHAREABLE.get(cls)
 
 
+def _rebuild_sequence(obj: Any, out: list) -> Any:
+    """Rebuild a list/tuple from transformed items, preserving the type.
+
+    Namedtuple constructors take positional fields, not one iterable, so
+    tuple subclasses with ``_fields`` are splatted.
+    """
+    if not isinstance(obj, tuple):
+        return out
+    if hasattr(obj, "_fields"):
+        return type(obj)(*out)
+    return type(obj)(out)
+
+
 def _encode(obj: Any, pool: ShmPool, depth: int) -> tuple[Any, bool]:
     if isinstance(obj, np.ndarray):
         if obj.nbytes >= pool.threshold:
@@ -562,7 +608,7 @@ def _encode(obj: Any, pool: ShmPool, depth: int) -> tuple[Any, bool]:
             changed = changed or did
         if not changed:
             return obj, False
-        return (type(obj)(out) if isinstance(obj, tuple) else out), True
+        return _rebuild_sequence(obj, out), True
     if isinstance(obj, dict):
         changed = False
         out_d = {}
@@ -600,7 +646,7 @@ def _decode(obj: Any, pool: ShmPool, depth: int) -> tuple[Any, bool]:
             changed = changed or did
         if not changed:
             return obj, False
-        return (type(obj)(out) if isinstance(obj, tuple) else out), True
+        return _rebuild_sequence(obj, out), True
     if isinstance(obj, dict):
         changed = False
         out_d = {}
@@ -640,3 +686,45 @@ def decode_payload(payload: Any, pool: ShmPool) -> Any:
     """Materialise every :class:`ShmRef` in ``payload`` (inverse of encode)."""
     out, _changed = _decode(payload, pool, 0)
     return out
+
+
+def _iter_refs(obj: Any, depth: int):
+    if isinstance(obj, ShmRef):
+        yield obj
+        return
+    if depth >= _MAX_DEPTH:
+        return
+    if isinstance(obj, (list, tuple)):
+        for item in obj:
+            yield from _iter_refs(item, depth + 1)
+    elif isinstance(obj, dict):
+        for value in obj.values():
+            yield from _iter_refs(value, depth + 1)
+    else:
+        names = _SHAREABLE.get(type(obj))
+        if names:
+            for name in names:
+                value = getattr(obj, name)
+                if value is not None:
+                    yield from _iter_refs(value, depth + 1)
+
+
+def release_payload(payload: Any, pool: ShmPool) -> int:
+    """Return the destination references of an encoded-but-never-sent payload.
+
+    :func:`encode_payload` charges one segment reference per descriptor for
+    the receiver that will materialise it.  If the frame is then lost before
+    it reaches the wire — the control portion fails to pickle, or the queue
+    rejects it — those references can never be released by a receiver, so
+    the slots would stay busy for the rest of the run and the pool would
+    silently degrade to the pickle fallback.  Callers hand the *encoded*
+    payload back here; every descriptor's reference is released and counted
+    under ``shm.abandoned`` so pool attrition stays observable.  Returns the
+    number of references released.
+    """
+    released = 0
+    for ref in _iter_refs(payload, 0):
+        pool.table.release(ref.slot)
+        pool._count("shm.abandoned", ref.nbytes)
+        released += 1
+    return released

@@ -67,10 +67,12 @@ __all__ = ["ParallelSimulation", "ParallelRunResult"]
 _TAG_TEACHER = TAG_FITNESS
 _TAG_LEARNER = TAG_FITNESS + 1
 
-#: Nature's wait for a plain-protocol fitness return.  Owners always exist
-#: (zero-SSet workers are never named by ``owner_of``), so this firing means
-#: an ownership-map bug — and failing fast beats hanging the whole run.
-_FITNESS_TIMEOUT = 120.0
+#: Default for Nature's wait on a plain-protocol fitness return
+#: (overridable via ``ParallelSimulation(fitness_timeout=...)``).  Failing
+#: fast beats hanging the whole run when the ownership maps diverge, but the
+#: same deadline also bounds a legitimately slow worker — large memory-depth
+#: tables under ``eager_games`` can need more than the default.
+_DEFAULT_FITNESS_TIMEOUT = 120.0
 
 
 @dataclass(frozen=True)
@@ -126,7 +128,12 @@ def _replica_digest(matrix: np.ndarray) -> bytes:
     return h.digest()
 
 
-def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> dict:
+def _rank_program(
+    comm: Comm,
+    config: SimulationConfig,
+    eager_games: bool,
+    fitness_timeout: float = _DEFAULT_FITNESS_TIMEOUT,
+) -> dict:
     """The SPMD body executed by every rank."""
     streams = StreamFactory(config.seed)
     population = Population.random(config, streams.fresh("init"))
@@ -196,20 +203,25 @@ def _rank_program(comm: Comm, config: SimulationConfig, eager_games: bool) -> di
                     l_owner = decomp.owner_of(learner)
                     try:
                         pi_t = comm.recv(
-                            source=t_owner, tag=_TAG_TEACHER, timeout=_FITNESS_TIMEOUT
+                            source=t_owner, tag=_TAG_TEACHER, timeout=fitness_timeout
                         )
                         pi_l = comm.recv(
-                            source=l_owner, tag=_TAG_LEARNER, timeout=_FITNESS_TIMEOUT
+                            source=l_owner, tag=_TAG_LEARNER, timeout=fitness_timeout
                         )
                     except RecvTimeoutError as exc:
-                        # Owners are pure arithmetic shared by every rank, so
-                        # a missing return means the ownership maps diverged
-                        # (e.g. a worker that believes it owns nothing):
-                        # surface the bug instead of hanging Nature forever.
+                        # Either the ownership maps diverged across ranks
+                        # (a worker that believes it owns nothing never
+                        # replies) or the owning worker is simply slower
+                        # than the deadline — fail with both causes named
+                        # instead of hanging Nature forever.
                         raise MPIError(
                             f"no fitness return for PC ({teacher} -> {learner})"
-                            f" from owners ({t_owner}, {l_owner}) at generation"
-                            f" {gen}: ownership maps inconsistent?"
+                            f" from owners ({t_owner}, {l_owner}) within"
+                            f" {fitness_timeout:g} s at generation {gen}:"
+                            " the owning worker may be too slow for the"
+                            " configured deadline (raise ParallelSimulation"
+                            "(fitness_timeout=...)) or the ownership maps"
+                            " diverged across ranks"
                         ) from exc
                     decision = nature.decide_adoption(
                         PCSelection(teacher=teacher, learner=learner), pi_t, pi_l
@@ -618,6 +630,12 @@ class ParallelSimulation:
     heartbeat_timeout:
         Seconds Nature waits for a worker's per-generation report before
         declaring the rank failed (fault-tolerant protocol only).
+    fitness_timeout:
+        Seconds Nature waits for a worker's fitness return at a PC event
+        (classic collective-tree protocol only; default 120).  Raise it for
+        legitimately slow workers — large memory-depth tables, eager games,
+        loaded machines; the timeout firing raises
+        :class:`~repro.errors.MPIError` rather than hanging the run.
     checkpoint_dir:
         Directory for periodic :func:`~repro.io.checkpoints.save_parallel_checkpoint`
         files; enables restart via :meth:`resume`.
@@ -668,6 +686,7 @@ class ParallelSimulation:
         fault_plan: FaultPlan | None = None,
         fault_tolerant: bool | None = None,
         heartbeat_timeout: float = 5.0,
+        fitness_timeout: float = _DEFAULT_FITNESS_TIMEOUT,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
         trace: bool | Tracer = False,
@@ -689,6 +708,9 @@ class ParallelSimulation:
         self.eager_games = bool(eager_games)
         self.fault_plan = fault_plan
         self.heartbeat_timeout = float(heartbeat_timeout)
+        if fitness_timeout <= 0:
+            raise MPIError(f"fitness_timeout must be > 0, got {fitness_timeout}")
+        self.fitness_timeout = float(fitness_timeout)
         self.checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
         self.checkpoint_every = int(checkpoint_every)
         if trace is True:
@@ -776,7 +798,7 @@ class ParallelSimulation:
             spmd = run_spmd(
                 self.n_ranks,
                 _rank_program,
-                args=(self.config, self.eager_games),
+                args=(self.config, self.eager_games, self.fitness_timeout),
                 timeout=timeout,
                 fault_injector=injector,
                 tracer=self.tracer,

@@ -7,10 +7,13 @@ forking.  The process-backend integration lives in
 ``tests/parallel/test_backend_parity.py``.
 """
 
+import collections
 import dataclasses
 import gc
 import glob
 import multiprocessing
+import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -27,6 +30,7 @@ from repro.mpi.shm import (
     decode_payload,
     encode_payload,
     register_shareable,
+    release_payload,
     shareable_fields,
 )
 
@@ -85,6 +89,29 @@ class TestRoundTrip:
         src = np.linspace(0, 1, 81, dtype=np.float32).reshape(3, 27)
         out = pool.materialize(pool.share(src))
         assert out.dtype == src.dtype and out.shape == src.shape
+
+    def test_fortran_order_survives_like_pickle(self, pool):
+        # Pickle preserves Fortran order; layout-sensitive consumers
+        # (replica digests hash tobytes()) must see the same memory layout
+        # on both transports.
+        src = np.asfortranarray(np.arange(4096, dtype=np.float64).reshape(64, 64))
+        ref = pool.share(src)
+        assert ref.order == "F"
+        out = pool.materialize(ref)
+        via_pickle = pickle.loads(pickle.dumps(src))
+        assert out.flags.f_contiguous and not out.flags.c_contiguous
+        assert out.flags.f_contiguous == via_pickle.flags.f_contiguous
+        assert np.array_equal(out, src)
+
+    def test_strided_view_arrives_c_contiguous_like_pickle(self, pool):
+        base = np.arange(8192, dtype=np.float64).reshape(64, 128)
+        src = base[:, ::2]
+        ref = pool.share(src)
+        assert ref.order == "C"
+        out = pool.materialize(ref)
+        via_pickle = pickle.loads(pickle.dumps(src))
+        assert out.flags.c_contiguous and via_pickle.flags.c_contiguous
+        assert np.array_equal(out, src)
 
 
 class TestSlotLifecycle:
@@ -220,6 +247,20 @@ class TestPayloadTransforms:
         none_msg = Update(generation=8, table=None)
         assert encode_payload(none_msg, pool) is none_msg
 
+    def test_namedtuple_payload_round_trips(self, pool):
+        # Namedtuple constructors take positional fields, not one iterable;
+        # the rebuild must splat.
+        Update = collections.namedtuple("Update", ["gen", "table"])
+        msg = Update(gen=3, table=np.arange(1024, dtype=np.int64))
+        encoded = encode_payload([msg], pool)
+        assert isinstance(encoded[0], Update)
+        assert isinstance(encoded[0].table, ShmRef)
+        assert encoded[0].gen == 3
+        decoded = decode_payload(encoded, pool)
+        assert isinstance(decoded[0], Update)
+        assert decoded[0].gen == 3
+        assert np.array_equal(decoded[0].table, msg.table)
+
     def test_unregistered_dataclass_left_alone(self, pool):
         @dataclasses.dataclass(frozen=True)
         class Opaque:
@@ -285,3 +326,104 @@ class TestNaming:
         assert first.job != second.job
         first.destroy_all()
         second.destroy_all()
+
+
+class TestAbandonedFrames:
+    def test_release_payload_returns_destination_refs(self, pool, table):
+        arr = np.arange(1024, dtype=np.int64)
+        encoded = encode_payload({"tables": [arr]}, pool)
+        ref = encoded["tables"][0]
+        assert isinstance(ref, ShmRef)
+        assert table.refs[ref.slot] == 2  # receiver ref + exporter hold
+        assert release_payload(encoded, pool) == 1
+        assert table.refs[ref.slot] == 1  # exporter hold only
+        assert pool.counters.get("shm.abandoned").calls == 1
+        del arr, encoded, ref
+        gc.collect()
+
+    def test_failed_deliver_releases_refs(self, pool, table):
+        # A frame that never reaches the wire (unpicklable control portion)
+        # must hand back the references its encode charged, or the slot
+        # stays busy for the rest of the run.
+        from repro.mpi.procexec import _RemoteMailbox
+
+        class RefusingQueue:
+            def put(self, frame):  # pragma: no cover - pickling fails first
+                raise AssertionError("frame should never be enqueued")
+
+        box = _RemoteMailbox(RefusingQueue(), pool)
+        arr = np.arange(1024, dtype=np.int64)
+        with pytest.raises(MPIError, match="not picklable"):
+            box.deliver(0, 5, [arr, lambda: None], arr.nbytes)
+        export = pool._exports[id(arr)]
+        slot = export.slot
+        assert table.refs[slot] == 1  # exporter hold only — no leaked ref
+        assert pool.counters.get("shm.abandoned").calls == 1
+        del arr, export
+        gc.collect()
+        assert table.refs[slot] == 0  # slot reclaimable
+
+    def test_failed_queue_put_releases_refs(self, pool, table):
+        from repro.mpi.procexec import _RemoteMailbox
+
+        class FullQueue:
+            def put(self, frame):
+                raise RuntimeError("queue closed")
+
+        box = _RemoteMailbox(FullQueue(), pool)
+        arr = np.arange(1024, dtype=np.int64)
+        with pytest.raises(RuntimeError, match="queue closed"):
+            box.deliver(0, 5, arr, arr.nbytes)
+        slot = pool._exports[id(arr)].slot
+        assert table.refs[slot] == 1  # exporter hold only
+        del arr
+        gc.collect()
+        assert table.refs[slot] == 0
+
+
+class TestConcurrency:
+    def test_no_deadlock_under_concurrent_share_and_regrow(self, ctx):
+        """Regression for an ABBA lock inversion.
+
+        share()'s fan-out reuse path takes pool lock then table lock while
+        _acquire_slot's regrow path took table lock then pool lock, so a
+        sender thread and a finalizer/timer thread could deadlock.  Hammer
+        both paths from several threads; with the inversion present this
+        hangs within a few hundred iterations.
+        """
+        tab = SegmentTable(ctx, max_segments=4)
+        pool = ShmPool(tab, threshold=1)
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            sizes = np.array([1_000, 100_000, 300_000, 500_000])
+            try:
+                for _ in range(200):
+                    arr = np.ones(int(rng.choice(sizes)), dtype=np.uint8)
+                    ref = pool.share(arr)
+                    if ref is None:
+                        continue  # pool momentarily exhausted
+                    pool.share(arr)  # fan-out reuse: pool lock -> table lock
+                    tab.release(ref.slot)  # the extra fan-out ref
+                    out = pool.materialize(ref)
+                    del out, arr  # finalizers release the remaining refs
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,), daemon=True)
+            for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        hung = any(thread.is_alive() for thread in threads)
+        if not hung:
+            # Cleanup only on success: a deadlocked thread may hold the very
+            # locks close()/destroy_all() need.
+            pool.close()
+            tab.destroy_all()
+        assert not hung, "shm pool deadlocked under concurrent share/regrow"
+        assert errors == []

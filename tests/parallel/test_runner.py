@@ -107,3 +107,16 @@ class TestValidation:
         assert par.generation == 10
         assert par.n_ranks == 2
         assert par.matrix.shape == (6, 4)
+
+    def test_fitness_timeout_is_configurable(self):
+        # A generous custom deadline must not perturb the trajectory.
+        cfg = SimulationConfig(memory=1, n_ssets=6, generations=10, seed=1)
+        default = ParallelSimulation(cfg, n_ranks=2).run()
+        custom_sim = ParallelSimulation(cfg, n_ranks=2, fitness_timeout=600.0)
+        assert custom_sim.fitness_timeout == 600.0
+        custom = custom_sim.run()
+        assert np.array_equal(custom.matrix, default.matrix)
+
+    def test_fitness_timeout_must_be_positive(self, small_config):
+        with pytest.raises(MPIError, match="fitness_timeout"):
+            ParallelSimulation(small_config, n_ranks=2, fitness_timeout=0.0)
