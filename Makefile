@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -25,6 +25,11 @@ test-procexec:
 # parity runs and their /dev/shm leak checks.
 test-shm:
 	pytest tests/ -m shm
+
+# Self-healing runs: worker respawn under real process kills, supervised
+# restarts from torn checkpoints, and SIGKILL-mid-checkpoint recovery.
+test-recovery:
+	pytest tests/ -m recovery
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -32,6 +32,7 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "CheckpointError",
+    "SupervisorError",
 ]
 
 
@@ -129,3 +130,7 @@ class ExperimentError(ReproError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file is missing, corrupt, or from an incompatible run."""
+
+
+class SupervisorError(ReproError, RuntimeError):
+    """A supervised run exhausted its restart budget without completing."""

@@ -10,12 +10,31 @@ continues the exact trajectory the uninterrupted run would have produced
 Format: a single ``.npz`` file holding the strategy matrix plus a JSON blob
 for everything else (stream states are PCG64 state dicts, which are plain
 integers).  No pickle — checkpoints are safe to share.
+
+Crash consistency
+-----------------
+Checkpoints are written for the express purpose of surviving a crash, so
+the write itself must survive one too.  Both writers stage the file under a
+temporary name in the destination directory, flush and ``fsync`` it, then
+``os.replace`` it into place — on POSIX filesystems the final path either
+holds the complete old file or the complete new one, never a torn hybrid.
+Each file also embeds a content digest (over the matrix bytes and the
+metadata) that :func:`load_checkpoint`/:func:`load_parallel_checkpoint`
+verify, so silent corruption raises :class:`~repro.errors.CheckpointError`
+naming the file instead of resuming from garbage.  When a directory may
+still hold damaged files from pre-atomic writers (or torn by hardware),
+:func:`latest_valid_parallel_checkpoint` scans back to the newest file that
+actually loads.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 import re
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -35,14 +54,106 @@ __all__ = [
     "save_parallel_checkpoint",
     "load_parallel_checkpoint",
     "latest_parallel_checkpoint",
+    "latest_valid_parallel_checkpoint",
+    "write_torn_parallel_checkpoint",
     "PARALLEL_CHECKPOINT_VERSION",
 ]
 
-CHECKPOINT_VERSION = 1
+#: Version 2 added the embedded content digest; version-1 files (no digest)
+#: still load for backward compatibility.
+CHECKPOINT_VERSION = 2
 
-PARALLEL_CHECKPOINT_VERSION = 1
+PARALLEL_CHECKPOINT_VERSION = 2
+
+_COMPATIBLE_VERSIONS = (1, 2)
 
 _PARALLEL_CKPT_RE = re.compile(r"^ckpt_(\d{8})\.npz$")
+
+
+def _content_digest(matrix: np.ndarray, meta: dict) -> str:
+    """Digest over the matrix bytes and the metadata (minus the digest itself).
+
+    The metadata is hashed in canonical form (sorted keys) so the digest is
+    independent of dict ordering; the matrix contributes dtype, shape and
+    raw bytes so a single flipped element is caught.
+    """
+    meta = {k: v for k, v in meta.items() if k != "digest"}
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(matrix.dtype).encode())
+    h.update(repr(tuple(matrix.shape)).encode())
+    h.update(np.ascontiguousarray(matrix).tobytes())
+    h.update(json.dumps(meta, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def _savez_payload(matrix: np.ndarray, meta: dict) -> dict[str, np.ndarray]:
+    return {
+        "matrix": matrix,
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    }
+
+
+def _atomic_savez(path: Path, matrix: np.ndarray, meta: dict) -> None:
+    """Write the checkpoint arrays to ``path`` via temp file + atomic rename.
+
+    The temp file lives in the destination directory (``os.replace`` must
+    not cross filesystems) and is fsynced before the rename, so after a
+    crash the final path holds either the previous complete checkpoint or
+    the new one — never partial bytes.
+    """
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **_savez_payload(matrix, meta))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    # Best-effort directory sync so the rename itself is durable.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+
+
+def _read_npz(path: Path) -> tuple[np.ndarray, dict]:
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path) as data:
+            matrix = data["matrix"]
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    except (OSError, ValueError, KeyError, json.JSONDecodeError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    return matrix, meta
+
+
+def _verify_digest(path: Path, matrix: np.ndarray, meta: dict) -> None:
+    """Check the embedded content digest (required from version 2 on)."""
+    if int(meta.get("version", 0)) < 2:
+        return  # version-1 files predate the digest
+    stored = meta.get("digest")
+    if stored is None:
+        raise CheckpointError(f"checkpoint {path} (version 2) is missing its content digest")
+    actual = _content_digest(matrix, meta)
+    if stored != actual:
+        raise CheckpointError(
+            f"checkpoint {path} failed its content check"
+            f" (stored digest {stored}, computed {actual}) — the file is corrupt"
+        )
+
+
+def _check_version(path: Path, meta: dict, expected: int) -> None:
+    if meta.get("version") not in _COMPATIBLE_VERSIONS:
+        raise CheckpointError(
+            f"checkpoint {path} version {meta.get('version')} unsupported"
+            f" (expected one of {_COMPATIBLE_VERSIONS}, current {expected})"
+        )
 
 
 def _stream_states(driver: EvolutionDriver) -> dict:
@@ -93,8 +204,13 @@ def _expected_keys(driver: EvolutionDriver, states: dict) -> list[tuple]:
 
 
 def save_checkpoint(driver: EvolutionDriver, path: str | Path) -> None:
-    """Write the driver's full resumable state to ``path`` (.npz)."""
+    """Write the driver's full resumable state to ``path`` (.npz).
+
+    The write is crash-consistent (temp file + fsync + atomic rename) and
+    the file embeds a content digest verified by :func:`load_checkpoint`.
+    """
     path = Path(path)
+    matrix = driver.population.matrix()
     meta = {
         "version": CHECKPOINT_VERSION,
         "config": config_to_dict(driver.config),
@@ -106,29 +222,16 @@ def save_checkpoint(driver: EvolutionDriver, path: str | Path) -> None:
             "n_mutations": driver.nature.n_mutations,
         },
     }
-    np.savez_compressed(
-        path,
-        matrix=driver.population.matrix(),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-    )
+    meta["digest"] = _content_digest(matrix, meta)
+    _atomic_savez(path, matrix, meta)
 
 
 def load_checkpoint(path: str | Path) -> EvolutionDriver:
     """Rebuild a driver from a checkpoint; it resumes the exact trajectory."""
     path = Path(path)
-    if not path.exists():
-        raise CheckpointError(f"checkpoint not found: {path}")
-    try:
-        with np.load(path) as data:
-            matrix = data["matrix"]
-            meta = json.loads(bytes(data["meta"].tobytes()).decode())
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
-    if meta.get("version") != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"checkpoint version {meta.get('version')} unsupported"
-            f" (expected {CHECKPOINT_VERSION})"
-        )
+    matrix, meta = _read_npz(path)
+    _check_version(path, meta, CHECKPOINT_VERSION)
+    _verify_digest(path, matrix, meta)
     config = config_from_dict(meta["config"])
     population = Population(config, matrix)
     driver = EvolutionDriver(config, population=population)
@@ -185,16 +288,15 @@ def _rng_state_from_json(data: dict) -> dict:
     }
 
 
-def save_parallel_checkpoint(state: ParallelCheckpoint, path: str | Path) -> Path:
-    """Write a parallel run's resumable state to ``path`` (.npz); returns it.
-
-    When ``path`` is a directory, the file is named ``ckpt_<generation>.npz``
-    inside it, which is the layout :func:`latest_parallel_checkpoint` scans.
-    """
+def _parallel_ckpt_path(state: ParallelCheckpoint, path: str | Path) -> Path:
     path = Path(path)
     if path.is_dir() or path.suffix != ".npz":
         path.mkdir(parents=True, exist_ok=True)
         path = path / f"ckpt_{state.generation:08d}.npz"
+    return path
+
+
+def _parallel_ckpt_meta(state: ParallelCheckpoint) -> dict:
     meta = {
         "version": PARALLEL_CHECKPOINT_VERSION,
         "kind": "parallel",
@@ -208,32 +310,54 @@ def save_parallel_checkpoint(state: ParallelCheckpoint, path: str | Path) -> Pat
         },
         "failed_ranks": [int(r) for r in state.failed_ranks],
     }
-    np.savez_compressed(
-        path,
-        matrix=state.matrix,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-    )
+    meta["digest"] = _content_digest(state.matrix, meta)
+    return meta
+
+
+def save_parallel_checkpoint(state: ParallelCheckpoint, path: str | Path) -> Path:
+    """Write a parallel run's resumable state to ``path`` (.npz); returns it.
+
+    When ``path`` is a directory, the file is named ``ckpt_<generation>.npz``
+    inside it, which is the layout :func:`latest_parallel_checkpoint` scans.
+    The write is crash-consistent (temp file + fsync + atomic rename) and
+    the file embeds a content digest verified on load.
+    """
+    path = _parallel_ckpt_path(state, path)
+    _atomic_savez(path, state.matrix, _parallel_ckpt_meta(state))
+    return path
+
+
+def write_torn_parallel_checkpoint(
+    state: ParallelCheckpoint, path: str | Path, fraction: float = 0.5
+) -> Path:
+    """Deliberately leave a *torn* checkpoint file at the final path.
+
+    Chaos tooling: this reproduces what a pre-atomic writer left behind when
+    killed mid-write — the leading ``fraction`` of a valid ``.npz`` stream,
+    directly at ``ckpt_<generation>.npz``.  Used by the
+    ``kill_during_checkpoint`` fault and by recovery tests;
+    :func:`latest_valid_parallel_checkpoint` must skip such files.
+    """
+    path = _parallel_ckpt_path(state, path)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **_savez_payload(state.matrix, _parallel_ckpt_meta(state)))
+    blob = buf.getvalue()
+    cut = max(1, min(len(blob) - 1, int(len(blob) * fraction)))
+    with open(path, "wb") as fh:
+        fh.write(blob[:cut])
+        fh.flush()
+        os.fsync(fh.fileno())
     return path
 
 
 def load_parallel_checkpoint(path: str | Path) -> ParallelCheckpoint:
     """Read back a :func:`save_parallel_checkpoint` file."""
     path = Path(path)
-    if not path.exists():
-        raise CheckpointError(f"checkpoint not found: {path}")
-    try:
-        with np.load(path) as data:
-            matrix = data["matrix"]
-            meta = json.loads(bytes(data["meta"].tobytes()).decode())
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    matrix, meta = _read_npz(path)
     if meta.get("kind") != "parallel":
         raise CheckpointError(f"{path} is not a parallel checkpoint (kind={meta.get('kind')!r})")
-    if meta.get("version") != PARALLEL_CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"parallel checkpoint version {meta.get('version')} unsupported"
-            f" (expected {PARALLEL_CHECKPOINT_VERSION})"
-        )
+    _check_version(path, meta, PARALLEL_CHECKPOINT_VERSION)
+    _verify_digest(path, matrix, meta)
     nature = meta.get("nature", {})
     return ParallelCheckpoint(
         config=config_from_dict(meta["config"]),
@@ -247,16 +371,42 @@ def load_parallel_checkpoint(path: str | Path) -> ParallelCheckpoint:
     )
 
 
-def latest_parallel_checkpoint(directory: str | Path) -> Path | None:
-    """The highest-generation ``ckpt_*.npz`` in ``directory`` (None if none)."""
+def _ranked_parallel_checkpoints(directory: str | Path) -> list[tuple[int, Path]]:
     directory = Path(directory)
     if not directory.is_dir():
-        return None
-    best: tuple[int, Path] | None = None
+        return []
+    found = []
     for entry in directory.iterdir():
         match = _PARALLEL_CKPT_RE.match(entry.name)
         if match is not None:
-            gen = int(match.group(1))
-            if best is None or gen > best[0]:
-                best = (gen, entry)
-    return None if best is None else best[1]
+            found.append((int(match.group(1)), entry))
+    found.sort(reverse=True)
+    return found
+
+
+def latest_parallel_checkpoint(directory: str | Path) -> Path | None:
+    """The highest-generation ``ckpt_*.npz`` in ``directory`` (None if none).
+
+    Purely name-based — the file is not validated.  Recovery paths should
+    prefer :func:`latest_valid_parallel_checkpoint`, which skips torn or
+    corrupt files.
+    """
+    ranked = _ranked_parallel_checkpoints(directory)
+    return ranked[0][1] if ranked else None
+
+
+def latest_valid_parallel_checkpoint(directory: str | Path) -> Path | None:
+    """The newest ``ckpt_*.npz`` in ``directory`` that actually loads.
+
+    Scans highest generation first and returns the first file that passes
+    :func:`load_parallel_checkpoint` (format, version, and content digest),
+    stepping past files torn by a mid-write kill or corrupted on disk.
+    Returns ``None`` when no checkpoint in the directory is usable.
+    """
+    for _, entry in _ranked_parallel_checkpoints(directory):
+        try:
+            load_parallel_checkpoint(entry)
+        except CheckpointError:
+            continue
+        return entry
+    return None

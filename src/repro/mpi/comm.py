@@ -228,6 +228,18 @@ class World:
         """Whether ``rank`` has been marked dead."""
         return rank in self.failed_ranks
 
+    def mark_alive(self, rank: int) -> None:
+        """Clear ``rank``'s failed mark: a replacement incarnation rejoined.
+
+        The recovery path calls this after a respawned rank completes its
+        rejoin handshake; receivers that were failing fast on the rank go
+        back to waiting normally.  The recorded failure reason is kept as
+        history.
+        """
+        with self._failed_lock:
+            self.failed_ranks.discard(rank)
+        self._wake_all()
+
     def _wake_all(self) -> None:
         for box in self.mailboxes:
             with box.lock:
@@ -511,7 +523,43 @@ class Comm:
             " (released at shutdown)"
         )
 
+    def checkpoint_fault_point(self, generation: int) -> bool:
+        """Whether an injected ``kill_during_checkpoint`` fires here.
+
+        Checkpointing ranks consult this immediately before writing the
+        generation's checkpoint.  Unlike :meth:`fault_point` nothing is
+        raised — the caller owns the theatrics (leaving a torn file at the
+        final path, then dying), because the point of the fault is to
+        exercise what a *non*-crash-consistent writer would leave behind.
+        Returns ``False`` without an injector.
+        """
+        injector = self.world.injector
+        if injector is None:
+            return False
+        if not injector.checkpoint_fault(self.rank, generation):
+            return False
+        self.world.counters.record("fault_kill_during_checkpoint", messages=0, nbytes=0)
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fault_kill_during_checkpoint", cat="mpi.fault", rank=self.rank,
+                args={"generation": generation},
+            )
+        return True
+
     # -- reliable messaging --------------------------------------------------------
+
+    def forget_reliable_peer(self, rank: int) -> None:
+        """Drop receive-side dedup state for ``rank`` (it was respawned).
+
+        A replacement incarnation restarts its reliable sequence numbers at
+        zero; without this reset :meth:`_service_reliable_duplicates` would
+        swallow its fresh frames as duplicates of the dead incarnation's.
+        The *send*-side sequence counter toward ``rank`` is deliberately
+        kept monotonic, so packets still in flight to the old incarnation
+        can never collide with new ones.
+        """
+        self._reliable_seen.pop(rank, None)
 
     def _service_reliable_duplicates(self) -> None:
         """Re-acknowledge resent frames whose payload was already delivered.

@@ -29,7 +29,7 @@ from repro.mpi.comm import Comm, World
 from repro.mpi.faults import FaultInjector
 from repro.obs.tracer import Tracer, activate
 
-__all__ = ["run_spmd", "SPMDResult"]
+__all__ = ["run_spmd", "SPMDResult", "RespawnRecord"]
 
 _LOG = get_logger("mpi.executor")
 
@@ -39,23 +39,51 @@ MAX_THREAD_RANKS = 1024
 
 
 @dataclass(frozen=True)
+class RespawnRecord:
+    """One replacement process launched under ``on_rank_failure="respawn"``.
+
+    Attributes
+    ----------
+    rank:
+        The rank that was replaced.
+    incarnation:
+        The replacement's incarnation number (the original process is
+        incarnation 0, its first replacement 1, and so on).
+    reason:
+        Why the previous incarnation was declared dead.
+    """
+
+    rank: int
+    incarnation: int
+    reason: str
+
+
+@dataclass(frozen=True)
 class SPMDResult:
     """Outcome of one SPMD execution.
 
     Attributes
     ----------
     returns:
-        Per-rank return values, indexed by rank.
+        Per-rank return values, indexed by rank.  Under
+        ``on_rank_failure="respawn"`` a healed rank's slot holds the value
+        returned by its *latest* incarnation.
     world:
         The world the program ran in (counters remain readable).
     failed_ranks:
-        Ranks that died to injected faults under
-        ``on_rank_failure="continue"`` (empty otherwise).
+        Ranks still marked dead when the run finished — died to injected
+        faults under ``on_rank_failure="continue"``, or died and were never
+        successfully replaced under ``"respawn"`` (empty otherwise).
+    respawns:
+        Replacement processes launched under ``on_rank_failure="respawn"``
+        (empty otherwise); a rank may appear several times if it died
+        repeatedly.
     """
 
     returns: list[Any]
     world: World
     failed_ranks: tuple[int, ...] = ()
+    respawns: tuple[RespawnRecord, ...] = ()
 
 
 def run_spmd(
@@ -69,6 +97,7 @@ def run_spmd(
     backend: str = "thread",
     shared_memory: bool = True,
     shm_threshold: int | None = None,
+    max_respawns: int = 8,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -91,7 +120,11 @@ def run_spmd(
         ``MPI_Abort``.  ``"continue"``: a rank killed by an injected fault
         (:class:`~repro.errors.RankCrashError`) is recorded in
         ``world.failed_ranks`` and the survivors keep running — the
-        fault-tolerant runner's mode.
+        fault-tolerant runner's mode.  ``"respawn"`` (process backend only):
+        like ``"continue"``, but each dead rank's process is additionally
+        replaced by a fresh incarnation of the same rank program, which may
+        rejoin the computation (see
+        :func:`repro.mpi.procexec.run_spmd_process`).
     tracer:
         Optional :class:`~repro.obs.Tracer`.  When given, every network
         operation and every instrumented phase lands on the tracer as
@@ -113,6 +146,10 @@ def run_spmd(
         pooled shared-memory segments; ``shared_memory=False`` forces the
         pickle path.  Ignored under the thread backend, whose network is
         zero-copy already.
+    max_respawns:
+        Total replacement-process budget under
+        ``on_rank_failure="respawn"`` (process backend only; ignored
+        otherwise).
 
     Raises
     ------
@@ -133,11 +170,17 @@ def run_spmd(
             tracer=tracer,
             shared_memory=shared_memory,
             shm_threshold=DEFAULT_THRESHOLD if shm_threshold is None else shm_threshold,
+            max_respawns=max_respawns,
         )
     if backend != "thread":
         raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
     if not 1 <= n_ranks <= MAX_THREAD_RANKS:
         raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
+    if on_rank_failure == "respawn":
+        raise MPIError(
+            "on_rank_failure='respawn' needs real processes to replace —"
+            " use backend='process'"
+        )
     if on_rank_failure not in ("abort", "continue"):
         raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
     world = World(n_ranks, injector=fault_injector, tracer=tracer)

@@ -25,6 +25,15 @@ Fault kinds
 ``hang``
     The victim rank goes permanently silent: it blocks until the world is
     shut down or aborted, then dies quietly.
+``kill_during_checkpoint``
+    The victim dies *mid-checkpoint-write*: the checkpointing rank consults
+    :meth:`~repro.mpi.comm.Comm.checkpoint_fault_point` before each write,
+    and when the fault fires it leaves a torn file at the final checkpoint
+    path and dies.  Exercises the crash-consistent checkpoint machinery
+    (atomic writes, content digests, ``latest_valid_parallel_checkpoint``)
+    and the recovery supervisor.  Note: ``immune_ranks`` does *not* exempt
+    a rank from this kind — checkpoints are written by the Nature rank,
+    which is immune to ``crash``/``hang`` by default.
 
 Determinism
 -----------
@@ -53,6 +62,7 @@ from repro.errors import FaultPlanError
 __all__ = [
     "MESSAGE_FAULT_KINDS",
     "RANK_FAULT_KINDS",
+    "CHECKPOINT_FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultRecord",
@@ -66,7 +76,10 @@ MESSAGE_FAULT_KINDS = ("drop", "delay", "duplicate", "corrupt")
 #: Fault kinds that act on a whole rank at a generation boundary.
 RANK_FAULT_KINDS = ("crash", "hang")
 
-_ALL_KINDS = MESSAGE_FAULT_KINDS + RANK_FAULT_KINDS
+#: Fault kinds that kill the checkpointing rank mid-write.
+CHECKPOINT_FAULT_KINDS = ("kill_during_checkpoint",)
+
+_ALL_KINDS = MESSAGE_FAULT_KINDS + RANK_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
 
 
 class CorruptedPayload:
@@ -112,7 +125,7 @@ class FaultEvent:
             raise FaultPlanError(f"unknown fault kind {self.kind!r} (know {_ALL_KINDS})")
         if self.kind in MESSAGE_FAULT_KINDS and self.op_index is None:
             raise FaultPlanError(f"{self.kind} events need op_index (nth send of the rank)")
-        if self.kind in RANK_FAULT_KINDS and self.generation is None:
+        if self.kind in RANK_FAULT_KINDS + CHECKPOINT_FAULT_KINDS and self.generation is None:
             raise FaultPlanError(f"{self.kind} events need a generation")
 
     def to_dict(self) -> dict:
@@ -151,7 +164,9 @@ class FaultPlan:
     ``immune_ranks`` are exempt from ``crash``/``hang`` (probabilistic *and*
     explicit); by default rank 0 — the Nature Agent — is immune, because the
     runner recovers from worker loss but a dead master needs
-    checkpoint/restart instead.
+    checkpoint/restart instead.  ``kill_during_checkpoint`` deliberately
+    ignores ``immune_ranks``: it exists to kill the checkpointing (Nature)
+    rank mid-write, which is exactly what the recovery supervisor heals.
     """
 
     seed: int = 0
@@ -161,12 +176,15 @@ class FaultPlan:
     corrupt_p: float = 0.0
     crash_p: float = 0.0
     hang_p: float = 0.0
+    ckpt_kill_p: float = 0.0
     delay_seconds: float = 0.05
     events: tuple[FaultEvent, ...] = ()
     immune_ranks: tuple[int, ...] = (0,)
 
     def __post_init__(self) -> None:
-        for name in ("drop_p", "delay_p", "duplicate_p", "corrupt_p", "crash_p", "hang_p"):
+        for name in (
+            "drop_p", "delay_p", "duplicate_p", "corrupt_p", "crash_p", "hang_p", "ckpt_kill_p"
+        ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise FaultPlanError(f"{name} must lie in [0, 1], got {p}")
@@ -180,7 +198,7 @@ class FaultPlan:
         """True when the plan can never fire a fault."""
         return not self.events and not any(
             (self.drop_p, self.delay_p, self.duplicate_p, self.corrupt_p, self.crash_p,
-             self.hang_p)
+             self.hang_p, self.ckpt_kill_p)
         )
 
     def with_events(self, *events: FaultEvent) -> "FaultPlan":
@@ -197,6 +215,7 @@ class FaultPlan:
             "corrupt_p": self.corrupt_p,
             "crash_p": self.crash_p,
             "hang_p": self.hang_p,
+            "ckpt_kill_p": self.ckpt_kill_p,
             "delay_seconds": self.delay_seconds,
             "events": [e.to_dict() for e in self.events],
             "immune_ranks": list(self.immune_ranks),
@@ -213,6 +232,7 @@ class FaultPlan:
             corrupt_p=float(data.get("corrupt_p", 0.0)),
             crash_p=float(data.get("crash_p", 0.0)),
             hang_p=float(data.get("hang_p", 0.0)),
+            ckpt_kill_p=float(data.get("ckpt_kill_p", 0.0)),
             delay_seconds=float(data.get("delay_seconds", 0.05)),
             events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
             immune_ranks=tuple(int(r) for r in data.get("immune_ranks", (0,))),
@@ -283,13 +303,17 @@ class FaultInjector:
         self._send_counts: dict[int, int] = {}
         by_op: dict[tuple[int, int], list[FaultEvent]] = {}
         by_gen: dict[tuple[int, int], list[FaultEvent]] = {}
+        by_ckpt: dict[tuple[int, int], list[FaultEvent]] = {}
         for event in self.plan.events:
             if event.kind in MESSAGE_FAULT_KINDS:
                 by_op.setdefault((event.rank, event.op_index), []).append(event)
+            elif event.kind in CHECKPOINT_FAULT_KINDS:
+                by_ckpt.setdefault((event.rank, event.generation), []).append(event)
             else:
                 by_gen.setdefault((event.rank, event.generation), []).append(event)
         self._events_by_op = by_op
         self._events_by_gen = by_gen
+        self._events_by_ckpt = by_ckpt
 
     # -- message faults -----------------------------------------------------------
 
@@ -366,6 +390,31 @@ class FaultInjector:
             with self._lock:
                 self.log.append(FaultRecord(kind=kind, rank=rank, generation=generation))
         return kind
+
+    def checkpoint_fault(self, rank: int, generation: int) -> bool:
+        """Whether ``rank`` should die mid-write of this generation's checkpoint.
+
+        Keyed by ``(rank, generation)`` like :meth:`rank_fault`, so the
+        decision is bit-reproducible.  ``immune_ranks`` is intentionally
+        *not* consulted: the checkpointing rank is Nature, which is immune
+        to ``crash``/``hang`` by default, and this fault exists precisely
+        to kill it mid-write.
+        """
+        fires = any(
+            e.kind == "kill_during_checkpoint"
+            for e in self._events_by_ckpt.get((rank, generation), ())
+        )
+        plan = self.plan
+        if not fires and plan.ckpt_kill_p > 0.0:
+            fires = _uniform(plan.seed, "kill_during_checkpoint", rank, generation) < (
+                plan.ckpt_kill_p
+            )
+        if fires:
+            with self._lock:
+                self.log.append(
+                    FaultRecord(kind="kill_during_checkpoint", rank=rank, generation=generation)
+                )
+        return fires
 
     # -- observability ------------------------------------------------------------
 

@@ -49,6 +49,24 @@ the fired-fault logs are merged back into the caller's injector.  Under
 *process* (a real ``os._exit``), which is exactly the failure mode the
 fault-tolerant runner is built to survive.
 
+Respawn
+-------
+``on_rank_failure="respawn"`` goes one step further than ``"continue"``:
+when a non-zero rank's process dies (injected crash, SIGKILL, a hang the
+protocol layer declared dead), the parent launches a *replacement
+incarnation* — a fresh process running the same rank program with
+``world.incarnation`` incremented, on a **fresh inbound queue**.  The fresh
+queue matters twice over: a process killed while blocked in
+``Queue.get`` can leave the queue's reader lock held (poisoning it for any
+successor), and the old queue may hold frames addressed to the dead
+incarnation.  The parent therefore pre-creates spare queues and retargets
+the rank via a shared ``queue_index`` array that senders consult on every
+delivery.  What a replacement *does* is the rank program's business: the
+fault-tolerant runner's workers see ``incarnation > 0`` and perform a
+rejoin handshake with the Nature rank instead of starting from scratch.
+Replacements are budgeted by ``max_respawns``; a rank that cannot be
+replaced stays degraded exactly as under ``"continue"``.
+
 Observability
 -------------
 When a tracer is passed, every rank process records into a private tracer
@@ -73,7 +91,7 @@ from repro.logging_util import get_logger
 from repro.mpi import shm as _shm
 from repro.mpi.comm import Comm, World, _Mailbox
 from repro.mpi.counters import CommCounters
-from repro.mpi.executor import SPMDResult
+from repro.mpi.executor import RespawnRecord, SPMDResult
 from repro.mpi.faults import FaultInjector, FaultPlan
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
@@ -92,6 +110,10 @@ _CRASH_EXIT = 70
 #: Extra seconds granted after the deadline for result-queue stragglers.
 _DRAIN_GRACE = 0.5
 
+#: How long a rank reported failed (e.g. declared hung by the protocol
+#: layer) may stay alive before the respawn path terminates its process.
+_RESPAWN_HANG_GRACE = 1.0
+
 
 class _RemoteMailbox:
     """A peer rank's mailbox as seen from this process: deliver-only.
@@ -101,12 +123,19 @@ class _RemoteMailbox:
     queue's feeder thread asynchronously.  With a shared-memory pool
     attached, large leaves are swapped for segment descriptors first, so
     the frame that crosses the pipe stays small.
+
+    The destination's physical queue is resolved *per delivery* through the
+    shared ``queue_index`` array: when a rank is respawned onto a spare
+    queue, in-flight senders immediately address the replacement's wire and
+    the dead incarnation's (possibly lock-poisoned) queue is abandoned.
     """
 
-    __slots__ = ("_queue", "_pool")
+    __slots__ = ("_dest", "_queues", "_index", "_pool")
 
-    def __init__(self, queue, pool=None) -> None:
-        self._queue = queue
+    def __init__(self, dest: int, queues, index, pool=None) -> None:
+        self._dest = dest
+        self._queues = queues
+        self._index = index
         self._pool = pool
 
     def deliver(
@@ -129,7 +158,7 @@ class _RemoteMailbox:
                 f" backend requires: {exc!r}"
             ) from exc
         try:
-            self._queue.put(frame)
+            self._queues[self._index[self._dest]].put(frame)
         except Exception:
             if self._pool is not None:
                 _shm.release_payload(payload, self._pool)
@@ -163,16 +192,55 @@ def _pump(queue, mailbox: _Mailbox, pool=None, world=None) -> None:
         mailbox.deliver(source, tag, payload, nbytes, msg_id)
 
 
+class _KillSafeEvent:
+    """Event over a lock-free shared byte: survives waiters dying mid-wait.
+
+    ``multiprocessing.Event`` hides a condition variable whose sleeper
+    bookkeeping a killed waiter corrupts permanently: ``set()`` then blocks
+    forever waiting for the dead process to acknowledge its wakeup.  Under
+    ``on_rank_failure="respawn"`` hung ranks are terminated while blocked on
+    exactly these events (``fault_point``'s hang loop sleeps on the stop
+    event), so the process world signals stop/abort through a raw shared
+    byte and waiters poll it — no cross-process locks to poison.
+    """
+
+    _POLL = 0.02
+
+    def __init__(self, ctx) -> None:
+        self._flag = ctx.Value("b", 0, lock=False)
+
+    def is_set(self) -> bool:
+        return bool(self._flag.value)
+
+    def set(self) -> None:
+        self._flag.value = 1
+
+    def wait(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._flag.value:
+            pause = self._POLL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                pause = min(pause, remaining)
+            time.sleep(pause)
+        return True
+
+
 class _SharedState:
     """The cross-process slice of world state (picklable, spawn-safe)."""
 
     def __init__(
         self, ctx, size: int, shm_table=None, shm_threshold: int = _shm.DEFAULT_THRESHOLD
     ) -> None:
-        self.abort_event = ctx.Event()
-        self.stop_event = ctx.Event()
+        self.abort_event = _KillSafeEvent(ctx)
+        self.stop_event = _KillSafeEvent(ctx)
         self.failed_flags = ctx.Array("b", size, lock=False)
         self.abort_reason_buf = ctx.Array("c", 1024)
+        # queue_index[r] is the slot (into the run's queue list) currently
+        # serving as rank r's inbound wire; respawn retargets it to a spare.
+        self.queue_index = ctx.Array("i", list(range(size)), lock=False)
         self.shm_table = shm_table
         self.shm_threshold = shm_threshold
 
@@ -194,9 +262,13 @@ class _ProcWorld:
         result_queue,
         injector: FaultInjector | None,
         tracer: Tracer,
+        incarnation: int = 0,
     ) -> None:
         self.rank = rank
         self.size = size
+        #: 0 for an original rank process; respawned replacements count up.
+        #: Rank programs use this to tell a cold start from a rejoin.
+        self.incarnation = incarnation
         self.counters = CommCounters()
         self.tracer = tracer
         self.injector = injector
@@ -216,7 +288,9 @@ class _ProcWorld:
         )
         self.local_mailbox = _Mailbox()
         self.mailboxes: list[Any] = [
-            self.local_mailbox if r == rank else _RemoteMailbox(queues[r], self.shm_pool)
+            self.local_mailbox
+            if r == rank
+            else _RemoteMailbox(r, queues, shared.queue_index, self.shm_pool)
             for r in range(size)
         ]
 
@@ -240,9 +314,23 @@ class _ProcWorld:
         self._wake_local()
 
     def mark_failed(self, rank: int, reason: str = "") -> None:
-        """Record ``rank`` as dead; receivers waiting on it fail fast."""
+        """Record ``rank`` as dead; receivers waiting on it fail fast.
+
+        Idempotent: once the flag is set, further declarations are silent —
+        the parent hears about each death exactly once, so a Nature-side
+        re-declaration cannot make the respawn path suspect a (by then
+        healthy) replacement.
+        """
+        if self._shared.failed_flags[rank]:
+            self._wake_local()
+            return
         self._shared.failed_flags[rank] = 1
         self._result_queue.put(("failed", rank, reason))
+        self._wake_local()
+
+    def mark_alive(self, rank: int) -> None:
+        """Clear ``rank``'s failed flag: a replacement incarnation rejoined."""
+        self._shared.failed_flags[rank] = 0
         self._wake_local()
 
     def is_failed(self, rank: int) -> bool:
@@ -275,6 +363,7 @@ def _rank_main(
     trace_epoch: float | None,
     rank_name: str | None,
     flow_start: int,
+    incarnation: int = 0,
 ) -> None:
     """Entry point of one rank process (module-level for spawn support)."""
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
@@ -285,10 +374,13 @@ def _rank_main(
     world = _ProcWorld(
         rank, n_ranks, queues, shared, result_queue,
         injector, tracer if tracer is not None else NULL_TRACER,
+        incarnation=incarnation,
     )
+    # The queue slot serving this rank is fixed for this incarnation's
+    # lifetime (the parent only retargets it after the process dies).
     pump = threading.Thread(
         target=_pump,
-        args=(queues[rank], world.local_mailbox, world.shm_pool, world),
+        args=(queues[shared.queue_index[rank]], world.local_mailbox, world.shm_pool, world),
         name=f"vmpi-pump-{rank}",
         daemon=True,
     )
@@ -317,26 +409,35 @@ def _rank_main(
     except CommAbortError:
         # Secondary casualty of another rank's failure; keep quiet.
         counters, fault_log, events = _epilogue()
-        _ship(result_queue, ("quiet", rank, None, counters, fault_log, events))
+        _ship(result_queue, ("quiet", rank, incarnation, None, counters, fault_log, events))
     except RankCrashError as exc:
         counters, fault_log, events = _epilogue()
-        if on_rank_failure == "continue":
+        if on_rank_failure in ("continue", "respawn"):
             # Injected death becomes real death: mark the rank failed in
             # shared memory (survivors' receives fail fast), ship the
             # bookkeeping, then kill the process for real.
             _LOG.debug("rank %d dying to injected fault: %r", rank, exc)
             world.mark_failed(rank, str(exc))
-            _ship(result_queue, ("selfdead", rank, str(exc), counters, fault_log, events))
+            _ship(
+                result_queue,
+                ("selfdead", rank, incarnation, str(exc), counters, fault_log, events),
+            )
             result_queue.close()
             result_queue.join_thread()
             os._exit(_CRASH_EXIT)
         world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
-        _ship(result_queue, ("err", rank, _pickle_exc(exc), counters, fault_log, events))
+        _ship(
+            result_queue,
+            ("err", rank, incarnation, _pickle_exc(exc), counters, fault_log, events),
+        )
     except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
         _LOG.debug("rank %d failed: %r", rank, exc)
         counters, fault_log, events = _epilogue()
         world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
-        _ship(result_queue, ("err", rank, _pickle_exc(exc), counters, fault_log, events))
+        _ship(
+            result_queue,
+            ("err", rank, incarnation, _pickle_exc(exc), counters, fault_log, events),
+        )
     else:
         counters, fault_log, events = _epilogue()
         try:
@@ -344,9 +445,15 @@ def _rank_main(
         except Exception as exc:
             err = MPIError(f"rank {rank} returned an unpicklable value: {exc!r}")
             world.abort(str(err))
-            _ship(result_queue, ("err", rank, _pickle_exc(err), counters, fault_log, events))
+            _ship(
+                result_queue,
+                ("err", rank, incarnation, _pickle_exc(err), counters, fault_log, events),
+            )
         else:
-            _ship(result_queue, ("done", rank, value, counters, fault_log, events))
+            _ship(
+                result_queue,
+                ("done", rank, incarnation, value, counters, fault_log, events),
+            )
     result_queue.close()
     result_queue.join_thread()
 
@@ -382,6 +489,7 @@ def run_spmd_process(
     start_method: str | None = None,
     shared_memory: bool = True,
     shm_threshold: int = _shm.DEFAULT_THRESHOLD,
+    max_respawns: int = 8,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` OS processes and join them.
 
@@ -400,14 +508,26 @@ def run_spmd_process(
     escape hatch that forces every byte through the pipe.  Either way the
     delivered values — and therefore trajectories — are identical.
 
+    ``on_rank_failure="respawn"`` extends ``"continue"``: each non-zero
+    rank whose process dies is replaced by a fresh incarnation on a fresh
+    inbound queue (see the module docstring), up to ``max_respawns``
+    replacements per run.  Rank 0 is never respawned — a dead master is the
+    supervisor layer's problem (checkpoint/restart), not the executor's.
+
     Returns an :class:`SPMDResult` whose ``world`` is a parent-side
     :class:`~repro.mpi.comm.World` container holding the merged traffic
     counters and failure records of all rank processes.
     """
     if not 1 <= n_ranks <= MAX_PROCESS_RANKS:
         raise MPIError(f"n_ranks must be in [1, {MAX_PROCESS_RANKS}], got {n_ranks}")
-    if on_rank_failure not in ("abort", "continue"):
-        raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
+    if on_rank_failure not in ("abort", "continue", "respawn"):
+        raise MPIError(
+            "on_rank_failure must be 'abort', 'continue' or 'respawn',"
+            f" got {on_rank_failure!r}"
+        )
+    respawning = on_rank_failure == "respawn"
+    if max_respawns < 0:
+        raise MPIError(f"max_respawns must be >= 0, got {max_respawns}")
     ctx = _pick_context(start_method)
     tracing = tracer is not None and tracer.enabled
     if tracing:
@@ -417,7 +537,13 @@ def run_spmd_process(
                 tracer.name_rank(rank, f"rank {rank}")
     rank_names = tracer.rank_names() if tracing else {}
 
-    queues = [ctx.Queue() for _ in range(n_ranks)]
+    # Respawn needs a fresh wire per replacement (a process killed inside
+    # Queue.get can leave the reader lock held, and the old queue may hold
+    # frames addressed to the dead incarnation), so spare queues are created
+    # up front — multiprocessing queues cannot be minted after the children
+    # exist under the spawn start method.
+    n_spares = max_respawns if respawning else 0
+    queues = [ctx.Queue() for _ in range(n_ranks + n_spares)]
     result_queue = ctx.Queue()
     shm_table = (
         _shm.SegmentTable(ctx)
@@ -428,26 +554,30 @@ def run_spmd_process(
     fault_plan = fault_injector.plan if fault_injector is not None else None
     # Stripes are reserved from the parent tracer (never reused across runs),
     # so per-process flow ids stay globally unique even when one tracer
-    # accumulates several executor runs (restarts, resumed simulations).
-    flow_starts = [tracer.reserve_flow_stripe() if tracing else 0 for _ in range(n_ranks)]
+    # accumulates several executor runs (restarts, resumed simulations) —
+    # and respawned incarnations reserve a fresh stripe of their own.
+    incarnations = [0] * n_ranks
+    next_spare = n_ranks
+    respawn_log: list[RespawnRecord] = []
 
-    processes = [
-        ctx.Process(
+    def _spawn(rank: int, incarnation: int):
+        proc = ctx.Process(
             target=_rank_main,
             args=(
                 rank, n_ranks, fn, tuple(args), queues, shared, result_queue,
                 fault_plan, on_rank_failure,
                 tracer.epoch if tracing else None,
                 rank_names.get(rank),
-                flow_starts[rank],
+                tracer.reserve_flow_stripe() if tracing else 0,
+                incarnation,
             ),
-            name=f"vmpi-rank-{rank}",
+            name=f"vmpi-rank-{rank}" if incarnation == 0 else f"vmpi-rank-{rank}.{incarnation}",
             daemon=True,
         )
-        for rank in range(n_ranks)
-    ]
-    for proc in processes:
         proc.start()
+        return proc
+
+    processes = [_spawn(rank, 0) for rank in range(n_ranks)]
 
     returns: list[Any] = [None] * n_ranks
     failures: list[tuple[int, BaseException]] = []
@@ -457,24 +587,82 @@ def run_spmd_process(
     merged_events: list = []
     pending = set(range(n_ranks))
     dead_since: dict[int, float] = {}
+    # Ranks reported failed (e.g. declared hung by the protocol layer) whose
+    # process is still alive: terminated for respawn after a grace period,
+    # unless the report turns out stale (flag cleared by a heal).
+    suspects: dict[int, float] = {}
     deadline = None if timeout is None else time.monotonic() + timeout
     timed_out = False
+
+    def _respawn(rank: int, reason: str) -> bool:
+        """Replace ``rank``'s dead process; False when out of budget."""
+        nonlocal next_spare
+        if rank == 0 or next_spare >= len(queues):
+            return False
+        proc = processes[rank]
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - last-resort cleanup
+            proc.kill()
+            proc.join(timeout=5.0)
+        shared.queue_index[rank] = next_spare
+        next_spare += 1
+        incarnations[rank] += 1
+        record = RespawnRecord(rank=rank, incarnation=incarnations[rank], reason=reason)
+        respawn_log.append(record)
+        merged_counters.record("respawn", messages=0, nbytes=0)
+        if tracing:
+            tracer.instant(
+                "respawn", cat="mpi.fault", rank=rank,
+                args={"incarnation": incarnations[rank], "reason": reason},
+            )
+        suspects.pop(rank, None)
+        dead_since.pop(rank, None)
+        _LOG.debug("respawning rank %d as incarnation %d (%s)", rank, incarnations[rank], reason)
+        processes[rank] = _spawn(rank, incarnations[rank])
+        pending.add(rank)
+        return True
 
     def _consume(message) -> None:
         kind, rank = message[0], message[1]
         if kind == "failed":
             failure_reasons.setdefault(rank, message[2])
+            if respawning and rank != 0:
+                suspects.setdefault(rank, time.monotonic())
             return
-        _kind, _rank, payload, counters, fault_log, events = message
+        _kind, _rank, incarnation, payload, counters, fault_log, events = message
         merged_counters.absorb(counters)
         merged_faults.extend(fault_log)
         merged_events.extend(events)
+        if incarnation != incarnations[rank]:
+            # A stale incarnation's parting words: keep the bookkeeping
+            # (counters, fault log, trace events), ignore the verdict —
+            # the replacement owns this rank's slot now.
+            return
         if kind == "done":
             returns[rank] = payload
+            if incarnation > 0:
+                # A replacement ran its program to completion: whatever the
+                # rank program's own recovery protocol did, the rank is not
+                # failed anymore.  (The FT runner's rejoin handshake usually
+                # cleared the flag already; this covers raw rank programs.)
+                shared.failed_flags[rank] = 0
         elif kind == "err":
             failures.append((rank, pickle.loads(payload)))
         elif kind == "selfdead":
             failure_reasons.setdefault(rank, payload)
+            if respawning:
+                if rank == 0:
+                    # Nature cannot be respawned: surface the death as a
+                    # failure so the supervisor layer can restart the run.
+                    failures.append(
+                        (0, MPIError(f"the Nature rank (0) died and cannot be respawned:"
+                                     f" {payload}"))
+                    )
+                    shared.abort_event.set()
+                else:
+                    # Keep the rank pending: the death sweep below respawns
+                    # it once the process object reports an exit code.
+                    return
         pending.discard(rank)
         dead_since.pop(rank, None)
 
@@ -490,15 +678,35 @@ def run_spmd_process(
         for rank in sorted(pending):
             proc = processes[rank]
             if proc.is_alive() or proc.exitcode is None:
+                if respawning and rank in suspects:
+                    if not shared.failed_flags[rank]:
+                        suspects.pop(rank, None)  # healed: the report was stale
+                    elif now - suspects[rank] >= _RESPAWN_HANG_GRACE:
+                        # Declared dead but the process lives (injected
+                        # hang): kill it so the sweep can respawn it.  Only
+                        # ever reached for ranks flagged failed, so a
+                        # healthy replacement is never terminated.
+                        _LOG.debug("terminating hung rank %d for respawn", rank)
+                        suspects.pop(rank, None)
+                        proc.terminate()
                 continue
             # Dead without a report: give queue stragglers a short grace,
-            # then classify the death from the exit code alone.
+            # then classify the death from the exit code alone.  A death
+            # already reported via selfdead needs no grace.
             first_seen = dead_since.setdefault(rank, now)
-            if now - first_seen < _DRAIN_GRACE:
+            if now - first_seen < _DRAIN_GRACE and rank not in failure_reasons:
                 continue
             pending.discard(rank)
             if proc.exitcode == 0:
                 continue  # reported result already consumed or rank was quiet
+            if respawning and rank != 0:
+                shared.failed_flags[rank] = 1
+                reason = failure_reasons.setdefault(
+                    rank, f"rank process died with exit code {proc.exitcode}"
+                )
+                if not _respawn(rank, reason):
+                    _LOG.debug("respawn budget exhausted; rank %d stays degraded", rank)
+                continue
             if proc.exitcode == _CRASH_EXIT and on_rank_failure == "continue":
                 shared.failed_flags[rank] = 1
                 failure_reasons.setdefault(rank, "rank process died to an injected fault")
@@ -568,5 +776,8 @@ def run_spmd_process(
     if world.abort_event.is_set():
         raise CommAbortError(world.abort_reason or "world aborted")
     return SPMDResult(
-        returns=returns, world=world, failed_ranks=tuple(sorted(failed))
+        returns=returns,
+        world=world,
+        failed_ranks=tuple(sorted(failed)),
+        respawns=tuple(respawn_log),
     )

@@ -4,6 +4,8 @@
 * :mod:`repro.parallel.protocol` — the per-generation wire protocol.
 * :mod:`repro.parallel.runner` — Nature rank + workers, bit-identical to the
   serial driver.
+* :mod:`repro.parallel.supervisor` — self-healing runs: bounded restarts
+  from crash-consistent checkpoints.
 """
 
 from repro.parallel.decomposition import (
@@ -18,8 +20,10 @@ from repro.parallel.protocol import (
     GenerationHeader,
     MutationUpdate,
     PCOutcome,
+    RecoveryEvent,
 )
 from repro.parallel.runner import ParallelRunResult, ParallelSimulation
+from repro.parallel.supervisor import RestartEvent, SupervisedResult, SupervisedRun
 
 __all__ = [
     "SSetDecomposition",
@@ -30,7 +34,11 @@ __all__ = [
     "MutationUpdate",
     "PCOutcome",
     "DegradationEvent",
+    "RecoveryEvent",
     "TAG_FITNESS",
     "ParallelRunResult",
     "ParallelSimulation",
+    "SupervisedRun",
+    "SupervisedResult",
+    "RestartEvent",
 ]

@@ -42,8 +42,11 @@ __all__ = [
     "FTUpdate",
     "FTShutdown",
     "FTFinal",
+    "FTHello",
+    "FTRejoin",
     "WorkerReport",
     "DegradationEvent",
+    "RecoveryEvent",
 ]
 
 #: Point-to-point tag for fitness returns to the Nature Agent.
@@ -54,6 +57,15 @@ TAG_CONTROL = 11
 
 #: Reliable-channel tag for worker -> Nature reports (FT runner).
 TAG_REPORT = 12
+
+#: Plain-channel tag for a respawned worker announcing itself to Nature.
+#: Deliberately *not* reliable: the replacement keeps resending the hello
+#: until Nature answers, which is the whole retry scheme — and Nature must
+#: not ack a hello for a rank it has not yet declared dead.
+TAG_HELLO = 13
+
+#: Reliable-channel tag for Nature -> replacement rejoin state transfer.
+TAG_RECOVERY = 14
 
 
 @dataclass(frozen=True)
@@ -185,6 +197,37 @@ class FTFinal:
 
 
 @dataclass(frozen=True)
+class FTHello:
+    """Respawned worker -> Nature (plain send, retried): "I exist again".
+
+    ``incarnation`` is the replacement's process incarnation (1 for the
+    first respawn of a rank), carried into the matching
+    :class:`RecoveryEvent` for the log.
+    """
+
+    rank: int
+    incarnation: int = 0
+
+
+@dataclass(frozen=True)
+class FTRejoin:
+    """Nature -> replacement (reliable): everything needed to rejoin.
+
+    ``generation`` is the last generation already folded into ``matrix``;
+    the replacement starts participating at ``generation + 1`` and ignores
+    any stale control traffic at or before ``generation``.  The matrix is
+    Nature's authoritative full strategy view (every rank keeps a full
+    replica), so the replacement's SSet block is re-seeded implicitly; its
+    RNG needs no state transfer at all because worker randomness is keyed
+    by ``(generation, sset)`` — pure functions of the seed.
+    """
+
+    generation: int
+    matrix: np.ndarray
+    failed_ranks: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class DegradationEvent:
     """One graceful-degradation step recorded by the fault-tolerant runner."""
 
@@ -194,9 +237,26 @@ class DegradationEvent:
     reassigned_ssets: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One successful heal: a respawned rank rejoined the computation.
+
+    The mirror image of :class:`DegradationEvent`: ``generation`` is the
+    generation whose state the replacement was seeded with (it participates
+    from ``generation + 1``), and ``restored_ssets`` are the SSets that
+    return to the rank's ownership.
+    """
+
+    generation: int
+    rank: int
+    incarnation: int
+    restored_ssets: tuple[int, ...]
+
+
 # Bulk-carrying protocol fields opt in to the zero-copy shared-memory path
 # (no-ops under the thread backend or with shared_memory=False).  The
 # GenerationHeader is all-scalar — nothing to register — and FTUpdate
 # reaches its mutation table by recursing into the nested MutationUpdate.
 _shm.register_shareable(MutationUpdate, ("table",))
 _shm.register_shareable(FTUpdate, ("mutation",))
+_shm.register_shareable(FTRejoin, ("matrix",))

@@ -23,6 +23,7 @@ the reproduction makes.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -32,28 +33,34 @@ from repro.config import SimulationConfig
 from repro.errors import MPIError, RankCrashError, RankFailedError, RecvTimeoutError
 from repro.io.checkpoints import (
     ParallelCheckpoint,
-    latest_parallel_checkpoint,
+    latest_valid_parallel_checkpoint,
     load_parallel_checkpoint,
     save_parallel_checkpoint,
+    write_torn_parallel_checkpoint,
 )
-from repro.mpi.comm import Comm
+from repro.mpi.comm import ANY_SOURCE, Comm
 from repro.mpi.counters import OpCount
-from repro.mpi.executor import run_spmd
+from repro.mpi.executor import RespawnRecord, run_spmd
 from repro.mpi.faults import FaultInjector, FaultPlan, FaultRecord
 from repro.parallel.decomposition import SSetDecomposition, owner_map_with_failures
 from repro.parallel.protocol import (
     TAG_CONTROL,
     TAG_FITNESS,
+    TAG_HELLO,
+    TAG_RECOVERY,
     TAG_REPORT,
     DegradationEvent,
     FTFinal,
     FTFitnessRequest,
     FTHeader,
+    FTHello,
+    FTRejoin,
     FTShutdown,
     FTUpdate,
     GenerationHeader,
     MutationUpdate,
     PCOutcome,
+    RecoveryEvent,
     WorkerReport,
 )
 from repro.obs.tracer import Tracer
@@ -114,6 +121,15 @@ class ParallelRunResult:
     fault_events: tuple[FaultRecord, ...] = ()
     #: Checkpoint files written during the run, oldest first.
     checkpoints: tuple[str, ...] = ()
+    #: Successful heals under ``on_rank_failure="respawn"``: each event
+    #: records a respawned rank rejoining the computation (the mirror image
+    #: of ``degradations``).  A healed rank does not appear in
+    #: ``failed_ranks``.
+    recoveries: tuple[RecoveryEvent, ...] = ()
+    #: Replacement processes launched by the executor under
+    #: ``on_rank_failure="respawn"`` (a superset of ``recoveries`` — a
+    #: replacement may die again before it manages to rejoin).
+    respawns: tuple[RespawnRecord, ...] = ()
     #: The run's :class:`~repro.obs.Tracer` when tracing was requested
     #: (``ParallelSimulation(..., trace=...)``); ``None`` otherwise.  Export
     #: it with :func:`repro.obs.write_chrome_trace` or summarise with
@@ -322,6 +338,11 @@ def _eager_slate(comm, config, population, evaluator, streams, owned, gen) -> in
 def _rank_program_ft(comm: Comm, config: SimulationConfig, eager_games: bool, opts: _FTOptions):
     """The fault-tolerant SPMD body executed by every rank."""
     streams = StreamFactory(config.seed)
+    if comm.rank != 0 and getattr(comm.world, "incarnation", 0) > 0:
+        # Replacement process under on_rank_failure="respawn": the initial
+        # population is stale (the run has moved on since generation 0), so
+        # skip straight to the rejoin handshake with Nature.
+        return _ft_worker_respawned(comm, config, eager_games, streams)
     if opts.start_matrix is None:
         population = Population.random(config, streams.fresh("init"))
     else:
@@ -333,9 +354,67 @@ def _rank_program_ft(comm: Comm, config: SimulationConfig, eager_games: bool, op
     return _ft_worker(comm, config, eager_games, population, evaluator, streams, failed)
 
 
-def _ft_worker(comm, config, eager_games, population, evaluator, streams, failed) -> dict:
+#: How long a respawned worker keeps re-sending its hello before giving up.
+_REJOIN_DEADLINE = 60.0
+
+#: Hello retry cadence: also the recv timeout on the rejoin answer.
+_HELLO_RETRY = 0.2
+
+
+def _ft_worker_respawned(comm, config, eager_games, streams) -> dict:
+    """Entry point of a replacement process: handshake with Nature, rejoin.
+
+    The hello travels over a *plain* send that we retry ourselves: Nature
+    ignores hellos for ranks it has not yet declared dead (the previous
+    incarnation might still be limping), so the reliable channel's
+    ack-or-fail contract is the wrong tool here.  The answer — an
+    :class:`~repro.parallel.protocol.FTRejoin` carrying Nature's
+    authoritative matrix — comes back on the reliable channel.  Worker
+    randomness is keyed by ``(generation, sset)``, pure functions of the
+    seed, so no RNG state needs to travel: the replacement's streams are
+    correct the moment they are constructed.
+    """
+    tracer = comm.world.tracer
+    incarnation = getattr(comm.world, "incarnation", 0)
+    deadline = time.monotonic() + _REJOIN_DEADLINE
+    rejoin = None
+    while rejoin is None:
+        if time.monotonic() >= deadline:
+            # Nature never answered (the run may have finished without us,
+            # or is about to abort).  Die quietly — the executor records
+            # the rank as permanently degraded.
+            return {"digest": b"", "games_played": 0, "rejoined": False}
+        try:
+            comm.send(
+                FTHello(rank=comm.rank, incarnation=incarnation), dest=0, tag=TAG_HELLO
+            )
+            rejoin = comm.recv_reliable(source=0, tag=TAG_RECOVERY, timeout=_HELLO_RETRY)
+        except RecvTimeoutError:
+            continue  # Nature has not declared us dead yet; hello again.
+        except RankFailedError:
+            # Nature itself is dead: nothing to rejoin.
+            return {"digest": b"", "games_played": 0, "rejoined": False}
+    population = Population(config, np.array(rejoin.matrix, copy=True))
+    evaluator = FitnessEvaluator(config, population, streams)
+    failed = set(rejoin.failed_ranks)
+    tracer.instant(
+        "rejoin", rank=comm.rank,
+        args={"gen": rejoin.generation, "incarnation": incarnation},
+    )
+    return _ft_worker(
+        comm, config, eager_games, population, evaluator, streams, failed,
+        min_generation=rejoin.generation,
+    )
+
+
+def _ft_worker(
+    comm, config, eager_games, population, evaluator, streams, failed, min_generation=0
+) -> dict:
     try:
-        return _ft_worker_loop(comm, config, eager_games, population, evaluator, streams, failed)
+        return _ft_worker_loop(
+            comm, config, eager_games, population, evaluator, streams, failed,
+            min_generation=min_generation,
+        )
     except (RankFailedError, RecvTimeoutError) as exc:
         if comm.world.is_failed(0):
             raise  # Nature is dead: the job cannot finish, fail loudly.
@@ -344,13 +423,22 @@ def _ft_worker(comm, config, eager_games, population, evaluator, streams, failed
         raise RankCrashError(f"rank {comm.rank}: lost contact with Nature ({exc})") from exc
 
 
-def _ft_worker_loop(comm, config, eager_games, population, evaluator, streams, failed) -> dict:
+def _ft_worker_loop(
+    comm, config, eager_games, population, evaluator, streams, failed, min_generation=0
+) -> dict:
     games_played = 0
     tracer = comm.world.tracer
     while True:
         msg = comm.recv_reliable(source=0, tag=TAG_CONTROL)
         if isinstance(msg, FTShutdown):
             break
+        if getattr(msg, "generation", min_generation + 1) <= min_generation:
+            # Stale control traffic addressed to a previous incarnation of
+            # this rank (the reliable layer may redeliver frames sent before
+            # our predecessor died).  Everything at or before the rejoin
+            # generation is already folded into the matrix we were seeded
+            # with — drop it without replying.
+            continue
         if isinstance(msg, FTHeader):
             gen = msg.generation
             gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
@@ -422,6 +510,7 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
     size = comm.size
     live = [r for r in range(1, size) if r not in failed]
     degradations: list[DegradationEvent] = []
+    recoveries: list[RecoveryEvent] = []
     checkpoints: list[str] = []
     hb = opts.heartbeat_timeout
     tracer = comm.world.tracer
@@ -446,10 +535,74 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             DegradationEvent(generation=gen, rank=rank, reason=reason, reassigned_ssets=lost)
         )
 
+    def process_hellos(gen: int) -> None:
+        """Rejoin any respawned workers whose hellos have arrived.
+
+        Called at the generation boundary, *before* this generation's
+        events are drawn, so the replacement is seeded with the state as of
+        ``gen - 1`` and participates from ``gen`` onward.  Nature's own RNG
+        is untouched by the handshake — the healed trajectory is the
+        fault-free trajectory, bit for bit.
+        """
+        while comm.probe(source=ANY_SOURCE, tag=TAG_HELLO):
+            try:
+                hello = comm.recv(source=ANY_SOURCE, tag=TAG_HELLO, timeout=0.1)
+            except (RecvTimeoutError, RankFailedError):
+                return
+            rank = hello.rank
+            if rank not in failed:
+                # Not yet declared dead (or never was): the replacement
+                # keeps re-sending its hello; answer once we have degraded.
+                continue
+            rejoin = FTRejoin(
+                generation=gen - 1,
+                matrix=population.matrix(),
+                failed_ranks=tuple(sorted(failed - {rank})),
+            )
+            # Revive before sending: the reliable ack wait fails fast on
+            # ranks marked dead.  Roll back if the handshake fails.
+            comm.world.mark_alive(rank)
+            try:
+                comm.send_reliable(rejoin, dest=rank, tag=TAG_RECOVERY, max_retries=2)
+            except RankFailedError:
+                comm.world.mark_failed(rank, "rejoin handshake failed")
+                continue
+            # The replacement starts a fresh reliable-recv history; drop
+            # ours for its predecessor so its new frames are not mistaken
+            # for duplicates (our send sequence stays monotonic).
+            comm.forget_reliable_peer(rank)
+            failed.discard(rank)
+            live.append(rank)
+            live.sort()
+            restored = tuple(int(s) for s in np.flatnonzero(owners_now() == rank))
+            comm.world.counters.record("recovery", messages=0, nbytes=0)
+            tracer.instant(
+                "recovery", rank=comm.rank,
+                args={"gen": gen, "healed_rank": rank, "incarnation": hello.incarnation},
+            )
+            recoveries.append(
+                RecoveryEvent(
+                    generation=gen - 1,
+                    rank=rank,
+                    incarnation=hello.incarnation,
+                    restored_ssets=restored,
+                )
+            )
+
     for gen in range(opts.start_generation + 1, config.generations + 1):
         gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
         gen_span.__enter__()
         comm.fault_point(gen)
+        if failed:
+            process_hellos(gen)
+        if not live:
+            # Every worker is currently dead.  Under respawn, replacements
+            # may be on their way up — wait a heartbeat's worth for a hello
+            # before giving up on the run.
+            deadline = time.monotonic() + hb
+            while not live and time.monotonic() < deadline:
+                time.sleep(0.02)
+                process_hellos(gen)
         if not live:
             raise MPIError(f"generation {gen}: all worker ranks failed; cannot continue")
         selection = nature.select_pc()
@@ -476,6 +629,11 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
         for rank in list(live):
             try:
                 report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+                while report.generation < gen:
+                    # Stale heartbeat from a previous incarnation of the
+                    # rank (resent frames the replacement's rejoin revived);
+                    # already accounted for — wait for the current one.
+                    report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
             except (RecvTimeoutError, RankFailedError) as exc:
                 declare_failed(rank, gen, f"no heartbeat: {type(exc).__name__}")
                 continue
@@ -514,6 +672,8 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                 try:
                     comm.send_reliable(request, dest=rank, tag=TAG_CONTROL)
                     report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+                    while report.generation < gen:
+                        report = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
                 except (RecvTimeoutError, RankFailedError) as exc:
                     declare_failed(rank, gen, f"fitness re-request failed: {type(exc).__name__}")
                     continue
@@ -571,6 +731,16 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                     n_mutations=nature.n_mutations,
                     failed_ranks=tuple(sorted(failed)),
                 )
+                if comm.checkpoint_fault_point(gen):
+                    # Injected kill_during_checkpoint: reproduce the
+                    # pre-atomic-write failure mode — partial bytes at the
+                    # final path — then die mid-write.  The supervisor must
+                    # skip this torn file and resume from the last valid one.
+                    write_torn_parallel_checkpoint(state, opts.checkpoint_dir)
+                    raise RankCrashError(
+                        f"rank {comm.rank}: injected kill during checkpoint"
+                        f" at generation {gen}"
+                    )
                 checkpoints.append(str(save_parallel_checkpoint(state, opts.checkpoint_dir)))
         gen_span.__exit__(None, None, None)
 
@@ -582,7 +752,12 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
         try:
             comm.send_reliable(FTShutdown(generation=config.generations), dest=rank,
                                tag=TAG_CONTROL)
-            finals[rank] = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+            final = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+            while isinstance(final, WorkerReport):
+                # Stale heartbeat from a healed rank's previous incarnation
+                # still queued ahead of its FTFinal.
+                final = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+            finals[rank] = final
         except (RecvTimeoutError, RankFailedError) as exc:
             declare_failed(rank, config.generations, f"lost at shutdown: {type(exc).__name__}")
     for rank, final in finals.items():
@@ -598,6 +773,7 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
         "n_mutations": nature.n_mutations,
         "games_by_rank": {rank: final.games_played for rank, final in finals.items()},
         "degradations": tuple(degradations),
+        "recoveries": tuple(recoveries),
         "failed_ranks": tuple(sorted(failed)),
         "checkpoints": tuple(checkpoints),
     }
@@ -667,6 +843,18 @@ class ParallelSimulation:
         ``shared_memory=False`` is the escape hatch forcing every byte
         through the pipe.  The trajectory is bit-identical either way.
         Ignored under the thread backend.
+    on_rank_failure:
+        ``"continue"`` (default): a dead worker's SSets are redistributed
+        to the survivors and stay there — graceful degradation.
+        ``"respawn"`` (process backend only): additionally launch a
+        replacement process for each dead worker; the replacement
+        handshakes with Nature, is re-seeded from Nature's authoritative
+        matrix, and takes its SSets back (each heal is recorded as a
+        :class:`~repro.parallel.protocol.RecoveryEvent` in
+        ``result.recoveries``).  Implies the fault-tolerant protocol.
+    max_respawns:
+        Total replacement-process budget under
+        ``on_rank_failure="respawn"``.
 
     Examples
     --------
@@ -693,6 +881,8 @@ class ParallelSimulation:
         backend: str = "thread",
         shared_memory: bool = True,
         shm_threshold: int | None = None,
+        on_rank_failure: str = "continue",
+        max_respawns: int = 8,
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
@@ -700,6 +890,17 @@ class ParallelSimulation:
             raise MPIError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
         if backend not in ("thread", "process"):
             raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if on_rank_failure not in ("continue", "respawn"):
+            raise MPIError(
+                f"on_rank_failure must be 'continue' or 'respawn', got {on_rank_failure!r}"
+            )
+        if on_rank_failure == "respawn" and backend != "process":
+            raise MPIError(
+                "on_rank_failure='respawn' needs real processes to replace —"
+                " use backend='process'"
+            )
+        self.on_rank_failure = on_rank_failure
+        self.max_respawns = int(max_respawns)
         self.config = config
         self.backend = backend
         self.shared_memory = bool(shared_memory)
@@ -723,8 +924,17 @@ class ParallelSimulation:
         self.fault_tolerant = (
             bool(fault_tolerant)
             if fault_tolerant is not None
-            else (fault_plan is not None and not fault_plan.is_trivial) or wants_ckpt
+            else (
+                (fault_plan is not None and not fault_plan.is_trivial)
+                or wants_ckpt
+                or on_rank_failure == "respawn"
+            )
         )
+        if on_rank_failure == "respawn" and not self.fault_tolerant:
+            raise MPIError(
+                "on_rank_failure='respawn' requires the fault-tolerant protocol"
+                " (replacements rejoin through it); do not force fault_tolerant=False"
+            )
         self._start = _FTOptions(
             heartbeat_timeout=self.heartbeat_timeout,
             checkpoint_dir=self.checkpoint_dir,
@@ -750,9 +960,9 @@ class ParallelSimulation:
         if not isinstance(checkpoint, ParallelCheckpoint):
             path = Path(checkpoint)
             if path.is_dir():
-                found = latest_parallel_checkpoint(path)
+                found = latest_valid_parallel_checkpoint(path)
                 if found is None:
-                    raise MPIError(f"no parallel checkpoints in {path}")
+                    raise MPIError(f"no valid parallel checkpoints in {path}")
                 path = found
             checkpoint = load_parallel_checkpoint(path)
         sim = cls(checkpoint.config, n_ranks, fault_tolerant=True, **kwargs)
@@ -827,11 +1037,12 @@ class ParallelSimulation:
             args=(self.config, self.eager_games, self._start),
             timeout=timeout,
             fault_injector=injector,
-            on_rank_failure="continue",
+            on_rank_failure=self.on_rank_failure,
             tracer=self.tracer,
             backend=self.backend,
             shared_memory=self.shared_memory,
             shm_threshold=self.shm_threshold,
+            max_respawns=self.max_respawns,
         )
         self._finish_trace(spmd)
         nature_out = spmd.returns[0]
@@ -855,7 +1066,9 @@ class ParallelSimulation:
             games_played_per_rank=tuple(games),
             failed_ranks=nature_out["failed_ranks"],
             degradations=nature_out["degradations"],
+            recoveries=nature_out.get("recoveries", ()),
             fault_events=() if injector is None else injector.schedule(),
             checkpoints=nature_out["checkpoints"],
+            respawns=spmd.respawns,
             trace=self.tracer,
         )

@@ -1,17 +1,22 @@
-"""Tests for bit-exact checkpoint/resume."""
+"""Tests for bit-exact checkpoint/resume and crash-consistent writes."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import CheckpointError
+from repro.io import checkpoints as ckpt_mod
 from repro.io.checkpoints import (
     ParallelCheckpoint,
     latest_parallel_checkpoint,
+    latest_valid_parallel_checkpoint,
     load_checkpoint,
     load_parallel_checkpoint,
     save_checkpoint,
     save_parallel_checkpoint,
+    write_torn_parallel_checkpoint,
 )
 from repro.population.dynamics import EvolutionDriver
 from repro.rng import StreamFactory
@@ -139,3 +144,143 @@ class TestParallelCheckpoints:
     def test_missing_parallel_file(self, tmp_path):
         with pytest.raises(CheckpointError):
             load_parallel_checkpoint(tmp_path / "nope.npz")
+
+
+class _CrashMidWrite(BaseException):
+    """Stand-in for SIGKILL: escapes except-Exception clauses like a real kill."""
+
+
+class TestAtomicWrites:
+    """A crash during a checkpoint write must never damage the previous one."""
+
+    def test_truncated_serial_checkpoint_raises(self, tmp_path, small_config):
+        # Regression for the pre-atomic writer: a file holding only the
+        # leading bytes of the npz stream (what a mid-write kill left at the
+        # final path) must be rejected as a CheckpointError, not resumed
+        # from or crashed on with a raw zipfile/OS error.
+        driver = EvolutionDriver(small_config)
+        driver.run(10)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(driver, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_truncated_parallel_checkpoint_raises(self, tmp_path, small_config):
+        path = save_parallel_checkpoint(_parallel_state(small_config, 20), tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_parallel_checkpoint(path)
+
+    def test_crash_mid_write_preserves_previous(self, tmp_path, small_config, monkeypatch):
+        state_old = _parallel_state(small_config, 10)
+        path = save_parallel_checkpoint(state_old, tmp_path / "run.npz")
+        good = path.read_bytes()
+
+        real_savez = np.savez_compressed
+
+        def dying_savez(fh, **arrays):
+            real_savez(fh, **arrays)  # stage the bytes ...
+            raise _CrashMidWrite()  # ... then die before the rename
+
+        monkeypatch.setattr(ckpt_mod.np, "savez_compressed", dying_savez)
+        with pytest.raises(_CrashMidWrite):
+            save_parallel_checkpoint(_parallel_state(small_config, 10), tmp_path / "run.npz")
+        # The final path still holds the previous complete checkpoint, and
+        # the interrupted attempt's temp file was cleaned up.
+        assert path.read_bytes() == good
+        assert load_parallel_checkpoint(path).generation == 10
+        assert [p.name for p in tmp_path.glob(".*.tmp-*")] == []
+
+    def test_save_leaves_no_temp_files(self, tmp_path, small_config):
+        save_parallel_checkpoint(_parallel_state(small_config, 30), tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt_00000030.npz"]
+
+
+class TestContentDigest:
+    """Silent corruption must be caught by the embedded digest."""
+
+    def _tamper_matrix(self, path):
+        """Rewrite the file with one matrix element flipped, digest untouched."""
+        with np.load(path) as data:
+            matrix = data["matrix"].copy()
+            meta_raw = data["meta"].copy()
+        matrix.flat[0] += 1
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, matrix=matrix, meta=meta_raw)
+
+    def test_tampered_parallel_checkpoint_raises(self, tmp_path, small_config):
+        path = save_parallel_checkpoint(_parallel_state(small_config, 40), tmp_path)
+        self._tamper_matrix(path)
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_parallel_checkpoint(path)
+
+    def test_tampered_serial_checkpoint_raises(self, tmp_path, small_config):
+        driver = EvolutionDriver(small_config)
+        driver.run(10)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(driver, path)
+        self._tamper_matrix(path)
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_version1_file_without_digest_still_loads(self, tmp_path, small_config):
+        # Files written before the digest existed must remain readable.
+        path = save_parallel_checkpoint(_parallel_state(small_config, 40), tmp_path)
+        with np.load(path) as data:
+            matrix = data["matrix"].copy()
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["version"] = 1
+        del meta["digest"]
+        with open(path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                matrix=matrix,
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            )
+        assert load_parallel_checkpoint(path).generation == 40
+
+    def test_version2_file_missing_digest_raises(self, tmp_path, small_config):
+        path = save_parallel_checkpoint(_parallel_state(small_config, 40), tmp_path)
+        with np.load(path) as data:
+            matrix = data["matrix"].copy()
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        del meta["digest"]
+        with open(path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                matrix=matrix,
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            )
+        with pytest.raises(CheckpointError, match="digest"):
+            load_parallel_checkpoint(path)
+
+
+class TestLatestValid:
+    """Recovery must scan past torn/corrupt files to the newest good one."""
+
+    def test_skips_torn_newest(self, tmp_path, small_config):
+        save_parallel_checkpoint(_parallel_state(small_config, 10), tmp_path)
+        save_parallel_checkpoint(_parallel_state(small_config, 20), tmp_path)
+        write_torn_parallel_checkpoint(_parallel_state(small_config, 30), tmp_path)
+        # The name-based scan is fooled; the validating scan is not.
+        assert latest_parallel_checkpoint(tmp_path).name == "ckpt_00000030.npz"
+        found = latest_valid_parallel_checkpoint(tmp_path)
+        assert found is not None and found.name == "ckpt_00000020.npz"
+        assert load_parallel_checkpoint(found).generation == 20
+
+    def test_all_torn_returns_none(self, tmp_path, small_config):
+        for gen in (10, 20):
+            write_torn_parallel_checkpoint(_parallel_state(small_config, gen), tmp_path)
+        assert latest_valid_parallel_checkpoint(tmp_path) is None
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert latest_valid_parallel_checkpoint(tmp_path) is None
+        assert latest_valid_parallel_checkpoint(tmp_path / "nope") is None
+
+    def test_matches_latest_when_all_valid(self, tmp_path, small_config):
+        for gen in (10, 30, 20):
+            save_parallel_checkpoint(_parallel_state(small_config, gen), tmp_path)
+        assert latest_valid_parallel_checkpoint(tmp_path) == latest_parallel_checkpoint(tmp_path)

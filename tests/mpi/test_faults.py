@@ -93,6 +93,52 @@ class TestDeterminism:
         assert inj.schedule() == tuple(sorted(inj.schedule()))
 
 
+class TestCheckpointFaults:
+    """kill_during_checkpoint: the fault that tears a checkpoint mid-write."""
+
+    def test_checkpoint_event_needs_generation(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="kill_during_checkpoint", rank=0)
+
+    def test_explicit_event_fires_once(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="kill_during_checkpoint", rank=0, generation=30),)
+        )
+        inj = FaultInjector(plan)
+        assert inj.checkpoint_fault(0, 15) is False
+        assert inj.checkpoint_fault(1, 30) is False  # wrong rank
+        assert inj.checkpoint_fault(0, 30) is True
+        assert any(
+            rec.kind == "kill_during_checkpoint" and rec.generation == 30
+            for rec in inj.schedule()
+        )
+
+    def test_probabilistic_fires_deterministically(self):
+        plan = FaultPlan(seed=7, ckpt_kill_p=0.5)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        decisions = [(a.checkpoint_fault(0, g), b.checkpoint_fault(0, g)) for g in range(1, 60)]
+        assert all(x == y for x, y in decisions)
+        assert any(x for x, _ in decisions)
+
+    def test_immune_ranks_do_not_exempt_checkpoint_kills(self):
+        # The checkpoint writer is Nature (rank 0), which chaos plans
+        # usually keep immune from *rank* faults — a checkpoint kill must
+        # still be injectable there, or the fault could never fire at all.
+        inj = FaultInjector(FaultPlan(seed=3, ckpt_kill_p=1.0, immune_ranks=(0,)))
+        assert inj.checkpoint_fault(0, 1) is True
+
+    def test_plan_round_trip_with_ckpt_kill(self):
+        plan = FaultPlan(
+            seed=4,
+            ckpt_kill_p=0.25,
+            events=(FaultEvent(kind="kill_during_checkpoint", rank=0, generation=10),),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert not plan.is_trivial
+        with pytest.raises(FaultPlanError):
+            FaultPlan(ckpt_kill_p=1.5)
+
+
 class TestExplicitEvents:
     def test_targeted_drop_fires_on_nth_send(self):
         plan = FaultPlan(events=(FaultEvent(kind="drop", rank=0, op_index=1),))

@@ -93,6 +93,15 @@ def _traced_pingpong(comm):
     return ping
 
 
+def _respawn_probe(comm):
+    """Original incarnation of rank 2 dies at generation 3; others just run."""
+    inc = getattr(comm.world, "incarnation", 0)
+    if comm.rank == 2 and inc == 0:
+        for gen in range(5):
+            comm.fault_point(gen)
+    return (comm.rank, inc)
+
+
 # -- tests --------------------------------------------------------------------
 
 
@@ -194,6 +203,43 @@ class TestProcessDeath:
         assert res.failed_ranks == (2,)
         assert res.returns[2] is None
         assert res.returns[0] == 0 and res.returns[1] == 1
+
+
+class TestRespawn:
+    def test_dead_rank_is_replaced_by_fresh_incarnation(self):
+        """Under respawn, a crashed rank's slot is refilled by incarnation 1."""
+        plan = FaultPlan(seed=1, events=(FaultEvent(kind="crash", rank=2, generation=3),))
+        res = run_spmd_process(
+            3,
+            _respawn_probe,
+            timeout=120,
+            fault_injector=FaultInjector(plan),
+            on_rank_failure="respawn",
+        )
+        assert res.failed_ranks == ()
+        assert [r.rank for r in res.respawns] == [2]
+        assert res.respawns[0].incarnation == 1
+        # The slot holds the *replacement's* return value.
+        assert res.returns[2] == (2, 1)
+        assert res.returns[0] == (0, 0) and res.returns[1] == (1, 0)
+
+    def test_exhausted_budget_leaves_rank_degraded(self):
+        plan = FaultPlan(seed=1, events=(FaultEvent(kind="crash", rank=2, generation=3),))
+        res = run_spmd_process(
+            3,
+            _respawn_probe,
+            timeout=120,
+            fault_injector=FaultInjector(plan),
+            on_rank_failure="respawn",
+            max_respawns=0,
+        )
+        assert res.failed_ranks == (2,)
+        assert res.respawns == ()
+        assert res.returns[2] is None
+
+    def test_thread_backend_rejects_respawn(self):
+        with pytest.raises(MPIError, match="process"):
+            run_spmd(2, _triple_rank, on_rank_failure="respawn", backend="thread")
 
 
 class TestTracerMerge:

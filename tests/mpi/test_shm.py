@@ -351,7 +351,7 @@ class TestAbandonedFrames:
             def put(self, frame):  # pragma: no cover - pickling fails first
                 raise AssertionError("frame should never be enqueued")
 
-        box = _RemoteMailbox(RefusingQueue(), pool)
+        box = _RemoteMailbox(0, [RefusingQueue()], [0], pool)
         arr = np.arange(1024, dtype=np.int64)
         with pytest.raises(MPIError, match="not picklable"):
             box.deliver(0, 5, [arr, lambda: None], arr.nbytes)
@@ -370,7 +370,7 @@ class TestAbandonedFrames:
             def put(self, frame):
                 raise RuntimeError("queue closed")
 
-        box = _RemoteMailbox(FullQueue(), pool)
+        box = _RemoteMailbox(0, [FullQueue()], [0], pool)
         arr = np.arange(1024, dtype=np.int64)
         with pytest.raises(RuntimeError, match="queue closed"):
             box.deliver(0, 5, arr, arr.nbytes)

@@ -1,0 +1,193 @@
+"""Acceptance chaos for self-healing runs.
+
+The three recovery layers under *real* damage:
+
+* **Respawn**: a worker process is killed (or hangs) mid-run under
+  ``on_rank_failure="respawn"``; the run must finish with zero permanently
+  degraded ranks, a non-empty recovery log, and the exact fault-free
+  matrix — twice, to show the heal is reproducible.
+* **SIGKILL mid-checkpoint**: an entire run is SIGKILLed while writing a
+  checkpoint (leaving a torn file); :class:`SupervisedRun` must resume from
+  the latest *valid* checkpoint with no manual intervention.
+* **Resume determinism**: interrupted-at-k + resumed equals uninterrupted,
+  under a non-trivial fault plan, across backends and transports.
+
+Heal latency is wall-clock (drain grace, heartbeat timeouts), while the
+trajectory advances at a few milliseconds per generation — so the respawn
+runs use generation counts in the thousands to leave room for the
+replacement to rejoin before the run finishes.  Assertions stick to
+wall-clock-independent facts: the final matrix and the healed-rank set,
+never the generation a recovery landed on.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.io.checkpoints import (
+    latest_parallel_checkpoint,
+    latest_valid_parallel_checkpoint,
+    load_parallel_checkpoint,
+)
+from repro.mpi.faults import FaultEvent, FaultPlan
+from repro.parallel import ParallelSimulation, SupervisedRun
+from repro.population.dynamics import EvolutionDriver
+
+pytestmark = [pytest.mark.recovery, pytest.mark.chaos]
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _serial_matrix(config: SimulationConfig) -> np.ndarray:
+    driver = EvolutionDriver(config)
+    driver.run()
+    return driver.population.matrix()
+
+
+@pytest.mark.procexec
+class TestRespawnHealing:
+    """A killed worker process is replaced and rejoins, losing nothing."""
+
+    config = SimulationConfig(n_ssets=8, generations=1500, seed=11)
+
+    def _run(self, plan: FaultPlan):
+        return ParallelSimulation(
+            self.config,
+            n_ranks=4,
+            fault_plan=plan,
+            backend="process",
+            on_rank_failure="respawn",
+            heartbeat_timeout=2.0,
+        ).run(timeout=300)
+
+    def test_crashed_worker_is_healed_bit_exactly(self):
+        plan = FaultPlan(seed=5, events=(FaultEvent(kind="crash", rank=2, generation=10),))
+        result = self._run(plan)
+        # Zero permanently degraded ranks, and the heal is on the record.
+        assert result.failed_ranks == ()
+        assert len(result.recoveries) >= 1
+        assert {e.rank for e in result.recoveries} == {2}
+        assert result.recoveries[0].incarnation >= 1
+        assert result.recoveries[0].restored_ssets != ()
+        assert [r.rank for r in result.respawns][:1] == [2]
+        # The healed trajectory IS the fault-free trajectory.
+        assert np.array_equal(result.matrix, _serial_matrix(self.config))
+        # And a replayed run heals to the same matrix (timing may differ;
+        # the trajectory may not).
+        replay = self._run(plan)
+        assert replay.failed_ranks == ()
+        assert np.array_equal(replay.matrix, result.matrix)
+
+    def test_hung_worker_is_terminated_and_healed(self):
+        plan = FaultPlan(seed=6, events=(FaultEvent(kind="hang", rank=3, generation=10),))
+        result = self._run(plan)
+        assert result.failed_ranks == ()
+        assert {e.rank for e in result.recoveries} == {3}
+        assert np.array_equal(result.matrix, _serial_matrix(self.config))
+
+
+_KILL_MID_CHECKPOINT_CHILD = """
+import os, signal, sys
+
+import repro.parallel.runner as runner
+from repro.config import SimulationConfig
+from repro.io.checkpoints import save_parallel_checkpoint, write_torn_parallel_checkpoint
+
+directory = sys.argv[1]
+calls = {"n": 0}
+
+def killing_save(state, path):
+    calls["n"] += 1
+    if calls["n"] == 2:
+        # The second checkpoint write dies half-way: partial bytes land at
+        # the final path, then the WHOLE process is SIGKILLed -- no except
+        # clause, no atexit, nothing runs after this.
+        write_torn_parallel_checkpoint(state, path)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return save_parallel_checkpoint(state, path)
+
+runner.save_parallel_checkpoint = killing_save
+cfg = SimulationConfig(n_ssets=8, generations=60, seed=11)
+runner.ParallelSimulation(
+    cfg, n_ranks=4, checkpoint_dir=directory, checkpoint_every=15
+).run(timeout=120)
+"""
+
+
+class TestKillMidCheckpointWrite:
+    def test_supervised_run_resumes_after_sigkill(self, tmp_path):
+        """SIGKILL the whole run mid-checkpoint-write; SupervisedRun recovers."""
+        config = SimulationConfig(n_ssets=8, generations=60, seed=11)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_MID_CHECKPOINT_CHILD, str(tmp_path)],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        # The aftermath: gen 15 intact, gen 30 torn at the final path.
+        assert latest_parallel_checkpoint(tmp_path).name == "ckpt_00000030.npz"
+        valid = latest_valid_parallel_checkpoint(tmp_path)
+        assert valid is not None and valid.name == "ckpt_00000015.npz"
+
+        out = SupervisedRun(config, 4, checkpoint_dir=tmp_path, checkpoint_every=15).run(
+            timeout=300
+        )
+        assert out.attempts == 1  # the resume itself needs no restart
+        assert np.array_equal(out.result.matrix, _serial_matrix(config))
+        # The torn file was replaced by a valid one on the way through.
+        assert load_parallel_checkpoint(tmp_path / "ckpt_00000030.npz").generation == 30
+
+
+class TestResumeDeterminism:
+    """Interrupted-at-k + resumed == uninterrupted, across backends/transports."""
+
+    config = SimulationConfig(n_ssets=8, generations=60, seed=11)
+
+    @pytest.mark.parametrize(
+        "backend,shared_memory",
+        [
+            pytest.param("thread", True, id="thread"),
+            pytest.param("process", True, id="process-shm", marks=pytest.mark.procexec),
+            pytest.param("process", False, id="process-pickle", marks=pytest.mark.procexec),
+        ],
+    )
+    def test_interrupted_plus_resumed_matches_uninterrupted(
+        self, backend, shared_memory, tmp_path
+    ):
+        # Message chaos (drops/duplicates the reliable layer absorbs) plus a
+        # Nature crash at generation 35 to force the interruption.
+        plan = FaultPlan(
+            seed=9,
+            drop_p=0.02,
+            duplicate_p=0.02,
+            immune_ranks=(),
+            events=(FaultEvent(kind="crash", rank=0, generation=35),),
+        )
+        first = ParallelSimulation(
+            self.config,
+            n_ranks=4,
+            fault_plan=plan,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            heartbeat_timeout=3.0,
+            backend=backend,
+            shared_memory=shared_memory,
+        )
+        with pytest.raises(Exception):
+            first.run(timeout=300)
+        assert load_parallel_checkpoint(latest_valid_parallel_checkpoint(tmp_path)).generation == 30
+
+        resumed = ParallelSimulation.resume(
+            tmp_path, n_ranks=4, backend=backend, shared_memory=shared_memory
+        ).run(timeout=300)
+        assert resumed.generation == self.config.generations
+        assert np.array_equal(resumed.matrix, _serial_matrix(self.config))
