@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -30,6 +30,11 @@ test-shm:
 # restarts from torn checkpoints, and SIGKILL-mid-checkpoint recovery.
 test-recovery:
 	pytest tests/ -m recovery
+
+# Multi-host TCP transport: framing/resumption unit tests plus loopback
+# multi-host chaos runs (partitions, connection resets, elastic membership).
+test-tcp:
+	pytest tests/ -m tcp
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,166 @@
+"""Loopback TCP transport vs the process backend, plus recovery latency.
+
+Two questions about the multi-host substrate: what does crossing a real
+socket cost relative to the process backend's pipes at the paper's heavy
+message size (memory-6 strategy tables), and how quickly does a channel
+heal after a mid-stream connection reset (the partition-tolerance claim,
+measured rather than asserted).  Results land in
+``benchmarks/output/tcp_throughput.txt`` and machine-readably in
+``BENCH_tcp.json`` at the repo root.
+
+Timing happens *inside* the rank program (the broadcast loop only), so
+host-process spawn and import cost do not dilute the transport comparison.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mpi.executor import run_spmd
+from repro.mpi.tcp import HostChannel, TcpNode, TcpOptions
+
+from ._util import emit
+
+N_RANKS = 4
+N_HOSTS = 2
+REPEATS = 4
+RESET_TRIALS = 5
+
+#: (memory depth, n_strategies) -> table of n_strategies x 4**memory uint8.
+SIZES = [(5, 4096), (6, 4096)]
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_tcp.json"
+
+
+def _bcast_loop(comm, shape, repeats, seed):
+    """Broadcast ``repeats`` fresh tables; return (loop seconds, checksum)."""
+    rng = np.random.default_rng(seed)
+    tables = [
+        rng.integers(0, 2, size=shape, dtype=np.uint8) if comm.rank == 0 else None
+        for _ in range(repeats)
+    ]
+    comm.barrier()
+    checksum = 0.0
+    t0 = time.perf_counter()
+    for table in tables:
+        table = comm.bcast(table, root=0)
+        checksum += float(table.sum())
+    elapsed = time.perf_counter() - t0
+    return elapsed, checksum
+
+
+def _measure(shape, *, backend):
+    res = run_spmd(
+        N_RANKS,
+        _bcast_loop,
+        args=(shape, REPEATS, 17),
+        timeout=600,
+        backend=backend,
+        n_hosts=N_HOSTS,
+    )
+    times = [r[0] for r in res.returns]
+    checksums = {r[1] for r in res.returns}
+    assert len(checksums) == 1, "ranks disagree on broadcast content"
+    return max(times), checksums.pop()
+
+
+def _reconnect_recovery_latency():
+    """Median seconds from an injected RST to the next frame's delivery."""
+    received = []
+    node = TcpNode(1, lambda *frame: received.append((time.perf_counter(), frame)))
+    chan = HostChannel(0, 1, lambda h: node.addr, TcpOptions(heartbeat_timeout=2.0))
+    latencies = []
+    try:
+        seq = 0
+        for trial in range(RESET_TRIALS):
+            # Settle the link with one clean frame.
+            chan.send(0, 1, tag=1, payload=("warm", trial), nbytes=16)
+            seq += 1
+            deadline = time.monotonic() + 10.0
+            while len(received) < seq and time.monotonic() < deadline:
+                time.sleep(0.001)
+            # RST the link under the next frame and time its delivery: the
+            # reset + redial + resume handshake + replay, end to end.
+            t0 = time.perf_counter()
+            chan.send(0, 1, tag=1, payload=("probe", trial), nbytes=16,
+                      fault=("conn_reset", 0.0))
+            seq += 1
+            deadline = time.monotonic() + 10.0
+            while len(received) < seq and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert len(received) == seq, "frame lost across reset"
+            latencies.append(received[-1][0] - t0)
+        assert all(
+            frame[3] in {("warm", t) for t in range(RESET_TRIALS)}
+            | {("probe", t) for t in range(RESET_TRIALS)}
+            for _, frame in received
+        )
+    finally:
+        chan.close()
+        node.close()
+    return float(np.median(latencies)), latencies
+
+
+def test_tcp_throughput_and_recovery():
+    rows = []
+    for memory, n_strategies in SIZES:
+        shape = (n_strategies, 4**memory)
+        nbytes = n_strategies * 4**memory
+        # Warm both paths (spawn machinery, rendezvous), then measure.
+        _measure(shape, backend="process")
+        _measure(shape, backend="tcp")
+        t_proc, sum_proc = _measure(shape, backend="process")
+        t_tcp, sum_tcp = _measure(shape, backend="tcp")
+        assert sum_proc == sum_tcp  # same bits through either transport
+        rows.append(
+            {
+                "memory": memory,
+                "n_strategies": n_strategies,
+                "table_mib": nbytes / 2**20,
+                "procexec_s": t_proc,
+                "tcp_s": t_tcp,
+                "tcp_overhead": t_tcp / t_proc if t_proc else float("inf"),
+            }
+        )
+
+    recovery_median, recovery_all = _reconnect_recovery_latency()
+
+    lines = [
+        f"{N_RANKS}-rank bcast x {REPEATS} repeats over {N_HOSTS} loopback TCP"
+        f" hosts ({os.cpu_count()} cores)",
+        f"{'memory':<8} {'table MiB':>10} {'procexec s':>11} {'tcp s':>10} {'overhead':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['memory']:<8} {row['table_mib']:>10.2f} {row['procexec_s']:>11.3f}"
+            f" {row['tcp_s']:>10.3f} {row['tcp_overhead']:>8.2f}x"
+        )
+    lines.append(
+        f"reconnect recovery after RST: median {recovery_median * 1000:.1f} ms"
+        f" over {RESET_TRIALS} trials"
+    )
+    emit("tcp_throughput", "\n".join(lines))
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "experiment": "tcp_throughput",
+                "n_ranks": N_RANKS,
+                "n_hosts": N_HOSTS,
+                "repeats": REPEATS,
+                "rows": rows,
+                "reconnect_recovery_s": {
+                    "median": recovery_median,
+                    "trials": recovery_all,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The transport's reason to exist is reach, not speed — but it must heal
+    # fast enough that a reset inside a generation stays invisible.
+    assert recovery_median < 5.0, f"reset recovery too slow: {recovery_median:.2f}s"

@@ -24,6 +24,7 @@ __all__ = [
     "RankError",
     "RecvTimeoutError",
     "RankFailedError",
+    "PeerUnreachableError",
     "RankCrashError",
     "FaultPlanError",
     "MachineModelError",
@@ -88,12 +89,56 @@ class RecvTimeoutError(MPIError, TimeoutError):
     """A ``recv`` gave up waiting for a matching message.
 
     Carries the source/tag the receiver was matching on, so retry loops and
-    failure detectors can report exactly which channel went quiet.
+    failure detectors can report exactly which channel went quiet.  ``rank``
+    is the peer being waited on (``None`` for wildcard receives) and
+    ``deadline`` the seconds budget that expired; both are ``None`` when the
+    raise site predates the attribute or has nothing meaningful to report.
+
+    The timeout taxonomy, from most to least recoverable:
+
+    * :class:`RecvTimeoutError` — the peer may be merely slow; retrying is
+      legitimate (the reliable layer does exactly that).
+    * :class:`PeerUnreachableError` — the peer is *locally* unobservable
+      (network partition past its grace deadline); the global view may
+      still believe it alive.  Degrade or die quietly and rejoin.
+    * :class:`RankFailedError` — the peer has been globally declared dead;
+      waiting any longer is pointless.
     """
+
+    def __init__(
+        self, message: str = "", *, rank: int | None = None, deadline: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.deadline = deadline
 
 
 class RankFailedError(MPIError, RuntimeError):
-    """A peer rank is dead or unresponsive (no message, no acknowledgement)."""
+    """A peer rank is dead or unresponsive (no message, no acknowledgement).
+
+    ``rank`` names the dead peer and ``deadline`` the seconds budget that
+    was exhausted waiting on it (``None`` where not meaningful).
+    """
+
+    def __init__(
+        self, message: str = "", *, rank: int | None = None, deadline: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.deadline = deadline
+
+
+class PeerUnreachableError(RankFailedError):
+    """A peer rank is unreachable over the network past its grace deadline.
+
+    Raised by the TCP transport (:mod:`repro.mpi.tcp`) when a peer host's
+    connection has been down longer than ``unreachable_grace`` seconds — a
+    *local* observation, unlike :class:`RankFailedError`'s global verdict:
+    the peer may be alive on the far side of a partition.  Subclasses
+    :class:`RankFailedError` so every existing degradation path (worker
+    SSet redistribution, quiet death + FTHello/FTRejoin) handles it
+    unchanged.  Carries the peer ``rank`` and the grace ``deadline``.
+    """
 
 
 class RankCrashError(MPIError, RuntimeError):

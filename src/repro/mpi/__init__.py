@@ -11,10 +11,15 @@ traffic:
 * :mod:`repro.mpi.counters` — per-operation message/byte tallies.
 * :mod:`repro.mpi.status` — matching wildcards and delivery metadata.
 * :mod:`repro.mpi.faults` — seeded fault injection (drops, delays,
-  duplicates, corruptions, rank crashes and hangs) for chaos testing.
+  duplicates, corruptions, rank crashes, hangs and network link faults:
+  partitions, slow links, connection resets) for chaos testing.
+* :mod:`repro.mpi.tcp` — length-prefixed framed socket transport with
+  rendezvous bootstrap, heartbeat keepalive and session resumption.
+* :mod:`repro.mpi.hostexec` — :func:`run_spmd_tcp`, the multi-host
+  launcher (ranks dealt across OS-process "hosts" over loopback TCP).
 """
 
-from repro.mpi.comm import Comm, World, payload_nbytes
+from repro.mpi.comm import Comm, World, backoff_wait, payload_nbytes
 from repro.mpi.counters import CommCounters, OpCount
 from repro.mpi.executor import SPMDResult, run_spmd
 from repro.mpi.faults import (
@@ -24,17 +29,24 @@ from repro.mpi.faults import (
     FaultPlan,
     FaultRecord,
 )
+from repro.mpi.hostexec import run_spmd_tcp
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
+from repro.mpi.tcp import NetHello, NetWelcome, TcpOptions
 from repro.mpi.topology import CartTopology
 
 __all__ = [
     "Comm",
     "World",
+    "backoff_wait",
     "payload_nbytes",
     "CommCounters",
     "OpCount",
     "SPMDResult",
     "run_spmd",
+    "run_spmd_tcp",
+    "TcpOptions",
+    "NetHello",
+    "NetWelcome",
     "ANY_SOURCE",
     "ANY_TAG",
     "MAX_USER_TAG",

@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import (
     CommAbortError,
     MPIError,
+    PeerUnreachableError,
     RankCrashError,
     RankError,
     RankFailedError,
@@ -44,7 +45,7 @@ from repro.mpi.faults import CorruptedPayload, FaultInjector
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Status
 from repro.obs.tracer import NULL_TRACER, Tracer
 
-__all__ = ["World", "Comm", "payload_nbytes"]
+__all__ = ["World", "Comm", "payload_nbytes", "backoff_wait"]
 
 # Internal tag bases (above MAX_USER_TAG, per-collective-call sequenced).
 _TAG_BCAST = 1 << 28
@@ -56,6 +57,45 @@ _TAG_ALLGATHER = 6 << 28
 _TAG_RDATA = 8 << 28
 _TAG_RACK = 9 << 28
 _SEQ_MASK = (1 << 28) - 1
+
+
+def backoff_wait(
+    base: float,
+    attempt: int,
+    *,
+    factor: float = 2.0,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    key: tuple = (),
+) -> float:
+    """Capped, jittered exponential backoff wait for retry ``attempt``.
+
+    Pure geometric growth (``base * factor**attempt``) has two classic
+    failure modes at scale: unbounded waits (a rank can sleep for minutes
+    on a peer that died seconds ago) and retry storms (many senders backing
+    off from the same slow peer compute *identical* waits and re-collide on
+    every retry).  This helper fixes both: the exponential wait is clamped
+    to ``cap`` seconds, then shrunk by up to ``jitter`` (a fraction in
+    ``[0, 1)``) using a *deterministic* hash of ``key + (attempt,)`` — so
+    distinct (sender, peer, attempt) tuples decorrelate while any single
+    run remains bit-reproducible.
+
+    Returns a wait in ``[wait * (1 - jitter), wait]`` where
+    ``wait = min(base * factor**attempt, cap)``.
+    """
+    if base < 0.0 or factor < 1.0 or cap < 0.0 or not 0.0 <= jitter < 1.0:
+        raise MPIError(
+            f"invalid backoff parameters: base={base} factor={factor}"
+            f" cap={cap} jitter={jitter}"
+        )
+    wait = min(base * factor**attempt, cap)
+    if jitter == 0.0 or wait == 0.0:
+        return wait
+    digest = hashlib.blake2b(
+        repr(key + (attempt,)).encode(), digest_size=8
+    ).digest()
+    unit = int.from_bytes(digest, "big") / 2**64
+    return wait * (1.0 - jitter * unit)
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -113,14 +153,25 @@ class _Mailbox:
                     return self.messages.pop(idx)
                 if source != ANY_SOURCE and world.is_failed(source):
                     raise RankFailedError(
-                        f"rank {source} failed while a recv was waiting on tag={tag}"
+                        f"rank {source} failed while a recv was waiting on tag={tag}",
+                        rank=source,
+                        deadline=timeout,
+                    )
+                if source != ANY_SOURCE and world.is_unreachable(source):
+                    raise PeerUnreachableError(
+                        f"rank {source} is unreachable (network partition past"
+                        f" grace) while a recv was waiting on tag={tag}",
+                        rank=source,
+                        deadline=timeout,
                     )
                 if world.stop_event.is_set():
                     raise CommAbortError("world shut down while waiting for a message")
                 if deadline is not None and time.monotonic() >= deadline:
                     raise RecvTimeoutError(
                         f"recv timed out after {timeout} s waiting for"
-                        f" source={source} tag={tag}"
+                        f" source={source} tag={tag}",
+                        rank=None if source == ANY_SOURCE else source,
+                        deadline=timeout,
                     )
                 # Wake periodically to observe aborts/failures even with no traffic.
                 self.ready.wait(timeout=0.05)
@@ -188,6 +239,14 @@ class World:
         self._failed_lock = threading.Lock()
         self._comms: dict[int, "Comm"] = {}
         self._comms_lock = threading.Lock()
+        # Elastic membership: ranks added by grow() await their rejoin
+        # handshake; ranks removed by shrink() keep their slot but own
+        # nothing.  spawn_hook is installed by the executor so grow() can
+        # start a thread for each new rank.
+        self.joiner_ranks: set[int] = set()
+        self.retired_ranks: set[int] = set()
+        self.spawn_hook: Callable[[tuple[int, ...]], None] | None = None
+        self._membership_lock = threading.Lock()
 
     def comm(self, rank: int) -> "Comm":
         """The communicator handle for ``rank`` (cached: collective sequence
@@ -228,6 +287,65 @@ class World:
         """Whether ``rank`` has been marked dead."""
         return rank in self.failed_ranks
 
+    def is_unreachable(self, rank: int) -> bool:
+        """Whether ``rank`` is *locally* unobservable over the network.
+
+        Always ``False`` for in-process backends — only the TCP transport's
+        world views (:mod:`repro.mpi.hostexec`) override this, after a peer
+        host's connection has been down past its grace deadline.  Unlike
+        :meth:`is_failed` this is a local opinion, not a global verdict:
+        the peer may be alive across a partition.
+        """
+        return False
+
+    def grow(self, n: int) -> tuple[int, ...]:
+        """Add ``n`` fresh ranks to the world; returns their rank ids.
+
+        The new ranks get mailboxes and are recorded in
+        :attr:`joiner_ranks`; if the executor installed a
+        :attr:`spawn_hook`, a rank program is started for each so they can
+        run the FTHello/FTRejoin handshake and take over a share of the
+        SSets (``owner_map_with_failures`` redistribution).  Growth
+        consumes no randomness, so a grown run's trajectory stays
+        bit-identical to a fixed-size one.
+        """
+        if n < 1:
+            raise MPIError(f"grow() needs n >= 1, got {n}")
+        with self._membership_lock:
+            first = self.size
+            new_ranks = tuple(range(first, first + n))
+            self.mailboxes.extend(_Mailbox() for _ in range(n))
+            self.size = first + n
+            self.joiner_ranks.update(new_ranks)
+        if self.spawn_hook is not None:
+            self.spawn_hook(new_ranks)
+        self._wake_all()
+        return new_ranks
+
+    def shrink(self, ranks: Sequence[int]) -> tuple[int, ...]:
+        """Retire ``ranks`` from the world; returns the retired ids, sorted.
+
+        Retired ranks keep their slot (rank ids are never reused) but must
+        no longer own work — callers fold :attr:`retired_ranks` into the
+        failed set they hand ``owner_map_with_failures``.  Rank 0 cannot
+        retire, and at least one non-retired rank must remain.
+        """
+        retired = tuple(sorted({int(r) for r in ranks}))
+        with self._membership_lock:
+            for rank in retired:
+                if not 0 < rank < self.size:
+                    raise MPIError(
+                        f"cannot shrink rank {rank}: out of range (1, {self.size})"
+                    )
+                if rank in self.retired_ranks:
+                    raise MPIError(f"cannot shrink rank {rank}: already retired")
+            survivors = self.size - len(self.retired_ranks) - len(retired)
+            if survivors < 1:
+                raise MPIError("cannot shrink: no ranks would remain")
+            self.retired_ranks.update(retired)
+        self._wake_all()
+        return retired
+
     def mark_alive(self, rank: int) -> None:
         """Clear ``rank``'s failed mark: a replacement incarnation rejoined.
 
@@ -241,7 +359,7 @@ class World:
         self._wake_all()
 
     def _wake_all(self) -> None:
-        for box in self.mailboxes:
+        for box in list(self.mailboxes):
             with box.lock:
                 box.ready.notify_all()
 
@@ -320,10 +438,14 @@ class Comm:
     def __init__(self, world: World, rank: int) -> None:
         self.world = world
         self.rank = rank
-        self.size = world.size
         self._collective_seq: dict[int, int] = {}
         self._reliable_seq: dict[int, int] = {}
         self._reliable_seen: dict[int, set[int]] = {}
+
+    @property
+    def size(self) -> int:
+        """Current world size — live, so ``World.grow`` is visible at once."""
+        return self.world.size
 
     # -- point-to-point -----------------------------------------------------------
 
@@ -593,14 +715,20 @@ class Comm:
         ack_timeout: float = 0.25,
         max_retries: int = 8,
         backoff: float = 2.0,
+        max_backoff: float = 2.0,
+        jitter: float = 0.5,
     ) -> int:
         """Acknowledged send: survives injected drops, duplicates, corruptions.
 
         The payload travels as a sequenced, checksummed frame; the receiver's
         :meth:`recv_reliable` acknowledges it.  Missing acknowledgements
-        trigger resends with exponential backoff (``ack_timeout``,
-        ``ack_timeout * backoff``, ...).  Returns the number of
-        transmissions used.
+        trigger resends with capped, jittered exponential backoff — waits
+        grow geometrically from ``ack_timeout`` by ``backoff`` but never
+        exceed ``max_backoff`` seconds, and each wait is shrunk by up to
+        ``jitter`` via a deterministic per-(sender, peer, seq, attempt)
+        hash so concurrent senders retrying the same slow peer do not
+        synchronize into retry storms (see :func:`backoff_wait`).  Returns
+        the number of transmissions used.
 
         Raises
         ------
@@ -613,6 +741,7 @@ class Comm:
             return self._send_reliable(
                 payload, dest, tag,
                 ack_timeout=ack_timeout, max_retries=max_retries, backoff=backoff,
+                max_backoff=max_backoff, jitter=jitter,
             )
         with tracer.span(
             "send_reliable", cat="mpi.reliable", rank=self.rank,
@@ -621,6 +750,7 @@ class Comm:
             return self._send_reliable(
                 payload, dest, tag,
                 ack_timeout=ack_timeout, max_retries=max_retries, backoff=backoff,
+                max_backoff=max_backoff, jitter=jitter,
             )
 
     def _send_reliable(
@@ -632,6 +762,8 @@ class Comm:
         ack_timeout: float,
         max_retries: int,
         backoff: float,
+        max_backoff: float,
+        jitter: float,
     ) -> int:
         self._check_rank(dest, "destination")
         if not 0 <= tag <= MAX_USER_TAG:
@@ -641,11 +773,16 @@ class Comm:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         packet = _ReliablePacket(seq=seq, tag=tag, blob=blob, checksum=_blob_checksum(blob))
         ack_tag = _TAG_RACK | (seq & _SEQ_MASK)
-        wait = ack_timeout
+        waited = 0.0
         for attempt in range(max_retries + 1):
             self._send_raw(packet, dest, _TAG_RDATA | tag)
             if attempt:
                 self.world.counters.record("reliable_retry", messages=0, nbytes=len(blob))
+            wait = backoff_wait(
+                ack_timeout, attempt, factor=backoff, cap=max_backoff,
+                jitter=jitter, key=(self.rank, dest, tag, seq),
+            )
+            waited += wait
             deadline = time.monotonic() + wait
             acked = False
             while not acked:
@@ -661,10 +798,11 @@ class Comm:
             if acked:
                 self.world.counters.record("reliable_send", messages=0, nbytes=len(blob))
                 return attempt + 1
-            wait *= backoff
         raise RankFailedError(
             f"rank {self.rank}: no acknowledgement from rank {dest} for tag={tag}"
-            f" seq={seq} after {max_retries + 1} transmissions"
+            f" seq={seq} after {max_retries + 1} transmissions",
+            rank=dest,
+            deadline=waited,
         )
 
     def recv_reliable(
@@ -698,7 +836,9 @@ class Comm:
             if remaining is not None and remaining <= 0.0:
                 raise RecvTimeoutError(
                     f"recv_reliable timed out after {timeout} s waiting for"
-                    f" source={source} tag={tag}"
+                    f" source={source} tag={tag}",
+                    rank=None if source == ANY_SOURCE else source,
+                    deadline=timeout,
                 )
             slice_ = 0.05 if remaining is None else min(0.05, remaining)
             try:

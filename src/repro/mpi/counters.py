@@ -19,7 +19,16 @@ Fault injection and fault tolerance report through the same tallies:
   (successful sends, resends after missing acks, duplicate frames
   re-acknowledged and discarded, frames failing their checksum);
 * ``heartbeat`` / ``degradation`` — the fault-tolerant runner's liveness
-  checks and graceful-degradation steps.
+  checks and graceful-degradation steps;
+* ``net.*`` — the TCP transport's socket-level traffic
+  (:mod:`repro.mpi.tcp`): ``net.connect`` / ``net.reconnect`` (dial-ins,
+  with bytes = 0), ``net.frames`` / ``net.frames_resent`` (data frames on
+  the wire, bytes = framed length), ``net.dedup`` (resumed frames dropped
+  by the receiver's sequence window), ``net.heartbeat`` (keepalive pings),
+  ``net.partition`` / ``net.conn_reset`` / ``net.slow_link`` (injected
+  network faults that fired), and ``net.peer_unreachable`` (a peer host
+  crossed its grace deadline).  Absorbed into run metrics as
+  ``mpi.net.*`` and rendered by ``python -m repro.obs.report``.
 """
 
 from __future__ import annotations

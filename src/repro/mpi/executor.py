@@ -19,6 +19,7 @@ results).  Modelled performance at Blue Gene scale is the job of
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -98,6 +99,8 @@ def run_spmd(
     shared_memory: bool = True,
     shm_threshold: int | None = None,
     max_respawns: int = 8,
+    n_hosts: int = 2,
+    tcp_options: Any | None = None,
 ) -> SPMDResult:
     """Run ``fn(comm, *args)`` on ``n_ranks`` virtual ranks and join them.
 
@@ -136,9 +139,13 @@ def run_spmd(
         ``"thread"`` (default) runs ranks as threads in this process — the
         correctness substrate.  ``"process"`` delegates to
         :func:`repro.mpi.procexec.run_spmd_process`: ranks as OS processes
-        with their own GILs, for real multi-core throughput.  Rank programs
-        that follow the deterministic-RNG contract produce bit-identical
-        results under either backend.
+        with their own GILs, for real multi-core throughput.  ``"tcp"``
+        delegates to :func:`repro.mpi.hostexec.run_spmd_tcp`: ranks spread
+        over ``n_hosts`` OS-process "hosts" talking length-prefixed frames
+        over loopback TCP sockets — the multi-host substrate with
+        partition-tolerant reconnection.  Rank programs that follow the
+        deterministic-RNG contract produce bit-identical results under any
+        backend.
     shared_memory, shm_threshold:
         Process-backend transport tuning (see
         :func:`repro.mpi.procexec.run_spmd_process`): ndarray/``bytes``
@@ -147,9 +154,13 @@ def run_spmd(
         pickle path.  Ignored under the thread backend, whose network is
         zero-copy already.
     max_respawns:
-        Total replacement-process budget under
-        ``on_rank_failure="respawn"`` (process backend only; ignored
-        otherwise).
+        Total replacement budget under ``on_rank_failure="respawn"``
+        (process and tcp backends; ignored otherwise).
+    n_hosts, tcp_options:
+        TCP-backend tuning: the number of host processes the ranks are
+        dealt across, and a :class:`repro.mpi.tcp.TcpOptions` bundle of
+        socket knobs (heartbeats, reconnect backoff, unreachability
+        grace).  Ignored under the other backends.
 
     Raises
     ------
@@ -172,8 +183,23 @@ def run_spmd(
             shm_threshold=DEFAULT_THRESHOLD if shm_threshold is None else shm_threshold,
             max_respawns=max_respawns,
         )
+    if backend == "tcp":
+        from repro.mpi.hostexec import run_spmd_tcp
+
+        return run_spmd_tcp(
+            n_ranks,
+            fn,
+            args=args,
+            timeout=timeout,
+            fault_injector=fault_injector,
+            on_rank_failure=on_rank_failure,
+            tracer=tracer,
+            n_hosts=n_hosts,
+            tcp_options=tcp_options,
+            max_respawns=max_respawns,
+        )
     if backend != "thread":
-        raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
+        raise MPIError(f"backend must be 'thread', 'process' or 'tcp', got {backend!r}")
     if not 1 <= n_ranks <= MAX_THREAD_RANKS:
         raise MPIError(f"n_ranks must be in [1, {MAX_THREAD_RANKS}], got {n_ranks}")
     if on_rank_failure == "respawn":
@@ -184,7 +210,7 @@ def run_spmd(
     if on_rank_failure not in ("abort", "continue"):
         raise MPIError(f"on_rank_failure must be 'abort' or 'continue', got {on_rank_failure!r}")
     world = World(n_ranks, injector=fault_injector, tracer=tracer)
-    returns: list[Any] = [None] * n_ranks
+    returns: dict[int, Any] = {}
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
     if tracer is not None and tracer.enabled:
@@ -198,7 +224,9 @@ def run_spmd(
         if tracer is not None and tracer.enabled:
             tracer.set_rank(rank)
         try:
-            returns[rank] = fn(comm, *args)
+            value = fn(comm, *args)
+            with failures_lock:
+                returns[rank] = value
         except CommAbortError:
             # Secondary casualty of another rank's failure; keep quiet.
             pass
@@ -217,23 +245,51 @@ def run_spmd(
             _LOG.debug("rank %d failed: %r", rank, exc)
             world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
 
-    threads = [
-        threading.Thread(target=run_rank, args=(rank,), name=f"vmpi-rank-{rank}", daemon=True)
-        for rank in range(n_ranks)
-    ]
+    threads: list[threading.Thread] = []
+    threads_lock = threading.Lock()
+
+    def _launch(rank: int) -> None:
+        t = threading.Thread(
+            target=run_rank, args=(rank,), name=f"vmpi-rank-{rank}", daemon=True
+        )
+        with threads_lock:
+            threads.append(t)
+        t.start()
+
+    def _spawn_joiners(new_ranks: tuple[int, ...]) -> None:
+        # World.grow() landed: give each new rank its own thread running the
+        # same program (it will detect joiner status and rejoin).
+        if tracer is not None and tracer.enabled:
+            for rank in new_ranks:
+                if rank not in tracer.rank_names():
+                    tracer.name_rank(rank, f"rank {rank}")
+        for rank in new_ranks:
+            _launch(rank)
+
+    world.spawn_hook = _spawn_joiners
+    deadline = None if timeout is None else time.monotonic() + timeout
     # While the world runs, the run's tracer is also the process-active one,
     # so rank-agnostic instrumentation (the game engines) reaches it.
     scope = activate(tracer) if tracer is not None else nullcontext()
     with scope:
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=timeout)
-            if t.is_alive():
+        for rank in range(n_ranks):
+            _launch(rank)
+        # The thread list can grow mid-run (World.grow spawns joiners), so
+        # the join loop polls a snapshot instead of iterating once.
+        while True:
+            with threads_lock:
+                snapshot = list(threads)
+            if not any(t.is_alive() for t in snapshot):
+                with threads_lock:
+                    if len(threads) == len(snapshot):
+                        break
+                continue  # a joiner raced in; re-snapshot
+            if deadline is not None and time.monotonic() >= deadline:
                 world.abort("executor timeout")
-                for t2 in threads:
-                    t2.join(timeout=5.0)
+                for t in snapshot:
+                    t.join(timeout=5.0)
                 raise MPIError(f"SPMD program timed out after {timeout} s")
+            time.sleep(0.01)
 
     if failures:
         failures.sort(key=lambda item: item[0])
@@ -244,5 +300,7 @@ def run_spmd(
         # surface it — like MPI_Abort, the job did not complete normally.
         raise CommAbortError(world.abort_reason or "world aborted")
     return SPMDResult(
-        returns=returns, world=world, failed_ranks=tuple(sorted(world.failed_ranks))
+        returns=[returns.get(rank) for rank in range(world.size)],
+        world=world,
+        failed_ranks=tuple(sorted(world.failed_ranks)),
     )

@@ -34,6 +34,29 @@ Fault kinds
     and the recovery supervisor.  Note: ``immune_ranks`` does *not* exempt
     a rank from this kind — checkpoints are written by the Nature rank,
     which is immune to ``crash``/``hang`` by default.
+``conn_reset``
+    Network kind (TCP transport only): the socket carrying the targeted
+    frame is closed abruptly just before the frame is written — a TCP RST
+    mid-stream.  The connection supervisor reconnects with capped+jittered
+    backoff and resends the unacknowledged window, so the simulation never
+    notices (transparent session resumption).
+``partition``
+    Network kind: like ``conn_reset``, but reconnection attempts on that
+    directed host link are refused for ``partition_seconds``.  Short
+    partitions heal by resumption; past the transport's grace deadline the
+    peer's ranks become locally unreachable
+    (:class:`~repro.errors.PeerUnreachableError`) and the usual degradation
+    machinery takes over (SSet redistribution or cross-host FTRejoin).
+``slow_link``
+    Network kind: the targeted frame (and, queued behind it, its
+    successors) is delayed ``slow_link_seconds`` before hitting the wire —
+    a congested or lossy-and-retransmitting link.
+
+Network kinds are injected at the socket layer by :mod:`repro.mpi.tcp`;
+the thread and process backends have no sockets and silently ignore them.
+They are keyed by the directed pair's data-frame ordinal — the
+``op_index``-th frame sent from ``rank`` to ``dest`` — which is
+deterministic whenever each rank's send sequence is.
 
 Determinism
 -----------
@@ -63,6 +86,7 @@ __all__ = [
     "MESSAGE_FAULT_KINDS",
     "RANK_FAULT_KINDS",
     "CHECKPOINT_FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultRecord",
@@ -79,7 +103,13 @@ RANK_FAULT_KINDS = ("crash", "hang")
 #: Fault kinds that kill the checkpointing rank mid-write.
 CHECKPOINT_FAULT_KINDS = ("kill_during_checkpoint",)
 
-_ALL_KINDS = MESSAGE_FAULT_KINDS + RANK_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
+#: Fault kinds that act on the socket carrying a directed host link
+#: (TCP transport only; other backends have no sockets and ignore them).
+NETWORK_FAULT_KINDS = ("partition", "slow_link", "conn_reset")
+
+_ALL_KINDS = (
+    MESSAGE_FAULT_KINDS + RANK_FAULT_KINDS + CHECKPOINT_FAULT_KINDS + NETWORK_FAULT_KINDS
+)
 
 
 class CorruptedPayload:
@@ -110,7 +140,10 @@ class FaultEvent:
     Message faults (``drop``/``delay``/``duplicate``/``corrupt``) target the
     ``op_index``-th send of ``rank`` (0-based, counted per sender; ``dest``
     optionally narrows the match).  Rank faults (``crash``/``hang``) fire at
-    ``generation`` on ``rank``.
+    ``generation`` on ``rank``.  Network faults
+    (``partition``/``slow_link``/``conn_reset``) target the ``op_index``-th
+    *data frame* of the directed link from ``rank`` to ``dest`` (both
+    required — a link has two ends).
     """
 
     kind: str
@@ -127,6 +160,10 @@ class FaultEvent:
             raise FaultPlanError(f"{self.kind} events need op_index (nth send of the rank)")
         if self.kind in RANK_FAULT_KINDS + CHECKPOINT_FAULT_KINDS and self.generation is None:
             raise FaultPlanError(f"{self.kind} events need a generation")
+        if self.kind in NETWORK_FAULT_KINDS and (self.op_index is None or self.dest is None):
+            raise FaultPlanError(
+                f"{self.kind} events need op_index (nth frame of the link) and dest"
+            )
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-safe)."""
@@ -177,19 +214,26 @@ class FaultPlan:
     crash_p: float = 0.0
     hang_p: float = 0.0
     ckpt_kill_p: float = 0.0
+    partition_p: float = 0.0
+    slow_link_p: float = 0.0
+    conn_reset_p: float = 0.0
     delay_seconds: float = 0.05
+    partition_seconds: float = 0.5
+    slow_link_seconds: float = 0.05
     events: tuple[FaultEvent, ...] = ()
     immune_ranks: tuple[int, ...] = (0,)
 
     def __post_init__(self) -> None:
         for name in (
-            "drop_p", "delay_p", "duplicate_p", "corrupt_p", "crash_p", "hang_p", "ckpt_kill_p"
+            "drop_p", "delay_p", "duplicate_p", "corrupt_p", "crash_p", "hang_p",
+            "ckpt_kill_p", "partition_p", "slow_link_p", "conn_reset_p",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise FaultPlanError(f"{name} must lie in [0, 1], got {p}")
-        if self.delay_seconds < 0:
-            raise FaultPlanError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        for name in ("delay_seconds", "partition_seconds", "slow_link_seconds"):
+            if getattr(self, name) < 0:
+                raise FaultPlanError(f"{name} must be >= 0, got {getattr(self, name)}")
         object.__setattr__(self, "events", tuple(self.events))
         object.__setattr__(self, "immune_ranks", tuple(self.immune_ranks))
 
@@ -198,7 +242,8 @@ class FaultPlan:
         """True when the plan can never fire a fault."""
         return not self.events and not any(
             (self.drop_p, self.delay_p, self.duplicate_p, self.corrupt_p, self.crash_p,
-             self.hang_p, self.ckpt_kill_p)
+             self.hang_p, self.ckpt_kill_p, self.partition_p, self.slow_link_p,
+             self.conn_reset_p)
         )
 
     def with_events(self, *events: FaultEvent) -> "FaultPlan":
@@ -216,7 +261,12 @@ class FaultPlan:
             "crash_p": self.crash_p,
             "hang_p": self.hang_p,
             "ckpt_kill_p": self.ckpt_kill_p,
+            "partition_p": self.partition_p,
+            "slow_link_p": self.slow_link_p,
+            "conn_reset_p": self.conn_reset_p,
             "delay_seconds": self.delay_seconds,
+            "partition_seconds": self.partition_seconds,
+            "slow_link_seconds": self.slow_link_seconds,
             "events": [e.to_dict() for e in self.events],
             "immune_ranks": list(self.immune_ranks),
         }
@@ -233,7 +283,12 @@ class FaultPlan:
             crash_p=float(data.get("crash_p", 0.0)),
             hang_p=float(data.get("hang_p", 0.0)),
             ckpt_kill_p=float(data.get("ckpt_kill_p", 0.0)),
+            partition_p=float(data.get("partition_p", 0.0)),
+            slow_link_p=float(data.get("slow_link_p", 0.0)),
+            conn_reset_p=float(data.get("conn_reset_p", 0.0)),
             delay_seconds=float(data.get("delay_seconds", 0.05)),
+            partition_seconds=float(data.get("partition_seconds", 0.5)),
+            slow_link_seconds=float(data.get("slow_link_seconds", 0.05)),
             events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
             immune_ranks=tuple(int(r) for r in data.get("immune_ranks", (0,))),
         )
@@ -304,16 +359,22 @@ class FaultInjector:
         by_op: dict[tuple[int, int], list[FaultEvent]] = {}
         by_gen: dict[tuple[int, int], list[FaultEvent]] = {}
         by_ckpt: dict[tuple[int, int], list[FaultEvent]] = {}
+        by_link: dict[tuple[int, int, int], list[FaultEvent]] = {}
         for event in self.plan.events:
             if event.kind in MESSAGE_FAULT_KINDS:
                 by_op.setdefault((event.rank, event.op_index), []).append(event)
             elif event.kind in CHECKPOINT_FAULT_KINDS:
                 by_ckpt.setdefault((event.rank, event.generation), []).append(event)
+            elif event.kind in NETWORK_FAULT_KINDS:
+                by_link.setdefault(
+                    (event.rank, event.dest, event.op_index), []
+                ).append(event)
             else:
                 by_gen.setdefault((event.rank, event.generation), []).append(event)
         self._events_by_op = by_op
         self._events_by_gen = by_gen
         self._events_by_ckpt = by_ckpt
+        self._events_by_link = by_link
 
     # -- message faults -----------------------------------------------------------
 
@@ -367,6 +428,42 @@ class FaultInjector:
         if "duplicate" in kinds:
             deliveries.append(_Delivery(delay=delay, corrupt=corrupt))
         return deliveries, fired
+
+    # -- network faults -----------------------------------------------------------
+
+    def link_fault(self, source: int, dest: int, frame_index: int) -> str | None:
+        """The network fault due on the ``frame_index``-th data frame of the
+        directed link ``source → dest``, if any.
+
+        Consulted by the TCP transport once per data frame it is about to
+        put on the wire.  A pure function of ``(seed, kind, source, dest,
+        frame_index)`` — the caller supplies the frame ordinal, so the
+        schedule is bit-reproducible whenever each rank's send sequence is.
+        At most one kind fires per frame (explicit events win; then
+        ``partition`` > ``conn_reset`` > ``slow_link``, since a partition
+        subsumes a reset).  Fired faults are logged as
+        :class:`FaultRecord` rows with ``op_index=frame_index``.
+        """
+        kind: str | None = None
+        for event in self._events_by_link.get((source, dest, frame_index), ()):
+            kind = event.kind
+            break
+        if kind is None:
+            plan = self.plan
+            for candidate, p in (
+                ("partition", plan.partition_p),
+                ("conn_reset", plan.conn_reset_p),
+                ("slow_link", plan.slow_link_p),
+            ):
+                if p > 0.0 and _uniform(plan.seed, candidate, source, dest, frame_index) < p:
+                    kind = candidate
+                    break
+        if kind is not None:
+            with self._lock:
+                self.log.append(
+                    FaultRecord(kind=kind, rank=source, op_index=frame_index, dest=dest)
+                )
+        return kind
 
     # -- rank faults --------------------------------------------------------------
 

@@ -337,6 +337,23 @@ class _ProcWorld:
         """Whether ``rank`` has been marked dead (shared across processes)."""
         return bool(self._shared.failed_flags[rank])
 
+    def is_unreachable(self, rank: int) -> bool:
+        """Queues between local processes never partition."""
+        return False
+
+    def grow(self, n: int) -> tuple[int, ...]:
+        raise MPIError(
+            "the process backend cannot grow mid-run: its queue fabric is"
+            " sized at launch — use backend='thread' or backend='tcp' for"
+            " elastic membership"
+        )
+
+    def shrink(self, ranks) -> tuple[int, ...]:
+        raise MPIError(
+            "the process backend cannot shrink mid-run: use backend='thread'"
+            " or backend='tcp' for elastic membership"
+        )
+
     def _wake_local(self) -> None:
         with self.local_mailbox.lock:
             self.local_mailbox.ready.notify_all()

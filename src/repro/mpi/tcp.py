@@ -1,0 +1,841 @@
+"""Multi-host TCP transport: framed sockets under the unchanged ``Comm`` API.
+
+The paper's 262,144-rank runs cross a real network, where RSTs, partitions
+and congested links are routine.  This module is the socket substrate that
+lets our virtual MPI face them: hosts (OS processes, each carrying several
+rank threads — see :mod:`repro.mpi.hostexec`) exchange **length-prefixed,
+pickled frames** over loopback-or-real TCP, with the robustness machinery
+the in-process backends never needed:
+
+* a **rendezvous/bootstrap listener** (:class:`Rendezvous`): hosts dial in,
+  present an incarnation-tagged :class:`NetHello`, and — once every
+  expected host has registered — receive a :class:`NetWelcome` carrying the
+  membership view (host data addresses, the rank→host map, world size).
+  The registration connection stays open as the run's control plane.
+* **per-peer connection supervisors** (:class:`HostChannel`): one outbound
+  channel per (local host, peer host) pair, reconnecting after any socket
+  death with capped + jittered exponential backoff
+  (:func:`repro.mpi.comm.backoff_wait`) and keeping the link warm with
+  heartbeat pings.
+* **transparent session resumption**: every data frame carries a per-link
+  sequence number; the sender retains unacknowledged frames in a resend
+  window, the receiver acknowledges cumulatively and drops already-seen
+  sequence numbers.  On reconnect the handshake returns the receiver's
+  delivered watermark and the sender replays the tail — so a TCP RST
+  mid-generation is invisible to the simulation (the app-level reliable
+  layer on top never even notices).
+* **partition detection that degrades gracefully**: a link down longer than
+  ``TcpOptions.unreachable_grace`` makes the peer's ranks *locally*
+  unreachable — sends and receives raise
+  :class:`~repro.errors.PeerUnreachableError` (a
+  :class:`~repro.errors.RankFailedError`), feeding the existing degradation
+  paths: Nature redistributes the victim's SSets, or the victim rejoins via
+  FTHello/FTRejoin across hosts once the partition heals.
+* **deterministic network chaos**: the injector's
+  :meth:`~repro.mpi.faults.FaultInjector.link_fault` is consulted once per
+  data frame, keyed by the directed rank pair's frame ordinal, so
+  ``partition`` / ``slow_link`` / ``conn_reset`` schedules are pure
+  functions of the plan seed (bit-reproducible), while the *healing* —
+  reconnect, resume, rejoin — runs on real wall-clock sockets.
+
+Traffic lands on the shared :class:`~repro.mpi.counters.CommCounters`
+under ``net.*`` ops (see :mod:`repro.mpi.counters`) and reconnect /
+partition events become tracer instants, so ``python -m repro.obs.report``
+shows the socket layer next to the MPI layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import MPIError
+from repro.logging_util import get_logger
+from repro.mpi.comm import backoff_wait
+from repro.mpi.counters import CommCounters
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "TcpOptions",
+    "NetHello",
+    "NetWelcome",
+    "Rendezvous",
+    "ControlClient",
+    "HostChannel",
+    "TcpNode",
+    "send_frame",
+    "recv_frame",
+]
+
+_LOG = get_logger("mpi.tcp")
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def send_frame(sock: socket.socket, blob: bytes) -> None:
+    """Write one length-prefixed frame (4-byte big-endian length + body)."""
+    if len(blob) > _MAX_FRAME:
+        raise MPIError(f"frame of {len(blob)} bytes exceeds the {_MAX_FRAME} B limit")
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks: list[bytes] = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one length-prefixed frame; ``None`` on orderly EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > _MAX_FRAME:
+        raise MPIError(f"peer announced a {length} B frame (limit {_MAX_FRAME} B)")
+    return _recv_exact(sock, length)
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Socket-layer tuning knobs for the TCP transport.
+
+    Attributes
+    ----------
+    connect_timeout:
+        Seconds one TCP connect + channel handshake may take.
+    heartbeat_interval:
+        Idle seconds after which a channel pings its peer.
+    heartbeat_timeout:
+        Silence (no ack/pong) after which a connected link is declared
+        down and torn up for reconnection.
+    reconnect_base, reconnect_factor, reconnect_cap, reconnect_jitter:
+        Capped + jittered exponential backoff between reconnect attempts
+        (see :func:`repro.mpi.comm.backoff_wait`).
+    unreachable_grace:
+        Seconds a link may stay down before the peer host's ranks become
+        locally unreachable (:class:`~repro.errors.PeerUnreachableError`).
+    max_window:
+        Resend-window capacity in frames; overflow drops the oldest
+        unacknowledged frame (the app-level reliable layer re-sends).
+    """
+
+    connect_timeout: float = 5.0
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 5.0
+    reconnect_base: float = 0.02
+    reconnect_factor: float = 2.0
+    reconnect_cap: float = 0.5
+    reconnect_jitter: float = 0.5
+    unreachable_grace: float = 10.0
+    max_window: int = 4096
+
+
+@dataclass(frozen=True)
+class NetHello:
+    """A host's dial-in: who it is, which incarnation, where its data lives.
+
+    ``incarnation`` counts registrations of this host id (0 for the
+    original, increasing across respawn-style rejoins) on the rendezvous
+    path, and reconnect attempts on the per-channel handshake path — either
+    way, receivers use it to tell a fresh arrival from a stale one.
+    """
+
+    host: int
+    incarnation: int
+    data_addr: tuple[str, int] | None
+    ranks: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class NetWelcome:
+    """The membership view a registered host receives back.
+
+    ``hosts`` maps host id → data-plane address; ``rank_hosts`` maps rank →
+    owning host; ``world_size`` is the rank count at bootstrap (elastic
+    growth updates it via control-plane broadcasts later).
+    """
+
+    hosts: dict[int, tuple[str, int]]
+    rank_hosts: dict[int, int]
+    world_size: int
+
+
+class Rendezvous:
+    """The bootstrap listener + control hub (runs inside the launcher).
+
+    Hosts connect, send ``("hello", NetHello)`` and block until all
+    ``n_hosts`` peers have registered; then each receives
+    ``("welcome", NetWelcome)`` and the connection becomes a persistent
+    control channel: every later inbound frame is handed to ``handler(host,
+    msg)`` on the connection's reader thread, and the launcher answers via
+    :meth:`send` / :meth:`broadcast`.  Sends are serialised per connection,
+    so control messages from different launcher threads never interleave.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        rank_hosts: dict[int, int],
+        handler: Callable[[int, Any], None],
+        host: str = "127.0.0.1",
+    ) -> None:
+        if n_hosts < 1:
+            raise MPIError(f"n_hosts must be >= 1, got {n_hosts}")
+        self.n_hosts = n_hosts
+        self.rank_hosts = dict(rank_hosts)
+        self._handler = handler
+        self._lock = threading.Lock()
+        self._hellos: dict[int, NetHello] = {}
+        self._conns: dict[int, socket.socket] = {}
+        self._send_locks: dict[int, threading.Lock] = {}
+        self._welcomed = False
+        self._closed = False
+        self.ready = threading.Event()
+        self._listener = socket.create_server((host, 0))
+        self.addr: tuple[str, int] = self._listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-rendezvous", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(sock,), name="tcp-rendezvous-conn", daemon=True
+            ).start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        host_id = -1
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            blob = recv_frame(sock)
+            if blob is None:
+                sock.close()
+                return
+            op, hello = pickle.loads(blob)
+            if op != "hello" or not isinstance(hello, NetHello):
+                sock.close()
+                return
+            host_id = hello.host
+            with self._lock:
+                self._hellos[host_id] = hello
+                self._conns[host_id] = sock
+                self._send_locks.setdefault(host_id, threading.Lock())
+                complete = len(self._hellos) >= self.n_hosts and not self._welcomed
+                if complete:
+                    self._welcomed = True
+            if complete:
+                self._send_welcomes()
+            while not self._closed:
+                blob = recv_frame(sock)
+                if blob is None:
+                    break
+                msg = pickle.loads(blob)
+                try:
+                    self._handler(host_id, msg)
+                except Exception:  # noqa: BLE001 - one bad op must not cut the control plane
+                    _LOG.exception("control handler failed for host %d", host_id)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            pass
+        finally:
+            if host_id >= 0 and not self._closed:
+                self._handler(host_id, ("ctrl_lost",))
+
+    def _send_welcomes(self) -> None:
+        with self._lock:
+            hosts = {
+                hid: h.data_addr for hid, h in self._hellos.items() if h.data_addr
+            }
+            targets = dict(self._conns)
+        welcome = NetWelcome(
+            hosts=hosts, rank_hosts=dict(self.rank_hosts), world_size=len(self.rank_hosts)
+        )
+        for hid in sorted(targets):
+            self.send(hid, ("welcome", welcome))
+        self.ready.set()
+
+    def send(self, host_id: int, msg: Any) -> None:
+        """Ship one control message to ``host_id`` (serialised per host)."""
+        with self._lock:
+            sock = self._conns.get(host_id)
+            slock = self._send_locks.setdefault(host_id, threading.Lock())
+        if sock is None:
+            raise MPIError(f"no control connection to host {host_id}")
+        with slock:
+            send_frame(sock, _dumps(msg))
+
+    def broadcast(self, msg: Any) -> None:
+        """Ship one control message to every registered host; best-effort."""
+        with self._lock:
+            targets = sorted(self._conns)
+        for hid in targets:
+            try:
+                self.send(hid, msg)
+            except OSError:  # a dead host's ctrl socket; its ranks will fail
+                _LOG.debug("control broadcast to host %d failed", hid)
+
+    def hellos(self) -> dict[int, NetHello]:
+        """The registered hellos so far (host id → :class:`NetHello`)."""
+        with self._lock:
+            return dict(self._hellos)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ControlClient:
+    """A host's persistent connection to the :class:`Rendezvous`.
+
+    Construction dials in, sends the :class:`NetHello` and blocks until the
+    :class:`NetWelcome` arrives (i.e. until every host registered).  A
+    reader thread then hands each control frame to ``handler(msg)``; a dead
+    control link is surfaced as a final ``("ctrl_lost",)`` message.
+    """
+
+    def __init__(
+        self,
+        addr: tuple[str, int],
+        hello: NetHello,
+        handler: Callable[[Any], None],
+        connect_timeout: float = 30.0,
+    ) -> None:
+        self._handler = handler
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._sock = socket.create_connection(addr, timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_frame(self._sock, _dumps(("hello", hello)))
+        blob = recv_frame(self._sock)
+        if blob is None:
+            raise MPIError("rendezvous closed the connection before the welcome")
+        op, welcome = pickle.loads(blob)
+        if op != "welcome" or not isinstance(welcome, NetWelcome):
+            raise MPIError(f"expected a welcome from the rendezvous, got {op!r}")
+        self.welcome: NetWelcome = welcome
+        self._sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="tcp-ctrl-client", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed:
+                blob = recv_frame(self._sock)
+                if blob is None:
+                    break
+                msg = pickle.loads(blob)
+                try:
+                    self._handler(msg)
+                except Exception:  # noqa: BLE001 - one bad op must not cut the control plane
+                    _LOG.exception("control handler failed")
+        except (OSError, EOFError, pickle.UnpicklingError):
+            pass
+        finally:
+            if not self._closed:
+                self._handler(("ctrl_lost",))
+
+    def send(self, msg: Any) -> None:
+        with self._send_lock:
+            send_frame(self._sock, _dumps(msg))
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _LinkState:
+    """Mutable connection bookkeeping shared by a channel's threads."""
+
+    sock: socket.socket | None = None
+    epoch: int = 0
+    connects: int = 0
+    down_since: float | None = None
+    blocked_until: float = 0.0
+    last_sent: float = 0.0
+    last_heard: float = 0.0
+
+
+class HostChannel:
+    """Outbound supervisor for one directed host link.
+
+    Rank threads call :meth:`send`; a writer thread owns the socket —
+    (re)dialing with capped+jittered backoff, performing the resume
+    handshake, replaying the unacknowledged window, injecting scheduled
+    network faults, and pinging on idle.  A per-connection reader thread
+    consumes cumulative acks and pongs.
+
+    The channel is lossless up to ``max_window`` in-flight frames; beyond
+    that it degrades to a lossy link (the oldest unacked frame is shed),
+    which the app-level reliable layer heals with a resend — never
+    silently: sheds are counted under ``net.window_drop``.
+    """
+
+    def __init__(
+        self,
+        local_host: int,
+        peer_host: int,
+        addr_fn: Callable[[int], tuple[str, int] | None],
+        options: TcpOptions,
+        counters: CommCounters | None = None,
+        tracer: Tracer | None = None,
+        trace_rank: int = 0,
+    ) -> None:
+        self.local_host = local_host
+        self.peer_host = peer_host
+        self._addr_fn = addr_fn
+        self.options = options
+        self.counters = counters if counters is not None else CommCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_rank = trace_rank
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._state = _LinkState(down_since=time.monotonic())
+        self._next_seq = 1
+        #: frames awaiting transmission: (seq, blob, fault_effect | None)
+        self._outq: deque[tuple[int, bytes, tuple[str, float] | None]] = deque()
+        #: frames on the wire, unacknowledged: (seq, blob)
+        self._window: deque[tuple[int, bytes]] = deque()
+        self._closed = False
+        self._writer = threading.Thread(
+            target=self._run,
+            name=f"tcp-chan-{local_host}to{peer_host}",
+            daemon=True,
+        )
+        self._writer.start()
+
+    # -- public API (rank threads) -------------------------------------------------
+
+    def send(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        msg_id: int = 0,
+        fault: tuple[str, float] | None = None,
+    ) -> int:
+        """Enqueue one data frame; returns its link sequence number.
+
+        Pickling happens here, in the caller's thread, so unpicklable
+        payloads fail at the send site (error locality) and the writer
+        thread stays cheap.  ``fault`` is an injected network-fault effect
+        ``(kind, seconds)`` decided by the caller's injector.
+        """
+        with self._cond:
+            if self._closed:
+                raise MPIError(
+                    f"channel {self.local_host}->{self.peer_host} is closed"
+                )
+            seq = self._next_seq
+            self._next_seq += 1
+            blob = _dumps(("data", seq, src_rank, dst_rank, tag, payload, nbytes, msg_id))
+            self._outq.append((seq, blob, fault))
+            self._cond.notify_all()
+        return seq
+
+    def down_for(self) -> float:
+        """Seconds the link has been continuously down (0.0 when up)."""
+        with self._lock:
+            down = self._state.down_since
+        return 0.0 if down is None else max(0.0, time.monotonic() - down)
+
+    def is_unreachable(self) -> bool:
+        """Whether the link outage has crossed ``unreachable_grace``."""
+        return self.down_for() > self.options.unreachable_grace
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._teardown(rst=False)
+
+    def join(self, timeout: float | None = None) -> None:
+        self._writer.join(timeout=timeout)
+
+    # -- writer-side machinery -----------------------------------------------------
+
+    def _teardown(self, rst: bool) -> None:
+        """Close the current socket (optionally as a hard RST) and mark down."""
+        with self._lock:
+            sock = self._state.sock
+            self._state.sock = None
+            self._state.epoch += 1
+            if self._state.down_since is None:
+                self._state.down_since = time.monotonic()
+        if sock is not None:
+            try:
+                if rst:
+                    # SO_LINGER(on, 0) turns close() into an abortive RST —
+                    # the genuine mid-stream reset the fault plan asked for.
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                    )
+                sock.close()
+            except OSError:
+                pass
+
+    def _connect_once(self) -> bool:
+        """One dial + handshake attempt; True when the link is up after it."""
+        addr = self._addr_fn(self.peer_host)
+        if addr is None:
+            return False
+        opts = self.options
+        sock = socket.create_connection(addr, timeout=opts.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(opts.connect_timeout)
+            with self._lock:
+                connects = self._state.connects
+            send_frame(sock, _dumps(("chello", self.local_host, connects)))
+            blob = recv_frame(sock)
+            if blob is None:
+                raise OSError("peer closed during channel handshake")
+            op, _peer_host, delivered = pickle.loads(blob)
+            if op != "cwelcome":
+                raise OSError(f"unexpected channel handshake reply {op!r}")
+            sock.settimeout(None)
+        except BaseException:
+            sock.close()
+            raise
+        resumed = 0
+        now = time.monotonic()
+        with self._cond:
+            # Resume: drop window frames the peer already delivered, replay
+            # the rest ahead of any queued traffic (order preserved).
+            while self._window and self._window[0][0] <= delivered:
+                self._window.popleft()
+            for seq, blob_ in reversed(self._window):
+                self._outq.appendleft((seq, blob_, None))
+                resumed += 1
+            self._window.clear()
+            was_down = self._state.connects > 0
+            self._state.sock = sock
+            self._state.epoch += 1
+            epoch = self._state.epoch
+            self._state.connects += 1
+            self._state.down_since = None
+            self._state.last_sent = now
+            self._state.last_heard = now
+        self.counters.record("net.reconnect" if was_down else "net.connect")
+        if resumed:
+            self.counters.record("net.frames_resent", messages=resumed)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "net.reconnect" if was_down else "net.connect",
+                cat="net",
+                rank=self.trace_rank,
+                args={
+                    "peer_host": self.peer_host,
+                    "resumed_frames": resumed,
+                    "delivered_watermark": delivered,
+                },
+            )
+        threading.Thread(
+            target=self._read_loop,
+            args=(sock, epoch),
+            name=f"tcp-chan-rd-{self.local_host}to{self.peer_host}",
+            daemon=True,
+        ).start()
+        return True
+
+    def _ensure_connected(self) -> bool:
+        """Dial until connected (with backoff) or closed/blocked; True if up."""
+        attempt = 0
+        while not self._closed:
+            with self._lock:
+                if self._state.sock is not None:
+                    return True
+                blocked = self._state.blocked_until - time.monotonic()
+            if blocked > 0:
+                # An injected partition: connection attempts are refused
+                # until the partition heals.
+                time.sleep(min(blocked, 0.05))
+                continue
+            try:
+                if self._connect_once():
+                    return True
+            except (OSError, pickle.UnpicklingError, EOFError) as exc:
+                _LOG.debug(
+                    "channel %d->%d dial failed (attempt %d): %r",
+                    self.local_host, self.peer_host, attempt, exc,
+                )
+            wait = backoff_wait(
+                self.options.reconnect_base,
+                attempt,
+                factor=self.options.reconnect_factor,
+                cap=self.options.reconnect_cap,
+                jitter=self.options.reconnect_jitter,
+                key=("tcp-reconnect", self.local_host, self.peer_host),
+            )
+            attempt += 1
+            deadline = time.monotonic() + wait
+            while not self._closed and time.monotonic() < deadline:
+                time.sleep(0.01)
+        return False
+
+    def _read_loop(self, sock: socket.socket, epoch: int) -> None:
+        try:
+            while True:
+                blob = recv_frame(sock)
+                if blob is None:
+                    break
+                msg = pickle.loads(blob)
+                if msg[0] == "ack":
+                    with self._lock:
+                        if self._state.epoch != epoch:
+                            break
+                        acked = msg[1]
+                        while self._window and self._window[0][0] <= acked:
+                            self._window.popleft()
+                        self._state.last_heard = time.monotonic()
+                elif msg[0] == "pong":
+                    with self._lock:
+                        if self._state.epoch != epoch:
+                            break
+                        self._state.last_heard = time.monotonic()
+        except (OSError, EOFError, pickle.UnpicklingError):
+            pass
+        with self._lock:
+            stale = self._state.epoch != epoch
+        if not stale:
+            self._teardown(rst=False)
+
+    def _idle_tick(self) -> None:
+        opts = self.options
+        now = time.monotonic()
+        with self._lock:
+            sock = self._state.sock
+            last_heard = self._state.last_heard
+            last_sent = self._state.last_sent
+            backlog = bool(self._outq or self._window)
+        if sock is not None:
+            if now - last_heard > opts.heartbeat_timeout:
+                _LOG.debug(
+                    "channel %d->%d heartbeat timeout (%.2fs silent)",
+                    self.local_host, self.peer_host, now - last_heard,
+                )
+                self._teardown(rst=False)
+            elif now - last_sent >= opts.heartbeat_interval:
+                try:
+                    send_frame(sock, _dumps(("ping",)))
+                    with self._lock:
+                        self._state.last_sent = now
+                    self.counters.record("net.heartbeat")
+                except OSError:
+                    self._teardown(rst=False)
+        elif backlog:
+            self._ensure_connected()
+
+    def _run(self) -> None:
+        opts = self.options
+        while True:
+            with self._cond:
+                while not self._outq and not self._closed:
+                    if not self._cond.wait(timeout=min(0.05, opts.heartbeat_interval)):
+                        break
+                if self._closed and not self._outq:
+                    return
+                item = self._outq.popleft() if self._outq else None
+            if item is None:
+                self._idle_tick()
+                continue
+            seq, blob, fault = item
+            if fault is not None:
+                kind, seconds = fault
+                if kind == "slow_link":
+                    # The frame — and everything queued behind it — waits:
+                    # a congested link delays the whole stream.
+                    time.sleep(seconds)
+                elif kind in ("conn_reset", "partition"):
+                    self._teardown(rst=True)
+                    if kind == "partition":
+                        with self._lock:
+                            self._state.blocked_until = time.monotonic() + seconds
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            f"net.{kind}", cat="net", rank=self.trace_rank,
+                            args={"peer_host": self.peer_host, "seq": seq},
+                        )
+                    # The frame itself survives: requeue fault-free; it will
+                    # ride the post-reconnect resume path.
+                    with self._cond:
+                        self._outq.appendleft((seq, blob, None))
+                    continue
+            with self._lock:
+                sock = self._state.sock
+            if sock is None:
+                # Reconnecting replays the unacked window ahead of queued
+                # traffic, so the in-hand frame must rejoin the queue
+                # *behind* that replay rather than jump it — otherwise the
+                # receiver's watermark would dedup the replayed frames as
+                # stale and a frame would vanish.
+                with self._cond:
+                    self._outq.appendleft((seq, blob, None))
+                if not self._ensure_connected():
+                    return  # closed while dialing
+                continue
+            try:
+                send_frame(sock, blob)
+            except OSError:
+                self._teardown(rst=False)
+                with self._cond:
+                    self._outq.appendleft((seq, blob, None))
+                continue
+            with self._cond:
+                self._state.last_sent = time.monotonic()
+                self._window.append((seq, blob))
+                if len(self._window) > opts.max_window:
+                    self._window.popleft()
+                    self.counters.record("net.window_drop")
+            self.counters.record("net.frames", nbytes=len(blob))
+
+
+class TcpNode:
+    """A host's data-plane listener: accepts channels, delivers frames.
+
+    Each inbound connection handshakes (``chello`` → ``cwelcome`` carrying
+    the delivered-sequence watermark for that peer, which powers session
+    resumption), then streams data frames.  Frames with already-delivered
+    sequence numbers are dropped (counted under ``net.dedup``); fresh ones
+    go to ``deliver(src_rank, dst_rank, tag, payload, nbytes, msg_id)``
+    and are cumulatively acknowledged on the same socket.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        deliver: Callable[[int, int, int, Any, int, int], None],
+        options: TcpOptions | None = None,
+        counters: CommCounters | None = None,
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        self.host_id = host_id
+        self._deliver = deliver
+        self.options = options if options is not None else TcpOptions()
+        self.counters = counters if counters is not None else CommCounters()
+        self._lock = threading.Lock()
+        self._delivered: dict[int, int] = {}
+        self._conns: list[socket.socket] = []
+        self._closed = False
+        self._listener = socket.create_server((bind_host, 0))
+        self.addr: tuple[str, int] = self._listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-node-{host_id}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                self._conns.append(sock)
+            threading.Thread(
+                target=self._serve, args=(sock,),
+                name=f"tcp-node-conn-{self.host_id}", daemon=True,
+            ).start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.options.connect_timeout)
+            blob = recv_frame(sock)
+            if blob is None:
+                return
+            op, src_host, _incarnation = pickle.loads(blob)
+            if op != "chello":
+                return
+            with self._lock:
+                delivered = self._delivered.get(src_host, 0)
+            send_frame(sock, _dumps(("cwelcome", self.host_id, delivered)))
+            sock.settimeout(None)
+            while True:
+                blob = recv_frame(sock)
+                if blob is None:
+                    return
+                msg = pickle.loads(blob)
+                if msg[0] == "data":
+                    _op, seq, src_rank, dst_rank, tag, payload, nbytes, msg_id = msg
+                    with self._lock:
+                        fresh = seq > self._delivered.get(src_host, 0)
+                        if fresh:
+                            self._delivered[src_host] = seq
+                    if fresh:
+                        try:
+                            self._deliver(src_rank, dst_rank, tag, payload, nbytes, msg_id)
+                        except Exception:  # noqa: BLE001 - a bad frame must not kill the link
+                            _LOG.exception(
+                                "delivery of frame %d (rank %d->%d) failed",
+                                seq, src_rank, dst_rank,
+                            )
+                    else:
+                        self.counters.record("net.dedup")
+                    send_frame(sock, _dumps(("ack", seq)))
+                elif msg[0] == "ping":
+                    send_frame(sock, _dumps(("pong",)))
+        except (OSError, EOFError, pickle.UnpicklingError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            with self._lock:
+                if sock in self._conns:
+                    self._conns.remove(sock)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -132,16 +132,26 @@ def _metrics_section(trace: dict[str, Any]) -> list[str]:
     if gauges:
         lines += [f"  {k:<40} {v:g}" for k, v in sorted(gauges.items())]
     counters = metrics.get("counters", {})
-    mpi_calls = {
+    all_calls = {
         k[len("mpi."):-len(".calls")]: v
         for k, v in counters.items()
         if k.startswith("mpi.") and k.endswith(".calls")
     }
+    # The TCP transport's socket-layer tallies (connects, reconnects,
+    # resent/deduplicated frames, injected link faults) live in the same
+    # registry under mpi.net.*; report them apart from the message ops.
+    net_calls = {k: v for k, v in all_calls.items() if k.startswith("net.")}
+    mpi_calls = {k: v for k, v in all_calls.items() if not k.startswith("net.")}
     if mpi_calls:
         lines.append("  network operations (calls / bytes):")
         for op in sorted(mpi_calls):
             nbytes = counters.get(f"mpi.{op}.bytes", 0)
             lines.append(f"    {op:<22} {mpi_calls[op]:>10g}  {_fmt_bytes(nbytes):>10}")
+    if net_calls:
+        lines.append("  tcp transport (events / bytes):")
+        for op in sorted(net_calls):
+            nbytes = counters.get(f"mpi.{op}.bytes", 0)
+            lines.append(f"    {op:<22} {net_calls[op]:>10g}  {_fmt_bytes(nbytes):>10}")
     return lines
 
 

@@ -55,9 +55,12 @@ from repro.parallel.protocol import (
     FTHeader,
     FTHello,
     FTRejoin,
+    FTRetire,
     FTShutdown,
     FTUpdate,
     GenerationHeader,
+    MembershipChange,
+    MembershipEvent,
     MutationUpdate,
     PCOutcome,
     RecoveryEvent,
@@ -130,6 +133,9 @@ class ParallelRunResult:
     #: ``on_rank_failure="respawn"`` (a superset of ``recoveries`` — a
     #: replacement may die again before it manages to rejoin).
     respawns: tuple[RespawnRecord, ...] = ()
+    #: Elastic-membership changes executed during the run (``World.grow``
+    #: and ``World.shrink`` via ``membership_plan``), in generation order.
+    membership: tuple[MembershipChange, ...] = ()
     #: The run's :class:`~repro.obs.Tracer` when tracing was requested
     #: (``ParallelSimulation(..., trace=...)``); ``None`` otherwise.  Export
     #: it with :func:`repro.obs.write_chrome_trace` or summarise with
@@ -311,6 +317,7 @@ class _FTOptions:
     start_nature_rng: dict | None = None
     start_counters: tuple[int, int, int] = (0, 0, 0)
     start_failed: tuple[int, ...] = ()
+    membership_plan: tuple[MembershipEvent, ...] = ()
 
 
 def _eager_slate(comm, config, population, evaluator, streams, owned, gen) -> int:
@@ -338,8 +345,12 @@ def _eager_slate(comm, config, population, evaluator, streams, owned, gen) -> in
 def _rank_program_ft(comm: Comm, config: SimulationConfig, eager_games: bool, opts: _FTOptions):
     """The fault-tolerant SPMD body executed by every rank."""
     streams = StreamFactory(config.seed)
-    if comm.rank != 0 and getattr(comm.world, "incarnation", 0) > 0:
-        # Replacement process under on_rank_failure="respawn": the initial
+    if comm.rank != 0 and (
+        getattr(comm.world, "incarnation", 0) > 0
+        or comm.rank in getattr(comm.world, "joiner_ranks", ())
+    ):
+        # Replacement process under on_rank_failure="respawn", or a fresh
+        # rank added mid-run by World.grow: either way the initial
         # population is stale (the run has moved on since generation 0), so
         # skip straight to the rejoin handshake with Nature.
         return _ft_worker_respawned(comm, config, eager_games, streams)
@@ -448,7 +459,9 @@ def _ft_worker_loop(
             if eager_games:
                 with tracer.span("play", rank=comm.rank, args={"gen": gen}):
                     owners = owner_map_with_failures(
-                        config.n_ssets, comm.size, tuple(sorted(failed))
+                        config.n_ssets,
+                        msg.n_ranks if msg.n_ranks > 0 else comm.size,
+                        tuple(sorted(failed)),
                     )
                     owned = np.flatnonzero(owners == comm.rank)
                     games_played += _eager_slate(
@@ -491,6 +504,17 @@ def _ft_worker_loop(
             if msg.mutation is not None:
                 population.set_strategy(msg.mutation.sset, msg.mutation.table)
             failed = set(msg.failed_ranks)
+        elif isinstance(msg, FTRetire):
+            # Planned exit (World.shrink): finish cleanly with a digest
+            # Nature validates, then leave the world.
+            digest = _replica_digest(population.matrix())
+            comm.send_reliable(
+                FTFinal(rank=comm.rank, digest=digest, games_played=games_played),
+                dest=0,
+                tag=TAG_REPORT,
+            )
+            tracer.instant("retire", rank=comm.rank, args={"gen": msg.generation})
+            return {"digest": digest, "games_played": games_played, "retired": True}
         else:
             raise MPIError(f"rank {comm.rank}: unexpected control message {type(msg).__name__}")
     digest = _replica_digest(population.matrix())
@@ -512,11 +536,23 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
     degradations: list[DegradationEvent] = []
     recoveries: list[RecoveryEvent] = []
     checkpoints: list[str] = []
+    membership: list[MembershipChange] = []
+    #: Cleanly retired ranks (World.shrink) — excluded from ownership like
+    #: failures, but not failures: they finished with a validated digest.
+    retired: set[int] = set()
+    retired_finals: dict[int, FTFinal] = {}
+    #: Fresh ranks (World.grow) whose rejoin handshake is still pending.
+    joining: set[int] = set()
+    plan_by_gen: dict[int, list[MembershipEvent]] = {}
+    for event in opts.membership_plan:
+        plan_by_gen.setdefault(event.generation, []).append(event)
     hb = opts.heartbeat_timeout
     tracer = comm.world.tracer
 
     def owners_now() -> np.ndarray:
-        return owner_map_with_failures(config.n_ssets, size, tuple(sorted(failed)))
+        return owner_map_with_failures(
+            config.n_ssets, size, tuple(sorted(failed | retired))
+        )
 
     def declare_failed(rank: int, gen: int, reason: str) -> None:
         if rank in failed:
@@ -550,14 +586,14 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             except (RecvTimeoutError, RankFailedError):
                 return
             rank = hello.rank
-            if rank not in failed:
+            if rank not in failed and rank not in joining:
                 # Not yet declared dead (or never was): the replacement
                 # keeps re-sending its hello; answer once we have degraded.
                 continue
             rejoin = FTRejoin(
                 generation=gen - 1,
                 matrix=population.matrix(),
-                failed_ranks=tuple(sorted(failed - {rank})),
+                failed_ranks=tuple(sorted((failed | retired) - {rank})),
             )
             # Revive before sending: the reliable ack wait fails fast on
             # ranks marked dead.  Roll back if the handshake fails.
@@ -572,6 +608,7 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             # for duplicates (our send sequence stays monotonic).
             comm.forget_reliable_peer(rank)
             failed.discard(rank)
+            joining.discard(rank)
             live.append(rank)
             live.sort()
             restored = tuple(int(s) for s in np.flatnonzero(owners_now() == rank))
@@ -589,11 +626,83 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                 )
             )
 
+    def apply_membership(gen: int) -> None:
+        """Execute this generation boundary's planned grow/shrink events.
+
+        Runs after generation ``gen - 1``'s updates are applied everywhere
+        and before generation ``gen``'s events are drawn.  Nature's RNG is
+        untouched, so the trajectory is bit-identical with or without the
+        plan; only the ownership arithmetic changes, and fitness is a pure
+        function of ``(generation, sset)`` on every rank.
+        """
+        nonlocal size
+        for event in plan_by_gen.get(gen, ()):
+            if event.action == "grow":
+                new_ranks = comm.world.grow(event.count)
+                size = comm.size
+                joining.update(new_ranks)
+                # Wait for each joiner's hello so it owns SSets from this
+                # generation on; stragglers simply rejoin at a later one.
+                deadline = time.monotonic() + max(hb, 5.0)
+                while joining & set(new_ranks) and time.monotonic() < deadline:
+                    process_hellos(gen)
+                    if joining & set(new_ranks):
+                        time.sleep(0.01)
+                membership.append(
+                    MembershipChange(
+                        generation=gen, action="grow", ranks=new_ranks, n_ranks=size
+                    )
+                )
+                tracer.instant(
+                    "membership.grow", rank=comm.rank,
+                    args={"gen": gen, "ranks": list(new_ranks), "n_ranks": size},
+                )
+            else:  # shrink
+                victims = tuple(sorted(set(event.ranks)))
+                current_digest = _replica_digest(population.matrix())
+                for rank in victims:
+                    if rank not in live:
+                        continue  # already dead; nothing to retire cleanly
+                    try:
+                        comm.send_reliable(
+                            FTRetire(generation=gen), dest=rank, tag=TAG_CONTROL
+                        )
+                        final = comm.recv_reliable(source=rank, tag=TAG_REPORT, timeout=hb)
+                        while isinstance(final, WorkerReport):
+                            final = comm.recv_reliable(
+                                source=rank, tag=TAG_REPORT, timeout=hb
+                            )
+                    except (RecvTimeoutError, RankFailedError) as exc:
+                        declare_failed(
+                            rank, gen, f"lost at retirement: {type(exc).__name__}"
+                        )
+                        continue
+                    if final.digest != current_digest:
+                        raise MPIError(
+                            f"retiring rank {rank}'s replica diverged at"
+                            f" generation {gen}"
+                        )
+                    retired_finals[rank] = final
+                    retired.add(rank)
+                    live.remove(rank)
+                comm.world.shrink([r for r in victims if r in retired])
+                membership.append(
+                    MembershipChange(
+                        generation=gen, action="shrink", ranks=victims, n_ranks=size
+                    )
+                )
+                tracer.instant(
+                    "membership.shrink", rank=comm.rank,
+                    args={"gen": gen, "ranks": list(victims), "n_ranks": size},
+                )
+
     for gen in range(opts.start_generation + 1, config.generations + 1):
         gen_span = tracer.span("generation", rank=comm.rank, args={"gen": gen})
         gen_span.__enter__()
         comm.fault_point(gen)
-        if failed:
+        if gen in plan_by_gen:
+            apply_membership(gen)
+        if failed or joining:
             process_hellos(gen)
         if not live:
             # Every worker is currently dead.  Under respawn, replacements
@@ -613,7 +722,8 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
             pc_learner=selection.learner if selection else -1,
             teacher_owner=int(owners[selection.teacher]) if selection else -1,
             learner_owner=int(owners[selection.learner]) if selection else -1,
-            failed_ranks=tuple(sorted(failed)),
+            failed_ranks=tuple(sorted(failed | retired)),
+            n_ranks=size,
         )
         with tracer.span("header", rank=comm.rank, args={"gen": gen}):
             for rank in list(live):
@@ -704,7 +814,7 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
                 if mut_sel is not None
                 else None
             ),
-            failed_ranks=tuple(sorted(failed)),
+            failed_ranks=tuple(sorted(failed | retired)),
         )
         if mut_sel is not None:
             population.set_strategy(mut_sel.sset, mut_sel.table)
@@ -764,6 +874,8 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
         if final.digest != digest:
             raise MPIError(f"population replica diverged on rank {rank}")
     comm.world.shutdown()
+    games_by_rank = {rank: final.games_played for rank, final in retired_finals.items()}
+    games_by_rank.update({rank: final.games_played for rank, final in finals.items()})
     return {
         "matrix": matrix,
         "digest": digest,
@@ -771,11 +883,12 @@ def _ft_nature(comm, config, population, streams, failed, opts) -> dict:
         "n_pc_events": nature.n_pc_events,
         "n_adoptions": nature.n_adoptions,
         "n_mutations": nature.n_mutations,
-        "games_by_rank": {rank: final.games_played for rank, final in finals.items()},
+        "games_by_rank": games_by_rank,
         "degradations": tuple(degradations),
         "recoveries": tuple(recoveries),
         "failed_ranks": tuple(sorted(failed)),
         "checkpoints": tuple(checkpoints),
+        "membership": tuple(membership),
     }
 
 
@@ -834,7 +947,11 @@ class ParallelSimulation:
         for game play, the same deterministic trajectory bit for bit.
         With the process backend an injected ``crash``/``hang`` kills the
         rank's *process*; the fault-tolerant protocol degrades around the
-        real death exactly as it does around the simulated one.
+        real death exactly as it does around the simulated one.  ``"tcp"``
+        spreads the rank processes across ``n_hosts`` OS-process "hosts"
+        talking framed loopback TCP (:mod:`repro.mpi.hostexec`) — the
+        multi-host substrate with partition-tolerant reconnection; the
+        trajectory stays bit-identical.
     shared_memory, shm_threshold:
         Process-backend transport tuning: strategy tables (and any other
         ndarray/``bytes`` payload leaves) of at least ``shm_threshold``
@@ -855,6 +972,20 @@ class ParallelSimulation:
     max_respawns:
         Total replacement-process budget under
         ``on_rank_failure="respawn"``.
+    n_hosts, tcp_options:
+        TCP-backend tuning: how many host processes the ranks are dealt
+        across, and a :class:`repro.mpi.tcp.TcpOptions` bundle of socket
+        knobs (heartbeats, reconnect backoff, unreachability grace).
+        Ignored under the other backends.
+    membership_plan:
+        Planned elastic-membership changes: a sequence of
+        :class:`~repro.parallel.protocol.MembershipEvent` executed by the
+        Nature Agent at the named generation boundaries (``World.grow`` /
+        ``World.shrink``).  Implies the fault-tolerant protocol.  The
+        population trajectory is bit-identical with or without the plan
+        (membership changes never touch Nature's RNG); executed changes
+        are reported as ``result.membership``.  Thread and tcp backends
+        only — the process backend cannot add rank processes mid-run.
 
     Examples
     --------
@@ -883,24 +1014,41 @@ class ParallelSimulation:
         shm_threshold: int | None = None,
         on_rank_failure: str = "continue",
         max_respawns: int = 8,
+        n_hosts: int = 2,
+        tcp_options=None,
+        membership_plan=(),
     ) -> None:
         if n_ranks < 2:
             raise MPIError(f"need >= 2 ranks (Nature Agent + worker), got {n_ranks}")
         if checkpoint_every < 0:
             raise MPIError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
-        if backend not in ("thread", "process"):
-            raise MPIError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if backend not in ("thread", "process", "tcp"):
+            raise MPIError(f"backend must be 'thread', 'process' or 'tcp', got {backend!r}")
         if on_rank_failure not in ("continue", "respawn"):
             raise MPIError(
                 f"on_rank_failure must be 'continue' or 'respawn', got {on_rank_failure!r}"
             )
-        if on_rank_failure == "respawn" and backend != "process":
+        if on_rank_failure == "respawn" and backend not in ("process", "tcp"):
             raise MPIError(
                 "on_rank_failure='respawn' needs real processes to replace —"
-                " use backend='process'"
+                " use backend='process' or backend='tcp'"
             )
+        membership_plan = tuple(membership_plan)
+        for event in membership_plan:
+            if not isinstance(event, MembershipEvent):
+                raise MPIError(
+                    f"membership_plan entries must be MembershipEvent, got {type(event).__name__}"
+                )
+        if membership_plan and backend == "process":
+            raise MPIError(
+                "membership_plan needs a world that can spawn ranks mid-run —"
+                " use backend='thread' or backend='tcp'"
+            )
+        self.membership_plan = membership_plan
         self.on_rank_failure = on_rank_failure
         self.max_respawns = int(max_respawns)
+        self.n_hosts = int(n_hosts)
+        self.tcp_options = tcp_options
         self.config = config
         self.backend = backend
         self.shared_memory = bool(shared_memory)
@@ -928,8 +1076,15 @@ class ParallelSimulation:
                 (fault_plan is not None and not fault_plan.is_trivial)
                 or wants_ckpt
                 or on_rank_failure == "respawn"
+                or bool(membership_plan)
             )
         )
+        if membership_plan and not self.fault_tolerant:
+            raise MPIError(
+                "membership_plan requires the fault-tolerant protocol"
+                " (membership changes ride its control star);"
+                " do not force fault_tolerant=False"
+            )
         if on_rank_failure == "respawn" and not self.fault_tolerant:
             raise MPIError(
                 "on_rank_failure='respawn' requires the fault-tolerant protocol"
@@ -939,6 +1094,7 @@ class ParallelSimulation:
             heartbeat_timeout=self.heartbeat_timeout,
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_every=self.checkpoint_every,
+            membership_plan=self.membership_plan,
         )
 
     @classmethod
@@ -970,6 +1126,7 @@ class ParallelSimulation:
             heartbeat_timeout=sim.heartbeat_timeout,
             checkpoint_dir=sim.checkpoint_dir,
             checkpoint_every=sim.checkpoint_every,
+            membership_plan=sim.membership_plan,
             start_generation=checkpoint.generation,
             start_matrix=checkpoint.matrix,
             start_nature_rng=checkpoint.nature_rng_state,
@@ -1015,6 +1172,8 @@ class ParallelSimulation:
                 backend=self.backend,
                 shared_memory=self.shared_memory,
                 shm_threshold=self.shm_threshold,
+                n_hosts=self.n_hosts,
+                tcp_options=self.tcp_options,
             )
             self._finish_trace(spmd)
             nature_out = spmd.returns[0]
@@ -1043,17 +1202,22 @@ class ParallelSimulation:
             shared_memory=self.shared_memory,
             shm_threshold=self.shm_threshold,
             max_respawns=self.max_respawns,
+            n_hosts=self.n_hosts,
+            tcp_options=self.tcp_options,
         )
         self._finish_trace(spmd)
         nature_out = spmd.returns[0]
         if nature_out is None:
             raise MPIError("the Nature rank did not complete; no result to assemble")
         games_by_rank: dict[int, int] = nature_out["games_by_rank"]
-        games = [0] * self.n_ranks
-        for rank in range(1, self.n_ranks):
+        # The world may have grown mid-run (membership_plan), so size the
+        # per-rank accounting to the final world, not the starting one.
+        final_ranks = max(self.n_ranks, len(spmd.returns))
+        games = [0] * final_ranks
+        for rank in range(1, final_ranks):
             if rank in games_by_rank:
                 games[rank] = games_by_rank[rank]
-            elif isinstance(spmd.returns[rank], dict):
+            elif rank < len(spmd.returns) and isinstance(spmd.returns[rank], dict):
                 games[rank] = spmd.returns[rank].get("games_played", 0)
         return ParallelRunResult(
             matrix=nature_out["matrix"],
@@ -1070,5 +1234,6 @@ class ParallelSimulation:
             fault_events=() if injector is None else injector.schedule(),
             checkpoints=nature_out["checkpoints"],
             respawns=spmd.respawns,
+            membership=nature_out.get("membership", ()),
             trace=self.tracer,
         )

@@ -36,6 +36,7 @@ from repro.io.checkpoints import (
     load_parallel_checkpoint,
 )
 from repro.logging_util import get_logger
+from repro.mpi.comm import backoff_wait
 from repro.mpi.faults import FaultPlan
 from repro.obs.tracer import Tracer
 from repro.parallel.runner import ParallelRunResult, ParallelSimulation
@@ -62,7 +63,9 @@ class RestartEvent:
     generation:
         The generation recorded in that checkpoint (0 for a cold restart).
     backoff:
-        Seconds slept before relaunching.
+        Seconds actually slept before relaunching — the capped, jittered
+        wait (:func:`repro.mpi.comm.backoff_wait`), not the nominal
+        exponential step, so the restart log records real timing.
     """
 
     attempt: int
@@ -112,10 +115,15 @@ class SupervisedRun:
         How many times a failed attempt may be relaunched before the
         supervisor gives up with :class:`~repro.errors.SupervisorError`
         (``max_restarts=3`` allows up to 4 launches in total).
-    backoff, backoff_factor, max_backoff:
+    backoff, backoff_factor, max_backoff, backoff_jitter:
         Exponential pause between attempts: the first restart waits
         ``backoff`` seconds, each further restart ``backoff_factor`` times
-        longer, capped at ``max_backoff``.
+        longer, capped at ``max_backoff`` and shrunk by up to
+        ``backoff_jitter`` (a deterministic fraction keyed on the config
+        seed and the attempt — :func:`repro.mpi.comm.backoff_wait`), so
+        many supervisors restarting off one shared outage don't relaunch
+        in lockstep.  The actual wait lands in each
+        :class:`RestartEvent`'s ``backoff``.
     fault_plan:
         Chaos injected into the **first** attempt only.
     fault_plan_on_retry:
@@ -146,6 +154,7 @@ class SupervisedRun:
         backoff: float = 0.5,
         backoff_factor: float = 2.0,
         max_backoff: float = 30.0,
+        backoff_jitter: float = 0.5,
         fault_plan: FaultPlan | None = None,
         fault_plan_on_retry: FaultPlan | None = None,
         sleep: Callable[[float], None] = time.sleep,
@@ -163,6 +172,8 @@ class SupervisedRun:
                 "backoff must be >= 0, backoff_factor >= 1, max_backoff >= 0;"
                 f" got {backoff}, {backoff_factor}, {max_backoff}"
             )
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise MPIError(f"backoff_jitter must lie in [0, 1), got {backoff_jitter}")
         if "fault_tolerant" in sim_kwargs:
             raise MPIError(
                 "SupervisedRun always uses the fault-tolerant protocol;"
@@ -176,6 +187,7 @@ class SupervisedRun:
         self.backoff = float(backoff)
         self.backoff_factor = float(backoff_factor)
         self.max_backoff = float(max_backoff)
+        self.backoff_jitter = float(backoff_jitter)
         self.fault_plan = fault_plan
         self.fault_plan_on_retry = fault_plan_on_retry
         self._sleep = sleep
@@ -221,7 +233,6 @@ class SupervisedRun:
             attempt's underlying error.
         """
         restarts: list[RestartEvent] = []
-        pause = self.backoff
         attempt = 0
         while True:
             sim, ckpt, start_gen = self._build(attempt)
@@ -245,6 +256,14 @@ class SupervisedRun:
                 next_gen = 0
                 if found is not None:
                     next_gen = load_parallel_checkpoint(found).generation
+                pause = backoff_wait(
+                    self.backoff,
+                    attempt,
+                    factor=self.backoff_factor,
+                    cap=self.max_backoff,
+                    jitter=self.backoff_jitter,
+                    key=("supervisor", self.config.seed),
+                )
                 event = RestartEvent(
                     attempt=attempt,
                     error=f"{type(exc).__name__}: {exc}",
@@ -270,7 +289,6 @@ class SupervisedRun:
                     )
                 if pause > 0:
                     self._sleep(pause)
-                pause = min(pause * self.backoff_factor, self.max_backoff)
                 attempt += 1
                 continue
             if self.tracer is not None:

@@ -1,0 +1,69 @@
+"""Regression tests for the capped, jittered retry backoff policy.
+
+One policy (:func:`repro.mpi.comm.backoff_wait`) serves every retry loop in
+the codebase: the reliable channel's resends, the TCP channel's reconnect
+supervisor and the run supervisor's restarts.  These tests pin down the two
+properties the policy exists for — waits never exceed the cap, and distinct
+retriers never compute identical waits (no retry storms) — while staying
+bit-deterministic for any fixed key.
+"""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.comm import backoff_wait
+
+
+def test_waits_are_capped():
+    # Even absurd attempt counts must not exceed the cap.
+    for attempt in (0, 1, 5, 20, 100, 1000):
+        wait = backoff_wait(0.1, attempt, factor=2.0, cap=2.0, jitter=0.5, key=("a",))
+        assert 0.0 <= wait <= 2.0
+
+
+def test_uncapped_growth_is_geometric():
+    assert backoff_wait(0.1, 0, jitter=0.0, cap=100.0) == pytest.approx(0.1)
+    assert backoff_wait(0.1, 1, jitter=0.0, cap=100.0) == pytest.approx(0.2)
+    assert backoff_wait(0.1, 3, jitter=0.0, cap=100.0) == pytest.approx(0.8)
+
+
+def test_distinct_keys_decorrelate():
+    # Two senders backing off from the same peer at the same attempt must
+    # not sleep identically — that is the retry-storm failure mode.
+    waits = {
+        backoff_wait(0.1, 4, cap=2.0, jitter=0.5, key=(sender, 7))
+        for sender in range(16)
+    }
+    assert len(waits) == 16
+
+
+def test_distinct_attempts_decorrelate():
+    # Same retrier, consecutive capped attempts: jitter must still vary.
+    waits = [backoff_wait(1.0, attempt, cap=1.0, jitter=0.5, key=("x",)) for attempt in range(8)]
+    assert len(set(waits)) == len(waits)
+    assert all(0.5 <= w <= 1.0 for w in waits)
+
+
+def test_deterministic_for_fixed_key():
+    a = [backoff_wait(0.1, n, key=("rank", 3, 9)) for n in range(10)]
+    b = [backoff_wait(0.1, n, key=("rank", 3, 9)) for n in range(10)]
+    assert a == b
+
+
+def test_jitter_only_shrinks():
+    for attempt in range(10):
+        full = backoff_wait(0.1, attempt, jitter=0.0, cap=2.0)
+        jittered = backoff_wait(0.1, attempt, jitter=0.5, cap=2.0, key=("k",))
+        assert jittered <= full
+        assert jittered >= full * 0.5
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(MPIError):
+        backoff_wait(-0.1, 0)
+    with pytest.raises(MPIError):
+        backoff_wait(0.1, 0, factor=0.5)
+    with pytest.raises(MPIError):
+        backoff_wait(0.1, 0, jitter=1.0)
+    with pytest.raises(MPIError):
+        backoff_wait(0.1, 0, cap=-1.0)

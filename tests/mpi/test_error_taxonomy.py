@@ -1,0 +1,116 @@
+"""The receive-failure taxonomy and the degradation path each class selects.
+
+Three distinct verdicts can end a blocked ``recv``, ordered from most to
+least recoverable:
+
+* :class:`~repro.errors.RecvTimeoutError` — the peer may be merely slow;
+  retrying is legitimate (the reliable layer does exactly that).
+* :class:`~repro.errors.PeerUnreachableError` — the peer is *locally*
+  unobservable (network partition past the grace deadline); the global view
+  may still believe it alive.
+* :class:`~repro.errors.RankFailedError` — the peer has been globally
+  declared dead; waiting any longer is pointless.
+
+Every one carries the peer ``rank`` and the exhausted ``deadline`` so
+failure detectors can report exactly which channel went quiet and how long
+they waited.
+"""
+
+import pytest
+
+from repro.errors import (
+    MPIError,
+    PeerUnreachableError,
+    RankFailedError,
+    RecvTimeoutError,
+)
+from repro.mpi.comm import World
+
+
+class _PartitionedWorld(World):
+    """A world whose network locally cannot see a chosen set of ranks."""
+
+    def __init__(self, n_ranks, unreachable=()):
+        super().__init__(n_ranks)
+        self._unreachable = set(unreachable)
+
+    def is_unreachable(self, rank):
+        return rank in self._unreachable
+
+
+# -- class relationships -------------------------------------------------------
+
+
+def test_hierarchy():
+    # Unreachability is a refinement of failure: handlers written for the
+    # global verdict must also catch the local one unchanged.
+    assert issubclass(PeerUnreachableError, RankFailedError)
+    assert not issubclass(RankFailedError, PeerUnreachableError)
+    # A timeout is retryable, not a failure verdict.
+    assert not issubclass(RecvTimeoutError, RankFailedError)
+    assert issubclass(RecvTimeoutError, TimeoutError)
+    for cls in (RecvTimeoutError, PeerUnreachableError, RankFailedError):
+        assert issubclass(cls, MPIError)
+
+
+@pytest.mark.parametrize("cls", [RecvTimeoutError, RankFailedError, PeerUnreachableError])
+def test_carries_rank_and_deadline(cls):
+    exc = cls("gone quiet", rank=3, deadline=1.5)
+    assert exc.rank == 3
+    assert exc.deadline == 1.5
+    exc = cls("bare")
+    assert exc.rank is None and exc.deadline is None
+
+
+# -- which verdict a blocked recv reaches --------------------------------------
+
+
+def test_timeout_verdict():
+    world = World(2)
+    with pytest.raises(RecvTimeoutError) as info:
+        world.comm(0).recv(source=1, tag=5, timeout=0.05)
+    assert info.value.rank == 1
+    assert info.value.deadline == 0.05
+
+
+def test_failed_rank_verdict():
+    world = World(2)
+    world.mark_failed(1, "died in test")
+    with pytest.raises(RankFailedError) as info:
+        world.comm(0).recv(source=1, tag=5, timeout=5.0)
+    # The global verdict, not the local observation.
+    assert not isinstance(info.value, PeerUnreachableError)
+    assert info.value.rank == 1
+
+
+def test_unreachable_peer_verdict():
+    world = _PartitionedWorld(2, unreachable={1})
+    with pytest.raises(PeerUnreachableError) as info:
+        world.comm(0).recv(source=1, tag=5, timeout=5.0)
+    assert info.value.rank == 1
+
+
+def test_global_verdict_outranks_local_observation():
+    # A rank that is both unreachable *and* declared dead reports the
+    # stronger (global) verdict.
+    world = _PartitionedWorld(2, unreachable={1})
+    world.mark_failed(1, "declared dead")
+    with pytest.raises(RankFailedError) as info:
+        world.comm(0).recv(source=1, tag=5, timeout=5.0)
+    assert not isinstance(info.value, PeerUnreachableError)
+
+
+def test_degradation_path_selection():
+    # The FT runner's dispatch: timeouts retry, any failure verdict
+    # (global or local) degrades.  Encode the mapping explicitly so a
+    # hierarchy change breaks this test, not a chaos run.
+    def classify(exc):
+        if isinstance(exc, RankFailedError):
+            return "degrade"
+        if isinstance(exc, RecvTimeoutError):
+            return "retry"
+        return "raise"
+
+    assert classify(RecvTimeoutError(rank=2, deadline=1.0)) == "retry"
+    assert classify(PeerUnreachableError(rank=2, deadline=10.0)) == "degrade"
+    assert classify(RankFailedError(rank=2, deadline=None)) == "degrade"

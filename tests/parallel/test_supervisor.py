@@ -55,6 +55,10 @@ class TestValidation:
         with pytest.raises(MPIError, match="max_restarts"):
             SupervisedRun(config, 4, checkpoint_dir=tmp_path, max_restarts=-1)
 
+    def test_rejects_bad_jitter(self, config, tmp_path):
+        with pytest.raises(MPIError, match="backoff_jitter"):
+            SupervisedRun(config, 4, checkpoint_dir=tmp_path, backoff_jitter=1.0)
+
 
 class TestSupervisedRun:
     def test_clean_run_needs_no_restart(self, config, serial_matrix, tmp_path):
@@ -90,7 +94,10 @@ class TestSupervisedRun:
         assert restart.checkpoint is not None and restart.checkpoint.endswith(
             "ckpt_00000030.npz"
         )
-        assert slept == [0.25]
+        # The pause is the capped, jittered wait — recorded verbatim in the
+        # restart event, shrunk by at most the default 50% jitter.
+        assert slept == [restart.backoff]
+        assert 0.125 <= restart.backoff <= 0.25
         assert np.array_equal(out.result.matrix, serial_matrix)
         assert out.result.trace.metrics.counter("recovery.restarts").value == 1
 
@@ -112,6 +119,61 @@ class TestSupervisedRun:
         )
         with pytest.raises(SupervisorError, match="restart budget"):
             sup.run(timeout=300)
+
+    def test_restart_waits_are_capped_and_jittered(self, config, tmp_path):
+        # Persistent fault, budget 2: exactly two pauses before giving up.
+        # Each must match the shared backoff policy — capped at
+        # max_backoff, decorrelated across attempts, and recorded verbatim
+        # in the restart log.
+        from repro.mpi.comm import backoff_wait
+
+        plan = _nature_crash_plan(35)
+        slept: list[float] = []
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            fault_plan=plan,
+            fault_plan_on_retry=plan,
+            heartbeat_timeout=2.0,
+            max_restarts=2,
+            backoff=0.5,
+            backoff_factor=4.0,
+            max_backoff=1.0,
+            sleep=slept.append,
+        )
+        with pytest.raises(SupervisorError):
+            sup.run(timeout=300)
+        assert len(slept) == 2
+        assert all(wait <= 1.0 for wait in slept)
+        assert slept[0] != slept[1]
+        expected = [
+            backoff_wait(
+                0.5, attempt, factor=4.0, cap=1.0, jitter=0.5,
+                key=("supervisor", config.seed),
+            )
+            for attempt in range(2)
+        ]
+        assert slept == expected
+
+    def test_restart_log_records_actual_wait(self, config, serial_matrix, tmp_path):
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            fault_plan=_nature_crash_plan(35),
+            heartbeat_timeout=2.0,
+            backoff=0.4,
+            max_backoff=0.3,
+            sleep=lambda s: None,
+        )
+        out = sup.run(timeout=300)
+        assert len(out.restarts) == 1
+        # Cap binds (0.4 nominal > 0.3 cap); jitter only shrinks.
+        assert 0.15 <= out.restarts[0].backoff <= 0.3
+        assert np.array_equal(out.result.matrix, serial_matrix)
 
     def test_survives_kill_during_checkpoint(self, config, serial_matrix, tmp_path):
         """The injected mid-write kill leaves a torn file; recovery skips it."""

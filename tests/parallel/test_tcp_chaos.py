@@ -1,0 +1,144 @@
+"""Acceptance runs for the multi-host TCP substrate and elastic membership.
+
+The strongest statement the transport can make: a fault-tolerant run
+spanning two OS-process hosts over loopback TCP, with injected partitions,
+connection resets and a worker crash, finishes with a strategy matrix
+*bit-identical* to the fault-free single-host reference at the same seed.
+Likewise for elastic membership: growing and shrinking the world mid-run
+must not perturb the trajectory, because membership changes never touch
+Nature's random streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.mpi.faults import FaultEvent, FaultPlan
+from repro.parallel.protocol import MembershipEvent
+from repro.parallel.runner import ParallelSimulation
+
+pytestmark = pytest.mark.tcp
+
+
+@pytest.fixture(scope="module")
+def memory3_config():
+    return SimulationConfig(memory=3, n_ssets=6, generations=40, seed=13, rounds=10)
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(memory3_config):
+    """The fault-free single-host (thread backend) trajectory."""
+    return ParallelSimulation(memory3_config, n_ranks=3).run().matrix
+
+
+def test_tcp_matches_thread_reference(memory3_config, reference_matrix):
+    result = ParallelSimulation(
+        memory3_config, n_ranks=3, backend="tcp", n_hosts=2
+    ).run()
+    assert np.array_equal(result.matrix, reference_matrix)
+
+
+@pytest.mark.chaos
+def test_partition_reset_crash_bit_identical(memory3_config, reference_matrix):
+    # The issue's acceptance run: two hosts, network chaos at the socket
+    # layer (partitions, resets, slow links) plus a mid-run worker crash
+    # healed by respawn — and the trajectory must not move a bit.
+    plan = FaultPlan(
+        seed=42,
+        conn_reset_p=0.03,
+        partition_p=0.005,
+        slow_link_p=0.02,
+        partition_seconds=0.3,
+        events=(FaultEvent(kind="crash", rank=2, generation=5),),
+    )
+    result = ParallelSimulation(
+        memory3_config,
+        n_ranks=3,
+        backend="tcp",
+        n_hosts=2,
+        fault_plan=plan,
+        on_rank_failure="respawn",
+        heartbeat_timeout=10.0,
+    ).run()
+    assert np.array_equal(result.matrix, reference_matrix)
+    assert result.failed_ranks == ()
+    assert [(r.rank, r.incarnation) for r in result.respawns] == [(2, 1)]
+    assert [(e.rank, e.generation) for e in result.recoveries] == [(2, 5)]
+    # The transport had to actually heal something for this to mean much.
+    net = {k: v.calls for k, v in result.counters.items() if k.startswith("net.")}
+    assert net.get("net.conn_reset", 0) >= 1
+    assert net.get("net.reconnect", 0) >= 1
+
+
+@pytest.mark.chaos
+def test_same_seed_same_network_schedule(memory3_config):
+    # Chaos is a pure function of the plan seed: two runs under the same
+    # plan must fire the identical fault schedule (and agree on results).
+    plan = FaultPlan(seed=7, conn_reset_p=0.04, slow_link_p=0.03)
+
+    def run():
+        return ParallelSimulation(
+            memory3_config,
+            n_ranks=3,
+            backend="tcp",
+            n_hosts=2,
+            fault_plan=plan,
+            heartbeat_timeout=10.0,
+        ).run()
+
+    first, second = run(), run()
+    assert np.array_equal(first.matrix, second.matrix)
+    first_net = [(e.kind, e.rank, e.dest, e.op_index) for e in first.fault_events]
+    second_net = [(e.kind, e.rank, e.dest, e.op_index) for e in second.fault_events]
+    assert first_net == second_net
+    assert any(kind in ("conn_reset", "slow_link") for kind, *_ in first_net)
+
+
+@pytest.mark.recovery
+def test_membership_grow_shrink_no_divergence(memory3_config, reference_matrix):
+    # Elastic membership mid-run: grow two workers at generation 10, retire
+    # two at 25.  RNG-neutral by design, so zero trajectory divergence.
+    plan = (
+        MembershipEvent(generation=10, action="grow", count=2),
+        MembershipEvent(generation=25, action="shrink", ranks=(2, 4)),
+    )
+    result = ParallelSimulation(
+        memory3_config, n_ranks=3, membership_plan=plan
+    ).run()
+    assert np.array_equal(result.matrix, reference_matrix)
+    assert [(m.generation, m.action, m.ranks) for m in result.membership] == [
+        (10, "grow", (3, 4)),
+        (25, "shrink", (2, 4)),
+    ]
+    assert result.failed_ranks == ()
+
+
+@pytest.mark.recovery
+def test_membership_over_tcp(memory3_config, reference_matrix):
+    plan = (
+        MembershipEvent(generation=12, action="grow", count=2),
+        MembershipEvent(generation=28, action="shrink", ranks=(3,)),
+    )
+    result = ParallelSimulation(
+        memory3_config, n_ranks=3, backend="tcp", n_hosts=2, membership_plan=plan
+    ).run()
+    assert np.array_equal(result.matrix, reference_matrix)
+    assert [m.action for m in result.membership] == ["grow", "shrink"]
+
+
+def test_membership_plan_validation(memory3_config):
+    from repro.errors import MPIError
+
+    with pytest.raises(MPIError):
+        ParallelSimulation(
+            memory3_config,
+            n_ranks=3,
+            backend="process",
+            membership_plan=(MembershipEvent(generation=5, action="grow", count=1),),
+        )
+    with pytest.raises(MPIError):
+        ParallelSimulation(memory3_config, n_ranks=3, membership_plan=("grow",))
+    with pytest.raises(ValueError):
+        MembershipEvent(generation=5, action="shrink", ranks=(0,))
+    with pytest.raises(ValueError):
+        MembershipEvent(generation=5, action="grow", count=0)
