@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -36,6 +36,11 @@ test-recovery:
 test-tcp:
 	pytest tests/ -m tcp
 
+# Engine parity: batch vs vector vs scalar/lookup reference engines must
+# produce bit-identical fitness (memory 1-6, with and without noise).
+test-engine:
+	pytest tests/ -m engine
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -52,7 +57,7 @@ docs:
 docs-check:
 	python tools/gen_api_index.py --check
 	python tools/check_doc_snippets.py README.md docs/tutorial.md \
-		docs/architecture.md docs/observability.md
+		docs/architecture.md docs/observability.md docs/kernels.md
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/output reproduction

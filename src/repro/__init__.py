@@ -30,6 +30,8 @@ from repro.game import (
     named_strategy,
     play_ipd,
     VectorEngine,
+    BatchEngine,
+    make_engine,
 )
 from repro.population import EvolutionDriver, Population
 from repro.rng import StreamFactory
@@ -48,6 +50,8 @@ __all__ = [
     "named_strategy",
     "play_ipd",
     "VectorEngine",
+    "BatchEngine",
+    "make_engine",
     "EvolutionDriver",
     "Population",
     "StreamFactory",

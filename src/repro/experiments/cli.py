@@ -32,6 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n-ssets", type=int, default=None, help="population size (fig2)")
     run.add_argument("--generations", type=int, default=None, help="generations (fig2)")
     run.add_argument("--seed", type=int, default=None, help="random seed (fig2)")
+    run.add_argument(
+        "--engine",
+        choices=("auto", "vector", "batch"),
+        default=None,
+        help="game engine for config-driven runs (fig2); see docs/kernels.md",
+    )
 
     everything = sub.add_parser(
         "all", help="regenerate every fast artefact into a directory"
@@ -87,6 +93,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
             overrides["generations"] = args.generations
         if args.seed is not None:
             overrides["seed"] = args.seed
+        if args.engine is not None:
+            overrides["engine"] = args.engine
         return run_wsls_validation(wsls_validation_config(**overrides)).render()
     if eid in ("table6", "fig3", "fig4"):
         from repro.experiments.memory_scaling import run_table6

@@ -1,0 +1,485 @@
+"""Batched bit-packed generation kernel: a whole round-robin per call.
+
+The paper's observation is that a generation of evolutionary IPD is pure
+table arithmetic: memory-*n* strategies are ``4**n`` lookup tables, so every
+matchup advances by the same O(1) state recurrence and a generation is
+nothing but gathers and index arithmetic.  :class:`BatchEngine` exploits
+that all the way down: strategy tables are bit-packed with
+:mod:`repro.game.bitpack` (one *move* per bit, 64 per machine word), each
+matchup occupies a uint64 *lane*, and all games of a batch advance together
+one round per fused array operation.
+
+Compared to :class:`~repro.game.vector_engine.VectorEngine` (which gathers
+one **byte** per player per round out of a densely materialised
+``(n_games, 4**n)`` row matrix), the batch kernel
+
+* keeps the whole strategy matrix packed — 8x less memory traffic, and for
+  memory <= 3 an entire table fits in the game's single lane word, so the
+  per-round move read is a register shift with **no gather at all**;
+* accumulates integer-payoff fitness as exact integer move counts
+  (defections, opponent defections, mutual defections) and applies the
+  payoff matrix once at the end — the inner loop never touches a float;
+* optionally compiles the whole loop nest with numba (feature flag; pure
+  NumPy fallback when numba is absent).
+
+Identity contracts, both enforced by the parity suite
+(``tests/game/test_engine_parity.py``):
+
+* **bit-identical fitness** — every kernel returns exactly the payoffs of
+  the scalar reference engine and of ``VectorEngine``, with and without
+  noise, for memory one through six;
+* **fingerprint compatibility** — :meth:`BatchEngine.fingerprint` equals
+  :meth:`VectorEngine.fingerprint` for equal game parameters, so a
+  :class:`~repro.game.fitness_cache.FitnessCache` can be shared or swapped
+  between engines without invalidation.
+
+Mixed (float) strategy matrices have a per-state *probability*, not a bit,
+so they cannot be packed; :meth:`BatchEngine.play` plays them through the
+inherited dense vector path, drawing randomness in the identical order.
+
+See ``docs/kernels.md`` for the encoding, the exactness argument behind the
+integer accumulation, and how to read ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.bitpack import words_needed
+from repro.game.engine import DEFAULT_ROUNDS
+from repro.game.noise import NO_NOISE, NoiseModel
+from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
+from repro.game.states import StateSpace
+from repro.game.vector_engine import (
+    BatchResult,
+    VectorEngine,
+    as_table_matrix,
+)
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "BatchEngine",
+    "pack_matrix",
+    "make_engine",
+    "NUMBA_AVAILABLE",
+    "JIT_ENV_VAR",
+]
+
+#: Environment variable consulted when ``jit="auto"``: set to ``on``/``1``
+#: to require the compiled kernel, ``off``/``0`` to pin the NumPy kernel.
+JIT_ENV_VAR = "REPRO_BATCH_JIT"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - ImportError or a broken install
+    _numba = None
+    NUMBA_AVAILABLE = False
+
+
+def pack_matrix(space: StateSpace, tables: np.ndarray) -> np.ndarray:
+    """Bit-pack a pure strategy matrix, one row per strategy.
+
+    Row ``i`` of the result is exactly ``bitpack.pack_table(tables[i])``:
+    table entry ``s`` lives in bit ``s % 64`` of word ``s // 64``
+    (little-endian bit order), bits beyond ``n_states`` are zero.
+
+    Returns a ``(n_strategies, words_needed(n_states))`` uint64 array.
+    """
+    mat = as_table_matrix(space, tables)
+    if mat.dtype != np.uint8:
+        raise GameError("only pure (0/1) strategy matrices can be bit-packed")
+    nwords = words_needed(space.n_states)
+    packed_bytes = np.packbits(mat, axis=1, bitorder="little")
+    if packed_bytes.shape[1] != 8 * nwords:
+        padded = np.zeros((mat.shape[0], 8 * nwords), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        packed_bytes = padded
+    return np.ascontiguousarray(packed_bytes).view("<u8")
+
+
+def _resolve_jit(jit: object) -> bool:
+    """Map the ``jit`` feature flag (plus environment) to use-numba yes/no."""
+    if jit is True:
+        jit = "on"
+    elif jit is False:
+        jit = "off"
+    elif jit is None:
+        jit = "auto"
+    if jit not in ("auto", "on", "off"):
+        raise GameError(f"jit must be 'auto', 'on' or 'off', got {jit!r}")
+    if jit == "auto":
+        env = os.environ.get(JIT_ENV_VAR, "").strip().lower()
+        if env in ("on", "1", "true", "yes"):
+            jit = "on"
+        elif env in ("off", "0", "false", "no"):
+            jit = "off"
+    if jit == "on":
+        if not NUMBA_AVAILABLE:
+            raise GameError(
+                "the compiled batch kernel was requested (jit='on' or"
+                f" {JIT_ENV_VAR}=on) but numba is not installed;"
+                " install numba or use jit='auto'/'off'"
+            )
+        return True
+    if jit == "off":
+        return False
+    return NUMBA_AVAILABLE
+
+
+_JIT_KERNEL = None
+
+
+def _get_jit_kernel():  # pragma: no cover - requires numba
+    """Compile (once) and return the numba round-loop kernel."""
+    global _JIT_KERNEL
+    if _JIT_KERNEL is None:
+        from numba import njit
+
+        @njit(nogil=True)
+        def kernel(
+            flat,  # packed matrix, flattened: uint64[n_strategies * n_words]
+            n_words,
+            mask,  # uint64 state mask
+            ia,
+            ib,
+            rounds,
+            use_flips,
+            flips_a,  # bool[rounds, n_games] execution errors (may be empty)
+            flips_b,
+            int_path,
+            pay_mine,  # float64[4] flattened payoff, index (my << 1) | opp
+            pay_theirs,
+            da,  # int64[n_games] out: my defections
+            db,  # int64[n_games] out: opponent defections
+            dab,  # int64[n_games] out: mutual defections
+            fit_a,  # float64[n_games] out (float accumulation path only)
+            fit_b,
+        ):
+            u1 = np.uint64(1)
+            u2 = np.uint64(2)
+            u6 = np.uint64(6)
+            u63 = np.uint64(63)
+            n_games = ia.shape[0]
+            for g in range(n_games):
+                sa = np.uint64(0)
+                sb = np.uint64(0)
+                base_a = ia[g] * n_words
+                base_b = ib[g] * n_words
+                for r in range(rounds):
+                    wa = flat[base_a + np.int64(sa >> u6)]
+                    wb = flat[base_b + np.int64(sb >> u6)]
+                    a = (wa >> (sa & u63)) & u1
+                    b = (wb >> (sb & u63)) & u1
+                    if use_flips:
+                        if flips_a[r, g]:
+                            a ^= u1
+                        if flips_b[r, g]:
+                            b ^= u1
+                    da[g] += np.int64(a)
+                    db[g] += np.int64(b)
+                    if int_path:
+                        dab[g] += np.int64(a & b)
+                    else:
+                        j = np.int64((a << u1) | b)
+                        fit_a[g] += pay_mine[j]
+                        fit_b[g] += pay_theirs[j]
+                    sa = ((sa << u2) | (a << u1) | b) & mask
+                    sb = ((sb << u2) | (b << u1) | a) & mask
+
+        _JIT_KERNEL = kernel
+    return _JIT_KERNEL
+
+
+class BatchEngine(VectorEngine):
+    """Plays batches of IPD games over a bit-packed strategy matrix.
+
+    Drop-in replacement for :class:`~repro.game.vector_engine.VectorEngine`
+    — same constructor, same :meth:`play`/:meth:`tournament` signatures and
+    semantics, bit-identical fitness, identical RNG consumption (per round:
+    one flip block per player when noise is active, in A-then-B order), and
+    the identical :meth:`fingerprint`, so
+    :class:`~repro.game.fitness_cache.FitnessCache` entries remain valid
+    across the two engines.
+
+    Parameters
+    ----------
+    space, payoff, rounds, noise:
+        As for :class:`~repro.game.vector_engine.VectorEngine`.
+    jit:
+        Feature flag for the numba-compiled kernel.  ``"auto"`` (default)
+        compiles when numba is importable, else falls back to the pure
+        NumPy kernel; the :data:`JIT_ENV_VAR` environment variable can pin
+        the auto choice.  ``"on"`` requires numba (raises
+        :class:`~repro.errors.GameError` when absent); ``"off"`` always
+        uses NumPy.  ``True``/``False`` are accepted aliases.
+
+    Notes
+    -----
+    When every payoff-matrix entry is an integer (the paper's
+    ``[3, 0, 4, 1]`` is), per-game fitness is accumulated as three integer
+    move counters and resolved through the payoff matrix once at the end.
+    All partial sums on either path are then exactly representable
+    integers, so the result is *bit-identical* to the reference engines'
+    round-by-round float accumulation while keeping floats out of the
+    inner loop entirely.  Non-integer payoff matrices take a
+    round-by-round float path in the reference engines' exact order.
+    """
+
+    def __init__(
+        self,
+        space: StateSpace,
+        payoff: PayoffMatrix = PAPER_PAYOFFS,
+        rounds: int = DEFAULT_ROUNDS,
+        noise: NoiseModel = NO_NOISE,
+        jit: object = "auto",
+    ) -> None:
+        super().__init__(space, payoff=payoff, rounds=rounds, noise=noise)
+        self._use_numba = _resolve_jit(jit)
+        pay = np.asarray(payoff.table, dtype=np.float64)
+        # Integer payoffs allow exact count-based accumulation: every partial
+        # sum stays an exactly-representable integer, so summation order
+        # cannot change the result (the exactness argument in docs/kernels.md).
+        self._int_payoffs = bool(
+            np.all(np.isfinite(pay))
+            and np.array_equal(pay, np.rint(pay))
+            and float(np.max(np.abs(pay))) * self.rounds < 2**52
+        )
+        if self._int_payoffs:
+            p00, p01 = int(pay[0, 0]), int(pay[0, 1])
+            p10, p11 = int(pay[1, 0]), int(pay[1, 1])
+            cross = p11 - p10 - p01 + p00
+            # pay[a, b] == c0 + ca*a + cb*b + cab*a*b for a, b in {0, 1}.
+            self._lin_mine = (p00, p10 - p00, p01 - p00, cross)
+            self._lin_theirs = (p00, p01 - p00, p10 - p00, cross)
+
+    @property
+    def kernel(self) -> str:
+        """Which pure-strategy kernel this engine runs: ``numba`` or ``numpy``."""
+        return "numba" if self._use_numba else "numpy"
+
+    # -- main entry ---------------------------------------------------------
+
+    def play(
+        self,
+        tables: np.ndarray,
+        ia: np.ndarray,
+        ib: np.ndarray,
+        rng: np.random.Generator | None = None,
+        record_cooperation: bool = False,
+    ) -> BatchResult:
+        """Play ``len(ia)`` games; game ``g`` is ``tables[ia[g]]`` vs ``tables[ib[g]]``.
+
+        Pure (integer) matrices are bit-packed and run through the batched
+        kernel; mixed (float) matrices fall back to the inherited dense
+        vector path.  Results and RNG consumption are identical either way.
+        """
+        mat = as_table_matrix(self.space, tables)
+        if mat.dtype != np.uint8:
+            # Mixed strategies store a per-state probability, not a bit:
+            # nothing to pack.  The dense path draws the same stream.
+            return super().play(
+                mat, ia, ib, rng=rng, record_cooperation=record_cooperation
+            )
+        ia = np.asarray(ia, dtype=np.intp)
+        ib = np.asarray(ib, dtype=np.intp)
+        if ia.shape != ib.shape or ia.ndim != 1:
+            raise GameError(
+                f"ia/ib must be equal-length 1-D arrays, got {ia.shape}, {ib.shape}"
+            )
+        n_games = ia.size
+        if n_games and (
+            ia.min() < 0 or ib.min() < 0 or max(ia.max(), ib.max()) >= mat.shape[0]
+        ):
+            raise GameError("pair indices out of range of the strategy matrix")
+        if not self.noise.is_noiseless and rng is None:
+            raise GameError("mixed strategies or noise require an rng")
+        if n_games == 0:
+            empty = np.empty(0, dtype=np.float64)
+            zero = np.empty(0, dtype=np.int64)
+            return BatchResult(empty, empty.copy(), self.rounds, zero, zero.copy())
+        tracer = get_tracer()
+        trace_t0 = tracer.now() if tracer.enabled else 0.0
+
+        packed = pack_matrix(self.space, mat)
+        if self._use_numba:
+            da, db, dab, fit_a, fit_b = self._run_numba(packed, ia, ib, rng)
+        else:
+            da, db, dab, fit_a, fit_b = self._run_numpy(packed, ia, ib, rng)
+
+        if self._int_payoffs:
+            rounds = np.int64(self.rounds)
+            c0, ca, cb, cab = self._lin_mine
+            fit_a = (c0 * rounds + ca * da + cb * db + cab * dab).astype(np.float64)
+            c0, ca, cb, cab = self._lin_theirs
+            fit_b = (c0 * rounds + ca * da + cb * db + cab * dab).astype(np.float64)
+
+        self.games_played += n_games
+        self.rounds_played += n_games * self.rounds
+        if tracer.enabled:
+            tracer.complete(
+                "batch_engine.play", cat="game", ts=trace_t0,
+                dur=tracer.now() - trace_t0,
+                args={
+                    "games": int(n_games),
+                    "rounds": self.rounds,
+                    "kernel": self.kernel,
+                },
+            )
+        empty = np.empty(0, dtype=np.int64)
+        return BatchResult(
+            fitness_a=fit_a,
+            fitness_b=fit_b,
+            rounds=self.rounds,
+            cooperations_a=(self.rounds - da) if record_cooperation else empty,
+            cooperations_b=(self.rounds - db) if record_cooperation else empty,
+        )
+
+    # -- kernels ------------------------------------------------------------
+
+    def _run_numpy(self, packed, ia, ib, rng):
+        """Pure NumPy round loop: all games advance together per round."""
+        n_games = ia.size
+        n_words = packed.shape[1]
+        mask = np.uint64(self.space.mask)
+        one = np.uint64(1)
+        rate = self.noise.rate
+        int_path = self._int_payoffs
+
+        state_a = np.zeros(n_games, dtype=np.uint64)
+        state_b = np.zeros(n_games, dtype=np.uint64)
+        move_a = np.empty(n_games, dtype=np.uint64)
+        move_b = np.empty(n_games, dtype=np.uint64)
+        da = np.zeros(n_games, dtype=np.int64)
+        db = np.zeros(n_games, dtype=np.int64)
+        dab = np.zeros(n_games, dtype=np.int64)
+        fit_a = fit_b = None
+        if not int_path:
+            fit_a = np.zeros(n_games, dtype=np.float64)
+            fit_b = np.zeros(n_games, dtype=np.float64)
+
+        single = n_words == 1
+        if single:
+            # The whole table fits in the matchup's one uint64 lane: gather
+            # it once, and every later move read is a register shift.
+            lane_a = packed[ia, 0]
+            lane_b = packed[ib, 0]
+        else:
+            flat = packed.ravel()
+            base_a = (ia * n_words).astype(np.intp)
+            base_b = (ib * n_words).astype(np.intp)
+
+        for _ in range(self.rounds):
+            if single:
+                np.right_shift(lane_a, state_a, out=move_a)
+                np.right_shift(lane_b, state_b, out=move_b)
+            else:
+                wa = flat[base_a + (state_a >> np.uint64(6)).astype(np.intp)]
+                wb = flat[base_b + (state_b >> np.uint64(6)).astype(np.intp)]
+                np.right_shift(wa, state_a & np.uint64(63), out=move_a)
+                np.right_shift(wb, state_b & np.uint64(63), out=move_b)
+            move_a &= one
+            move_b &= one
+            if rate:
+                # Same draw order as VectorEngine: A's flip block, then B's.
+                move_a ^= (rng.random(n_games) < rate).astype(np.uint64)
+                move_b ^= (rng.random(n_games) < rate).astype(np.uint64)
+
+            da += move_a.astype(np.int64)
+            db += move_b.astype(np.int64)
+            if int_path:
+                dab += (move_a & move_b).astype(np.int64)
+            else:
+                joint = ((move_a << one) | move_b).astype(np.intp)
+                fit_a += self._pay_mine[joint]
+                fit_b += self._pay_theirs[joint]
+
+            # state' = ((state << 2) | (my << 1) | opp) & mask, both views.
+            np.left_shift(state_a, np.uint64(2), out=state_a)
+            state_a |= move_a << one
+            state_a |= move_b
+            state_a &= mask
+            np.left_shift(state_b, np.uint64(2), out=state_b)
+            state_b |= move_b << one
+            state_b |= move_a
+            state_b &= mask
+        return da, db, dab, fit_a, fit_b
+
+    def _run_numba(self, packed, ia, ib, rng):  # pragma: no cover - requires numba
+        """Compiled loop nest; randomness is pre-drawn in the dense order."""
+        n_games = ia.size
+        rate = self.noise.rate
+        use_flips = bool(rate)
+        if use_flips:
+            flips_a = np.empty((self.rounds, n_games), dtype=np.bool_)
+            flips_b = np.empty((self.rounds, n_games), dtype=np.bool_)
+            for r in range(self.rounds):
+                # One block per player per round, A then B — the exact
+                # stream order of VectorEngine and the NumPy kernel.
+                flips_a[r] = rng.random(n_games) < rate
+                flips_b[r] = rng.random(n_games) < rate
+        else:
+            flips_a = flips_b = np.empty((0, 0), dtype=np.bool_)
+        da = np.zeros(n_games, dtype=np.int64)
+        db = np.zeros(n_games, dtype=np.int64)
+        dab = np.zeros(n_games, dtype=np.int64)
+        fit_a = np.zeros(n_games, dtype=np.float64)
+        fit_b = np.zeros(n_games, dtype=np.float64)
+        kernel = _get_jit_kernel()
+        kernel(
+            packed.ravel(),
+            np.int64(packed.shape[1]),
+            np.uint64(self.space.mask),
+            ia.astype(np.int64),
+            ib.astype(np.int64),
+            np.int64(self.rounds),
+            use_flips,
+            flips_a,
+            flips_b,
+            self._int_payoffs,
+            self._pay_mine,
+            self._pay_theirs,
+            da,
+            db,
+            dab,
+            fit_a,
+            fit_b,
+        )
+        return da, db, dab, fit_a, fit_b
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchEngine(memory={self.space.memory}, rounds={self.rounds},"
+            f" noise={self.noise.rate}, kernel={self.kernel},"
+            f" games_played={self.games_played})"
+        )
+
+
+def make_engine(
+    space: StateSpace,
+    payoff: PayoffMatrix = PAPER_PAYOFFS,
+    rounds: int = DEFAULT_ROUNDS,
+    noise: NoiseModel = NO_NOISE,
+    kind: str = "vector",
+    jit: object = "auto",
+) -> VectorEngine:
+    """Build a tournament engine of the requested ``kind``.
+
+    ``kind="vector"`` returns the dense
+    :class:`~repro.game.vector_engine.VectorEngine`; ``kind="batch"`` the
+    bit-packed :class:`BatchEngine` (``jit`` selects its kernel).  Both
+    satisfy the same play/tournament/fingerprint contract, so callers —
+    :class:`~repro.population.fitness.FitnessEvaluator`, the parallel
+    runner, a :class:`~repro.game.fitness_cache.FitnessCache` — can switch
+    freely.  :attr:`repro.config.SimulationConfig.resolved_engine` maps a
+    configuration to the ``kind`` used throughout a run.
+    """
+    if kind == "vector":
+        return VectorEngine(space, payoff=payoff, rounds=rounds, noise=noise)
+    if kind == "batch":
+        return BatchEngine(space, payoff=payoff, rounds=rounds, noise=noise, jit=jit)
+    raise GameError(f"engine kind must be 'vector' or 'batch', got {kind!r}")

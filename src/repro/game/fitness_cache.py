@@ -43,6 +43,13 @@ class FitnessCache:
     noise) and raises on any attempt to reuse it with a differently
     configured engine.  :meth:`clear` unpins along with dropping the data.
 
+    The fingerprint deliberately identifies game *parameters*, not the
+    engine class: :class:`~repro.game.batch_engine.BatchEngine` (either
+    kernel) shares fingerprints with an equally-parameterised
+    :class:`VectorEngine` and produces bit-identical fitness, so a cache
+    can be warmed by one engine and served through another — or a run can
+    switch engines between checkpoints — without invalidation.
+
     Parameters
     ----------
     maxsize:

@@ -28,7 +28,28 @@ from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
 from repro.game.states import StateSpace
 from repro.obs.tracer import get_tracer
 
-__all__ = ["VectorEngine", "BatchResult", "as_table_matrix"]
+__all__ = ["VectorEngine", "BatchResult", "as_table_matrix", "engine_fingerprint"]
+
+
+def engine_fingerprint(
+    space: StateSpace, payoff: PayoffMatrix, rounds: int, noise: NoiseModel
+) -> bytes:
+    """Stable 16-byte identity of a set of game parameters.
+
+    Two engines share a fingerprint exactly when a deterministic game
+    between the same pure strategies yields the same payoffs under both:
+    memory depth, payoff matrix, rounds and noise all participate.  Every
+    engine class (:class:`VectorEngine`,
+    :class:`~repro.game.batch_engine.BatchEngine`) derives its
+    :meth:`~VectorEngine.fingerprint` from this one function, which is what
+    lets a :class:`~repro.game.fitness_cache.FitnessCache` outlive an
+    engine swap.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((space.memory, space.n_states, int(rounds))).encode())
+    h.update(np.ascontiguousarray(payoff.table, dtype=np.float64).tobytes())
+    h.update(repr(float(noise.rate)).encode())
+    return h.digest()
 
 
 @dataclass(frozen=True)
@@ -132,13 +153,11 @@ class VectorEngine:
         both: memory depth, payoff matrix, rounds and noise all
         participate.  :class:`~repro.game.fitness_cache.FitnessCache` pins
         itself to this value so cached fitness can never be served under
-        different game parameters.
+        different game parameters.  Subclasses inherit this unchanged (it
+        delegates to :func:`engine_fingerprint`): an engine's *identity* is
+        its game parameters, never its kernel implementation.
         """
-        h = hashlib.blake2b(digest_size=16)
-        h.update(repr((self.space.memory, self.space.n_states, self.rounds)).encode())
-        h.update(np.ascontiguousarray(self.payoff.table, dtype=np.float64).tobytes())
-        h.update(repr(float(self.noise.rate)).encode())
-        return h.digest()
+        return engine_fingerprint(self.space, self.payoff, self.rounds, self.noise)
 
     # -- main entry ---------------------------------------------------------
 

@@ -51,6 +51,8 @@ def config_to_dict(config: SimulationConfig) -> dict:
         "use_fitness_cache": config.use_fitness_cache,
         "fitness_mode": config.fitness_mode,
         "seed": config.seed,
+        "engine": config.engine,
+        "engine_jit": config.engine_jit,
     }
 
 
@@ -78,6 +80,8 @@ def config_from_dict(data: Mapping) -> SimulationConfig:
             use_fitness_cache=bool(data["use_fitness_cache"]),
             fitness_mode=data.get("fitness_mode", "auto"),
             seed=int(data["seed"]),
+            engine=data.get("engine", "auto"),
+            engine_jit=data.get("engine_jit", "auto"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed config record: {exc}") from exc

@@ -899,6 +899,12 @@ class ParallelSimulation:
     ----------
     config:
         Simulation parameters (shared verbatim with the serial driver).
+        This includes engine selection: every rank's
+        :class:`~repro.population.fitness.FitnessEvaluator` builds its game
+        engine from ``config.resolved_engine`` / ``config.engine_jit``, so
+        setting ``engine="batch"`` (or leaving ``"auto"`` on a pure
+        population) runs the bit-packed batch kernel on all workers with
+        bit-identical trajectories (docs/kernels.md).
     n_ranks:
         World size, >= 2 (rank 0 is the Nature Agent).
     eager_games:

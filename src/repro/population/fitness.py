@@ -31,8 +31,8 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.errors import PopulationError
+from repro.game.batch_engine import make_engine
 from repro.game.markov import expected_pair_payoffs
-from repro.game.vector_engine import VectorEngine
 from repro.population.population import Population
 from repro.rng import StreamFactory
 
@@ -70,8 +70,15 @@ class FitnessEvaluator:
         self.mode = config.resolved_fitness_mode
         if self.mode == "sampled" and streams is None:
             raise PopulationError("sampled fitness mode needs a StreamFactory")
-        self.engine = VectorEngine(
-            config.space, payoff=config.payoff, rounds=config.rounds, noise=config.noise
+        # Engine selection (vector vs bit-packed batch, NumPy vs numba) is a
+        # config knob; every kind is fitness-bit-identical (docs/kernels.md).
+        self.engine = make_engine(
+            config.space,
+            payoff=config.payoff,
+            rounds=config.rounds,
+            noise=config.noise,
+            kind=config.resolved_engine,
+            jit=config.engine_jit,
         )
         # Memoised rows: slot -> (row_stamp, {col_slot: (col_stamp, payoff_row_vs_col)})
         self._rows: dict[int, tuple[int, dict[int, tuple[int, float]]]] = {}

@@ -123,3 +123,81 @@ class TestRandomAndHex:
     def test_from_hex_rejects_bad_length(self):
         with pytest.raises(StrategyError):
             bitpack.from_hex("abc")
+
+
+class TestMultiWordEdgeCases:
+    """Edge cases the batch kernel leans on: memory-6 tables span 64 words,
+    memory-4/5 tables end mid-word, and hex text is the wire/debug format."""
+
+    def test_memory_six_spans_64_words(self, rng):
+        # 4096 states -> exactly 64 words, no partial last word.
+        table = rng.integers(0, 2, size=4096).astype(np.uint8)
+        words = bitpack.pack_table(table)
+        assert words.size == 64
+        assert np.array_equal(bitpack.unpack_table(words, 4096), table)
+        # Per-state spot checks across word boundaries.
+        for state in (0, 63, 64, 2047, 2048, 4095):
+            assert bitpack.get_move(words, state) == table[state]
+
+    def test_memory_six_set_move_across_words(self):
+        words = bitpack.pack_table(np.zeros(4096, dtype=np.uint8))
+        for state in (0, 64, 4095):
+            bitpack.set_move(words, state, 1)
+        assert bitpack.count_defections(words, 4096) == 3
+        assert int(words[0]) == 1
+        assert int(words[1]) == 1
+        assert int(words[63]) == 1 << 63
+
+    @pytest.mark.parametrize("n_states", [65, 100, 1024 + 1, 4095])
+    def test_count_defections_ignores_partial_word_padding(self, rng, n_states):
+        # A partial last word has up-to-63 padding bits; the count must see
+        # only the n_states live bits even if padding were nonzero.
+        table = rng.integers(0, 2, size=n_states).astype(np.uint8)
+        words = bitpack.pack_table(table)
+        assert bitpack.count_defections(words, n_states) == int(table.sum())
+        dirty = words.copy()
+        excess = 64 * words.size - n_states
+        if excess:
+            dirty[-1] |= np.uint64(((1 << excess) - 1) << (64 - excess))
+        assert bitpack.count_defections(dirty, n_states) == int(table.sum())
+
+    @pytest.mark.parametrize("n_states", [65, 100, 4095])
+    def test_hamming_ignores_partial_word_padding(self, rng, n_states):
+        a = rng.integers(0, 2, size=n_states).astype(np.uint8)
+        b = a.copy()
+        flipped = rng.choice(n_states, size=5, replace=False)
+        b[flipped] ^= 1
+        wa = bitpack.pack_table(a)
+        wb = bitpack.pack_table(b)
+        assert bitpack.hamming(wa, wb, n_states) == 5
+        # Differing *padding* bits must not count.
+        dirty = wb.copy()
+        excess = 64 * wb.size - n_states
+        dirty[-1] |= np.uint64(((1 << excess) - 1) << (64 - excess))
+        assert bitpack.hamming(wa, dirty, n_states) == 5
+
+    def test_hamming_last_bit_of_partial_word(self):
+        # The very last live bit (state n_states-1) must be visible.
+        n_states = 65
+        a = np.zeros(n_states, dtype=np.uint8)
+        b = a.copy()
+        b[64] = 1
+        assert bitpack.hamming(bitpack.pack_table(a), bitpack.pack_table(b), n_states) == 1
+
+    @pytest.mark.parametrize("n_states", [1, 64, 65, 100, 4096])
+    def test_hex_roundtrip_all_word_counts(self, rng, n_states):
+        words = bitpack.random_packed(n_states, rng)
+        text = bitpack.to_hex(words)
+        assert len(text) == 16 * bitpack.words_needed(n_states)
+        back = bitpack.from_hex(text)
+        assert back.dtype == np.uint64
+        assert np.array_equal(back, words)
+        # Hex text identifies the table exactly.
+        assert np.array_equal(
+            bitpack.unpack_table(back, n_states), bitpack.unpack_table(words, n_states)
+        )
+
+    def test_to_hex_word_order(self):
+        # Word 0 is printed first, each word as 16 zero-padded hex chars.
+        words = np.array([1, 2], dtype=np.uint64)
+        assert bitpack.to_hex(words) == "0000000000000001" + "0000000000000002"

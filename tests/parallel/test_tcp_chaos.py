@@ -63,7 +63,11 @@ def test_partition_reset_crash_bit_identical(memory3_config, reference_matrix):
     assert np.array_equal(result.matrix, reference_matrix)
     assert result.failed_ranks == ()
     assert [(r.rank, r.incarnation) for r in result.respawns] == [(2, 1)]
-    assert [(e.rank, e.generation) for e in result.recoveries] == [(2, 5)]
+    assert [(e.rank, e.incarnation) for e in result.recoveries] == [(2, 1)]
+    # The replacement's hello lands at the first generation boundary after
+    # respawn completes; how many boundaries that takes depends on process
+    # spawn latency, so pin the window, not the exact boundary.
+    assert 5 <= result.recoveries[0].generation < memory3_config.generations
     # The transport had to actually heal something for this to mean much.
     net = {k: v.calls for k, v in result.counters.items() if k.startswith("net.")}
     assert net.get("net.conn_reset", 0) >= 1
