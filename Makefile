@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine test-service bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -41,6 +41,11 @@ test-tcp:
 test-engine:
 	pytest tests/ -m engine
 
+# The run service: specs, store, queue (quotas/fair-share/requeue),
+# REST/SSE server + CLI, and the two-tenant chaos acceptance test.
+test-service:
+	pytest tests/ -m service
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -57,7 +62,8 @@ docs:
 docs-check:
 	python tools/gen_api_index.py --check
 	python tools/check_doc_snippets.py README.md docs/tutorial.md \
-		docs/architecture.md docs/observability.md docs/kernels.md
+		docs/architecture.md docs/observability.md docs/kernels.md \
+		docs/service.md
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/output reproduction

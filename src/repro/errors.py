@@ -34,6 +34,10 @@ __all__ = [
     "ExperimentError",
     "CheckpointError",
     "SupervisorError",
+    "RunStoreError",
+    "ServiceError",
+    "QuotaError",
+    "UnknownRunError",
 ]
 
 
@@ -179,3 +183,19 @@ class CheckpointError(ReproError, RuntimeError):
 
 class SupervisorError(ReproError, RuntimeError):
     """A supervised run exhausted its restart budget without completing."""
+
+
+class RunStoreError(ReproError, RuntimeError):
+    """A run-store operation failed (bad key, missing run, corrupt record)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for errors raised by the run service (:mod:`repro.service`)."""
+
+
+class QuotaError(ServiceError):
+    """A tenant tried to exceed its admission quota."""
+
+
+class UnknownRunError(ServiceError, KeyError):
+    """A service operation named a run the job queue does not know."""

@@ -1,0 +1,100 @@
+"""Experiment ids as run-spec templates.
+
+The registry (:mod:`repro.experiments.registry`) indexes every paper
+artefact; the *config-driven* subset — experiments whose driver evolves a
+population from a :class:`~repro.config.SimulationConfig` — can also be
+addressed as :class:`~repro.parallel.spec.RunSpec` templates: the run
+service accepts ``{"template": "fig2"}`` and expands it into a full spec,
+so an experiment id is a submittable workload, not just a CLI artefact.
+
+Model-mode experiments (Table VI, the scaling figures, ...) regenerate
+numbers through the calibrated performance model without evolving anything,
+so there is no simulation to spec; asking for them raises
+:class:`~repro.errors.ExperimentError` naming the templatable ids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS
+from repro.parallel.spec import RunSpec
+
+__all__ = ["spec_template", "template_ids"]
+
+
+def _fig2_config(**overrides) -> SimulationConfig:
+    from repro.experiments.validation_wsls import wsls_validation_config
+
+    return wsls_validation_config(**overrides)
+
+
+def _memory_cooperation_config(
+    memory: int = 1,
+    n_ssets: int = 16,
+    generations: int = 20_000,
+    seed: int = 1,
+    noise_rate: float = 0.02,
+) -> SimulationConfig:
+    # One cell of the memory-cooperation study (the driver sweeps
+    # memory x seed; a spec names a single run, so the template exposes the
+    # cell parameters).  Mirrors run_memory_cooperation's construction.
+    from repro.game.noise import NoiseModel
+
+    return SimulationConfig(
+        memory=memory,
+        n_ssets=n_ssets,
+        generations=generations,
+        seed=seed,
+        strategy_kind="pure",
+        fitness_mode="expected",
+        noise=NoiseModel(noise_rate),
+        pc_rate=0.2,
+        mutation_rate=0.05,
+        beta=0.1,
+    )
+
+
+#: Experiment ids that expand to a SimulationConfig (and hence a RunSpec).
+_TEMPLATE_CONFIGS: dict[str, Callable[..., SimulationConfig]] = {
+    "fig2": _fig2_config,
+    "memory-cooperation": _memory_cooperation_config,
+}
+
+
+def template_ids() -> list[str]:
+    """Registry ids addressable as run-spec templates, in registry order."""
+    return [eid for eid in EXPERIMENTS if eid in _TEMPLATE_CONFIGS]
+
+
+def spec_template(
+    experiment_id: str,
+    *,
+    config_overrides: dict | None = None,
+    **spec_overrides,
+) -> RunSpec:
+    """Expand a registry id into a submittable :class:`~repro.parallel.spec.RunSpec`.
+
+    ``config_overrides`` are keyword arguments of the experiment's config
+    factory (``n_ssets``, ``generations``, ``seed``, ...); ``spec_overrides``
+    set :class:`~repro.parallel.spec.RunSpec` fields (``n_ranks``,
+    ``backend``, ``fault``, ...).  Unknown ids — including registered
+    experiments that are not config-driven — raise
+    :class:`~repro.errors.ExperimentError` listing what is templatable.
+    """
+    factory = _TEMPLATE_CONFIGS.get(experiment_id)
+    if factory is None:
+        known = ", ".join(template_ids())
+        detail = (
+            "a registered experiment, but not config-driven (nothing to evolve)"
+            if experiment_id in EXPERIMENTS
+            else "not a registered experiment"
+        )
+        raise ExperimentError(
+            f"{experiment_id!r} is {detail}; spec templates exist for: {known}"
+        )
+    config = factory(**(config_overrides or {}))
+    spec_overrides.setdefault("name", experiment_id)
+    return RunSpec(config=config, **spec_overrides)

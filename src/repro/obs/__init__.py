@@ -13,6 +13,9 @@ timeline visible on the virtual runtime:
   send→recv flow arrows), plain-text timelines, metrics dumps.
 * :mod:`repro.obs.report` — ``python -m repro.obs.report trace.json``
   renders a run summary from an exported trace.
+* :mod:`repro.obs.stream` — :class:`EventTap` (a tracer that fans events
+  out to live subscribers) plus a JSONL transport with a tailing reader,
+  so the run service can stream a worker's progress over SSE.
 
 Enable tracing on the runners: ``run_spmd(..., tracer=Tracer())`` or
 ``ParallelSimulation(..., trace=True)`` (the result then carries the tracer
@@ -27,6 +30,13 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.stream import (
+    EventTap,
+    event_to_dict,
+    follow_events,
+    jsonl_event_writer,
+    read_events,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -54,4 +64,9 @@ __all__ = [
     "load_trace",
     "timeline_text",
     "metrics_json",
+    "EventTap",
+    "event_to_dict",
+    "jsonl_event_writer",
+    "read_events",
+    "follow_events",
 ]

@@ -6,6 +6,8 @@
   serial driver.
 * :mod:`repro.parallel.supervisor` — self-healing runs: bounded restarts
   from crash-consistent checkpoints.
+* :mod:`repro.parallel.spec` — declarative :class:`RunSpec`/:class:`FaultPolicy`
+  consumed by ``ParallelSimulation.from_spec`` / ``SupervisedRun.from_spec``.
 """
 
 from repro.parallel.decomposition import (
@@ -23,6 +25,7 @@ from repro.parallel.protocol import (
     RecoveryEvent,
 )
 from repro.parallel.runner import ParallelRunResult, ParallelSimulation
+from repro.parallel.spec import FaultPolicy, RunSpec
 from repro.parallel.supervisor import RestartEvent, SupervisedResult, SupervisedRun
 
 __all__ = [
@@ -38,6 +41,8 @@ __all__ = [
     "TAG_FITNESS",
     "ParallelRunResult",
     "ParallelSimulation",
+    "FaultPolicy",
+    "RunSpec",
     "SupervisedRun",
     "SupervisedResult",
     "RestartEvent",

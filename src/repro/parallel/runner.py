@@ -1104,6 +1104,19 @@ class ParallelSimulation:
         )
 
     @classmethod
+    def from_spec(cls, spec, **overrides) -> "ParallelSimulation":
+        """Build a simulation from a declarative :class:`~repro.parallel.spec.RunSpec`.
+
+        The spec supplies the config, world size, backend, chaos plan and
+        degradation policy; keyword ``overrides`` win over the spec
+        (``checkpoint_dir=``, ``trace=``, ...).  A spec-launched run is
+        bit-identical to a hand-assembled one.
+        """
+        kwargs = spec.simulation_kwargs()
+        kwargs.update(overrides)
+        return cls(spec.config, spec.n_ranks, **kwargs)
+
+    @classmethod
     def resume(
         cls,
         checkpoint: str | Path | ParallelCheckpoint,

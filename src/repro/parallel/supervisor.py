@@ -119,11 +119,26 @@ class SupervisedRun:
         Exponential pause between attempts: the first restart waits
         ``backoff`` seconds, each further restart ``backoff_factor`` times
         longer, capped at ``max_backoff`` and shrunk by up to
-        ``backoff_jitter`` (a deterministic fraction keyed on the config
-        seed and the attempt — :func:`repro.mpi.comm.backoff_wait`), so
-        many supervisors restarting off one shared outage don't relaunch
-        in lockstep.  The actual wait lands in each
+        ``backoff_jitter`` (a deterministic fraction keyed on this run's
+        identity, the config seed and the attempt —
+        :func:`repro.mpi.comm.backoff_wait`), so many supervisors
+        restarting off one shared outage don't relaunch in lockstep —
+        *including* supervisors running identical same-seed specs for
+        different tenants, which is why the key carries the run identity
+        and not just the seed.  The actual wait lands in each
         :class:`RestartEvent`'s ``backoff``.
+    run_id:
+        This run's identity for backoff decorrelation (and logs).  Defaults
+        to the resolved checkpoint directory, which is unique per run by
+        construction; the run service passes its ``tenant/run`` key.
+    wall_budget:
+        Overall wall-clock budget in seconds across *all* attempts, or
+        ``None`` (default) for unbounded.  ``timeout`` stays a *per-attempt*
+        deadline, so without a budget a run can legally burn
+        ``(max_restarts + 1) x timeout`` seconds; the budget is checked
+        before each relaunch (the pending backoff pause counts against it)
+        and raises :class:`~repro.errors.SupervisorError` naming the budget
+        when spent — the quotable bound a scheduler can bill.
     fault_plan:
         Chaos injected into the **first** attempt only.
     fault_plan_on_retry:
@@ -155,9 +170,12 @@ class SupervisedRun:
         backoff_factor: float = 2.0,
         max_backoff: float = 30.0,
         backoff_jitter: float = 0.5,
+        run_id: str | None = None,
+        wall_budget: float | None = None,
         fault_plan: FaultPlan | None = None,
         fault_plan_on_retry: FaultPlan | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
         trace: bool | Tracer = False,
         **sim_kwargs,
     ) -> None:
@@ -174,6 +192,8 @@ class SupervisedRun:
             )
         if not 0.0 <= backoff_jitter < 1.0:
             raise MPIError(f"backoff_jitter must lie in [0, 1), got {backoff_jitter}")
+        if wall_budget is not None and wall_budget <= 0:
+            raise MPIError(f"wall_budget must be > 0 or None, got {wall_budget}")
         if "fault_tolerant" in sim_kwargs:
             raise MPIError(
                 "SupervisedRun always uses the fault-tolerant protocol;"
@@ -188,9 +208,18 @@ class SupervisedRun:
         self.backoff_factor = float(backoff_factor)
         self.max_backoff = float(max_backoff)
         self.backoff_jitter = float(backoff_jitter)
+        # The backoff key must separate two supervisors running *identical*
+        # specs (same config, same seed) for different tenants — keying on
+        # the seed alone restarts them in lockstep off a shared outage,
+        # which is the herd the jitter exists to prevent.  The checkpoint
+        # directory is unique per run by construction, so it is the default
+        # identity.
+        self.run_id = str(self.checkpoint_dir.resolve()) if run_id is None else str(run_id)
+        self.wall_budget = None if wall_budget is None else float(wall_budget)
         self.fault_plan = fault_plan
         self.fault_plan_on_retry = fault_plan_on_retry
         self._sleep = sleep
+        self._clock = clock
         self.sim_kwargs = sim_kwargs
         if trace is True:
             self.tracer: Tracer | None = Tracer()
@@ -223,17 +252,52 @@ class SupervisedRun:
         sim = ParallelSimulation.resume(found, self.n_ranks, **common)
         return sim, str(found), sim._start.start_generation
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        checkpoint_dir: str | Path,
+        run_id: str | None = None,
+        **overrides,
+    ) -> "SupervisedRun":
+        """Build a supervisor from a declarative :class:`~repro.parallel.spec.RunSpec`.
+
+        The spec's :class:`~repro.parallel.spec.FaultPolicy` maps onto the
+        restart/backoff/budget arguments and the simulation fields onto the
+        launch arguments; ``checkpoint_dir`` is placement the caller owns.
+        Keyword ``overrides`` win over the spec (e.g. ``sleep=`` for tests).
+        The spec's ``attempt_timeout`` is *not* applied here — pass it to
+        :meth:`run` (``sup.run(timeout=spec.attempt_timeout)``), where the
+        per-attempt deadline lives.
+        """
+        kwargs = spec.supervisor_kwargs()
+        kwargs.update(overrides)
+        return cls(
+            spec.config,
+            spec.n_ranks,
+            checkpoint_dir=checkpoint_dir,
+            run_id=run_id,
+            **kwargs,
+        )
+
     def run(self, timeout: float | None = 600.0) -> SupervisedResult:
-        """Drive attempts until one completes or the restart budget is spent.
+        """Drive attempts until one completes or a budget is spent.
+
+        ``timeout`` bounds each *attempt*; the supervisor's ``wall_budget``
+        (when set) bounds the whole run across attempts and is checked
+        before every relaunch.
 
         Raises
         ------
         SupervisorError
-            After ``max_restarts`` restarts have failed; chained to the last
-            attempt's underlying error.
+            After ``max_restarts`` restarts have failed, or when the
+            wall-clock budget is spent; chained to the last attempt's
+            underlying error.
         """
         restarts: list[RestartEvent] = []
         attempt = 0
+        t0 = self._clock()
         while True:
             sim, ckpt, start_gen = self._build(attempt)
             try:
@@ -262,8 +326,17 @@ class SupervisedRun:
                     factor=self.backoff_factor,
                     cap=self.max_backoff,
                     jitter=self.backoff_jitter,
-                    key=("supervisor", self.config.seed),
+                    key=("supervisor", self.run_id, self.config.seed),
                 )
+                if self.wall_budget is not None:
+                    spent = self._clock() - t0
+                    if spent + pause >= self.wall_budget:
+                        raise SupervisorError(
+                            f"wall-clock budget {self.wall_budget:g} s spent"
+                            f" ({spent:.2f} s elapsed after {attempt + 1}"
+                            f" attempt(s), next relaunch would wait {pause:.2f} s"
+                            f" more); last error: {type(exc).__name__}: {exc}"
+                        ) from exc
                 event = RestartEvent(
                     attempt=attempt,
                     error=f"{type(exc).__name__}: {exc}",

@@ -1,0 +1,30 @@
+"""Simulation as a service: queue, persist, stream and fetch runs by key.
+
+The layers underneath already know how to *run* — the parallel runner is
+bit-identical to the serial driver, the supervisor restarts it from
+crash-consistent checkpoints, and a :class:`~repro.parallel.spec.RunSpec`
+describes a whole run as one JSON value.  This package turns that into a
+multi-tenant service:
+
+* :mod:`repro.service.worker` — the child-process entry point: one process
+  runs one supervised run from its stored spec, streaming progress into the
+  run's event log and writing a digest-verified result.
+* :mod:`repro.service.queue` — :class:`JobQueue`: a bounded worker-process
+  pool with per-tenant quotas, fair-share ordering, preemption and
+  requeue-from-checkpoint (an unexpectedly dead worker resumes where its
+  last valid checkpoint left off).
+* :mod:`repro.service.server` — :class:`RunService` (the in-process API)
+  and a thin stdlib REST server with an SSE progress stream per run.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the urllib client
+  the ``repro-serve`` CLI (:mod:`repro.service.cli`) is built on.
+
+Everything durable lives in a :class:`~repro.io.runstore.RunStore`:
+submit a spec under ``tenant/run_id`` today, fetch the same matrix by the
+same key from a fresh process tomorrow.
+"""
+
+from repro.service.queue import JobQueue, JobStatus
+from repro.service.server import RunService, serve
+from repro.service.client import ServiceClient
+
+__all__ = ["JobQueue", "JobStatus", "RunService", "ServiceClient", "serve"]

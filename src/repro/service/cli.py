@@ -1,0 +1,220 @@
+"""Command-line entry point: ``repro-serve``.
+
+One binary, both sides of the wire::
+
+    repro-serve serve --root /tmp/runs --port 8642 --max-workers 2
+    repro-serve submit --tenant alice --run-id demo --template fig2 \\
+        --config generations=200 n_ssets=16
+    repro-serve watch  --tenant alice --run-id demo
+    repro-serve result --tenant alice --run-id demo --out demo.npz
+    repro-serve runs
+    repro-serve preempt --tenant alice --run-id demo
+    repro-serve resume  --tenant alice --run-id demo
+
+``serve`` hosts the run service in the foreground; every other subcommand
+is a thin :class:`~repro.service.client.ServiceClient` call against
+``--url`` (default ``http://127.0.0.1:8642``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_kv(pairs: list[str], what: str) -> dict:
+    """``k=v`` pairs to a dict, values decoded as JSON when they parse."""
+    out: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad {what} {pair!r}: expected key=value")
+        try:
+            out[key] = json.loads(value)
+        except json.JSONDecodeError:
+            out[key] = value
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Host or talk to the multi-tenant simulation run service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host the run service (foreground)")
+    serve.add_argument("--root", required=True, help="run-store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--max-workers", type=int, default=2, help="worker-process pool size")
+    serve.add_argument("--quota", type=int, default=4, help="default active runs per tenant")
+    serve.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=[],
+        metavar="TENANT=N",
+        help="per-tenant quota override (repeatable)",
+    )
+
+    def client_parser(name: str, help_text: str, *, run_key: bool = True):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--url", default="http://127.0.0.1:8642", help="run-server base URL")
+        if run_key:
+            p.add_argument("--tenant", required=True)
+            p.add_argument("--run-id", required=True)
+        return p
+
+    submit = client_parser("submit", "submit a run (template or spec file)")
+    group = submit.add_mutually_exclusive_group(required=True)
+    group.add_argument("--template", help="experiment id to expand (see 'templates')")
+    group.add_argument("--spec-file", help="path to a RunSpec JSON file")
+    submit.add_argument(
+        "--config",
+        nargs="*",
+        default=[],
+        metavar="K=V",
+        help="config-factory overrides for --template (e.g. generations=200)",
+    )
+    submit.add_argument(
+        "--spec",
+        nargs="*",
+        default=[],
+        metavar="K=V",
+        help="RunSpec field overrides for --template (e.g. n_ranks=4)",
+    )
+
+    client_parser("status", "print a run's status")
+    watch = client_parser("watch", "follow a run's progress stream to completion")
+    watch.add_argument(
+        "--timeout", type=float, default=None, help="socket read timeout in seconds"
+    )
+    result = client_parser("result", "fetch a finished run's result")
+    result.add_argument("--out", default=None, help="also save matrix+summary to this .npz")
+    client_parser("preempt", "preempt a running job (it requeues)")
+    client_parser("resume", "resume a stored run from its latest checkpoint")
+    runs = client_parser("runs", "list runs", run_key=False)
+    runs.add_argument("--tenant", default=None, help="restrict to one tenant")
+    client_parser("templates", "list template ids the server accepts", run_key=False)
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import RunServer
+
+    quotas = {k: int(v) for k, v in _parse_kv(args.tenant_quota, "--tenant-quota").items()}
+    server = RunServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        quota=args.quota,
+        quotas=quotas,
+    )
+    print(f"serving run store {args.root} on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_submit(client, args: argparse.Namespace) -> int:
+    if args.template is not None:
+        status = client.submit(
+            args.tenant,
+            args.run_id,
+            template=args.template,
+            config=_parse_kv(args.config, "--config"),
+            spec_overrides=_parse_kv(args.spec, "--spec"),
+        )
+    else:
+        with open(args.spec_file, "r", encoding="utf-8") as fh:
+            status = client.submit(args.tenant, args.run_id, spec=json.load(fh))
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def _cmd_watch(client, args: argparse.Namespace) -> int:
+    for kind, payload in client.stream(args.tenant, args.run_id, timeout=args.timeout):
+        if kind == "progress":
+            print(f"generation {payload['generation']}")
+        else:
+            print(f"[{kind}] {json.dumps(payload)}")
+    status = client.status(args.tenant, args.run_id)
+    print(f"final state: {status['state']}")
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_result(client, args: argparse.Namespace) -> int:
+    fetched = client.result(args.tenant, args.run_id)
+    print(
+        f"run {args.tenant}/{args.run_id}: generation {fetched.generation},"
+        f" {fetched.attempts} attempt(s), matrix {fetched.matrix.shape}"
+        f" {fetched.matrix.dtype}"
+    )
+    if args.out:
+        np.savez(
+            args.out,
+            matrix=fetched.matrix,
+            generation=fetched.generation,
+            attempts=fetched.attempts,
+        )
+        print(f"saved {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.command == "submit":
+            return _cmd_submit(client, args)
+        if args.command == "status":
+            print(json.dumps(client.status(args.tenant, args.run_id), indent=2))
+            return 0
+        if args.command == "watch":
+            return _cmd_watch(client, args)
+        if args.command == "result":
+            return _cmd_result(client, args)
+        if args.command == "preempt":
+            print(json.dumps(client.preempt(args.tenant, args.run_id), indent=2))
+            return 0
+        if args.command == "resume":
+            print(json.dumps(client.resume(args.tenant, args.run_id), indent=2))
+            return 0
+        if args.command == "runs":
+            for run in client.runs(args.tenant):
+                print(
+                    f"{run['tenant']}/{run['run_id']}: {run['state']}"
+                    f" (generation {run['generation']})"
+                )
+            return 0
+        if args.command == "templates":
+            for tid in client.templates():
+                print(tid)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,458 @@
+"""The job queue: many tenants, a bounded worker pool, fair-share order.
+
+One :class:`JobQueue` schedules supervised runs across a pool of worker
+*processes* (:mod:`repro.service.worker`), so a hung or chaos-killed run
+can always be reclaimed with a kill.  Scheduling policy, all enforced by
+one scheduler thread:
+
+* **Quotas** — each tenant may hold at most ``quota`` active (queued or
+  running) runs; :meth:`submit` raises :class:`~repro.errors.QuotaError`
+  beyond that, at admission time, so a greedy tenant's overflow never even
+  queues.
+* **Fair share** — a free worker slot goes to the tenant with the fewest
+  runs currently executing (ties to the tenant that was served longest
+  ago), FIFO within a tenant.  A tenant submitting fifty runs cannot
+  starve a tenant submitting one.
+* **Preemption** — :meth:`preempt` kills a running worker and requeues the
+  run; the relaunch resumes from the latest valid checkpoint (the
+  supervisor's normal scan), and an explicit preemption never consumes the
+  run's requeue budget.
+* **Requeue on worker death** — a worker that dies *without* writing its
+  outcome record (SIGKILL, OOM, a crashed interpreter) is relaunched up to
+  :attr:`~repro.parallel.spec.FaultPolicy.max_requeues` times, then marked
+  failed.  A worker that finishes — success or supervisor give-up — is
+  terminal either way; a run that failed on its merits is not retried
+  behind the tenant's back (:meth:`resume` retries it explicitly).
+
+The queue owns ``status.json`` in the run store; workers own the outcome
+and result (see :mod:`repro.service.worker`), so the two sides never race
+on a file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QuotaError, ServiceError, UnknownRunError
+from repro.io.runstore import RunKey, RunStore
+from repro.logging_util import get_logger
+from repro.parallel.spec import RunSpec
+from repro.service.worker import _child_entry
+
+__all__ = ["JobQueue", "JobStatus", "Job"]
+
+_LOG = get_logger("service.queue")
+
+#: Lifecycle states a job moves through (terminal: ``done``, ``failed``).
+_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time snapshot of one job, safe to hand across threads."""
+
+    tenant: str
+    run_id: str
+    state: str
+    generation: int
+    requeues: int
+    incarnations: int
+    pid: int | None
+    error: str | None
+    name: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "run_id": self.run_id,
+            "state": self.state,
+            "generation": self.generation,
+            "requeues": self.requeues,
+            "incarnations": self.incarnations,
+            "pid": self.pid,
+            "error": self.error,
+            "name": self.name,
+        }
+
+
+@dataclass
+class Job:
+    """The queue's mutable record of one submitted run (lock-guarded)."""
+
+    key: RunKey
+    spec: RunSpec
+    state: str = "queued"
+    seq: int = 0
+    proc: multiprocessing.process.BaseProcess | None = None
+    requeues: int = 0
+    incarnations: int = 0
+    preempt_requested: bool = False
+    error: str | None = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+
+class JobQueue:
+    """Schedule stored runs across a bounded pool of worker processes.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.io.runstore.RunStore` runs live in (specs in,
+        results out).
+    max_workers:
+        Worker-process pool size — how many runs execute concurrently.
+    quota:
+        Default per-tenant cap on *active* (queued + running) runs.
+    quotas:
+        Per-tenant overrides of ``quota``.
+    poll:
+        Scheduler tick in seconds (reap + dispatch cadence).
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        *,
+        max_workers: int = 2,
+        quota: int = 4,
+        quotas: dict[str, int] | None = None,
+        poll: float = 0.05,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if quota < 1:
+            raise ServiceError(f"quota must be >= 1, got {quota}")
+        self.store = store
+        self.max_workers = int(max_workers)
+        self.default_quota = int(quota)
+        self.quotas = dict(quotas or {})
+        self._poll = float(poll)
+        # fork keeps the worker entry (a module function) cheap to launch
+        # and is what the process backend itself prefers; spawn is the
+        # portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        self._mp = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._lock = threading.Lock()
+        self._jobs: dict[RunKey, Job] = {}
+        self._seq = itertools.count()
+        #: tenant -> dispatch tick of its most recent dispatch (fair-share tiebreak)
+        self._last_served: dict[str, int] = {}
+        self._closed = False
+        self._wake = threading.Event()
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> int:
+        """The tenant's active-run cap."""
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _active_count(self, tenant: str) -> int:
+        return sum(
+            1
+            for job in self._jobs.values()
+            if job.key.tenant == tenant and job.state in ("queued", "running")
+        )
+
+    def submit(self, tenant: str, run_id: str, spec: RunSpec) -> RunKey:
+        """Admit a new run under ``tenant/run_id``.
+
+        Raises :class:`~repro.errors.QuotaError` when the tenant is at its
+        active-run cap (nothing is persisted), and
+        :class:`~repro.errors.RunStoreError` when the key already exists —
+        keys are write-once; use :meth:`resume` to re-drive an old key.
+        """
+        key = self.store.key(tenant, run_id)
+        with self._lock:
+            self._check_open()
+            if key in self._jobs and self._jobs[key].state in ("queued", "running"):
+                raise ServiceError(f"run {key} is already active in this queue")
+            quota = self.quota_for(tenant)
+            if self._active_count(tenant) >= quota:
+                raise QuotaError(
+                    f"tenant {tenant!r} is at its quota of {quota} active run(s);"
+                    f" submit {key} again once one finishes"
+                )
+            self.store.create_run(key, spec)
+            self._enqueue_locked(key, spec)
+        self._wake.set()
+        return key
+
+    def resume(self, tenant: str, run_id: str) -> RunKey:
+        """Re-drive a run that already exists in the store by its key.
+
+        The relaunch picks up from the latest valid checkpoint; a run that
+        already has a stored result is refused (it is finished — fetch it).
+        Quota and fair-share apply exactly as for a fresh submission.
+        """
+        key = self.store.key(tenant, run_id)
+        with self._lock:
+            self._check_open()
+            if not self.store.exists(key):
+                raise UnknownRunError(f"no run {key} in the store")
+            if key in self._jobs and self._jobs[key].state in ("queued", "running"):
+                raise ServiceError(f"run {key} is already active in this queue")
+            if self.store.has_result(key):
+                raise ServiceError(f"run {key} already has a result; nothing to resume")
+            quota = self.quota_for(tenant)
+            if self._active_count(tenant) >= quota:
+                raise QuotaError(
+                    f"tenant {tenant!r} is at its quota of {quota} active run(s)"
+                )
+            spec = self.store.load_spec(key)
+            # A stale failure record from the previous incarnation would be
+            # mistaken for this relaunch's outcome at the next reap.
+            (self.store.run_dir(key) / "outcome.json").unlink(missing_ok=True)
+            self._enqueue_locked(key, spec)
+        self._wake.set()
+        return key
+
+    def _enqueue_locked(self, key: RunKey, spec: RunSpec) -> None:
+        job = Job(key=key, spec=spec, seq=next(self._seq))
+        self._jobs[key] = job
+        self.store.write_status(key, self._status_locked(job).to_dict())
+
+    # -- control -------------------------------------------------------------
+
+    def preempt(self, tenant: str, run_id: str) -> None:
+        """Kick the run off its worker slot; it requeues and resumes later.
+
+        A queued (not yet running) run is simply left queued.  Preemption
+        is free: it never consumes the run's requeue budget.
+        """
+        key = self.store.key(tenant, run_id)
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                raise UnknownRunError(f"no active run {key} in this queue")
+            if job.state == "running" and job.proc is not None and job.proc.pid:
+                job.preempt_requested = True
+                self._kill_locked(job)
+        self._wake.set()
+
+    def _kill_locked(self, job: Job) -> None:
+        proc = job.proc
+        if proc is None or not proc.is_alive():
+            return
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, TypeError):
+            pass
+
+    def status(self, tenant: str, run_id: str) -> JobStatus:
+        """The job's current state, live from the queue when it is active,
+        reconstructed from the store otherwise (so a fresh queue can answer
+        for runs finished by an earlier one)."""
+        key = self.store.key(tenant, run_id)
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None:
+                return self._status_locked(job)
+        if not self.store.exists(key):
+            raise UnknownRunError(f"no run {key} in the store")
+        return self._status_from_store(key)
+
+    def _status_locked(self, job: Job) -> JobStatus:
+        return JobStatus(
+            tenant=job.key.tenant,
+            run_id=job.key.run_id,
+            state=job.state,
+            generation=self._last_generation(job.key),
+            requeues=job.requeues,
+            incarnations=job.incarnations,
+            pid=job.proc.pid if job.proc is not None and job.proc.is_alive() else None,
+            error=job.error,
+            name=job.spec.name,
+        )
+
+    def _status_from_store(self, key: RunKey) -> JobStatus:
+        outcome = self.store.read_outcome(key) or {}
+        recorded = self.store.read_status(key) or {}
+        state = outcome.get("state") or recorded.get("state") or "queued"
+        return JobStatus(
+            tenant=key.tenant,
+            run_id=key.run_id,
+            state=state,
+            generation=self._last_generation(key),
+            requeues=int(recorded.get("requeues", 0)),
+            incarnations=int(recorded.get("incarnations", 0)),
+            pid=None,
+            error=outcome.get("error") or recorded.get("error"),
+            name=str(recorded.get("name", "")),
+        )
+
+    def _last_generation(self, key: RunKey) -> int:
+        return max(
+            (
+                e.get("generation", 0)
+                for e in self.store.read_events(key)
+                if e.get("type") == "progress"
+            ),
+            default=0,
+        )
+
+    def wait(self, tenant: str, run_id: str, timeout: float | None = None) -> JobStatus:
+        """Block until the run reaches a terminal state; returns its status.
+
+        Raises :class:`~repro.errors.ServiceError` if ``timeout`` elapses
+        first.
+        """
+        key = self.store.key(tenant, run_id)
+        with self._lock:
+            job = self._jobs.get(key)
+        if job is None:
+            return self.status(tenant, run_id)
+        if not job.done_event.wait(timeout):
+            raise ServiceError(f"run {key} still {job.state} after {timeout:g} s")
+        return self.status(tenant, run_id)
+
+    def list_jobs(self, tenant: str | None = None) -> list[JobStatus]:
+        """Snapshots of every job this queue knows, submission order."""
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.seq)
+            return [
+                self._status_locked(j)
+                for j in jobs
+                if tenant is None or j.key.tenant == tenant
+            ]
+
+    def close(self, *, kill: bool = True) -> None:
+        """Stop the scheduler; ``kill`` (default) also reclaims live workers.
+
+        Killed workers' runs stay resumable — their checkpoints and specs
+        are in the store, so a later queue can :meth:`resume` them.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if kill:
+                for job in self._jobs.values():
+                    if job.state == "running":
+                        self._kill_locked(job)
+        self._wake.set()
+        self._thread.join(timeout=10.0)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.proc is not None:
+                    job.proc.join(timeout=5.0)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("this JobQueue is closed")
+
+    # -- the scheduler thread ------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            self._wake.wait(self._poll)
+            self._wake.clear()
+            with self._lock:
+                self._reap_locked()
+                if self._closed:
+                    if not any(j.state == "running" for j in self._jobs.values()):
+                        return
+                    continue
+                self._dispatch_locked()
+
+    def _reap_locked(self) -> None:
+        for job in self._jobs.values():
+            if job.state != "running" or job.proc is None or job.proc.is_alive():
+                continue
+            job.proc.join()
+            exitcode = job.proc.exitcode
+            job.proc = None
+            outcome = self.store.read_outcome(job.key)
+            if outcome is not None:
+                # The worker finished and said so — success or a supervisor
+                # give-up, either way its word is terminal.
+                job.state = "done" if outcome.get("state") == "done" else "failed"
+                job.error = outcome.get("error")
+            elif job.preempt_requested:
+                job.preempt_requested = False
+                job.state = "queued"
+                _LOG.info("run %s preempted; requeued (free)", job.key)
+            elif job.requeues < job.spec.fault.max_requeues:
+                job.requeues += 1
+                job.state = "queued"
+                _LOG.warning(
+                    "worker for %s died (exit %s) without an outcome;"
+                    " requeue %d/%d from latest checkpoint",
+                    job.key, exitcode, job.requeues, job.spec.fault.max_requeues,
+                )
+            else:
+                job.state = "failed"
+                job.error = (
+                    f"worker died (exit {exitcode}) with no outcome and the"
+                    f" requeue budget ({job.spec.fault.max_requeues}) spent"
+                )
+                _LOG.error("run %s failed: %s", job.key, job.error)
+            self.store.write_status(job.key, self._status_locked(job).to_dict())
+            if job.state in ("done", "failed"):
+                job.done_event.set()
+
+    def _dispatch_locked(self) -> None:
+        while True:
+            running = sum(1 for j in self._jobs.values() if j.state == "running")
+            if running >= self.max_workers:
+                return
+            job = self._pick_locked()
+            if job is None:
+                return
+            self._launch_locked(job)
+
+    def _pick_locked(self) -> Job | None:
+        """Fair share: fewest running wins, stalest tenant breaks ties,
+        FIFO within the tenant."""
+        queued = [j for j in self._jobs.values() if j.state == "queued"]
+        if not queued:
+            return None
+        running_by_tenant: dict[str, int] = {}
+        for j in self._jobs.values():
+            if j.state == "running":
+                running_by_tenant[j.key.tenant] = running_by_tenant.get(j.key.tenant, 0) + 1
+
+        def rank(job: Job) -> tuple:
+            tenant = job.key.tenant
+            return (
+                running_by_tenant.get(tenant, 0),
+                self._last_served.get(tenant, -1),
+                job.seq,
+            )
+
+        return min(queued, key=rank)
+
+    def _launch_locked(self, job: Job) -> None:
+        # A stale outcome from a prior incarnation (none should exist, but a
+        # crashed queue could leave one) must not be read as this launch's.
+        (self.store.run_dir(job.key) / "outcome.json").unlink(missing_ok=True)
+        proc = self._mp.Process(
+            target=_child_entry,
+            args=(str(self.store.root), job.key.tenant, job.key.run_id),
+            name=f"repro-worker-{job.key.tenant}-{job.key.run_id}",
+            daemon=False,
+        )
+        proc.start()
+        job.proc = proc
+        job.state = "running"
+        job.incarnations += 1
+        self._last_served[job.key.tenant] = next(self._seq)
+        self.store.write_status(job.key, self._status_locked(job).to_dict())
+        _LOG.info(
+            "dispatched %s (pid %s, incarnation %d)", job.key, proc.pid, job.incarnations
+        )

@@ -84,3 +84,85 @@ class TestMain:
         assert (tmp_path / "table1.txt").exists()
         assert (tmp_path / "table4.txt").exists()
         assert not (tmp_path / "fig2.txt").exists()
+
+
+class TestScaleFlagRejection:
+    """Regression: ``run`` silently ignored --n-ssets/--generations/--seed/
+    --engine for every experiment but fig2 — a user asking table6 for
+    ``--seed 3`` got the default run with no hint their flag did nothing."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--n-ssets", "8"],
+            ["--generations", "100"],
+            ["--seed", "3"],
+            ["--engine", "batch"],
+            ["--seed", "3", "--generations", "100"],
+        ],
+    )
+    def test_non_config_experiment_rejects_scale_flags(self, flags):
+        with pytest.raises(SystemExit, match="does not consume"):
+            main(["run", "table1"] + flags)
+
+    def test_rejection_names_the_offending_flags(self):
+        with pytest.raises(SystemExit, match="--seed, --engine"):
+            main(["run", "table6", "--seed", "3", "--engine", "batch"])
+
+    def test_fig2_still_consumes_the_flags(self, capsys):
+        assert main(["run", "fig2", "--n-ssets", "8", "--generations", "120",
+                     "--seed", "2", "--engine", "auto"]) == 0
+        assert "Fig. 2(a)" in capsys.readouterr().out
+
+    def test_flagless_non_config_experiment_still_runs(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert capsys.readouterr().out
+
+
+class TestAllContinuesOnFailure:
+    """Regression: one failing experiment aborted ``all`` — everything after
+    it in registry order was never attempted, and the partial output
+    directory looked complete."""
+
+    def _broken_registry(self, monkeypatch, failing: str):
+        from repro.experiments import cli
+
+        keep = {"table1", failing, "table4"}
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS",
+            {k: v for k, v in cli.EXPERIMENTS.items() if k in keep},
+        )
+        original = cli.DISPATCH[failing]
+        monkeypatch.setitem(
+            cli.DISPATCH, failing,
+            lambda args: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        return original
+
+    def test_failure_does_not_abort_later_experiments(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._broken_registry(monkeypatch, failing="table2")
+        rc = main(["all", "--output-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1  # nonzero: something failed
+        assert "table2" in captured.err and "boom" in captured.err
+        # table4 comes after table2 in registry order and still ran.
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table4.txt").exists()
+        assert not (tmp_path / "table2.txt").exists()
+
+    def test_failure_summary_lists_failed_ids(self, capsys, tmp_path, monkeypatch):
+        self._broken_registry(monkeypatch, failing="table2")
+        assert main(["all", "--output-dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "1 experiment(s) failed: table2" in err
+
+    def test_all_green_still_exits_zero(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments import cli
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS",
+            {k: v for k, v in cli.EXPERIMENTS.items() if k in {"table1", "table4"}},
+        )
+        assert main(["all", "--output-dir", str(tmp_path)]) == 0

@@ -1,0 +1,73 @@
+"""Drift tests: the experiment registry must stay true and fully wired.
+
+The registry is the index everything else trusts — the CLI, the run-spec
+templates, the docs.  These tests make the trust checkable: every dotted
+driver path imports, every bench file exists, and the CLI dispatch table
+covers exactly the registered ids (no orphans in either direction).
+"""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import DISPATCH, SLOW_EXPERIMENTS, build_parser
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.templates import template_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistryIntegrity:
+    @pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+    def test_driver_path_imports(self, eid):
+        info = EXPERIMENTS[eid]
+        module_path, _, attr = info.driver.rpartition(".")
+        module = importlib.import_module(module_path)
+        assert hasattr(module, attr), (
+            f"{eid}: driver {info.driver} names no attribute {attr!r} in {module_path}"
+        )
+
+    @pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+    def test_bench_file_exists(self, eid):
+        bench = REPO_ROOT / EXPERIMENTS[eid].bench
+        assert bench.is_file(), f"{eid}: bench {EXPERIMENTS[eid].bench} does not exist"
+
+
+class TestCLICoverage:
+    def test_dispatch_covers_registry_exactly(self):
+        # Neither a registered experiment the CLI cannot run, nor a CLI
+        # entry for an unregistered id.
+        assert set(DISPATCH) == set(EXPERIMENTS)
+
+    def test_parser_accepts_every_registered_id(self):
+        parser = build_parser()
+        for eid in EXPERIMENTS:
+            assert parser.parse_args(["run", eid]).experiment == eid
+
+    def test_parser_rejects_unregistered_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-an-experiment"])
+
+    def test_slow_set_is_registered(self):
+        assert SLOW_EXPERIMENTS <= set(EXPERIMENTS)
+
+    def test_include_slow_help_names_every_slow_experiment(self, capsys):
+        # Regression: the help text listed fig2/memory-cooperation/
+        # ablation-lookup but silently omitted wsls-robustness.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--help"])
+        # argparse wraps long help lines mid-word ("ablation-\n  lookup");
+        # undo the wrapping before matching ids.
+        help_text = " ".join(capsys.readouterr().out.split()).replace("- ", "-")
+        for eid in SLOW_EXPERIMENTS:
+            assert eid in help_text, f"--include-slow help omits {eid}"
+
+
+class TestTemplates:
+    def test_template_ids_are_registered(self):
+        assert set(template_ids()) <= set(EXPERIMENTS)
+
+    def test_templates_cover_science_singles(self):
+        # The config-driven single-run experiments are templatable.
+        assert "fig2" in template_ids()

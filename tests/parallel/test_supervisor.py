@@ -151,7 +151,7 @@ class TestSupervisedRun:
         expected = [
             backoff_wait(
                 0.5, attempt, factor=4.0, cap=1.0, jitter=0.5,
-                key=("supervisor", config.seed),
+                key=("supervisor", sup.run_id, config.seed),
             )
             for attempt in range(2)
         ]
@@ -220,3 +220,155 @@ class TestSupervisedRun:
         assert np.array_equal(out.result.matrix, serial_matrix)
         # The healed run overwrote the torn file with a valid one.
         assert load_parallel_checkpoint(tmp_path / "ckpt_00000030.npz").generation == 30
+
+
+class TestBackoffIdentity:
+    """Regression: jitter must decorrelate same-seed supervisors.
+
+    The backoff key used to be ``("supervisor", config.seed)`` — two tenants
+    running identical specs (same seed) drew *identical* waits on every
+    attempt and relaunched in lockstep off a shared outage, which is
+    precisely the herd the jitter exists to break.
+    """
+
+    def _failing_supervisor(self, config, ckpt_dir, run_id=None):
+        plan = _nature_crash_plan(35)
+        slept: list[float] = []
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=15,
+            fault_plan=plan,
+            fault_plan_on_retry=plan,
+            heartbeat_timeout=2.0,
+            max_restarts=2,
+            backoff=0.5,
+            backoff_factor=4.0,
+            max_backoff=1.0,
+            run_id=run_id,
+            sleep=slept.append,
+        )
+        return sup, slept
+
+    def test_same_seed_supervisors_draw_different_waits(self, config, tmp_path):
+        sup_a, slept_a = self._failing_supervisor(config, tmp_path / "tenant-a")
+        sup_b, slept_b = self._failing_supervisor(config, tmp_path / "tenant-b")
+        assert sup_a.config.seed == sup_b.config.seed  # identical specs...
+        for sup in (sup_a, sup_b):
+            with pytest.raises(SupervisorError):
+                sup.run(timeout=300)
+        # ...yet every pause differs: the key carries the run identity.
+        assert len(slept_a) == len(slept_b) == 2
+        assert all(a != b for a, b in zip(slept_a, slept_b))
+
+    def test_default_identity_is_checkpoint_dir(self, config, tmp_path):
+        sup = SupervisedRun(config, 4, checkpoint_dir=tmp_path / "x")
+        assert sup.run_id == str((tmp_path / "x").resolve())
+
+    def test_explicit_run_id_wins(self, config, tmp_path):
+        sup = SupervisedRun(config, 4, checkpoint_dir=tmp_path, run_id="alice/r1")
+        assert sup.run_id == "alice/r1"
+
+    def test_same_run_id_reproduces_waits(self, config, tmp_path):
+        # Determinism survives the fix: the *same* run restarted in a new
+        # process (same identity) still draws the same waits.
+        sup_a, slept_a = self._failing_supervisor(
+            config, tmp_path / "a", run_id="alice/r1"
+        )
+        sup_b, slept_b = self._failing_supervisor(
+            config, tmp_path / "b", run_id="alice/r1"
+        )
+        for sup in (sup_a, sup_b):
+            with pytest.raises(SupervisorError):
+                sup.run(timeout=300)
+        assert slept_a == slept_b
+
+
+class TestWallBudget:
+    """Regression: ``timeout`` is per-attempt, so a run without an overall
+    budget can legally burn ``(max_restarts + 1) x timeout`` seconds.  The
+    ``wall_budget`` bounds the whole supervised run."""
+
+    def test_rejects_non_positive_budget(self, config, tmp_path):
+        with pytest.raises(MPIError, match="wall_budget"):
+            SupervisedRun(config, 4, checkpoint_dir=tmp_path, wall_budget=0.0)
+
+    def test_budget_spent_raises_named_error(self, config, tmp_path):
+        plan = _nature_crash_plan(35)
+        clock_now = [0.0]
+
+        def fake_clock() -> float:
+            return clock_now[0]
+
+        def fake_sleep(_pause: float) -> None:
+            pass
+
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            fault_plan=plan,
+            fault_plan_on_retry=plan,
+            heartbeat_timeout=2.0,
+            max_restarts=50,  # the *wall budget*, not this, must stop the run
+            backoff=0.0,
+            wall_budget=120.0,
+            sleep=fake_sleep,
+            clock=fake_clock,
+        )
+        # Each attempt "costs" 100 fake seconds: the first relaunch check
+        # sees 100 < 120 and proceeds; the second sees 200 >= 120 and stops.
+        original_build = sup._build
+
+        def build_and_advance(attempt):
+            clock_now[0] += 100.0
+            return original_build(attempt)
+
+        sup._build = build_and_advance
+        with pytest.raises(SupervisorError, match="wall-clock budget 120"):
+            sup.run(timeout=300)
+
+    def test_pending_backoff_counts_against_budget(self, config, tmp_path):
+        # Even with zero elapsed time, a pause that would overshoot the
+        # budget must not be slept: the supervisor gives up immediately
+        # instead of sleeping into certain death.
+        plan = _nature_crash_plan(35)
+        slept: list[float] = []
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            fault_plan=plan,
+            fault_plan_on_retry=plan,
+            heartbeat_timeout=2.0,
+            max_restarts=5,
+            backoff=10.0,
+            backoff_factor=1.0,
+            max_backoff=10.0,
+            backoff_jitter=0.0,
+            wall_budget=5.0,  # < the 10 s pause
+            sleep=slept.append,
+            clock=lambda: 0.0,
+        )
+        with pytest.raises(SupervisorError, match="wall-clock budget"):
+            sup.run(timeout=300)
+        assert slept == []  # gave up before the doomed sleep
+
+    def test_unbudgeted_run_still_retries(self, config, serial_matrix, tmp_path):
+        # Back-compatibility: no wall_budget keeps the old behaviour.
+        sup = SupervisedRun(
+            config,
+            4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=15,
+            fault_plan=_nature_crash_plan(35),
+            heartbeat_timeout=2.0,
+            max_restarts=2,
+            backoff=0.0,
+        )
+        out = sup.run(timeout=300)
+        assert out.attempts == 2
+        assert np.array_equal(out.result.matrix, serial_matrix)
