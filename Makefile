@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine test-service bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine test-service test-spatial bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -46,6 +46,11 @@ test-engine:
 test-service:
 	pytest tests/ -m service
 
+# Structured populations: interaction graphs, grid/graph game parity,
+# spec dispatch, and the rank-partitioned runs (incl. multi-rank parity).
+test-spatial:
+	pytest tests/ -m spatial
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -63,7 +68,7 @@ docs-check:
 	python tools/gen_api_index.py --check
 	python tools/check_doc_snippets.py README.md docs/tutorial.md \
 		docs/architecture.md docs/observability.md docs/kernels.md \
-		docs/service.md
+		docs/service.md docs/spatial.md
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/output reproduction

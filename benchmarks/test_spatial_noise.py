@@ -1,0 +1,21 @@
+"""Extension bench: memory-n noise robustness on structured populations.
+
+The §III-E robustness story run spatially: as execution errors rise, WSLS
+domains expand against TFT and ALLD on every topology — noise is what
+separates the two retaliators, exactly as in the well-mixed analysis.
+~1 s.
+"""
+
+from repro.experiments.spatial_phase import run_spatial_noise_phase
+
+from benchmarks._util import emit
+
+
+def test_spatial_noise(benchmark):
+    result = benchmark.pedantic(run_spatial_noise_phase, rounds=1, iterations=1)
+    emit("spatial_noise", result.render())
+    for topology, cells in result.shares.items():
+        noisiest = cells[-1]
+        # Under noise WSLS owns the graph and ALLD never gains ground.
+        assert noisiest["WSLS"] > 0.9, (topology, noisiest)
+        assert all(cell["ALLD"] <= 0.5 for cell in cells), (topology, cells)

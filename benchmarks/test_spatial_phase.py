@@ -1,0 +1,21 @@
+"""Extension bench: the Nowak-May phase diagram across topologies.
+
+Final cooperator share as a function of temptation ``b`` on size-and-degree
+matched lattice / small-world / scale-free interaction graphs.  The
+qualitative shape the bench asserts: cooperation survives low temptation on
+every topology, the collapse point depends on structure, and by
+``b = 1.8125`` defection has won everywhere.  ~1 s.
+"""
+
+from repro.experiments.spatial_phase import run_spatial_phase
+
+from benchmarks._util import emit
+
+
+def test_spatial_phase(benchmark):
+    result = benchmark.pedantic(run_spatial_phase, rounds=1, iterations=1)
+    emit("spatial_phase", result.render())
+    for topology, series in result.shares.items():
+        # Cooperation at the gentlest temptation, extinction at the harshest.
+        assert series[0] > 0.5, (topology, series)
+        assert series[-1] == 0.0, (topology, series)

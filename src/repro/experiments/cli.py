@@ -211,6 +211,18 @@ def _run_wsls_robustness(args: argparse.Namespace) -> str:
     return wsls_robustness_sweep().render()
 
 
+def _run_spatial_phase(args: argparse.Namespace) -> str:
+    from repro.experiments.spatial_phase import run_spatial_phase
+
+    return run_spatial_phase().render()
+
+
+def _run_spatial_noise(args: argparse.Namespace) -> str:
+    from repro.experiments.spatial_phase import run_spatial_noise_phase
+
+    return run_spatial_noise_phase().render()
+
+
 def _run_ablation_mapping(args: argparse.Namespace) -> str:
     from repro.machine.mapping import compare_mappings
 
@@ -249,6 +261,8 @@ DISPATCH: dict[str, Callable[[argparse.Namespace], str]] = {
     "memory-cooperation": _run_memory_cooperation,
     "wsls-robustness": _run_wsls_robustness,
     "ablation-mapping": _run_ablation_mapping,
+    "spatial-phase": _run_spatial_phase,
+    "spatial-noise": _run_spatial_noise,
 }
 
 

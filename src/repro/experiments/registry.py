@@ -208,6 +208,22 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
             "benchmarks/test_ablation_rank_mapping.py",
             "measured",
         ),
+        _E(
+            "spatial-phase",
+            "Ref [30] lineage (Nowak & May 1992)",
+            "Extension: spatial cooperation phase diagram across topologies",
+            "repro.experiments.spatial_phase.run_spatial_phase",
+            "benchmarks/test_spatial_phase.py",
+            "science",
+        ),
+        _E(
+            "spatial-noise",
+            "Section III-E claim, on structured populations",
+            "Extension: memory-n noise robustness across topologies",
+            "repro.experiments.spatial_phase.run_spatial_noise_phase",
+            "benchmarks/test_spatial_noise.py",
+            "science",
+        ),
     ]
 }
 

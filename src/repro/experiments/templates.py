@@ -11,6 +11,11 @@ Model-mode experiments (Table VI, the scaling figures, ...) regenerate
 numbers through the calibrated performance model without evolving anything,
 so there is no simulation to spec; asking for them raises
 :class:`~repro.errors.ExperimentError` naming the templatable ids.
+
+Two template families exist: config-driven evolution experiments expand to
+a :class:`~repro.parallel.spec.RunSpec`, and the spatial phase-diagram
+experiments expand to a :class:`~repro.spatial.spec.SpatialRunSpec` (one
+representative cell of their sweep — a spec names a single run).
 """
 
 from __future__ import annotations
@@ -64,9 +69,61 @@ _TEMPLATE_CONFIGS: dict[str, Callable[..., SimulationConfig]] = {
 }
 
 
+def _spatial_phase_spec(
+    topology: str = "lattice", b: float = 1.8125, steps: int = 60, seed: int = 1, **spec_overrides
+):
+    # One cell of the Nowak-May b-sweep (the driver sweeps b x topology).
+    from repro.experiments.spatial_phase import phase_graph_spec
+    from repro.spatial.spec import SpatialRunSpec
+
+    return SpatialRunSpec(
+        graph=phase_graph_spec(topology, seed=seed),
+        game="nowak_may",
+        b=b,
+        init="random",
+        seed=seed,
+        steps=steps,
+        **spec_overrides,
+    )
+
+
+def _spatial_noise_spec(
+    topology: str = "lattice",
+    noise_rate: float = 0.02,
+    steps: int = 40,
+    seed: int = 1,
+    **spec_overrides,
+):
+    # One cell of the memory-n noise sweep (the driver sweeps noise x topology).
+    from repro.experiments.spatial_phase import NOISE_ROSTER, phase_graph_spec
+    from repro.spatial.spec import SpatialRunSpec
+
+    return SpatialRunSpec(
+        graph=phase_graph_spec(topology, seed=seed),
+        game="ipd",
+        roster=NOISE_ROSTER,
+        noise_rate=noise_rate,
+        init="random",
+        seed=seed,
+        steps=steps,
+        **spec_overrides,
+    )
+
+
+#: Experiment ids that expand directly to a SpatialRunSpec.  These factories
+#: take the *cell* parameters as keywords and pass spec field overrides
+#: straight through to the SpatialRunSpec constructor.
+_TEMPLATE_SPECS: dict[str, Callable] = {
+    "spatial-phase": _spatial_phase_spec,
+    "spatial-noise": _spatial_noise_spec,
+}
+
+
 def template_ids() -> list[str]:
     """Registry ids addressable as run-spec templates, in registry order."""
-    return [eid for eid in EXPERIMENTS if eid in _TEMPLATE_CONFIGS]
+    return [
+        eid for eid in EXPERIMENTS if eid in _TEMPLATE_CONFIGS or eid in _TEMPLATE_SPECS
+    ]
 
 
 def spec_template(
@@ -79,11 +136,16 @@ def spec_template(
 
     ``config_overrides`` are keyword arguments of the experiment's config
     factory (``n_ssets``, ``generations``, ``seed``, ...); ``spec_overrides``
-    set :class:`~repro.parallel.spec.RunSpec` fields (``n_ranks``,
-    ``backend``, ``fault``, ...).  Unknown ids — including registered
-    experiments that are not config-driven — raise
+    set spec fields (``n_ranks``, ``backend``, ``fault``, ...).  Evolution
+    ids yield a :class:`~repro.parallel.spec.RunSpec`, spatial ids a
+    :class:`~repro.spatial.spec.SpatialRunSpec`.  Unknown ids — including
+    registered experiments that are not config-driven — raise
     :class:`~repro.errors.ExperimentError` listing what is templatable.
     """
+    spec_factory = _TEMPLATE_SPECS.get(experiment_id)
+    if spec_factory is not None:
+        spec_overrides.setdefault("name", experiment_id)
+        return spec_factory(**(config_overrides or {}), **spec_overrides)
     factory = _TEMPLATE_CONFIGS.get(experiment_id)
     if factory is None:
         known = ", ".join(template_ids())

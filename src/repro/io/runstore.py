@@ -171,14 +171,14 @@ class RunStore:
         return run_dir
 
     def load_spec(self, key: RunKey):
-        """Read back the run's :class:`~repro.parallel.spec.RunSpec`."""
-        from repro.parallel.spec import RunSpec  # deferred: io must not need parallel
+        """Read back the run's spec (any kind — evolution or spatial)."""
+        from repro.parallel.spec import spec_from_dict  # deferred: io must not need parallel
 
         path = self.run_dir(key) / "spec.json"
         if not path.exists():
             raise RunStoreError(f"no run {key} in this store (missing {path})")
         try:
-            return RunSpec.from_dict(json.loads(path.read_text(encoding="utf-8")))
+            return spec_from_dict(json.loads(path.read_text(encoding="utf-8")))
         except (json.JSONDecodeError, OSError) as exc:
             raise RunStoreError(f"unreadable spec for run {key}: {exc}") from exc
 

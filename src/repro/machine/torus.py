@@ -18,11 +18,41 @@ quality (hops) matters while staying analytic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.errors import MachineModelError
 from repro.mpi.topology import CartTopology
 
-__all__ = ["TorusNetwork"]
+__all__ = ["PartitionTraffic", "TorusNetwork"]
+
+
+@dataclass(frozen=True)
+class PartitionTraffic:
+    """Modelled per-generation halo traffic of one graph partition.
+
+    Attributes
+    ----------
+    n_messages:
+        Point-to-point messages per exchange (one per directed rank pair
+        that shares a cut edge).
+    total_bytes:
+        Bytes crossing rank boundaries per exchange.
+    total_hops:
+        Torus hops summed over all messages — the network-load proxy the
+        paper's mapping discussion optimises.
+    total_time:
+        Modelled serial transfer time of all messages, seconds.
+    max_rank_time:
+        Modelled transfer time of the busiest sender, seconds — the
+        per-generation critical path when every rank exchanges its halo
+        concurrently.
+    """
+
+    n_messages: int
+    total_bytes: int
+    total_hops: int
+    total_time: float
+    max_rank_time: float
 
 
 @dataclass(frozen=True)
@@ -82,3 +112,57 @@ class TorusNetwork:
     def worst_case_message_time(self, nbytes: int) -> float:
         """Transfer time across the network diameter."""
         return self.message_time_hops(max(1, self.topology.max_hop_distance()), nbytes)
+
+    def partition_traffic(
+        self,
+        halo_counts: Mapping[tuple[int, int], int],
+        bytes_per_item: int,
+        placement: Sequence[int] | None = None,
+    ) -> PartitionTraffic:
+        """Price one halo exchange of a partitioned interaction graph.
+
+        ``halo_counts`` maps directed rank pairs ``(src, dst)`` to the
+        number of boundary items ``src`` ships ``dst`` per exchange — the
+        shape :meth:`repro.spatial.graph.InteractionGraph.halo_counts`
+        produces for a block partition.  ``bytes_per_item`` sizes one item
+        on the wire (e.g. 8 for an int64 strategy).  ``placement`` maps
+        each partition rank to its torus node (identity by default), so
+        alternative mappings can be compared before running anything live.
+        """
+        if bytes_per_item <= 0:
+            raise MachineModelError(
+                f"bytes_per_item must be positive, got {bytes_per_item}"
+            )
+        n_messages = 0
+        total_bytes = 0
+        total_hops = 0
+        total_time = 0.0
+        per_rank: dict[int, float] = {}
+        for (src, dst), count in sorted(halo_counts.items()):
+            if count < 0:
+                raise MachineModelError(f"halo count for {(src, dst)} is negative")
+            if src == dst or count == 0:
+                continue
+            node_src = placement[src] if placement is not None else src
+            node_dst = placement[dst] if placement is not None else dst
+            for node in (node_src, node_dst):
+                if not 0 <= node < self.size:
+                    raise MachineModelError(
+                        f"placement maps rank to node {node}, outside this"
+                        f" {self.size}-node torus"
+                    )
+            nbytes = count * bytes_per_item
+            hops = self.topology.hop_distance(node_src, node_dst)
+            t = self.message_time_hops(hops, nbytes) if node_src != node_dst else 0.0
+            n_messages += 1
+            total_bytes += nbytes
+            total_hops += hops
+            total_time += t
+            per_rank[src] = per_rank.get(src, 0.0) + t
+        return PartitionTraffic(
+            n_messages=n_messages,
+            total_bytes=total_bytes,
+            total_hops=total_hops,
+            total_time=total_time,
+            max_rank_time=max(per_rank.values(), default=0.0),
+        )

@@ -23,14 +23,14 @@ no pickle, safe to share across trust boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import ClassVar, Mapping
 
 from repro.config import SimulationConfig
 from repro.errors import ConfigError, ReproError
 from repro.io.records import config_from_dict, config_to_dict
 from repro.mpi.faults import FaultPlan
 
-__all__ = ["FaultPolicy", "RunSpec"]
+__all__ = ["FaultPolicy", "RunSpec", "spec_from_dict"]
 
 _BACKENDS = ("thread", "process", "tcp")
 _FAILURE_MODES = ("continue", "respawn")
@@ -159,6 +159,9 @@ class RunSpec:
         Free-form label (shown by the service; no semantics).
     """
 
+    #: Discriminator for :func:`spec_from_dict`.
+    kind: ClassVar[str] = "evolution"
+
     config: SimulationConfig
     n_ranks: int = 4
     backend: str = "thread"
@@ -207,8 +210,13 @@ class RunSpec:
         return replace(self, **changes)  # type: ignore[arg-type]
 
     def to_dict(self) -> dict:
-        """Flatten the spec into JSON-safe primitives (no pickle)."""
+        """Flatten the spec into JSON-safe primitives (no pickle).
+
+        The ``kind`` key discriminates spec families for
+        :func:`spec_from_dict`; a RunSpec is an ``"evolution"`` run.
+        """
         return {
+            "kind": "evolution",
             "config": config_to_dict(self.config),
             "n_ranks": self.n_ranks,
             "backend": self.backend,
@@ -223,13 +231,19 @@ class RunSpec:
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
         """Inverse of :meth:`to_dict` (unknown keys rejected, values validated)."""
+        kwargs = dict(data)
+        kind = kwargs.pop("kind", "evolution")
+        if kind != "evolution":
+            raise ConfigError(
+                f"RunSpec.from_dict only reads kind='evolution' specs, got {kind!r};"
+                " use spec_from_dict to dispatch on kind"
+            )
         known = {f for f in cls.__dataclass_fields__}
-        unknown = set(data) - known
+        unknown = set(kwargs) - known
         if unknown:
             raise ConfigError(f"unknown RunSpec fields: {sorted(unknown)}")
-        if "config" not in data:
+        if "config" not in kwargs:
             raise ConfigError("a RunSpec dict needs a 'config' section")
-        kwargs = dict(data)
         try:
             kwargs["config"] = config_from_dict(kwargs["config"])
         except ReproError as exc:
@@ -280,3 +294,22 @@ class RunSpec:
             "heartbeat_timeout": self.fault.heartbeat_timeout,
             "on_rank_failure": self.fault.on_rank_failure,
         }
+
+
+def spec_from_dict(data: Mapping):
+    """Revive any spec family from its dict form, dispatching on ``kind``.
+
+    ``"evolution"`` (the default, so pre-discriminator dicts still load)
+    revives a :class:`RunSpec`; ``"spatial"`` a
+    :class:`~repro.spatial.spec.SpatialRunSpec`.  The spatial import is
+    deferred so the spec layer never drags the spatial package in for
+    ordinary evolution runs.
+    """
+    kind = data.get("kind", "evolution")
+    if kind == "evolution":
+        return RunSpec.from_dict(data)
+    if kind == "spatial":
+        from repro.spatial.spec import SpatialRunSpec
+
+        return SpatialRunSpec.from_dict(data)
+    raise ConfigError(f"unknown spec kind {kind!r} (expected 'evolution' or 'spatial')")

@@ -53,7 +53,7 @@ from repro.experiments.templates import spec_template, template_ids
 from repro.io.runstore import RunStore
 from repro.logging_util import get_logger
 from repro.obs.stream import follow_events
-from repro.parallel.spec import RunSpec
+from repro.parallel.spec import RunSpec, spec_from_dict
 from repro.service.queue import JobQueue, JobStatus
 
 __all__ = ["RunService", "RunServer", "serve"]
@@ -90,9 +90,11 @@ class RunService:
         """Submit from a JSON payload (what POST ``/v1/runs`` carries).
 
         Two shapes: ``{"tenant", "run_id", "spec": {...}}`` with a full
-        :meth:`RunSpec.to_dict` spec, or ``{"tenant", "run_id", "template":
-        "fig2", "config": {...}, "spec": {...}}`` expanding a registry
-        template with config-factory and spec-field overrides.
+        spec dict (``kind`` selects the family — evolution
+        :class:`RunSpec` or :class:`~repro.spatial.spec.SpatialRunSpec`),
+        or ``{"tenant", "run_id", "template": "fig2", "config": {...},
+        "spec": {...}}`` expanding a registry template with config-factory
+        and spec-field overrides.
         """
         if not isinstance(payload, dict):
             raise ConfigError("the submission payload must be a JSON object")
@@ -110,7 +112,7 @@ class RunService:
         else:
             if "spec" not in payload:
                 raise ConfigError("a submission needs a 'spec' or a 'template'")
-            spec = RunSpec.from_dict(payload["spec"])
+            spec = spec_from_dict(payload["spec"])
         return self.submit(tenant, run_id, spec)
 
     def resume(self, tenant: str, run_id: str) -> JobStatus:

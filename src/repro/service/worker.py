@@ -93,6 +93,8 @@ def run_job(store_root: str, tenant: str, run_id: str) -> int:
     store = RunStore(store_root)
     key = RunKey(tenant, run_id)
     spec = store.load_spec(key)
+    if getattr(spec, "kind", "evolution") == "spatial":
+        return _run_spatial_job(store, key, spec)
 
     write = jsonl_event_writer(
         store.events_path(key), transform=progress_transform(store.read_events(key))
@@ -144,6 +146,69 @@ def run_job(store_root: str, tenant: str, run_id: str) -> int:
             "type": "done",
             "generation": int(supervised.result.generation),
             "attempts": supervised.attempts,
+            "time": time.time(),
+        },
+    )
+    return 0
+
+
+def _run_spatial_job(store: RunStore, key: RunKey, spec) -> int:
+    """Drive one :class:`~repro.spatial.spec.SpatialRunSpec` to completion.
+
+    Spatial runs are exact and comparatively short, so there is no
+    supervisor or checkpoint layer: the run either finishes (result saved,
+    per-generation progress appended after the fact, final shares in the
+    outcome) or fails with the error recorded in ``outcome.json`` — and a
+    worker killed mid-run is relaunched by the queue within the spec's
+    requeue budget and simply recomputes from the start.
+    """
+    from repro.spatial.parallel import run_partitioned
+
+    store.append_event(
+        key, {"type": "worker-started", "pid": os.getpid(), "time": time.time()}
+    )
+    try:
+        result = run_partitioned(spec)
+    except Exception as exc:
+        store.write_outcome(
+            key,
+            {
+                "state": "failed",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "time": time.time(),
+            },
+        )
+        store.append_event(
+            key,
+            {"type": "failed", "error": f"{type(exc).__name__}: {exc}", "time": time.time()},
+        )
+        return 1
+
+    now = time.time()
+    for gen, counts in enumerate(result.history, start=1):
+        store.append_event(
+            key, {"type": "progress", "generation": gen, "counts": counts, "time": now}
+        )
+    store.save_result(key, result, attempts=1)
+    store.write_outcome(
+        key,
+        {
+            "state": "done",
+            "generation": int(result.generation),
+            "attempts": 1,
+            "restarts": 0,
+            "shares": result.shares(),
+            "time": time.time(),
+        },
+    )
+    store.append_event(
+        key,
+        {
+            "type": "done",
+            "generation": int(result.generation),
+            "attempts": 1,
+            "shares": result.shares(),
             "time": time.time(),
         },
     )

@@ -1,14 +1,69 @@
-"""Spatial game dynamics: populations on lattices (paper ref [30] lineage).
+"""Spatial game dynamics: structured populations (paper ref [30] lineage).
 
 * :mod:`repro.spatial.lattice` — grid geometry and vectorised neighbour views.
 * :mod:`repro.spatial.nowak_may` — the classic one-shot spatial PD
   (Nowak & May 1992), with its 12·ln2 − 8 ≈ 0.318 cooperation asymptote.
 * :mod:`repro.spatial.spatial_ipd` — the paper's memory-n iterated games on
   a lattice, with exact expected payoffs and imitate-the-best updating.
+* :mod:`repro.spatial.graph` — interaction graphs (lattice, Watts–Strogatz,
+  Barabási–Albert) as seeded CSR neighbour arrays, plus partition accounting.
+* :mod:`repro.spatial.graph_game` — neighbour-local play and imitate-the-best
+  updating on arbitrary graphs, bit-identical to the grid games on lattices.
+* :mod:`repro.spatial.roster` — roster validation, batched pair payoffs and
+  unambiguous render glyphs shared by the grid and graph games.
+* :mod:`repro.spatial.spec` — declarative, serialisable spatial run specs.
+* :mod:`repro.spatial.parallel` — block partitioning, halo exchange, and the
+  rank-partitioned runner (bit-identical to the single-rank reference).
 """
 
+from repro.spatial.graph import (
+    GRAPH_KINDS,
+    GraphSpec,
+    InteractionGraph,
+    barabasi_albert_graph,
+    lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.spatial.graph_game import GraphGame, GraphIPD, graph_nowak_may
 from repro.spatial.lattice import MOORE, VON_NEUMANN, Lattice
 from repro.spatial.nowak_may import NowakMayGame
+from repro.spatial.parallel import (
+    GraphBlocks,
+    HaloPlan,
+    SpatialRunResult,
+    build_halo_plan,
+    halo_exchange,
+    run_partitioned,
+    run_reference,
+)
+from repro.spatial.roster import assign_glyphs, check_roster, roster_pair_matrix
 from repro.spatial.spatial_ipd import SpatialIPD
+from repro.spatial.spec import SpatialRunSpec
 
-__all__ = ["Lattice", "MOORE", "VON_NEUMANN", "NowakMayGame", "SpatialIPD"]
+__all__ = [
+    "GRAPH_KINDS",
+    "GraphBlocks",
+    "GraphGame",
+    "GraphIPD",
+    "GraphSpec",
+    "HaloPlan",
+    "InteractionGraph",
+    "Lattice",
+    "MOORE",
+    "NowakMayGame",
+    "SpatialIPD",
+    "SpatialRunResult",
+    "SpatialRunSpec",
+    "VON_NEUMANN",
+    "assign_glyphs",
+    "barabasi_albert_graph",
+    "build_halo_plan",
+    "check_roster",
+    "graph_nowak_may",
+    "halo_exchange",
+    "lattice_graph",
+    "roster_pair_matrix",
+    "run_partitioned",
+    "run_reference",
+    "watts_strogatz_graph",
+]

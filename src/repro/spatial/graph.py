@@ -1,0 +1,369 @@
+"""Interaction graphs: who plays whom, beyond the lattice.
+
+ROADMAP item 3 asks for structure as a first-class citizen: the spatial-PD
+literature the paper's learning phase descends from (ref [30]) studies not
+just grids but small-world and scale-free contact structures, and which
+strategies win depends on the topology.  This module provides that
+substrate as one value type:
+
+* :class:`InteractionGraph` — an undirected simple graph in CSR form
+  (``indptr``/``indices``), with a padded dense neighbour view used by the
+  vectorised game kernels and the halo arithmetic used by the
+  rank-partitioned runner (:mod:`repro.spatial.parallel`).
+* Seeded constructors — :func:`lattice_graph` (the classic torus, neighbour
+  order matching :class:`~repro.spatial.lattice.Lattice` offsets),
+  :func:`watts_strogatz_graph` (small world) and
+  :func:`barabasi_albert_graph` (scale free).
+* :class:`GraphSpec` — a JSON-serialisable description (kind, parameters,
+  seed) that builds the same graph on every rank, which is what lets a
+  partitioned run construct its topology without shipping edge lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.spatial.lattice import Lattice
+
+__all__ = [
+    "InteractionGraph",
+    "GraphSpec",
+    "GRAPH_KINDS",
+    "lattice_graph",
+    "watts_strogatz_graph",
+    "barabasi_albert_graph",
+]
+
+#: The topology families :class:`GraphSpec` knows how to build.
+GRAPH_KINDS = ("lattice", "small_world", "scale_free")
+
+
+class InteractionGraph:
+    """An undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``(n_nodes + 1,)`` row pointers; node ``i``'s neighbours are
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        Flat neighbour ids.  Every edge must appear in both directions and
+        no node may neighbour itself; neighbour *order* within a row is
+        preserved (the game kernels accumulate payoffs in that order, so it
+        is part of the graph's bit-level identity).
+
+    The padded dense view (:attr:`nbr`, :attr:`nbr_mask`) is precomputed:
+    ``nbr[i, c]`` is node ``i``'s ``c``-th neighbour (or ``-1`` beyond its
+    degree), which lets the kernels process any node subset with identical
+    per-node arithmetic — the property the rank-partitioned runner's
+    bit-parity rests on.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.intp)
+        indices = np.asarray(indices, dtype=np.intp)
+        if indptr.ndim != 1 or indptr.size < 2 or indices.ndim != 1:
+            raise ConfigError("indptr must be 1-D with >= 2 entries, indices 1-D")
+        if indptr[0] != 0 or indptr[-1] != indices.size or np.any(np.diff(indptr) < 0):
+            raise ConfigError("indptr must rise monotonically from 0 to len(indices)")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ConfigError(f"neighbour ids must lie in [0, {n})")
+        self.indptr = indptr
+        self.indices = indices
+        self.n_nodes = n
+        self.degrees = np.diff(indptr)
+        self._check_simple_symmetric()
+        self.max_degree = int(self.degrees.max()) if n else 0
+        # Padded dense neighbour view: -1 beyond each node's degree.
+        nbr = np.full((n, self.max_degree), -1, dtype=np.intp)
+        for i in range(n):
+            row = indices[indptr[i]:indptr[i + 1]]
+            nbr[i, : row.size] = row
+        self.nbr = nbr
+        self.nbr_mask = nbr >= 0
+
+    def _check_simple_symmetric(self) -> None:
+        rows = np.repeat(np.arange(self.n_nodes), self.degrees)
+        if np.any(rows == self.indices):
+            raise ConfigError("self-loops are not allowed")
+        fwd = {*zip(rows.tolist(), self.indices.tolist())}
+        if len(fwd) != self.indices.size:
+            raise ConfigError("duplicate edges are not allowed")
+        if any((j, i) not in fwd for i, j in fwd):
+            raise ConfigError("the graph must be undirected (every edge in both directions)")
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count."""
+        return self.indices.size // 2
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Node ``node``'s neighbour ids, in stored order."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigError(f"node {node} out of range [0, {self.n_nodes})")
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    @classmethod
+    def from_edges(cls, n_nodes: int, edges) -> "InteractionGraph":
+        """Build from an iterable of undirected ``(i, j)`` pairs.
+
+        Each pair is inserted in both directions; neighbour lists come out
+        sorted ascending (a canonical order for generated topologies).
+        """
+        if n_nodes < 1:
+            raise ConfigError(f"n_nodes must be >= 1, got {n_nodes}")
+        adj: list[set[int]] = [set() for _ in range(n_nodes)]
+        for i, j in edges:
+            i, j = int(i), int(j)
+            if i == j:
+                raise ConfigError(f"self-loop on node {i}")
+            if not (0 <= i < n_nodes and 0 <= j < n_nodes):
+                raise ConfigError(f"edge ({i}, {j}) out of range [0, {n_nodes})")
+            adj[i].add(j)
+            adj[j].add(i)
+        indptr = np.zeros(n_nodes + 1, dtype=np.intp)
+        for i, nbrs in enumerate(adj):
+            indptr[i + 1] = indptr[i] + len(nbrs)
+        indices = np.empty(int(indptr[-1]), dtype=np.intp)
+        for i, nbrs in enumerate(adj):
+            indices[indptr[i]:indptr[i + 1]] = sorted(nbrs)
+        return cls(indptr, indices)
+
+    # -- partition accounting ------------------------------------------------
+
+    def edge_cut(self, owners: np.ndarray) -> int:
+        """Undirected edges whose endpoints live on different owners."""
+        owners = self._check_owners(owners)
+        rows = np.repeat(np.arange(self.n_nodes), self.degrees)
+        return int(np.sum(owners[rows] != owners[self.indices]) // 2)
+
+    def halo_counts(self, owners: np.ndarray) -> dict[tuple[int, int], int]:
+        """Boundary *nodes* each owner must ship to each other owner.
+
+        ``result[(a, b)]`` is the number of distinct nodes owned by ``a``
+        that some node of ``b`` neighbours — exactly the per-exchange
+        message payload of the halo protocol (a boundary node's value is
+        sent once per neighbouring partition, not once per cut edge).
+        Feeds :meth:`repro.machine.torus.TorusNetwork.partition_traffic`.
+        """
+        owners = self._check_owners(owners)
+        rows = np.repeat(np.arange(self.n_nodes), self.degrees)
+        cross = owners[rows] != owners[self.indices]
+        # (sender node, receiving owner) pairs, deduplicated.
+        pairs = {
+            (int(node), int(owners[nbr]))
+            for node, nbr in zip(rows[cross].tolist(), self.indices[cross].tolist())
+        }
+        counts: dict[tuple[int, int], int] = {}
+        for node, dst in pairs:
+            key = (int(owners[node]), dst)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def _check_owners(self, owners: np.ndarray) -> np.ndarray:
+        owners = np.asarray(owners, dtype=np.intp)
+        if owners.shape != (self.n_nodes,):
+            raise ConfigError(
+                f"owners must have shape ({self.n_nodes},), got {owners.shape}"
+            )
+        return owners
+
+    def __repr__(self) -> str:
+        return f"InteractionGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+
+# -- constructors --------------------------------------------------------------
+
+
+def lattice_graph(lattice: Lattice) -> InteractionGraph:
+    """The lattice as a graph: node ``r * cols + c`` is cell ``(r, c)``.
+
+    Neighbour order within each row follows the lattice's offset order, so
+    a game on this graph accumulates payoffs in exactly the order the
+    ``np.roll`` grid implementation does — the bit-parity bridge between
+    :class:`~repro.spatial.spatial_ipd.SpatialIPD` and
+    :class:`~repro.spatial.graph_game.GraphIPD`.
+    """
+    rows, cols = lattice.rows, lattice.cols
+    n = lattice.n_cells
+    deg = lattice.n_neighbors
+    indptr = np.arange(0, n * deg + 1, deg, dtype=np.intp)
+    indices = np.empty(n * deg, dtype=np.intp)
+    r = np.repeat(np.arange(rows), cols)
+    c = np.tile(np.arange(cols), rows)
+    for k, (dr, dc) in enumerate(lattice.offsets):
+        indices[k::deg] = ((r + dr) % rows) * cols + (c + dc) % cols
+    return InteractionGraph(indptr, indices)
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: int) -> InteractionGraph:
+    """A Watts-Strogatz small-world graph: ring lattice plus rewiring.
+
+    ``n`` nodes on a ring, each joined to its ``k // 2`` nearest neighbours
+    on either side; each ring edge ``(i, i + j)`` is then rewired with
+    probability ``p`` to ``(i, random)``, avoiding self-loops and duplicate
+    edges (the standard construction).  Deterministic in ``seed``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ConfigError(f"k must be a positive even degree, got {k}")
+    if n <= k:
+        raise ConfigError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigError(f"rewiring probability must lie in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for j in range(1, k // 2 + 1):
+        for i in range(n):
+            adj[i].add((i + j) % n)
+            adj[(i + j) % n].add(i)
+    for j in range(1, k // 2 + 1):
+        for i in range(n):
+            old = (i + j) % n
+            if rng.random() >= p:
+                continue
+            # A node joined to everyone else has nowhere to rewire to.
+            if len(adj[i]) >= n - 1:
+                continue
+            new = int(rng.integers(n))
+            while new == i or new in adj[i]:
+                new = int(rng.integers(n))
+            adj[i].discard(old)
+            adj[old].discard(i)
+            adj[i].add(new)
+            adj[new].add(i)
+    return InteractionGraph.from_edges(
+        n, ((i, j) for i in range(n) for j in adj[i] if i < j)
+    )
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int) -> InteractionGraph:
+    """A Barabási-Albert scale-free graph via preferential attachment.
+
+    Starts from a star on ``m + 1`` nodes; each subsequent node attaches to
+    ``m`` distinct existing nodes chosen with probability proportional to
+    their degree (the repeated-endpoints urn).  Deterministic in ``seed``.
+    """
+    if m < 1:
+        raise ConfigError(f"m must be >= 1, got {m}")
+    if n <= m:
+        raise ConfigError(f"need n > m, got n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = [(i, m) for i in range(m)]
+    # The urn holds one copy of each edge endpoint: degree-proportional draws.
+    urn: list[int] = [v for e in edges for v in e]
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(urn[int(rng.integers(len(urn)))]))
+        for t in sorted(targets):
+            edges.append((t, new))
+            urn.extend((t, new))
+    return InteractionGraph.from_edges(n, edges)
+
+
+# -- the declarative form ------------------------------------------------------
+
+_PARAM_SPECS: dict[str, dict[str, object]] = {
+    "lattice": {"rows": 10, "cols": 10, "neighborhood": "moore"},
+    "small_world": {"n": 100, "k": 8, "p": 0.1},
+    "scale_free": {"n": 100, "m": 4},
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A seeded, JSON-serialisable recipe for one interaction graph.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`GRAPH_KINDS`.
+    params:
+        Kind-specific parameters (unknown keys rejected):
+        ``lattice`` takes ``rows``/``cols``/``neighborhood``;
+        ``small_world`` takes ``n``/``k``/``p``;
+        ``scale_free`` takes ``n``/``m``.
+    seed:
+        Generator seed for the randomised kinds (ignored by ``lattice``).
+
+    Two equal specs build bit-identical graphs on any machine — the
+    property the rank-partitioned runner relies on to construct its
+    topology locally on every rank.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRAPH_KINDS:
+            raise ConfigError(f"kind must be one of {GRAPH_KINDS}, got {self.kind!r}")
+        defaults = _PARAM_SPECS[self.kind]
+        unknown = set(self.params) - set(defaults)
+        if unknown:
+            raise ConfigError(
+                f"unknown {self.kind} parameters: {sorted(unknown)}"
+                f" (valid: {sorted(defaults)})"
+            )
+        merged = {**defaults, **dict(self.params)}
+        object.__setattr__(self, "params", merged)
+        self._validate_params()
+
+    def _validate_params(self) -> None:
+        """Validate parameters without paying for a build."""
+        p = self.params
+        if self.kind == "lattice":
+            Lattice(int(p["rows"]), int(p["cols"]), str(p["neighborhood"]))
+        elif self.kind == "small_world":
+            n, k, prob = int(p["n"]), int(p["k"]), float(p["p"])
+            if k < 2 or k % 2 != 0 or n <= k or not 0.0 <= prob <= 1.0:
+                raise ConfigError(
+                    f"small_world needs even k >= 2 < n and p in [0, 1],"
+                    f" got n={n}, k={k}, p={prob}"
+                )
+        else:
+            n, m = int(p["n"]), int(p["m"])
+            if m < 1 or n <= m:
+                raise ConfigError(f"scale_free needs 1 <= m < n, got n={n}, m={m}")
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count, computable without building."""
+        p = self.params
+        if self.kind == "lattice":
+            return int(p["rows"]) * int(p["cols"])
+        return int(p["n"])
+
+    def build(self) -> InteractionGraph:
+        """Construct the graph (bit-identical for equal specs)."""
+        p = self.params
+        if self.kind == "lattice":
+            return lattice_graph(
+                Lattice(int(p["rows"]), int(p["cols"]), str(p["neighborhood"]))
+            )
+        if self.kind == "small_world":
+            return watts_strogatz_graph(int(p["n"]), int(p["k"]), float(p["p"]), self.seed)
+        return barabasi_albert_graph(int(p["n"]), int(p["m"]), self.seed)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return {"kind": self.kind, "params": dict(self.params), "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GraphSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        unknown = set(data) - {"kind", "params", "seed"}
+        if unknown:
+            raise ConfigError(f"unknown GraphSpec fields: {sorted(unknown)}")
+        if "kind" not in data:
+            raise ConfigError("a GraphSpec dict needs a 'kind'")
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            seed=int(data.get("seed", 0)),
+        )

@@ -1,0 +1,241 @@
+"""Games on interaction graphs: neighbour-local play, imitate-the-best.
+
+This generalises the lattice dynamics to arbitrary topologies.  A
+:class:`GraphGame` holds one strategy index per node and a roster-level
+pair-payoff matrix; a generation scores every node against its neighbours
+(sum of pair payoffs, in stored neighbour order) and then lets each node
+copy the best-scoring node it can see, with the same documented tie-breaks
+as the grid implementations (switch only on a *strict* improvement; among
+equally-best neighbours adopt the lowest strategy index).
+
+The kernels are written so that computing any contiguous node block of a
+step is bit-identical to computing it as part of the whole — per-node
+arithmetic never depends on which other nodes share the call.  That is the
+contract the rank-partitioned runner (:mod:`repro.spatial.parallel`) builds
+on to stay bit-identical to the single-rank reference.
+
+Two front doors:
+
+* :class:`GraphIPD` — the paper's memory-*n* iterated games, priced by the
+  exact Markov expectation (memoised whole-roster matrix, so a generation
+  costs O(roster²) payoff evaluations regardless of graph size).
+* :func:`graph_nowak_may` — the classic one-shot spatial PD as a pair
+  matrix ``[[1, 0], [b, 0]]``, on any topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, GameError
+from repro.game.engine import DEFAULT_ROUNDS
+from repro.game.noise import NO_NOISE, NoiseModel
+from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
+from repro.game.strategy import Strategy
+from repro.spatial.graph import InteractionGraph
+from repro.spatial.roster import check_roster, roster_pair_matrix
+
+__all__ = ["GraphGame", "GraphIPD", "graph_nowak_may"]
+
+
+class GraphGame:
+    """Imitate-the-best dynamics on an interaction graph.
+
+    Parameters
+    ----------
+    graph:
+        The topology.
+    pair:
+        ``(k, k)`` payoff matrix: ``pair[a, b]`` is what a node playing
+        strategy ``a`` earns from one neighbour playing ``b``.
+    state:
+        Initial per-node strategy indices, shape ``(n_nodes,)``.
+    include_self_interaction:
+        Whether each node also earns ``pair[s, s]`` from playing itself
+        (the original Nowak-May setting; off for the iterated games).
+    """
+
+    def __init__(
+        self,
+        graph: InteractionGraph,
+        pair: np.ndarray,
+        state: np.ndarray,
+        include_self_interaction: bool = False,
+    ) -> None:
+        self.graph = graph
+        pair = np.asarray(pair, dtype=np.float64)
+        if pair.ndim != 2 or pair.shape[0] != pair.shape[1] or pair.shape[0] < 1:
+            raise ConfigError(f"pair must be a square (k, k) matrix, got {pair.shape}")
+        self.pair = pair
+        self.n_strategies = pair.shape[0]
+        state = np.asarray(state)
+        if state.shape != (graph.n_nodes,):
+            raise ConfigError(
+                f"state must have shape ({graph.n_nodes},), got {state.shape}"
+            )
+        state = state.astype(np.intp)
+        if state.size and (state.min() < 0 or state.max() >= self.n_strategies):
+            raise ConfigError(f"state entries must lie in [0, {self.n_strategies})")
+        self.state = state.copy()
+        self.include_self_interaction = bool(include_self_interaction)
+        self.generation = 0
+
+    # -- block kernels -------------------------------------------------------
+    #
+    # Both kernels take the *full* state (and scores) array plus a node
+    # block [lo, hi); every per-node result depends only on that node's own
+    # row of the padded neighbour view, so a block computed alone is
+    # bit-identical to the same block computed as part of the whole.
+
+    def block_payoffs(self, state: np.ndarray, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Total payoff of nodes ``[lo, hi)`` against their neighbours.
+
+        ``state`` must be valid for the block's nodes and their neighbours;
+        entries elsewhere are never read.
+        """
+        hi = self.graph.n_nodes if hi is None else hi
+        nbr = self.graph.nbr[lo:hi]
+        mask = self.graph.nbr_mask[lo:hi]
+        own = state[lo:hi]
+        total = np.zeros(hi - lo, dtype=np.float64)
+        # Accumulate one neighbour column at a time: per node, additions
+        # happen in stored neighbour order (the grid's offset order for
+        # lattice graphs), independent of the block bounds.
+        for col in range(self.graph.max_degree):
+            idx = np.flatnonzero(mask[:, col])
+            j = nbr[idx, col]
+            total[idx] += self.pair[own[idx], state[j]]
+        if self.include_self_interaction:
+            total += self.pair[own, own]
+        return total
+
+    def block_imitate(
+        self, state: np.ndarray, scores: np.ndarray, lo: int = 0, hi: int | None = None
+    ) -> np.ndarray:
+        """Next strategies of nodes ``[lo, hi)`` under imitate-the-best.
+
+        A node switches only when some neighbour's score *strictly* beats
+        its own; among equally-best neighbours it adopts the lowest
+        strategy index (deterministic, the grid implementations' documented
+        tie-break).  ``scores`` must be valid for the block's nodes and
+        their neighbours.
+        """
+        hi = self.graph.n_nodes if hi is None else hi
+        nbr = self.graph.nbr[lo:hi]
+        mask = self.graph.nbr_mask[lo:hi]
+        own = state[lo:hi]
+        best = np.full(hi - lo, -np.inf)
+        adopt = np.full(hi - lo, self.n_strategies, dtype=np.intp)
+        for col in range(self.graph.max_degree):
+            idx = np.flatnonzero(mask[:, col])
+            j = nbr[idx, col]
+            s = scores[j]
+            st = state[j]
+            improved = s > best[idx]
+            tied = s == best[idx]
+            up = idx[improved]
+            best[up] = s[improved]
+            adopt[up] = st[improved]
+            eq = idx[tied]
+            adopt[eq] = np.minimum(adopt[eq], st[tied])
+        return np.where(best > scores[lo:hi], adopt, own)
+
+    # -- whole-graph dynamics ------------------------------------------------
+
+    def payoffs(self) -> np.ndarray:
+        """Per-node total payoff of the current configuration."""
+        return self.block_payoffs(self.state)
+
+    def step(self) -> np.ndarray:
+        """One synchronous imitate-the-best update; returns the new state."""
+        scores = self.block_payoffs(self.state)
+        self.state = self.block_imitate(self.state, scores)
+        self.generation += 1
+        return self.state
+
+    def run(self, steps: int) -> list[np.ndarray]:
+        """Advance ``steps`` generations; returns per-step strategy counts."""
+        if steps < 0:
+            raise GameError(f"steps must be non-negative, got {steps}")
+        out = []
+        for _ in range(steps):
+            self.step()
+            out.append(np.bincount(self.state, minlength=self.n_strategies))
+        return out
+
+    def counts(self) -> np.ndarray:
+        """Nodes currently holding each strategy index."""
+        return np.bincount(self.state, minlength=self.n_strategies)
+
+
+class GraphIPD(GraphGame):
+    """Memory-*n* iterated games on an interaction graph.
+
+    The graph generalisation of :class:`~repro.spatial.spatial_ipd.
+    SpatialIPD`: each node holds a roster strategy, plays an exact-Markov
+    IPD against every neighbour, and imitates the best node it can see.
+    On a lattice graph (:func:`~repro.spatial.graph.lattice_graph`) the
+    trajectory is bit-identical to the grid implementation's.
+
+    Parameters
+    ----------
+    graph:
+        The topology.
+    roster:
+        ``(name, Strategy)`` pairs sharing one memory depth.
+    state:
+        Initial per-node roster indices.
+    payoff, rounds, noise:
+        Game parameters; pair payoffs use the exact Markov expectation, so
+        the dynamics are deterministic (noise folds in analytically).
+    """
+
+    def __init__(
+        self,
+        graph: InteractionGraph,
+        roster: list[tuple[str, Strategy]],
+        state: np.ndarray,
+        payoff: PayoffMatrix = PAPER_PAYOFFS,
+        rounds: int = DEFAULT_ROUNDS,
+        noise: NoiseModel = NO_NOISE,
+    ) -> None:
+        space, tables = check_roster(roster)
+        pair = roster_pair_matrix(
+            space, tables, payoff=payoff, rounds=rounds, noise=noise
+        )
+        super().__init__(graph, pair, state)
+        self.roster = list(roster)
+        self.space = space
+        self.payoff_matrix = payoff
+        self.rounds = rounds
+        self.noise = noise
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of nodes holding each roster strategy (plain floats)."""
+        counts = self.counts()
+        return {
+            name: int(counts[idx]) / self.graph.n_nodes
+            for idx, (name, _) in enumerate(self.roster)
+        }
+
+
+def graph_nowak_may(
+    graph: InteractionGraph,
+    b: float,
+    state: np.ndarray,
+    include_self_interaction: bool = True,
+) -> GraphGame:
+    """The Nowak-May one-shot spatial PD on an arbitrary topology.
+
+    Strategy 0 cooperates, 1 defects; payoffs R=1, T=b, S=P=0 as in the
+    1992 setting, so the pair matrix is ``[[1, 0], [b, 0]]``.  On a Moore
+    lattice this plays the same game as :class:`~repro.spatial.nowak_may.
+    NowakMayGame` (scores may differ in the last float bit because the grid
+    implementation multiplies ``b`` by a cooperator *count* while this one
+    sums per-neighbour payoffs; at temptations exactly representable in a
+    few mantissa bits, e.g. ``b = 1.8125``, the two are bit-identical).
+    """
+    if b <= 1.0:
+        raise ConfigError(f"temptation b must exceed R = 1, got {b}")
+    pair = np.array([[1.0, 0.0], [float(b), 0.0]])
+    return GraphGame(graph, pair, state, include_self_interaction=include_self_interaction)

@@ -1,0 +1,102 @@
+"""Roster plumbing shared by the grid and graph spatial games.
+
+A *roster* is the list of ``(name, Strategy)`` pairs a structured
+population draws its cells from.  Both :class:`~repro.spatial.spatial_ipd.
+SpatialIPD` (the ``np.roll`` grid) and :class:`~repro.spatial.graph_game.
+GraphIPD` (arbitrary interaction graphs) validate rosters the same way,
+price them with the same exact-Markov pair payoffs, and render them with
+the same glyph assignment — so that logic lives here once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.game.markov import expected_pair_payoffs
+from repro.game.noise import NoiseModel
+from repro.game.payoff import PayoffMatrix
+from repro.game.states import StateSpace
+from repro.game.strategy import Strategy
+
+__all__ = ["check_roster", "roster_pair_matrix", "assign_glyphs"]
+
+#: Glyphs handed out when every character of a roster name is taken.
+FALLBACK_GLYPHS = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def check_roster(roster: list[tuple[str, Strategy]]) -> tuple[StateSpace, np.ndarray]:
+    """Validate a roster; returns its shared state space and table matrix.
+
+    Names must be unique and every strategy must share one memory depth
+    (cells hold roster indices, so a mixed-depth roster would have no
+    single pair-payoff chain).
+    """
+    if len(roster) < 1:
+        raise ConfigError("roster must not be empty")
+    names = [n for n, _ in roster]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"roster names must be unique, got {names}")
+    spaces = {s.space for _, s in roster}
+    if len(spaces) != 1:
+        raise ConfigError("roster strategies must share one memory depth")
+    space = next(iter(spaces))
+    tables = np.vstack([np.asarray(s.table, dtype=np.float64) for _, s in roster])
+    return space, tables
+
+
+def roster_pair_matrix(
+    space: StateSpace,
+    tables: np.ndarray,
+    *,
+    payoff: PayoffMatrix,
+    rounds: int,
+    noise: NoiseModel,
+) -> np.ndarray:
+    """The full roster-vs-roster expected-payoff matrix in one batched call.
+
+    One :func:`~repro.game.markov.expected_pair_payoffs` evaluation over the
+    ``k(k+1)/2`` unordered pairs prices the whole ``k x k`` matrix (each
+    pair yields both directions), replacing the historical ``k**2``
+    single-pair calls without changing a single bit of the result: entry
+    ``[i, j]`` with ``i <= j`` is player A's expectation of pair ``(i, j)``
+    and entry ``[j, i]`` player B's, exactly the values the memoised
+    per-pair path produced.
+    """
+    k = tables.shape[0]
+    iu, ju = np.triu_indices(k)
+    ea, eb = expected_pair_payoffs(
+        space, tables, iu, ju, payoff=payoff, rounds=rounds, noise=noise
+    )
+    pair = np.empty((k, k), dtype=np.float64)
+    # Assignment order matters on the diagonal: the per-pair path stored
+    # ea then overwrote with eb for i == j, so eb wins here too.
+    pair[iu, ju] = ea
+    pair[ju, iu] = eb
+    return pair
+
+
+def assign_glyphs(names: list[str]) -> list[str]:
+    """One unique render glyph per roster name, deterministically.
+
+    Each name gets the first character of its lowercased spelling that no
+    earlier name claimed; when every character of the name is taken the
+    glyph comes from a fixed fallback alphabet.  (Keying on the first
+    letter alone aliased rosters like ``("TFT", "TF2T")`` into one glyph.)
+    """
+    used: set[str] = set()
+    glyphs: list[str] = []
+    for name in names:
+        candidates = [c for c in name.lower() if not c.isspace()]
+        candidates += [c for c in FALLBACK_GLYPHS]
+        for c in candidates:
+            if c not in used:
+                used.add(c)
+                glyphs.append(c)
+                break
+        else:
+            raise ConfigError(
+                f"cannot assign a unique glyph to {name!r}:"
+                f" all {len(used)} candidate glyphs are taken"
+            )
+    return glyphs

@@ -25,6 +25,7 @@ from repro.game.noise import NO_NOISE, NoiseModel
 from repro.game.payoff import PAPER_PAYOFFS, PayoffMatrix
 from repro.game.strategy import Strategy
 from repro.spatial.lattice import Lattice
+from repro.spatial.roster import assign_glyphs, check_roster, roster_pair_matrix
 
 __all__ = ["SpatialIPD"]
 
@@ -56,18 +57,7 @@ class SpatialIPD:
     generation: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        if len(self.roster) < 1:
-            raise ConfigError("roster must not be empty")
-        names = [n for n, _ in self.roster]
-        if len(set(names)) != len(names):
-            raise ConfigError(f"roster names must be unique, got {names}")
-        spaces = {s.space for _, s in self.roster}
-        if len(spaces) != 1:
-            raise ConfigError("roster strategies must share one memory depth")
-        self.space = next(iter(spaces))
-        self.tables = np.vstack(
-            [np.asarray(s.table, dtype=np.float64) for _, s in self.roster]
-        )
+        self.space, self.tables = check_roster(self.roster)
         arr = self.lattice.check_grid(self.grid).astype(np.intp)
         if arr.size and (arr.min() < 0 or arr.max() >= len(self.roster)):
             raise ConfigError("grid entries must index the roster")
@@ -95,11 +85,23 @@ class SpatialIPD:
         return float(self._pair[i, j])
 
     def pair_matrix(self) -> np.ndarray:
-        """The full roster-vs-roster expected payoff matrix."""
-        k = len(self.roster)
-        for i in range(k):
-            for j in range(k):
-                self._pair_payoff(i, j)
+        """The full roster-vs-roster expected payoff matrix.
+
+        Entries not already memoised by :meth:`_pair_payoff` come from one
+        batched :func:`~repro.spatial.roster.roster_pair_matrix` call over
+        the whole roster — bit-identical to the historical k**2 single-pair
+        loop, without its k**2 trips through the Markov solver.
+        """
+        missing = np.isnan(self._pair)
+        if missing.any():
+            full = roster_pair_matrix(
+                self.space,
+                self.tables,
+                payoff=self.payoff,
+                rounds=self.rounds,
+                noise=self.noise,
+            )
+            self._pair[missing] = full[missing]
         return self._pair.copy()
 
     # -- dynamics ---------------------------------------------------------------
@@ -139,14 +141,23 @@ class SpatialIPD:
         return out
 
     def shares(self) -> dict[str, float]:
-        """Fraction of cells holding each roster strategy."""
+        """Fraction of cells holding each roster strategy (plain floats).
+
+        Values are builtin ``float``, not numpy scalars, so the dict is
+        ``json.dumps``-able as-is (RunStore events, SSE payloads).
+        """
         counts = np.bincount(self.grid.reshape(-1), minlength=len(self.roster))
         return {
-            name: counts[idx] / self.lattice.n_cells
+            name: int(counts[idx]) / self.lattice.n_cells
             for idx, (name, _) in enumerate(self.roster)
         }
 
     def render(self) -> str:
-        """ASCII view using each roster entry's first letter (lowercased)."""
-        glyphs = [name[0].lower() for name, _ in self.roster]
+        """ASCII view with one unique glyph per roster entry.
+
+        Glyphs come from :func:`~repro.spatial.roster.assign_glyphs`, so
+        rosters whose names share a first letter (``TFT`` vs ``TF2T``)
+        stay distinguishable.
+        """
+        glyphs = assign_glyphs([name for name, _ in self.roster])
         return "\n".join("".join(glyphs[v] for v in row) for row in self.grid)

@@ -1,0 +1,223 @@
+"""Declarative spatial run specifications.
+
+A :class:`SpatialRunSpec` is the structured-population sibling of
+:class:`~repro.parallel.spec.RunSpec`: one JSON-safe value object naming a
+topology (:class:`~repro.spatial.graph.GraphSpec`), a game family (the
+memory-*n* iterated games or the one-shot Nowak-May PD), the initial
+configuration, and the substrate (rank count, backend).  Its dict form
+carries ``kind: "spatial"`` so :func:`~repro.parallel.spec.spec_from_dict`
+can revive either family from the same stored ``spec.json`` — which is what
+lets the run service queue and persist spatial runs through the exact
+machinery built for evolution runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.game.engine import DEFAULT_ROUNDS
+from repro.game.noise import NoiseModel
+from repro.game.strategy import NAMED_STRATEGIES, named_strategy
+from repro.parallel.spec import FaultPolicy
+from repro.spatial.graph import GraphSpec
+from repro.spatial.graph_game import GraphGame, GraphIPD, graph_nowak_may
+
+__all__ = ["SpatialRunSpec"]
+
+_BACKENDS = ("thread", "process", "tcp")
+_GAMES = ("ipd", "nowak_may")
+_INITS = ("random", "single_defector")
+
+
+@dataclass(frozen=True)
+class SpatialRunSpec:
+    """A complete, declarative description of one spatial run.
+
+    Parameters
+    ----------
+    graph:
+        The interaction topology, as a buildable :class:`GraphSpec`.
+    game:
+        ``"ipd"`` (memory-*n* iterated games over ``roster``) or
+        ``"nowak_may"`` (the one-shot spatial PD at temptation ``b``).
+    roster:
+        Strategy names for the ``ipd`` game (see
+        :func:`~repro.game.strategy.named_strategy`); ignored by
+        ``nowak_may``, whose roster is always ``("C", "D")``.
+    memory:
+        Memory depth the roster strategies are instantiated at.
+    rounds, noise_rate:
+        IPD game length and execution-error rate (exact-Markov pricing, so
+        noise folds in analytically and the dynamics stay deterministic).
+    b:
+        Nowak-May temptation payoff (> 1); ignored by ``ipd``.
+    init:
+        ``"random"`` (seeded uniform draw over the roster) or
+        ``"single_defector"`` (all nodes hold the first roster entry except
+        the centre node, which holds the last — the classic NM seeding).
+    seed:
+        Seed for both graph construction and the initial configuration.
+    steps:
+        Generations to run.
+    n_ranks, backend:
+        Execution substrate; ``n_ranks = 1`` is the single-rank reference,
+        larger worlds block-partition the graph with halo exchange
+        (:mod:`repro.spatial.parallel`), bit-identical by construction.
+    attempt_timeout:
+        Per-attempt deadline in seconds (``None`` waits forever).
+    fault:
+        Service-level :class:`~repro.parallel.spec.FaultPolicy` (the queue
+        reads ``max_requeues``; spatial runs have no supervisor restarts).
+    name:
+        Free-form label (shown by the service; no semantics).
+    """
+
+    #: Discriminator for :func:`~repro.parallel.spec.spec_from_dict`.
+    kind: ClassVar[str] = "spatial"
+
+    graph: GraphSpec
+    game: str = "ipd"
+    roster: tuple[str, ...] = ("WSLS", "TFT", "ALLD")
+    memory: int = 1
+    rounds: int = DEFAULT_ROUNDS
+    noise_rate: float = 0.0
+    b: float = 1.8125
+    init: str = "random"
+    seed: int = 0
+    steps: int = 50
+    n_ranks: int = 1
+    backend: str = "thread"
+    attempt_timeout: float | None = 600.0
+    fault: FaultPolicy = field(default_factory=FaultPolicy)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, GraphSpec):
+            raise ConfigError(
+                f"graph must be a GraphSpec, got {type(self.graph).__name__}"
+            )
+        if self.game not in _GAMES:
+            raise ConfigError(f"game must be one of {_GAMES}, got {self.game!r}")
+        object.__setattr__(self, "roster", tuple(self.roster))
+        if self.game == "ipd":
+            if not self.roster:
+                raise ConfigError("an ipd spec needs a non-empty roster")
+            unknown = [n for n in self.roster if n not in NAMED_STRATEGIES]
+            if unknown:
+                raise ConfigError(
+                    f"unknown roster strategies {unknown};"
+                    f" known names: {NAMED_STRATEGIES}"
+                )
+        if self.memory < 1:
+            raise ConfigError(f"memory must be >= 1, got {self.memory}")
+        if self.rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
+        NoiseModel(self.noise_rate)  # range-checks the rate
+        if self.game == "nowak_may" and self.b <= 1.0:
+            raise ConfigError(f"temptation b must exceed 1, got {self.b}")
+        if self.init not in _INITS:
+            raise ConfigError(f"init must be one of {_INITS}, got {self.init!r}")
+        if self.steps < 0:
+            raise ConfigError(f"steps must be >= 0, got {self.steps}")
+        n_nodes = self.graph.n_nodes
+        if not 1 <= self.n_ranks <= n_nodes:
+            raise ConfigError(
+                f"n_ranks must lie in [1, n_nodes={n_nodes}], got {self.n_ranks}"
+            )
+        if self.backend not in _BACKENDS:
+            raise ConfigError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ConfigError(
+                f"attempt_timeout must be > 0 or None, got {self.attempt_timeout}"
+            )
+        if not isinstance(self.fault, FaultPolicy):
+            raise ConfigError(
+                f"fault must be a FaultPolicy, got {type(self.fault).__name__}"
+            )
+
+    def with_updates(self, **changes: object) -> "SpatialRunSpec":
+        """Return a copy with the given fields replaced (validated anew)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Flatten the spec into JSON-safe primitives (no pickle)."""
+        return {
+            "kind": "spatial",
+            "graph": self.graph.to_dict(),
+            "game": self.game,
+            "roster": list(self.roster),
+            "memory": self.memory,
+            "rounds": self.rounds,
+            "noise_rate": self.noise_rate,
+            "b": self.b,
+            "init": self.init,
+            "seed": self.seed,
+            "steps": self.steps,
+            "n_ranks": self.n_ranks,
+            "backend": self.backend,
+            "attempt_timeout": self.attempt_timeout,
+            "fault": self.fault.to_dict(),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SpatialRunSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected, values validated)."""
+        kwargs = dict(data)
+        kind = kwargs.pop("kind", "spatial")
+        if kind != "spatial":
+            raise ConfigError(
+                f"SpatialRunSpec.from_dict only reads kind='spatial' specs, got {kind!r}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ConfigError(f"unknown SpatialRunSpec fields: {sorted(unknown)}")
+        if "graph" not in kwargs:
+            raise ConfigError("a SpatialRunSpec dict needs a 'graph' section")
+        kwargs["graph"] = GraphSpec.from_dict(kwargs["graph"])
+        if "roster" in kwargs:
+            kwargs["roster"] = tuple(kwargs["roster"])
+        if kwargs.get("fault") is not None:
+            kwargs["fault"] = FaultPolicy.from_dict(kwargs["fault"])
+        else:
+            kwargs.pop("fault", None)
+        return cls(**kwargs)
+
+    # -- materialisation -----------------------------------------------------
+
+    def strategy_names(self) -> tuple[str, ...]:
+        """Labels for the per-strategy share/count vectors this spec yields."""
+        return self.roster if self.game == "ipd" else ("C", "D")
+
+    def initial_state(self) -> np.ndarray:
+        """The seeded initial per-node strategy indices."""
+        n = self.graph.n_nodes
+        k = len(self.strategy_names())
+        if self.init == "random":
+            rng = np.random.default_rng(self.seed)
+            return rng.integers(0, k, size=n).astype(np.intp)
+        state = np.zeros(n, dtype=np.intp)
+        state[n // 2] = k - 1
+        return state
+
+    def build_game(self) -> GraphGame:
+        """Materialise the spec: build the graph, seed the state, price the game.
+
+        Deterministic — every rank of a partitioned run calls this and gets
+        the same graph, the same initial state, and the same pair matrix.
+        """
+        graph = self.graph.build()
+        state = self.initial_state()
+        if self.game == "nowak_may":
+            return graph_nowak_may(graph, self.b, state)
+        roster = [(n, named_strategy(n, memory=self.memory)) for n in self.roster]
+        return GraphIPD(
+            graph, roster, state, rounds=self.rounds, noise=NoiseModel(self.noise_rate)
+        )

@@ -1,0 +1,68 @@
+"""Tests for the spatial phase-diagram experiment family."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.spatial_phase import (
+    PHASE_TOPOLOGIES,
+    phase_graph_spec,
+    run_spatial_noise_phase,
+    run_spatial_phase,
+)
+
+pytestmark = pytest.mark.spatial
+
+
+class TestPhaseSweep:
+    def test_cooperation_collapses_with_b_on_every_topology(self):
+        result = run_spatial_phase(bs=(1.125, 1.9375), steps=30)
+        for topology in PHASE_TOPOLOGIES:
+            series = result.shares[topology]
+            assert series[0] > 0.5, topology
+            assert series[-1] == 0.0, topology
+
+    def test_render_mentions_every_topology(self):
+        result = run_spatial_phase(bs=(1.5,), steps=5)
+        text = result.render()
+        for topology in PHASE_TOPOLOGIES:
+            assert topology in text
+
+    def test_partitioned_sweep_matches_single_rank(self):
+        a = run_spatial_phase(bs=(1.625,), topologies=("lattice",), steps=10)
+        b = run_spatial_phase(
+            bs=(1.625,), topologies=("lattice",), steps=10, n_ranks=2
+        )
+        assert a.shares == b.shares
+
+
+class TestNoiseSweep:
+    def test_wsls_takes_over_under_noise(self):
+        result = run_spatial_noise_phase(
+            noise_rates=(0.05,), topologies=("lattice",), steps=25
+        )
+        assert result.shares["lattice"][0]["WSLS"] > 0.9
+
+    def test_shares_cover_the_roster(self):
+        result = run_spatial_noise_phase(
+            noise_rates=(0.0, 0.05), topologies=("small_world",), steps=3
+        )
+        cells = result.shares["small_world"]
+        assert len(cells) == 2
+        assert all(set(cell) == {"WSLS", "TFT", "ALLD"} for cell in cells)
+
+
+class TestWiring:
+    def test_phase_graph_specs_build(self):
+        for topology in PHASE_TOPOLOGIES:
+            spec = phase_graph_spec(topology)
+            assert spec.build().n_nodes == spec.n_nodes
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(Exception):
+            phase_graph_spec("hypercube")
+
+    def test_cli_runs_both_experiments(self, capsys):
+        assert main(["run", "spatial-phase"]) == 0
+        assert "lattice" in capsys.readouterr().out
+        assert main(["run", "spatial-noise"]) == 0
+        assert "WSLS" in capsys.readouterr().out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MachineModelError
-from repro.machine.torus import TorusNetwork
+from repro.machine.torus import PartitionTraffic, TorusNetwork
 from repro.mpi.topology import CartTopology
 
 
@@ -58,3 +58,48 @@ class TestValidation:
         with pytest.raises(MachineModelError):
             TorusNetwork(CartTopology((2,)), link_bandwidth=1, hop_latency=-1,
                          software_overhead=0)
+
+
+class TestPartitionTraffic:
+    def test_totals_on_handmade_counts(self, net):
+        # Two directed pairs: (0, 1) at hop distance 1 and (0, 2) at 2.
+        traffic = net.partition_traffic({(0, 1): 3, (0, 2): 5}, bytes_per_item=8)
+        assert traffic.n_messages == 2
+        assert traffic.total_bytes == 8 * 8
+        assert traffic.total_hops == 3
+        expected = net.message_time_hops(1, 24) + net.message_time_hops(2, 40)
+        assert traffic.total_time == pytest.approx(expected)
+        # Rank 0 sends both messages, so it is the critical path.
+        assert traffic.max_rank_time == pytest.approx(expected)
+
+    def test_max_rank_time_bounded_by_total(self, net):
+        counts = {(0, 1): 4, (1, 0): 4, (1, 2): 2, (2, 1): 2}
+        traffic = net.partition_traffic(counts, bytes_per_item=8)
+        assert 0 < traffic.max_rank_time < traffic.total_time
+
+    def test_placement_changes_hops_not_bytes(self, net):
+        counts = {(0, 1): 4, (1, 0): 4}
+        near = net.partition_traffic(counts, 8, placement=[0, 1])
+        far = net.partition_traffic(counts, 8, placement=[0, net.topology.rank((2, 2, 2))])
+        assert far.total_bytes == near.total_bytes
+        assert far.total_hops > near.total_hops
+        assert far.total_time > near.total_time
+
+    def test_self_and_zero_count_entries_skipped(self, net):
+        traffic = net.partition_traffic({(1, 1): 9, (0, 1): 0}, bytes_per_item=8)
+        assert traffic == PartitionTraffic(0, 0, 0, 0.0, 0.0)
+
+    def test_empty_counts_are_all_zero(self, net):
+        assert net.partition_traffic({}, 8) == PartitionTraffic(0, 0, 0, 0.0, 0.0)
+
+    def test_negative_count_rejected(self, net):
+        with pytest.raises(MachineModelError):
+            net.partition_traffic({(0, 1): -1}, 8)
+
+    def test_bad_bytes_per_item(self, net):
+        with pytest.raises(MachineModelError):
+            net.partition_traffic({(0, 1): 1}, 0)
+
+    def test_out_of_range_placement(self, net):
+        with pytest.raises(MachineModelError):
+            net.partition_traffic({(0, 1): 1}, 8, placement=[0, 64])

@@ -38,7 +38,7 @@ def client(server) -> ServiceClient:
 class TestBasics:
     def test_health_and_templates(self, client):
         assert client.health() is True
-        assert client.templates() == ["fig2", "memory-cooperation"]
+        assert client.templates() == ["fig2", "memory-cooperation", "spatial-phase", "spatial-noise"]
 
     def test_health_false_when_unreachable(self):
         assert ServiceClient("http://127.0.0.1:9", timeout=0.5).health() is False

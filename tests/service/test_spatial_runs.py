@@ -1,0 +1,86 @@
+"""Spatial jobs through the run service: raw specs, templates, events."""
+
+import numpy as np
+import pytest
+
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.server import RunServer
+from repro.spatial.graph import GraphSpec
+from repro.spatial.parallel import run_reference
+from repro.spatial.spec import SpatialRunSpec
+
+pytestmark = [pytest.mark.service, pytest.mark.spatial]
+
+
+def _spec(**overrides) -> SpatialRunSpec:
+    base = dict(
+        graph=GraphSpec("lattice", {"rows": 6, "cols": 8}),
+        roster=("WSLS", "TFT", "ALLD"),
+        noise_rate=0.01,
+        steps=6,
+        seed=3,
+        n_ranks=2,
+        backend="thread",
+    )
+    base.update(overrides)
+    return SpatialRunSpec(**base)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with RunServer(tmp_path / "runs", max_workers=2, quota=2) as srv:
+        yield srv.start()
+
+
+@pytest.fixture
+def client(server) -> ServiceClient:
+    return ServiceClient(server.url)
+
+
+class TestRawSpec:
+    def test_submit_run_fetch_matches_reference(self, client):
+        spec = _spec()
+        client.submit("alice", "s1", spec=spec)
+        assert client.wait("alice", "s1", timeout=60)["state"] == "done"
+        fetched = client.result("alice", "s1")
+        ref = run_reference(spec)
+        assert np.array_equal(fetched.matrix, ref.matrix)
+        assert fetched.generation == spec.steps
+
+    def test_progress_events_carry_counts(self, client):
+        client.submit("alice", "s1", spec=_spec(steps=4))
+        client.wait("alice", "s1", timeout=60)
+        events = client.events("alice", "s1")
+        progress = [e for e in events if e["type"] == "progress"]
+        assert [e["generation"] for e in progress] == [1, 2, 3, 4]
+        assert all(sum(e["counts"]) == 48 for e in progress)
+        done = [e for e in events if e["type"] == "done"]
+        assert done and sum(done[0]["shares"].values()) == pytest.approx(1.0)
+
+    def test_bad_spatial_spec_is_400(self, client):
+        payload = _spec().to_dict()
+        payload["game"] = "ultimatum"
+        with pytest.raises(ServiceHTTPError) as err:
+            client.submit("alice", "s1", spec=payload)
+        assert err.value.status == 400
+
+
+class TestTemplates:
+    def test_spatial_noise_template(self, client):
+        client.submit(
+            "alice", "t1",
+            template="spatial-noise",
+            config={"topology": "lattice", "noise_rate": 0.02, "steps": 4},
+            spec_overrides={"n_ranks": 2},
+        )
+        status = client.wait("alice", "t1", timeout=60)
+        assert status["state"] == "done"
+        assert status["name"] == "spatial-noise"
+
+    def test_spatial_phase_template(self, client):
+        client.submit(
+            "alice", "t2",
+            template="spatial-phase",
+            config={"topology": "small_world", "b": 1.625, "steps": 4},
+        )
+        assert client.wait("alice", "t2", timeout=60)["state"] == "done"

@@ -165,7 +165,7 @@ class TestFromSpec:
 
 class TestTemplates:
     def test_template_ids(self):
-        assert template_ids() == ["fig2", "memory-cooperation"]
+        assert template_ids() == ["fig2", "memory-cooperation", "spatial-phase", "spatial-noise"]
 
     def test_fig2_template_expands(self):
         spec = spec_template(

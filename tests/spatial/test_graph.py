@@ -1,0 +1,198 @@
+"""Tests for interaction graphs: CSR invariants, generators, partitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.spatial.graph import (
+    GRAPH_KINDS,
+    GraphSpec,
+    InteractionGraph,
+    barabasi_albert_graph,
+    lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.spatial.lattice import Lattice
+
+pytestmark = pytest.mark.spatial
+
+
+def path_graph(n):
+    return InteractionGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestInteractionGraph:
+    def test_from_edges_roundtrip(self):
+        g = InteractionGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.n_nodes == 4
+        assert g.n_edges == 4
+        assert list(g.degrees) == [2, 2, 2, 2]
+        assert list(g.neighbors(0)) == [1, 3]
+
+    def test_padded_view_matches_csr(self):
+        g = path_graph(5)
+        for i in range(5):
+            row = g.nbr[i][g.nbr_mask[i]]
+            assert np.array_equal(row, g.neighbors(i))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigError):
+            InteractionGraph.from_edges(3, [(0, 0)])
+        with pytest.raises(ConfigError):
+            InteractionGraph(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_asymmetric(self):
+        # Edge 0->1 present without its mirror.
+        with pytest.raises(ConfigError):
+            InteractionGraph(np.array([0, 1, 1]), np.array([1]))
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(ConfigError):
+            InteractionGraph(np.array([0, 2, 4]), np.array([1, 1, 0, 0]))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ConfigError):
+            InteractionGraph(np.array([0, 2, 1]), np.array([1, 0]))
+        with pytest.raises(ConfigError):
+            InteractionGraph(np.array([1, 2]), np.array([0]))
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ConfigError):
+            InteractionGraph.from_edges(2, [(0, 5)])
+        with pytest.raises(ConfigError):
+            g = path_graph(3)
+            g.neighbors(7)
+
+
+class TestLatticeGraph:
+    @pytest.mark.parametrize("neighborhood", ["moore", "von_neumann"])
+    def test_matches_lattice_offsets(self, neighborhood):
+        lat = Lattice(5, 7, neighborhood)
+        g = lattice_graph(lat)
+        assert g.n_nodes == lat.n_cells
+        for r in range(lat.rows):
+            for c in range(lat.cols):
+                expected = [
+                    ((r + dr) % lat.rows) * lat.cols + (c + dc) % lat.cols
+                    for dr, dc in lat.offsets
+                ]
+                # Order preserved — the bit-parity bridge to the grid kernels.
+                assert list(g.neighbors(r * lat.cols + c)) == expected
+
+    def test_regular_degree(self):
+        g = lattice_graph(Lattice(4, 6, "von_neumann"))
+        assert set(g.degrees.tolist()) == {4}
+        assert g.n_edges == 4 * 6 * 4 // 2
+
+
+class TestWattsStrogatz:
+    def test_edge_budget_is_invariant(self):
+        # Rewiring moves edges, never creates or destroys them.
+        for p in (0.0, 0.3, 1.0):
+            g = watts_strogatz_graph(40, 6, p, seed=9)
+            assert g.n_edges == 40 * 6 // 2
+
+    def test_p_zero_is_the_ring(self):
+        g = watts_strogatz_graph(10, 4, 0.0, seed=0)
+        assert list(g.neighbors(0)) == [1, 2, 8, 9]
+        assert set(g.degrees.tolist()) == {4}
+
+    def test_deterministic_in_seed(self):
+        a = watts_strogatz_graph(60, 8, 0.2, seed=5)
+        b = watts_strogatz_graph(60, 8, 0.2, seed=5)
+        c = watts_strogatz_graph(60, 8, 0.2, seed=6)
+        assert np.array_equal(a.indices, b.indices)
+        assert not np.array_equal(a.indices, c.indices)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(10, 3, 0.1, seed=0)  # odd k
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(6, 8, 0.1, seed=0)  # n <= k
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(10, 4, 1.5, seed=0)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        # Star of m edges, then m per new node: m * (n - m) total.
+        g = barabasi_albert_graph(50, 3, seed=1)
+        assert g.n_edges == 3 * (50 - 3)
+
+    def test_has_hubs(self):
+        g = barabasi_albert_graph(200, 2, seed=4)
+        assert g.degrees.max() > 4 * g.degrees.min()
+
+    def test_deterministic_in_seed(self):
+        a = barabasi_albert_graph(80, 4, seed=2)
+        b = barabasi_albert_graph(80, 4, seed=2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(5, 0, seed=0)
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(4, 4, seed=0)
+
+
+class TestPartitionAccounting:
+    def test_path_split_in_half(self):
+        g = path_graph(6)
+        owners = np.array([0, 0, 0, 1, 1, 1])
+        assert g.edge_cut(owners) == 1
+        assert g.halo_counts(owners) == {(0, 1): 1, (1, 0): 1}
+
+    def test_halo_counts_dedupe_boundary_nodes(self):
+        # Node 1 borders two nodes of partition 1 but ships once.
+        g = InteractionGraph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        owners = np.array([0, 0, 1, 1])
+        assert g.halo_counts(owners) == {(0, 1): 1, (1, 0): 2}
+        assert g.edge_cut(owners) == 2
+
+    def test_single_owner_has_no_cut(self):
+        g = path_graph(5)
+        owners = np.zeros(5, dtype=int)
+        assert g.edge_cut(owners) == 0
+        assert g.halo_counts(owners) == {}
+
+    def test_owner_shape_checked(self):
+        with pytest.raises(ConfigError):
+            path_graph(4).edge_cut(np.zeros(3, dtype=int))
+
+
+class TestGraphSpec:
+    def test_kinds_cover_the_issue(self):
+        assert GRAPH_KINDS == ("lattice", "small_world", "scale_free")
+
+    @pytest.mark.parametrize("kind", GRAPH_KINDS)
+    def test_defaults_build(self, kind):
+        spec = GraphSpec(kind)
+        g = spec.build()
+        assert g.n_nodes == spec.n_nodes
+
+    def test_roundtrip(self):
+        spec = GraphSpec("small_world", {"n": 30, "k": 4, "p": 0.25}, seed=7)
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_equal_specs_build_identical_graphs(self):
+        spec = GraphSpec("scale_free", {"n": 40, "m": 2}, seed=3)
+        a, b = spec.build(), GraphSpec.from_dict(spec.to_dict()).build()
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_unknown_kind_and_params_rejected(self):
+        with pytest.raises(ConfigError):
+            GraphSpec("hypercube")
+        with pytest.raises(ConfigError):
+            GraphSpec("lattice", {"rows": 5, "cols": 5, "depth": 5})
+        with pytest.raises(ConfigError):
+            GraphSpec.from_dict({"kind": "lattice", "extra": 1})
+
+    def test_bad_params_rejected_without_building(self):
+        with pytest.raises(ConfigError):
+            GraphSpec("small_world", {"n": 4, "k": 8})
+        with pytest.raises(ConfigError):
+            GraphSpec("scale_free", {"n": 3, "m": 5})
+
+    def test_lattice_n_nodes(self):
+        assert GraphSpec("lattice", {"rows": 6, "cols": 7}).n_nodes == 42

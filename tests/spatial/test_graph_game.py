@@ -1,0 +1,169 @@
+"""Tests for graph games: grid parity, tie-breaks, block kernels."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GameError
+from repro.game.noise import NoiseModel
+from repro.game.strategy import named_strategy
+from repro.spatial.graph import InteractionGraph, lattice_graph
+from repro.spatial.graph_game import GraphGame, GraphIPD, graph_nowak_may
+from repro.spatial.lattice import Lattice
+from repro.spatial.nowak_may import NowakMayGame
+from repro.spatial.spatial_ipd import SpatialIPD
+
+pytestmark = pytest.mark.spatial
+
+
+def roster(*names):
+    return [(n, named_strategy(n)) for n in names]
+
+
+def star(n_leaves):
+    return InteractionGraph.from_edges(n_leaves + 1, [(0, i) for i in range(1, n_leaves + 1)])
+
+
+class TestConstruction:
+    def test_pair_must_be_square(self):
+        g = star(2)
+        with pytest.raises(ConfigError):
+            GraphGame(g, np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_state_shape_and_range_checked(self):
+        g = star(2)
+        pair = np.eye(2)
+        with pytest.raises(ConfigError):
+            GraphGame(g, pair, np.zeros(5, dtype=int))
+        with pytest.raises(ConfigError):
+            GraphGame(g, pair, np.array([0, 1, 2]))
+
+    def test_initial_state_not_aliased(self):
+        g = lattice_graph(Lattice(4, 4))
+        state = np.zeros(16, dtype=np.intp)
+        state[5] = 1
+        game = graph_nowak_may(g, 2.5, state)
+        game.run(2)
+        assert state.sum() == 1
+
+    def test_negative_steps(self):
+        game = graph_nowak_may(star(2), 1.5, np.zeros(3, dtype=int))
+        with pytest.raises(GameError):
+            game.run(-1)
+
+
+class TestGridParity:
+    """The lattice graph reproduces the grid implementations bit-for-bit."""
+
+    @pytest.mark.parametrize("neighborhood", ["moore", "von_neumann"])
+    def test_graph_ipd_matches_spatial_ipd(self, neighborhood):
+        lat = Lattice(7, 9, neighborhood)
+        r = roster("WSLS", "TFT", "ALLD")
+        rng = np.random.default_rng(11)
+        grid = rng.integers(0, 3, size=(7, 9))
+        sp = SpatialIPD(lat, r, grid, noise=NoiseModel(0.02))
+        gg = GraphIPD(lattice_graph(lat), r, grid.reshape(-1), noise=NoiseModel(0.02))
+        assert np.array_equal(sp.payoffs().reshape(-1), gg.payoffs())
+        for _ in range(12):
+            sp.step()
+            gg.step()
+            assert np.array_equal(sp.grid.reshape(-1), gg.state)
+        assert sp.shares() == gg.shares()
+
+    def test_graph_nowak_may_matches_grid_at_exact_b(self):
+        """b = 1.8125 is a short binary fraction, so count * b equals the
+        per-neighbour float sum exactly and the trajectories coincide."""
+        lat = Lattice(15, 15)
+        rng = np.random.default_rng(6)
+        grid = lat.random_grid(rng, 0.4)
+        nm = NowakMayGame(lat, b=1.8125, grid=grid)
+        gm = graph_nowak_may(lattice_graph(lat), 1.8125, grid.reshape(-1))
+        assert np.array_equal(nm.payoffs().reshape(-1), gm.payoffs())
+        for _ in range(20):
+            nm.step()
+            gm.step()
+            assert np.array_equal(nm.grid.reshape(-1), gm.state)
+
+    def test_self_interaction_matches_grid_option(self):
+        lat = Lattice(5, 5)
+        grid = lat.single_defector_grid()
+        nm = NowakMayGame(lat, b=1.5, grid=grid, include_self_interaction=False)
+        gm = graph_nowak_may(
+            lattice_graph(lat), 1.5, grid.reshape(-1), include_self_interaction=False
+        )
+        assert np.array_equal(nm.payoffs().reshape(-1), gm.payoffs())
+
+
+class TestTieBreaks:
+    def test_no_switch_without_strict_improvement(self):
+        # A ring with a flat pair matrix: every node scores its degree, no
+        # neighbour is strictly better, nobody moves.
+        ring = InteractionGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        game = GraphGame(ring, np.ones((2, 2)), np.array([0, 1, 0, 1]))
+        before = game.state.copy()
+        game.run(3)
+        assert np.array_equal(game.state, before)
+
+    def test_tied_best_neighbours_yield_lowest_strategy_index(self):
+        # Leaves 1 (strategy 1) and 2 (strategy 0) tie at score 5; the
+        # centre (strategy 2, score 0) must adopt the lower index, 0.
+        g = star(2)
+        pair = np.zeros((3, 3))
+        pair[1, 2] = pair[0, 2] = 5.0
+        game = GraphGame(g, pair, np.array([2, 1, 0]))
+        game.step()
+        assert game.state[0] == 0
+
+    def test_deterministic(self):
+        g = lattice_graph(Lattice(8, 8))
+        rng = np.random.default_rng(3)
+        state = rng.integers(0, 2, size=64)
+        a = graph_nowak_may(g, 1.9, state)
+        b = graph_nowak_may(g, 1.9, state)
+        a.run(10)
+        b.run(10)
+        assert np.array_equal(a.state, b.state)
+
+
+class TestBlockKernels:
+    """Any contiguous block computes the same bits as the whole graph."""
+
+    @pytest.mark.parametrize("splits", [(0, 20, 63), (0, 1, 63), (0, 31, 32, 63)])
+    def test_block_payoffs_and_imitate_match_whole(self, splits):
+        g = lattice_graph(Lattice(7, 9))
+        rng = np.random.default_rng(8)
+        state = rng.integers(0, 3, size=63).astype(np.intp)
+        pair = rng.random((3, 3))
+        game = GraphGame(g, pair, state)
+        whole_scores = game.block_payoffs(state)
+        whole_next = game.block_imitate(state, whole_scores)
+        bounds = list(zip(splits, splits[1:] + (63,)))
+        for lo, hi in bounds:
+            assert np.array_equal(
+                whole_scores[lo:hi], game.block_payoffs(state, lo, hi)
+            )
+            assert np.array_equal(
+                whole_next[lo:hi], game.block_imitate(state, whole_scores, lo, hi)
+            )
+
+
+class TestAccounting:
+    def test_shares_are_json_safe(self):
+        g = lattice_graph(Lattice(4, 4))
+        rng = np.random.default_rng(1)
+        game = GraphIPD(g, roster("WSLS", "ALLD"), rng.integers(0, 2, size=16))
+        payload = json.dumps(game.shares())
+        assert "WSLS" in payload
+        assert sum(game.shares().values()) == pytest.approx(1.0)
+
+    def test_run_returns_per_step_counts(self):
+        g = lattice_graph(Lattice(4, 4))
+        game = graph_nowak_may(g, 2.5, np.zeros(16, dtype=int))
+        counts = game.run(3)
+        assert len(counts) == 3
+        assert all(c.sum() == 16 for c in counts)
+
+    def test_nowak_may_b_validated(self):
+        with pytest.raises(ConfigError):
+            graph_nowak_may(star(2), 1.0, np.zeros(3, dtype=int))

@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.spatial.lattice import MOORE, VON_NEUMANN, Lattice
+
+pytestmark = pytest.mark.spatial
 
 
 class TestConstruction:
@@ -53,6 +57,44 @@ class TestNeighborViews:
     def test_wrong_shape_rejected(self):
         with pytest.raises(ConfigError):
             Lattice(3, 3).neighbor_views(np.zeros((4, 4)))
+
+
+class TestNeighborViewProperties:
+    """Periodic wrap on arbitrary (non-square) grids, both neighbourhoods."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=3, max_value=9),
+        cols=st.integers(min_value=3, max_value=9),
+        neighborhood=st.sampled_from(["moore", "von_neumann"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_views_match_modular_indexing(self, rows, cols, neighborhood, seed):
+        lat = Lattice(rows, cols, neighborhood)
+        rng = np.random.default_rng(seed)
+        grid = rng.integers(0, 100, size=(rows, cols))
+        views = lat.neighbor_views(grid)
+        for k, (dr, dc) in enumerate(lat.offsets):
+            expected = grid[
+                (np.arange(rows)[:, None] + dr) % rows,
+                (np.arange(cols)[None, :] + dc) % cols,
+            ]
+            assert np.array_equal(views[k], expected), (dr, dc)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=3, max_value=8),
+        cols=st.integers(min_value=3, max_value=8),
+        neighborhood=st.sampled_from(["moore", "von_neumann"]),
+    )
+    def test_each_cell_appears_in_its_neighbours_views(self, rows, cols, neighborhood):
+        # Conservation: with distinct cell ids, every cell is seen exactly
+        # once per offset, so each id occurs n_neighbors times in total.
+        lat = Lattice(rows, cols, neighborhood)
+        grid = np.arange(rows * cols).reshape(rows, cols)
+        views = lat.neighbor_views(grid)
+        counts = np.bincount(views.reshape(-1), minlength=rows * cols)
+        assert set(counts.tolist()) == {lat.n_neighbors}
 
 
 class TestSeeds:

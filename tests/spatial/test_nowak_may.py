@@ -7,6 +7,8 @@ from repro.errors import ConfigError
 from repro.spatial.lattice import Lattice
 from repro.spatial.nowak_may import NowakMayGame
 
+pytestmark = pytest.mark.spatial
+
 
 class TestPayoffs:
     def test_all_cooperators(self):
@@ -86,6 +88,32 @@ class TestDynamics:
         a.run(20)
         b_game.run(20)
         assert np.array_equal(a.grid, b_game.grid)
+
+    def test_tie_break_matches_brute_force_reference(self):
+        """The documented rule, cell by cell: adopt only on strict
+        improvement; among tied best neighbours prefer the cooperator.
+        b = 1.5 makes score ties common (many cells share integer counts)."""
+        lat = Lattice(12, 12)
+        rng = np.random.default_rng(11)
+        grid = lat.random_grid(rng, 0.5)
+        game = NowakMayGame(lat, b=1.5, grid=grid)
+        scores = game.payoffs()
+        before = game.grid.copy()
+        game.step()
+        for row in range(12):
+            for col in range(12):
+                best, coop_best = -np.inf, False
+                for dr, dc in lat.offsets:
+                    nr, nc = (row + dr) % 12, (col + dc) % 12
+                    if scores[nr, nc] > best:
+                        best, coop_best = scores[nr, nc], before[nr, nc] == 0
+                    elif scores[nr, nc] == best and before[nr, nc] == 0:
+                        coop_best = True
+                if best > scores[row, col]:
+                    expected = 0 if coop_best else 1
+                else:
+                    expected = before[row, col]
+                assert game.grid[row, col] == expected, (row, col)
 
     def test_initial_grid_not_aliased(self):
         lat = Lattice(9, 9)

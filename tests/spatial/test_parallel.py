@@ -1,0 +1,150 @@
+"""Tests for the rank-partitioned spatial runner: plans and bit-parity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.spatial.graph import GraphSpec
+from repro.spatial.parallel import (
+    GraphBlocks,
+    build_halo_plan,
+    run_partitioned,
+    run_reference,
+)
+from repro.spatial.spec import SpatialRunSpec
+
+pytestmark = pytest.mark.spatial
+
+
+def ipd_spec(**overrides):
+    base = dict(
+        graph=GraphSpec("lattice", {"rows": 6, "cols": 8}),
+        game="ipd",
+        roster=("WSLS", "TFT", "ALLD"),
+        noise_rate=0.01,
+        steps=8,
+        seed=3,
+    )
+    base.update(overrides)
+    return SpatialRunSpec(**base)
+
+
+class TestGraphBlocks:
+    def test_blocks_cover_and_are_contiguous(self):
+        blocks = GraphBlocks(10, 3)
+        assert [blocks.bounds(r) for r in range(3)] == [(0, 4), (4, 7), (7, 10)]
+        owners = blocks.owners()
+        assert owners.tolist() == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GraphBlocks(4, 5)
+        with pytest.raises(ConfigError):
+            GraphBlocks(4, 0)
+        with pytest.raises(ConfigError):
+            GraphBlocks(4, 2).bounds(2)
+
+
+class TestHaloPlan:
+    def test_plans_mirror_between_ranks(self):
+        graph = GraphSpec("small_world", {"n": 40, "k": 6, "p": 0.3}, seed=2).build()
+        blocks = GraphBlocks(40, 3)
+        plans = [build_halo_plan(graph, blocks, r) for r in range(3)]
+        for r, plan in enumerate(plans):
+            assert plan.peers == sorted(plan.recv_ids)
+            for peer in plan.peers:
+                assert np.array_equal(plan.send_ids[peer], plans[peer].recv_ids[r])
+                assert np.array_equal(plan.recv_ids[peer], plans[peer].send_ids[r])
+
+    def test_send_ids_are_owned_boundary_nodes(self):
+        graph = GraphSpec("lattice", {"rows": 4, "cols": 4}).build()
+        blocks = GraphBlocks(16, 2)
+        plan = build_halo_plan(graph, blocks, 0)
+        lo, hi = blocks.bounds(0)
+        for ids in plan.send_ids.values():
+            assert np.all((ids >= lo) & (ids < hi))
+        for ids in plan.recv_ids.values():
+            assert np.all((ids < lo) | (ids >= hi))
+
+
+class TestParity:
+    """The acceptance criterion: partitioned runs match the single-rank
+    reference bit-for-bit — state, per-step counts and adoption totals."""
+
+    @pytest.mark.parametrize("n_ranks", [2, 3])
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ipd_spec(),
+            ipd_spec(
+                graph=GraphSpec("small_world", {"n": 48, "k": 6, "p": 0.2}, seed=5),
+                roster=("WSLS", "ALLD"),
+                noise_rate=0.02,
+            ),
+            SpatialRunSpec(
+                graph=GraphSpec("scale_free", {"n": 48, "m": 3}, seed=2),
+                game="nowak_may",
+                b=1.9,
+                steps=8,
+                seed=3,
+            ),
+        ],
+        ids=["lattice-ipd", "small-world-ipd", "scale-free-nm"],
+    )
+    def test_thread_backend_matches_reference(self, spec, n_ranks):
+        ref = run_reference(spec)
+        par = run_partitioned(spec.with_updates(n_ranks=n_ranks, backend="thread"))
+        assert np.array_equal(ref.matrix, par.matrix)
+        assert ref.history == par.history
+        assert ref.n_adoptions == par.n_adoptions
+
+    @pytest.mark.procexec
+    def test_process_backend_matches_reference(self):
+        spec = ipd_spec(steps=6)
+        ref = run_reference(spec)
+        par = run_partitioned(spec.with_updates(n_ranks=2, backend="process"))
+        assert np.array_equal(ref.matrix, par.matrix)
+        assert ref.history == par.history
+
+    @pytest.mark.tcp
+    def test_tcp_backend_matches_reference(self):
+        spec = ipd_spec(steps=4)
+        ref = run_reference(spec)
+        par = run_partitioned(spec.with_updates(n_ranks=2, backend="tcp"))
+        assert np.array_equal(ref.matrix, par.matrix)
+        assert ref.history == par.history
+
+    def test_single_rank_is_the_reference(self):
+        spec = ipd_spec(n_ranks=1)
+        a, b = run_reference(spec), run_partitioned(spec)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert a.history == b.history
+
+
+class TestResult:
+    def test_lattice_result_is_grid_shaped(self):
+        result = run_reference(ipd_spec(steps=2))
+        assert result.matrix.shape == (6, 8)
+        assert result.generation == 2
+        assert result.n_pc_events == 0
+        assert result.n_mutations == 0
+
+    def test_shares_and_history_are_json_safe(self):
+        result = run_reference(ipd_spec(steps=3))
+        payload = json.dumps({"shares": result.shares(), "history": result.history})
+        assert "WSLS" in payload
+        assert sum(result.shares().values()) == pytest.approx(1.0)
+        assert all(sum(step) == 48 for step in result.history)
+
+    def test_adoptions_counted(self):
+        # A lone defector converting its neighbourhood adopts somewhere.
+        spec = SpatialRunSpec(
+            graph=GraphSpec("lattice", {"rows": 7, "cols": 7}),
+            game="nowak_may",
+            b=1.9,
+            init="single_defector",
+            steps=3,
+        )
+        assert run_reference(spec).n_adoptions > 0

@@ -1,5 +1,7 @@
 """Tests for the spatial iterated PD."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,8 @@ from repro.game.noise import NoiseModel
 from repro.game.strategy import named_strategy
 from repro.spatial.lattice import Lattice
 from repro.spatial.spatial_ipd import SpatialIPD
+
+pytestmark = pytest.mark.spatial
 
 
 def roster(*names):
@@ -33,6 +37,29 @@ class TestConstruction:
 
 
 class TestPairMatrix:
+    def test_batched_matrix_matches_per_pair_solver(self, lattice):
+        """Regression: pair_matrix() now fills the roster matrix with one
+        batched call; it must stay bit-identical to the historical per-pair
+        Markov-solver loop."""
+        r = roster("WSLS", "TFT", "ALLD", "GRIM")
+        grid = np.zeros((12, 12), dtype=int)
+        batched = SpatialIPD(lattice, r, grid, noise=NoiseModel(0.03)).pair_matrix()
+        looped = SpatialIPD(lattice, r, grid, noise=NoiseModel(0.03))
+        k = len(r)
+        expected = np.array(
+            [[looped._pair_payoff(i, j) for j in range(k)] for i in range(k)]
+        )
+        assert np.array_equal(batched, expected)
+
+    def test_batched_fill_respects_memoised_entries(self, lattice):
+        """Entries already computed by _pair_payoff are kept verbatim, not
+        overwritten by the batch."""
+        game = SpatialIPD(lattice, roster("WSLS", "TFT", "ALLD"), np.zeros((12, 12), dtype=int))
+        seeded = game._pair_payoff(2, 1)
+        pair = game.pair_matrix()
+        assert pair[2, 1] == seeded
+        assert not np.isnan(pair).any()
+
     def test_matches_known_payoffs(self, lattice):
         game = SpatialIPD(
             lattice, roster("ALLC", "ALLD"), np.zeros((12, 12), dtype=int), rounds=200
@@ -101,9 +128,53 @@ class TestDynamics:
         game.run(4)
         assert sum(game.shares().values()) == pytest.approx(1.0)
 
+    def test_tie_break_matches_brute_force_reference(self, lattice):
+        """The documented rule, checked cell by cell: switch only on strict
+        improvement; among tied best neighbours adopt the lowest roster
+        index."""
+        rng = np.random.default_rng(7)
+        grid = rng.integers(0, 3, size=(12, 12))
+        r = roster("WSLS", "TFT", "ALLD")
+        game = SpatialIPD(lattice, r, grid)
+        scores = game.payoffs()
+        before = game.grid.copy()
+        game.step()
+        for row in range(12):
+            for col in range(12):
+                best, adopted = -np.inf, len(r)
+                for dr, dc in lattice.offsets:
+                    nr, nc = (row + dr) % 12, (col + dc) % 12
+                    if scores[nr, nc] > best:
+                        best, adopted = scores[nr, nc], before[nr, nc]
+                    elif scores[nr, nc] == best:
+                        adopted = min(adopted, before[nr, nc])
+                expected = adopted if best > scores[row, col] else before[row, col]
+                assert game.grid[row, col] == expected, (row, col)
+
     def test_render_uses_initials(self, lattice):
         game = SpatialIPD(lattice, roster("WSLS", "ALLD"), np.zeros((12, 12), dtype=int))
         assert set(game.render().replace("\n", "")) == {"w"}
+
+    def test_render_distinguishes_clashing_initials(self, lattice):
+        """Regression: TFT and TF2T used to collapse onto the same glyph,
+        making mixed grids unreadable.  The fallback alphabet keeps every
+        roster entry distinct."""
+        r = [("TFT", named_strategy("TFT", 2)), ("TF2T", named_strategy("TF2T", 2))]
+        grid = np.zeros((12, 12), dtype=int)
+        grid[:, 6:] = 1
+        game = SpatialIPD(lattice, r, grid)
+        glyphs = set(game.render().replace("\n", ""))
+        assert len(glyphs) == 2
+
+    def test_shares_are_json_safe(self, lattice):
+        """Regression: shares() used to return np.float64 values, which
+        json.dumps rejects in strict callers and serialises inconsistently."""
+        rng = np.random.default_rng(9)
+        game = SpatialIPD(lattice, roster("WSLS", "TFT", "ALLD"), rng.integers(0, 3, size=(12, 12)))
+        shares = game.shares()
+        assert all(type(v) is float for v in shares.values())
+        payload = json.loads(json.dumps(shares))
+        assert payload == shares
 
     def test_negative_steps(self, lattice):
         game = SpatialIPD(lattice, roster("WSLS"), np.zeros((12, 12), dtype=int))

@@ -1,0 +1,128 @@
+"""Tests for SpatialRunSpec and the kind-discriminated spec dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.parallel.spec import RunSpec, spec_from_dict
+from repro.spatial.graph import GraphSpec
+from repro.spatial.graph_game import GraphGame, GraphIPD
+from repro.spatial.spec import SpatialRunSpec
+
+pytestmark = pytest.mark.spatial
+
+
+def spec(**overrides):
+    base = dict(graph=GraphSpec("lattice", {"rows": 5, "cols": 5}), steps=4)
+    base.update(overrides)
+    return SpatialRunSpec(**base)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        s = spec()
+        assert s.kind == "spatial"
+        assert s.game == "ipd"
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(game="ultimatum")
+        with pytest.raises(ConfigError):
+            spec(roster=())
+        with pytest.raises(ConfigError):
+            spec(roster=("WSLS", "NOPE"))
+        with pytest.raises(ConfigError):
+            spec(init="checkerboard")
+        with pytest.raises(ConfigError):
+            spec(steps=-1)
+        with pytest.raises(ConfigError):
+            spec(n_ranks=26)  # more ranks than nodes
+        with pytest.raises(ConfigError):
+            spec(backend="quantum")
+        with pytest.raises(ConfigError):
+            spec(noise_rate=1.5)
+        with pytest.raises(ConfigError):
+            spec(game="nowak_may", b=0.5)
+        with pytest.raises(ConfigError):
+            spec(graph="lattice")
+
+    def test_with_updates_revalidates(self):
+        s = spec()
+        assert s.with_updates(steps=9).steps == 9
+        with pytest.raises(ConfigError):
+            s.with_updates(steps=-2)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        s = spec(
+            graph=GraphSpec("scale_free", {"n": 30, "m": 2}, seed=4),
+            game="nowak_may",
+            b=1.75,
+            n_ranks=2,
+            name="x",
+        )
+        assert SpatialRunSpec.from_dict(s.to_dict()) == s
+        assert s.to_dict()["kind"] == "spatial"
+
+    def test_unknown_fields_rejected(self):
+        d = spec().to_dict()
+        d["temperature"] = 300
+        with pytest.raises(ConfigError):
+            SpatialRunSpec.from_dict(d)
+
+    def test_wrong_kind_rejected(self):
+        d = spec().to_dict()
+        d["kind"] = "evolution"
+        with pytest.raises(ConfigError):
+            SpatialRunSpec.from_dict(d)
+
+
+class TestDispatch:
+    def test_spec_from_dict_revives_both_families(self):
+        spatial = spec()
+        assert spec_from_dict(spatial.to_dict()) == spatial
+        evolution = RunSpec(config=SimulationConfig(n_ssets=8, generations=10))
+        revived = spec_from_dict(evolution.to_dict())
+        assert isinstance(revived, RunSpec)
+        assert revived.n_ranks == evolution.n_ranks
+
+    def test_kindless_dict_defaults_to_evolution(self):
+        d = RunSpec(config=SimulationConfig(n_ssets=8, generations=10)).to_dict()
+        d.pop("kind")
+        assert isinstance(spec_from_dict(d), RunSpec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_from_dict({"kind": "quantum"})
+        with pytest.raises(ConfigError):
+            RunSpec.from_dict(spec().to_dict())
+
+
+class TestMaterialisation:
+    def test_initial_state_deterministic(self):
+        s = spec(init="random", seed=9)
+        assert np.array_equal(s.initial_state(), s.initial_state())
+        assert not np.array_equal(s.initial_state(), s.with_updates(seed=10).initial_state())
+
+    def test_single_defector_seeding(self):
+        s = spec(init="single_defector", game="nowak_may")
+        state = s.initial_state()
+        assert state.sum() == 1
+        assert state[25 // 2] == 1
+
+    def test_strategy_names(self):
+        assert spec().strategy_names() == ("WSLS", "TFT", "ALLD")
+        assert spec(game="nowak_may").strategy_names() == ("C", "D")
+
+    def test_build_game_types(self):
+        assert isinstance(spec().build_game(), GraphIPD)
+        nm = spec(game="nowak_may", b=1.5).build_game()
+        assert isinstance(nm, GraphGame)
+        assert nm.include_self_interaction
+
+    def test_build_game_deterministic(self):
+        a, b = spec().build_game(), spec().build_game()
+        assert np.array_equal(a.state, b.state)
+        assert np.array_equal(a.pair, b.pair)
