@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too (see README).
 
-.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine test-service test-spatial bench repro docs docs-check clean
+.PHONY: install test test-fast test-chaos test-procexec test-shm test-recovery test-tcp test-engine test-service test-service-recovery test-spatial fsck-smoke bench repro docs docs-check clean
 
 install:
 	pip install -e .
@@ -45,6 +45,17 @@ test-engine:
 # REST/SSE server + CLI, and the two-tenant chaos acceptance test.
 test-service:
 	pytest tests/ -m service
+
+# Crash-safety slice of the service suite: lease fencing, journal replay,
+# startup recovery, drain, stall watchdog, store fault injection + fsck,
+# and the SIGKILLed-service chaos acceptance test.
+test-service-recovery:
+	pytest tests/service/test_journal.py tests/service/test_recovery.py tests/service/test_store_fsck.py
+
+# Smoke-check the store fsck tool against a scratch store (clean store,
+# exit 0) — proves the console entry point and classifier wire up.
+fsck-smoke:
+	python -m repro.service.fsck fsck --root $(or $(FSCK_ROOT),/tmp/repro-fsck-smoke)
 
 # Structured populations: interaction graphs, grid/graph game parity,
 # spec dispatch, and the rank-partitioned runs (incl. multi-rank parity).

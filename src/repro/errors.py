@@ -38,6 +38,8 @@ __all__ = [
     "ServiceError",
     "QuotaError",
     "UnknownRunError",
+    "StaleLeaseError",
+    "DrainingError",
 ]
 
 
@@ -199,3 +201,33 @@ class QuotaError(ServiceError):
 
 class UnknownRunError(ServiceError, KeyError):
     """A service operation named a run the job queue does not know."""
+
+
+class StaleLeaseError(ServiceError):
+    """This queue's store lease has been claimed by a newer queue (fenced).
+
+    Raised at the *write* site — journal appends, status writes, worker
+    dispatch — so a superseded queue can never double-dispatch a run or
+    clobber records the current owner is writing.  ``epoch`` is the fenced
+    queue's own epoch and ``current`` the epoch that displaced it (``None``
+    where unknown, e.g. an unreadable lease file).
+    """
+
+    def __init__(
+        self, message: str = "", *, epoch: int | None = None, current: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.current = current
+
+
+class DrainingError(ServiceError):
+    """The service is draining and admits no new work (HTTP 503 material).
+
+    ``retry_after`` is the seconds hint the HTTP layer surfaces as a
+    ``Retry-After`` header — roughly the drain grace window.
+    """
+
+    def __init__(self, message: str = "", *, retry_after: float = 30.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

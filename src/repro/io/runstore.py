@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -105,8 +106,15 @@ class StoredResult:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """Same crash-consistency discipline as the checkpoint writer."""
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    """Same crash-consistency discipline as the checkpoint writer.
+
+    The temp name carries pid *and* thread id: concurrent writers of the
+    same record (two queues racing on the lease file, say) must never
+    share a temp path, or one replaces the other's already-moved file.
+    """
+    tmp = path.with_name(
+        f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+    )
     try:
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -115,6 +123,32 @@ def _atomic_write_text(path: Path, text: str) -> None:
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+
+
+def _append_line(path: Path, line: str, *, durable: bool = False) -> None:
+    """Append one newline-terminated record; ``durable`` fsyncs it to disk.
+
+    One ``write`` call per line keeps the append atomic enough for JSONL
+    (readers tolerate a torn trailing line either way); ``durable`` is for
+    records that must survive a power loss, not just a process death —
+    terminal and restart events, journal transitions.
+
+    A file whose last byte is not a newline holds a torn tail from a
+    writer that died mid-append; gluing the next record onto it would
+    corrupt that record too, so the torn prefix is first sealed onto its
+    own line (readers skip unparseable lines).
+    """
+    with open(path, "ab") as fh:
+        prefix = b""
+        if fh.tell() > 0:
+            with open(path, "rb") as check:
+                check.seek(-1, os.SEEK_END)
+                if check.read(1) != b"\n":
+                    prefix = b"\n"
+        fh.write(prefix + line.encode("utf-8") + b"\n")
+        fh.flush()
+        if durable:
+            os.fsync(fh.fileno())
 
 
 class RunStore:
@@ -128,6 +162,16 @@ class RunStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- write primitives (overridable; the fault layer hooks these) ---------
+
+    def _write_text(self, path: Path, text: str) -> None:
+        """Atomically replace ``path`` with ``text`` (temp + fsync + rename)."""
+        _atomic_write_text(path, text)
+
+    def _append_line(self, path: Path, line: str, *, durable: bool = False) -> None:
+        """Append one record line to ``path`` (fsynced when ``durable``)."""
+        _append_line(path, line, durable=durable)
 
     # -- paths ---------------------------------------------------------------
 
@@ -165,9 +209,12 @@ class RunStore:
             raise RunStoreError(f"run {key} already exists; keys are write-once")
         run_dir.mkdir(parents=True, exist_ok=True)
         self.checkpoint_dir(key).mkdir(exist_ok=True)
-        _atomic_write_text(
-            run_dir / "spec.json", json.dumps(spec.to_dict(), indent=2, sort_keys=True)
-        )
+        try:
+            self._write_text(
+                run_dir / "spec.json", json.dumps(spec.to_dict(), indent=2, sort_keys=True)
+            )
+        except OSError as exc:
+            raise RunStoreError(f"cannot persist spec for run {key}: {exc}") from exc
         return run_dir
 
     def load_spec(self, key: RunKey):
@@ -186,39 +233,58 @@ class RunStore:
 
     def write_status(self, key: RunKey, status: dict) -> None:
         """Atomically replace the queue-owned ``status.json``."""
-        self.run_dir(key).mkdir(parents=True, exist_ok=True)
-        _atomic_write_text(self.run_dir(key) / "status.json", json.dumps(status, indent=2))
+        try:
+            self.run_dir(key).mkdir(parents=True, exist_ok=True)
+            self._write_text(self.run_dir(key) / "status.json", json.dumps(status, indent=2))
+        except OSError as exc:
+            raise RunStoreError(f"cannot write status for run {key}: {exc}") from exc
 
     def read_status(self, key: RunKey) -> dict | None:
-        """The last written status record, or ``None``."""
-        path = self.run_dir(key) / "status.json"
-        if not path.exists():
-            return None
-        try:
-            return json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            return None
+        """The last written status record, or ``None`` (absent or torn)."""
+        return self._read_json_record(key, "status.json")
 
     def write_outcome(self, key: RunKey, outcome: dict) -> None:
         """Atomically replace the worker-owned ``outcome.json``."""
-        _atomic_write_text(self.run_dir(key) / "outcome.json", json.dumps(outcome, indent=2))
+        try:
+            self._write_text(self.run_dir(key) / "outcome.json", json.dumps(outcome, indent=2))
+        except OSError as exc:
+            raise RunStoreError(f"cannot write outcome for run {key}: {exc}") from exc
 
     def read_outcome(self, key: RunKey) -> dict | None:
         """The worker's completion record, or ``None`` (did not finish)."""
-        path = self.run_dir(key) / "outcome.json"
+        return self._read_json_record(key, "outcome.json")
+
+    def _read_json_record(self, key: RunKey, name: str) -> dict | None:
+        """One JSON lifecycle record; ``None`` when absent or torn.
+
+        A record that fails to *parse* is treated as absent (a torn write by
+        a pre-atomic writer, recoverable by fsck); an ``OSError`` on a file
+        that exists (EIO, a permissions regression) is a store fault and
+        surfaces as :class:`~repro.errors.RunStoreError` naming the run.
+        """
+        path = self.run_dir(key) / name
         if not path.exists():
             return None
         try:
             return json.loads(path.read_text(encoding="utf-8"))
         except json.JSONDecodeError:
             return None
+        except OSError as exc:
+            raise RunStoreError(f"cannot read {name} for run {key}: {exc}") from exc
 
-    def append_event(self, key: RunKey, event: dict) -> None:
-        """Append one record to the run's event log (flushed immediately)."""
-        self.run_dir(key).mkdir(parents=True, exist_ok=True)
-        with open(self.events_path(key), "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(event) + "\n")
-            fh.flush()
+    def append_event(self, key: RunKey, event: dict, *, durable: bool = False) -> None:
+        """Append one record to the run's event log (flushed immediately).
+
+        ``durable=True`` additionally fsyncs the append — the discipline for
+        terminal and restart events, which must survive a power loss, not
+        just a process death.  IO failures (ENOSPC, EIO) surface as
+        :class:`~repro.errors.RunStoreError` naming the run.
+        """
+        try:
+            self.run_dir(key).mkdir(parents=True, exist_ok=True)
+            self._append_line(self.events_path(key), json.dumps(event), durable=durable)
+        except OSError as exc:
+            raise RunStoreError(f"cannot append to event log for run {key}: {exc}") from exc
 
     def read_events(self, key: RunKey) -> list[dict]:
         """Every parseable event logged so far, oldest first."""

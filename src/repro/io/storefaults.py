@@ -1,0 +1,158 @@
+"""Seeded IO fault injection for the run store.
+
+Chaos testing for *storage*, in the same spirit as the runtime's
+:class:`~repro.mpi.faults.FaultPlan`: every failure decision is a pure
+function of ``(seed, operation, index)``, so a test that tears the third
+status write today tears exactly the third status write on every rerun —
+failure schedules are part of the experiment definition, not luck.
+
+:class:`FaultyRunStore` is a drop-in :class:`~repro.io.runstore.RunStore`
+whose two write primitives — atomic-replace (:meth:`RunStore._write_text`)
+and append (:meth:`RunStore._append_line`) — consult a
+:class:`StoreFaultPlan` before touching the disk.  Because the injection
+sits *under* the public methods, every failure exercises the store's real
+error path: the ``OSError`` is raised where the filesystem would raise it
+and surfaces to callers as the same :class:`~repro.errors.RunStoreError`
+(naming the run) that a genuine disk fault would produce.
+
+Three failure modes, chosen to cover the crash shapes ``repro-store fsck``
+(:mod:`repro.service.fsck`) must classify and repair:
+
+* ``enospc`` — the write fails up front (``ENOSPC``); nothing lands on
+  disk.  The cheap fault: state is simply missing.
+* ``torn_append`` — an append writes only a prefix of its record and then
+  fails (``EIO``), leaving a torn trailing line in a JSONL file — exactly
+  what a power loss mid-append leaves.  Readers must skip it
+  (:func:`repro.obs.stream.read_events` does); fsck truncates it.
+* ``kill_during_replace`` — an atomic replace dies *between* writing the
+  fsynced temp file and the ``os.replace``: the final path keeps its old
+  content and a ``.{name}.tmp-{pid}`` orphan is left beside it — the
+  debris a SIGKILL at the worst instant leaves.  fsck sweeps the debris.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.io.runstore import RunStore
+
+__all__ = ["StoreFaultPlan", "FaultyRunStore"]
+
+
+def _decide(seed: int, op: str, index: int, probability: float) -> bool:
+    """The deterministic coin: hash ``(seed, op, index)`` to [0, 1)."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    digest = hashlib.blake2b(
+        f"{seed}:{op}:{index}".encode(), digest_size=8
+    ).digest()
+    fraction = int.from_bytes(digest, "big") / 2**64
+    return fraction < probability
+
+
+@dataclass(frozen=True)
+class StoreFaultPlan:
+    """A deterministic schedule of store IO failures.
+
+    Attributes
+    ----------
+    seed:
+        Seeds every decision; two stores built from the same plan fail at
+        exactly the same operations.
+    enospc_p:
+        Probability any write primitive fails up front with ``ENOSPC``.
+    torn_append_p:
+        Probability an append writes a torn prefix and fails with ``EIO``.
+    kill_during_replace_p:
+        Probability an atomic replace dies after its temp write, leaving
+        ``.tmp-*`` debris and the old final-path content.
+    """
+
+    seed: int = 0
+    enospc_p: float = 0.0
+    torn_append_p: float = 0.0
+    kill_during_replace_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("enospc_p", "torn_append_p", "kill_during_replace_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be a probability in [0, 1], got {p}")
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "enospc_p": self.enospc_p,
+            "torn_append_p": self.torn_append_p,
+            "kill_during_replace_p": self.kill_during_replace_p,
+        }
+
+
+@dataclass
+class _FaultLog:
+    """What the fault layer actually did (for test assertions)."""
+
+    writes: int = 0
+    appends: int = 0
+    injected: list[tuple[str, str]] = field(default_factory=list)  # (mode, path name)
+
+
+class FaultyRunStore(RunStore):
+    """A :class:`~repro.io.runstore.RunStore` with scheduled IO failures.
+
+    Only the write *primitives* are overridden, so every injected failure
+    flows through the store's genuine wrapping and recovery paths.  The
+    per-primitive operation counters advance whether or not a fault fires,
+    keeping the schedule independent of which faults precede it.
+    """
+
+    def __init__(self, root: str | Path, plan: StoreFaultPlan) -> None:
+        super().__init__(root)
+        self.plan = plan
+        self.log = _FaultLog()
+
+    # -- primitives -----------------------------------------------------------
+
+    def _write_text(self, path: Path, text: str) -> None:
+        index = self.log.writes
+        self.log.writes += 1
+        if _decide(self.plan.seed, "write.enospc", index, self.plan.enospc_p):
+            self.log.injected.append(("enospc", path.name))
+            raise OSError(errno.ENOSPC, "no space left on device (injected)", str(path))
+        if _decide(
+            self.plan.seed, "write.kill", index, self.plan.kill_during_replace_p
+        ):
+            # Die "between" the fsynced temp write and os.replace: the temp
+            # file stays as debris, the final path keeps its old content.
+            tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.log.injected.append(("kill_during_replace", path.name))
+            raise OSError(
+                errno.EIO, "writer killed during atomic replace (injected)", str(path)
+            )
+        super()._write_text(path, text)
+
+    def _append_line(self, path: Path, line: str, *, durable: bool = False) -> None:
+        index = self.log.appends
+        self.log.appends += 1
+        if _decide(self.plan.seed, "append.enospc", index, self.plan.enospc_p):
+            self.log.injected.append(("enospc", path.name))
+            raise OSError(errno.ENOSPC, "no space left on device (injected)", str(path))
+        if _decide(self.plan.seed, "append.torn", index, self.plan.torn_append_p):
+            # A power loss mid-append: a prefix of the record, no newline.
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+            self.log.injected.append(("torn_append", path.name))
+            raise OSError(errno.EIO, "append torn mid-record (injected)", str(path))
+        super()._append_line(path, line, durable=durable)

@@ -65,6 +65,12 @@ class FaultPolicy:
         run whose *worker process* died unexpectedly (the run resumes from
         its latest valid checkpoint).  Explicit preemption never consumes
         this budget.
+    stall_timeout:
+        Service-level progress watchdog: if a *running* worker reports no
+        new generation for this many seconds, the queue kills it and
+        relaunches from the latest valid checkpoint (spending the requeue
+        budget — a run that wedges forever eventually fails loudly instead
+        of holding a pool slot).  ``None`` (default) disables the watchdog.
     """
 
     max_restarts: int = 3
@@ -76,6 +82,7 @@ class FaultPolicy:
     heartbeat_timeout: float = 5.0
     on_rank_failure: str = "continue"
     max_requeues: int = 1
+    stall_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -102,6 +109,10 @@ class FaultPolicy:
             )
         if self.max_requeues < 0:
             raise ConfigError(f"max_requeues must be >= 0, got {self.max_requeues}")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ConfigError(
+                f"stall_timeout must be > 0 or None, got {self.stall_timeout}"
+            )
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-safe)."""
@@ -115,6 +126,7 @@ class FaultPolicy:
             "heartbeat_timeout": self.heartbeat_timeout,
             "on_rank_failure": self.on_rank_failure,
             "max_requeues": self.max_requeues,
+            "stall_timeout": self.stall_timeout,
         }
 
     @classmethod

@@ -13,18 +13,39 @@ multi-tenant service:
   pool with per-tenant quotas, fair-share ordering, preemption and
   requeue-from-checkpoint (an unexpectedly dead worker resumes where its
   last valid checkpoint left off).
+* :mod:`repro.service.journal` — the durability layer: an epoch-numbered
+  store lease (:class:`QueueLease` — exactly one queue owns a store; a
+  superseded queue is fenced) and the append-only service journal every
+  job lifecycle transition is recorded in.
 * :mod:`repro.service.server` — :class:`RunService` (the in-process API)
   and a thin stdlib REST server with an SSE progress stream per run.
+  Startup replays the journal (:meth:`JobQueue.recover`), so a service
+  restarted on a SIGKILLed predecessor's store re-adopts its interrupted
+  runs automatically; SIGTERM drains gracefully.
 * :mod:`repro.service.client` — :class:`ServiceClient`, the urllib client
   the ``repro-serve`` CLI (:mod:`repro.service.cli`) is built on.
+* :mod:`repro.service.fsck` — ``repro-store fsck``: offline store
+  inspection and repair (torn records, orphaned runs, digest mismatches).
 
 Everything durable lives in a :class:`~repro.io.runstore.RunStore`:
 submit a spec under ``tenant/run_id`` today, fetch the same matrix by the
-same key from a fresh process tomorrow.
+same key from a fresh process tomorrow — even if the service died in
+between.
 """
 
-from repro.service.queue import JobQueue, JobStatus
-from repro.service.server import RunService, serve
 from repro.service.client import ServiceClient
+from repro.service.journal import QueueLease, ServiceJournal
+from repro.service.queue import JobQueue, JobStatus, RecoveryReport
+from repro.service.server import RunServer, RunService, serve
 
-__all__ = ["JobQueue", "JobStatus", "RunService", "ServiceClient", "serve"]
+__all__ = [
+    "JobQueue",
+    "JobStatus",
+    "QueueLease",
+    "RecoveryReport",
+    "RunServer",
+    "RunService",
+    "ServiceClient",
+    "ServiceJournal",
+    "serve",
+]

@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TENANT=N",
         help="per-tenant quota override (repeatable)",
     )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds running workers get to finish on SIGTERM before being"
+        " killed (journaled as resumable either way)",
+    )
+    serve.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="skip the automatic startup recovery pass over the store",
+    )
 
     def client_parser(name: str, help_text: str, *, run_key: bool = True):
         p = sub.add_parser(name, help=help_text)
@@ -108,6 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.service.server import RunServer
 
     quotas = {k: int(v) for k, v in _parse_kv(args.tenant_quota, "--tenant-quota").items()}
@@ -118,7 +132,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         quota=args.quota,
         quotas=quotas,
+        recover=not args.no_recover,
     )
+    recovery = server.service.recovery
+    if recovery.requeued or recovery.reconciled:
+        print(
+            f"recovered store {args.root}: {len(recovery.requeued)} run(s) requeued,"
+            f" {len(recovery.reconciled)} reconciled"
+        )
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal handler shape
+        # Graceful drain: stop admitting (503 + Retry-After), give workers
+        # the grace window, then shut the listener down.  Runs on a thread
+        # because httpd.shutdown() deadlocks if called from serve_forever's
+        # own thread, where the signal handler executes.
+        print(f"SIGTERM: draining (grace {args.drain_grace:g} s)", flush=True)
+        import threading
+
+        threading.Thread(
+            target=server.drain, args=(args.drain_grace,), daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     print(f"serving run store {args.root} on {server.url}")
     try:
         server.serve_forever()

@@ -91,6 +91,18 @@ class ServiceClient:
         except ServiceError:
             return False
 
+    def ready(self) -> bool:
+        """Whether the server currently admits new submissions.
+
+        ``False`` while the server drains (it answers ``/v1/readyz`` with
+        503 + ``Retry-After``) or cannot be reached; a draining server may
+        still serve status, events and results.
+        """
+        try:
+            return bool(self._request("GET", "/v1/readyz").get("ready"))
+        except ServiceError:
+            return False
+
     def templates(self) -> list[str]:
         """Experiment ids the server accepts as spec templates."""
         return list(self._request("GET", "/v1/templates")["templates"])

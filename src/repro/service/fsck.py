@@ -1,0 +1,343 @@
+"""``repro-store fsck``: offline inspection and repair of a run store.
+
+A run store survives SIGKILLed services because every writer follows one
+of two disciplines — atomic replace or append-only — and every reader
+tolerates the debris those disciplines can leave (torn trailing JSONL
+lines, orphaned ``.tmp-*`` files, checkpoints missing their digest).  The
+readers route *around* damage; fsck is the tool that finds it, names it,
+and (where provably safe) removes it.
+
+:func:`fsck_store` walks every run and classifies it:
+
+``healthy``
+    All records parse, agree with each other, and any result passes its
+    digest check.
+``torn``
+    Crash debris: a torn trailing line in ``events.jsonl``, orphaned
+    ``.tmp-*`` files from an interrupted atomic replace, an unparseable
+    ``status.json``, or a checkpoint that fails to load.  All repairable:
+    the torn tail is truncated, debris and broken checkpoints deleted,
+    the unparseable status rewritten from the outcome (or removed).
+``orphaned``
+    The record claims ``running`` but no outcome or result exists and
+    no live queue owns the store — the service died under it.  Repair
+    rewrites the status to say ``orphaned`` honestly; a restarted service
+    (or :meth:`~repro.service.queue.JobQueue.recover`) re-adopts it.
+``digest-mismatch``
+    ``result.npz`` exists but fails its content check.  Report-only:
+    the matrix cannot be trusted and fsck never deletes data it cannot
+    regenerate — resume the run to recompute it.
+
+Store-level damage (a torn tail on the service journal, an unreadable
+lease file) is reported and repaired the same way.  The CLI::
+
+    repro-store fsck --root /var/lib/repro/runs            # report
+    repro-store fsck --root /var/lib/repro/runs --repair   # and fix
+    repro-store fsck --root /var/lib/repro/runs --json     # machine-readable
+
+exits 0 when the store is clean, 1 when any problem was found (repaired
+or not), so it slots into cron and CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import RunStoreError
+from repro.io.checkpoints import load_parallel_checkpoint
+from repro.io.runstore import RunKey, RunStore
+from repro.logging_util import get_logger
+from repro.service.journal import journal_path, read_lease
+
+__all__ = ["RunFsck", "StoreFsck", "fsck_store", "main"]
+
+_LOG = get_logger("service.fsck")
+
+#: Classification precedence, worst first: one run gets one verdict.
+_SEVERITY = ("digest-mismatch", "torn", "orphaned", "healthy")
+
+
+@dataclass
+class RunFsck:
+    """One run's verdict: its classification, issues found, repairs made."""
+
+    run: str
+    state: str = "healthy"
+    issues: list[str] = field(default_factory=list)
+    repairs: list[str] = field(default_factory=list)
+
+    def flag(self, state: str, issue: str) -> None:
+        """Record an issue, keeping the worst classification seen."""
+        self.issues.append(issue)
+        if _SEVERITY.index(state) < _SEVERITY.index(self.state):
+            self.state = state
+
+    def to_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "state": self.state,
+            "issues": list(self.issues),
+            "repairs": list(self.repairs),
+        }
+
+
+@dataclass
+class StoreFsck:
+    """The whole store's verdict (per-run reports + store-level issues)."""
+
+    root: str
+    runs: list[RunFsck] = field(default_factory=list)
+    store_issues: list[str] = field(default_factory=list)
+    store_repairs: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether nothing at all was wrong (before any repairs)."""
+        return not self.store_issues and all(r.state == "healthy" for r in self.runs)
+
+    def counts(self) -> dict[str, int]:
+        out = {state: 0 for state in _SEVERITY}
+        for run in self.runs:
+            out[run.state] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "clean": self.clean,
+            "counts": self.counts(),
+            "runs": [r.to_dict() for r in self.runs],
+            "store_issues": list(self.store_issues),
+            "store_repairs": list(self.store_repairs),
+        }
+
+
+def _torn_tail_length(path: Path) -> int:
+    """Bytes of unparseable trailing line in a JSONL file (0 = none)."""
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return 0
+    if not raw or raw.endswith(b"\n"):
+        return 0
+    tail = raw[raw.rfind(b"\n") + 1 :]
+    try:
+        json.loads(tail.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return len(tail)
+    return 0  # a parseable last line merely lost its newline; readers cope
+
+
+def _truncate_torn_tail(path: Path, tail_len: int) -> None:
+    size = path.stat().st_size
+    with open(path, "rb+") as fh:
+        fh.truncate(size - tail_len)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _pid_alive(pid) -> bool:
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, ValueError, TypeError):
+        return False
+    except PermissionError:
+        return True  # exists, just not ours
+    return True
+
+
+def _store_owner_live(root: Path) -> bool:
+    """Whether a live queue currently owns this store's lease."""
+    lease = read_lease(root)
+    if lease is None or lease.get("released"):
+        return False
+    return _pid_alive(lease.get("pid"))
+
+
+def _check_jsonl(report, path: Path, label: str, repair: bool, *, run=True) -> None:
+    tail = _torn_tail_length(path)
+    if not tail:
+        return
+    issue = f"{label}: torn trailing line ({tail} bytes)"
+    if run:
+        report.flag("torn", issue)
+    else:
+        report.store_issues.append(issue)
+    if repair:
+        _truncate_torn_tail(path, tail)
+        fixed = f"{label}: truncated torn tail"
+        (report.repairs if run else report.store_repairs).append(fixed)
+
+
+def _check_debris(report: RunFsck, directory: Path, repair: bool) -> None:
+    if not directory.is_dir():
+        return
+    for debris in sorted(directory.glob(".*.tmp-*")):
+        report.flag("torn", f"{debris.name}: orphaned temp file from an interrupted replace")
+        if repair:
+            debris.unlink(missing_ok=True)
+            report.repairs.append(f"{debris.name}: deleted")
+
+
+def _check_status_record(
+    store: RunStore, key: RunKey, report: RunFsck, repair: bool
+) -> dict | None:
+    path = store.run_dir(key) / "status.json"
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        report.flag("torn", "status.json: unparseable")
+        if repair:
+            outcome = store.read_outcome(key)
+            if outcome is not None:
+                store.write_status(
+                    key,
+                    {
+                        "tenant": key.tenant,
+                        "run_id": key.run_id,
+                        "state": outcome.get("state", "done"),
+                        "error": outcome.get("error"),
+                    },
+                )
+                report.repairs.append("status.json: rewritten from outcome.json")
+            else:
+                path.unlink(missing_ok=True)
+                report.repairs.append("status.json: removed (recovery will rebuild it)")
+        return None
+
+
+def _check_checkpoints(store: RunStore, key: RunKey, report: RunFsck, repair: bool) -> None:
+    ckpt_dir = store.checkpoint_dir(key)
+    if not ckpt_dir.is_dir():
+        return
+    for path in sorted(ckpt_dir.glob("ckpt_*.npz")):
+        try:
+            load_parallel_checkpoint(path)
+        except Exception:  # noqa: BLE001 - torn/corrupt in any shape
+            report.flag("torn", f"checkpoints/{path.name}: fails to load")
+            if repair:
+                path.unlink(missing_ok=True)
+                report.repairs.append(f"checkpoints/{path.name}: deleted (earlier checkpoints remain)")
+
+
+def _fsck_run(
+    store: RunStore, key: RunKey, *, repair: bool, owner_live: bool
+) -> RunFsck:
+    report = RunFsck(run=str(key))
+    run_dir = store.run_dir(key)
+    _check_debris(report, run_dir, repair)
+    _check_jsonl(report, store.events_path(key), "events.jsonl", repair)
+    _check_checkpoints(store, key, report, repair)
+    status = _check_status_record(store, key, report, repair)
+    try:
+        outcome = store.read_outcome(key)
+    except RunStoreError:
+        outcome = None
+        report.flag("torn", "outcome.json: unreadable")
+
+    if store.has_result(key):
+        try:
+            store.load_result(key)
+        except RunStoreError as exc:
+            report.flag("digest-mismatch", f"result.npz: {exc}")
+            # Report-only: never delete a result; resume the run to recompute.
+
+    # A "queued" record with no owner is normal (a cleanly stopped queue
+    # leaves pending work behind); only a "running" record with neither an
+    # outcome nor a live owner proves the service died under the run.
+    recorded_state = (status or {}).get("state")
+    if (
+        recorded_state == "running"
+        and outcome is None
+        and not store.has_result(key)
+        and not owner_live
+    ):
+        report.flag(
+            "orphaned",
+            f"status.json says {recorded_state!r} but no queue owns the store",
+        )
+        if repair:
+            record = dict(status or {})
+            record.update(
+                {"tenant": key.tenant, "run_id": key.run_id, "state": "orphaned"}
+            )
+            record.pop("pid", None)
+            store.write_status(key, record)
+            report.repairs.append("status.json: state rewritten to 'orphaned'")
+    return report
+
+
+def fsck_store(root: str | Path, *, repair: bool = False) -> StoreFsck:
+    """Check (and with ``repair=True``, fix) every run in the store.
+
+    Returns the full :class:`StoreFsck` report.  Repair only ever touches
+    state that is provably crash debris or provably unowned; results are
+    never deleted and digest mismatches are report-only.
+    """
+    store = RunStore(root)
+    report = StoreFsck(root=str(store.root))
+    owner_live = _store_owner_live(store.root)
+    _check_jsonl(report, journal_path(store.root), "journal.jsonl", repair, run=False)
+    lease_file = store.root / ".service" / "lease.json"
+    if lease_file.exists() and read_lease(store.root) is None:
+        report.store_issues.append("lease.json: unreadable")
+        if repair:
+            lease_file.unlink(missing_ok=True)
+            report.store_repairs.append("lease.json: removed (next queue re-claims)")
+    for key in store.iter_keys():
+        report.runs.append(_fsck_run(store, key, repair=repair, owner_live=owner_live))
+    return report
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-store`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-store", description="Inspect and repair a run store."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    fsck = sub.add_parser("fsck", help="classify every run; --repair fixes safe damage")
+    fsck.add_argument("--root", required=True, help="run-store directory")
+    fsck.add_argument("--repair", action="store_true", help="fix repairable damage")
+    fsck.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 0 when clean, 1 when any problem was found."""
+    args = build_parser().parse_args(argv)
+    report = fsck_store(args.root, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        counts = report.counts()
+        print(
+            f"fsck {report.root}: {len(report.runs)} run(s) — "
+            + ", ".join(f"{counts[s]} {s}" for s in _SEVERITY)
+        )
+        for issue in report.store_issues:
+            print(f"  store: {issue}")
+        for repaired in report.store_repairs:
+            print(f"  store: repaired: {repaired}")
+        for run in report.runs:
+            if run.state == "healthy":
+                continue
+            print(f"  {run.run}: {run.state}")
+            for issue in run.issues:
+                print(f"    - {issue}")
+            for repaired in run.repairs:
+                print(f"    + {repaired}")
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Journaled queue state: a per-store service journal with epoch fencing.
+
+The :class:`~repro.service.queue.JobQueue` of PR 8 was pure in-memory
+state: SIGKILL the service process and every queued job vanished, running
+workers were orphaned, and ``status.json`` lied "running" forever.  Worse,
+two queues pointed at the same store could double-dispatch the same run.
+This module is the durability layer underneath the queue:
+
+* :class:`QueueLease` — an ``os.replace``-claimed ownership record at
+  ``<root>/.service/lease.json``.  Claiming bumps a monotonically
+  increasing **epoch**; the claimant re-reads the file and only wins if its
+  own token survived the replace, so two racing claimants always agree on
+  exactly one current owner.  A superseded queue discovers its demotion at
+  its next :meth:`QueueLease.check` — before any write lands — and raises
+  :class:`~repro.errors.StaleLeaseError` (it is *fenced*).
+* :class:`ServiceJournal` — an append-only ``<root>/.service/journal.jsonl``
+  recording every job lifecycle transition (``submitted``, ``dispatched``,
+  ``requeued``, ``preempted``, ``stalled``, ``terminal``, ``recovered``,
+  ``reconciled``, ``drain``, ``fenced``) under the writing queue's epoch.
+  Appends follow the same flush + torn-line-tolerant discipline as
+  ``events.jsonl``; dispatch and terminal records are fsynced (``durable``)
+  because they are the ones recovery reasons from.  Every append is fenced:
+  the lease is checked first, so a stale queue's record never reaches the
+  journal.
+
+:func:`replay_journal` reads the journal back (torn trailing lines
+skipped) and :func:`last_records` folds it into the newest record per run
+— the starting point for :meth:`~repro.service.queue.JobQueue.recover`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.errors import ServiceError, StaleLeaseError
+from repro.io.runstore import RunKey, _append_line, _atomic_write_text
+from repro.logging_util import get_logger
+from repro.obs.stream import read_events
+
+__all__ = [
+    "SERVICE_DIR",
+    "QueueLease",
+    "ServiceJournal",
+    "replay_journal",
+    "last_records",
+    "read_lease",
+]
+
+_LOG = get_logger("service.journal")
+
+#: Store-level service state lives under this dotted directory, which every
+#: tenant listing (``RunStore.list_tenants``) already skips.
+SERVICE_DIR = ".service"
+
+_LEASE_NAME = "lease.json"
+_JOURNAL_NAME = "journal.jsonl"
+
+#: Journal record types a queue may write (documentation; not enforced).
+JOURNAL_TYPES = (
+    "submitted",
+    "dispatched",
+    "requeued",
+    "preempted",
+    "stalled",
+    "terminal",
+    "recovered",
+    "reconciled",
+    "drain",
+    "fenced",
+    "released",
+)
+
+
+def _service_dir(root: str | Path) -> Path:
+    return Path(root) / SERVICE_DIR
+
+
+def lease_path(root: str | Path) -> Path:
+    """Where the store's lease file lives (may not exist yet)."""
+    return _service_dir(root) / _LEASE_NAME
+
+
+def journal_path(root: str | Path) -> Path:
+    """Where the store's service journal lives (may not exist yet)."""
+    return _service_dir(root) / _JOURNAL_NAME
+
+
+def read_lease(root: str | Path) -> dict | None:
+    """The store's current lease record, or ``None`` (absent or torn)."""
+    path = lease_path(root)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+class QueueLease:
+    """Exclusive ownership of one store's service state, epoch-numbered.
+
+    The claim protocol is last-writer-wins with read-back verification:
+    read the current epoch, atomically ``os.replace`` a record carrying
+    ``epoch + 1`` and a unique owner token into place, then read the file
+    back.  If the token read back is ours, we own the store; if another
+    claimant replaced after us, we retry above *its* epoch.  Two queues can
+    therefore never both believe they are the *current* owner for long: the
+    loser's next :meth:`check` sees a foreign token and raises
+    :class:`~repro.errors.StaleLeaseError`, fencing all its writes.
+
+    The lease is advisory-but-checked: nothing prevents a rogue process
+    from scribbling in the store, but every write path of a well-behaved
+    queue goes through :meth:`check` first.
+    """
+
+    _CLAIM_ATTEMPTS = 32
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.epoch: int | None = None
+        self._token: str | None = None
+
+    @property
+    def path(self) -> Path:
+        return lease_path(self.root)
+
+    def claim(self) -> int:
+        """Claim the store, fencing any previous owner; returns our epoch."""
+        _service_dir(self.root).mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}.{os.urandom(6).hex()}"
+        for _ in range(self._CLAIM_ATTEMPTS):
+            current = read_lease(self.root)
+            epoch = int(current.get("epoch", 0)) + 1 if current else 1
+            _atomic_write_text(
+                self.path,
+                json.dumps(
+                    {
+                        "epoch": epoch,
+                        "owner": token,
+                        "pid": os.getpid(),
+                        "claimed": time.time(),
+                        "released": False,
+                    },
+                    indent=2,
+                ),
+            )
+            readback = read_lease(self.root)
+            if readback is not None and readback.get("owner") == token:
+                self.epoch = epoch
+                self._token = token
+                _LOG.info("claimed store %s at epoch %d", self.root, epoch)
+                return epoch
+            # Another claimant replaced our record between write and read —
+            # loop and claim above whatever epoch it took.
+        raise ServiceError(
+            f"could not claim the lease on {self.root} after"
+            f" {self._CLAIM_ATTEMPTS} attempts (a claim storm?)"
+        )
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.StaleLeaseError` unless we still own
+        the store.  Cheap (one small file read); called before every write."""
+        if self._token is None:
+            raise StaleLeaseError("this lease was never claimed")
+        current = read_lease(self.root)
+        if current is None or current.get("owner") != self._token:
+            raise StaleLeaseError(
+                f"queue epoch {self.epoch} on {self.root} has been fenced"
+                f" (current epoch {None if current is None else current.get('epoch')})",
+                epoch=self.epoch,
+                current=None if current is None else current.get("epoch"),
+            )
+
+    @property
+    def owned(self) -> bool:
+        """Whether we still hold the lease (non-raising form of :meth:`check`)."""
+        try:
+            self.check()
+        except StaleLeaseError:
+            return False
+        return True
+
+    def release(self) -> None:
+        """Mark a clean shutdown (only if we still own the lease).
+
+        The epoch and owner stay in the record so a later claimant still
+        counts upward; ``released: true`` tells recovery the previous queue
+        exited deliberately rather than dying.
+        """
+        try:
+            self.check()
+        except StaleLeaseError:
+            return  # a newer queue owns the store; nothing of ours to release
+        record = read_lease(self.root) or {}
+        record["released"] = True
+        record["released_at"] = time.time()
+        _atomic_write_text(self.path, json.dumps(record, indent=2))
+
+
+class ServiceJournal:
+    """The store's append-only lifecycle journal, fenced by a lease.
+
+    Every record is one JSON line carrying at least ``type``, ``epoch``,
+    ``tenant``, ``run_id`` and ``time``; transition-specific fields
+    (``pid``, ``requeues``, ``reason``…) ride along.  ``durable`` records
+    are fsynced (dispatch/terminal — the ones recovery reasons from);
+    everything else follows ``events.jsonl``'s flush discipline, and
+    readers tolerate a torn trailing line either way.
+    """
+
+    def __init__(self, root: str | Path, lease: QueueLease) -> None:
+        self.root = Path(root)
+        self.lease = lease
+
+    @property
+    def path(self) -> Path:
+        return journal_path(self.root)
+
+    def record(
+        self,
+        type: str,  # noqa: A002 - mirrors the record's key
+        key: RunKey | None,
+        *,
+        durable: bool = False,
+        **fields,
+    ) -> dict:
+        """Append one fenced transition record; returns the dict written.
+
+        Raises :class:`~repro.errors.StaleLeaseError` (without writing)
+        when a newer queue has claimed the store — the fence that makes a
+        superseded queue harmless.
+        """
+        self.lease.check()
+        record = {"type": type, "epoch": self.lease.epoch, "time": time.time()}
+        if key is not None:
+            record["tenant"] = key.tenant
+            record["run_id"] = key.run_id
+        record.update(fields)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _append_line(self.path, json.dumps(record), durable=durable)
+        return record
+
+
+def replay_journal(root: str | Path) -> list[dict]:
+    """Every parseable journal record, oldest first (torn tails skipped)."""
+    return read_events(journal_path(root))
+
+
+def last_records(root: str | Path) -> dict[RunKey, dict]:
+    """The newest journal record per run (records without a key skipped).
+
+    Later records win regardless of epoch: the journal is append-only and
+    fenced at write time, so file order *is* authority order.
+    """
+    out: dict[RunKey, dict] = {}
+    for record in replay_journal(root):
+        tenant, run_id = record.get("tenant"), record.get("run_id")
+        if not tenant or not run_id:
+            continue
+        try:
+            out[RunKey(tenant, run_id)] = record
+        except Exception:  # noqa: BLE001 - a corrupt key must not kill replay
+            continue
+    return out

@@ -23,13 +23,22 @@ GET    ``/v1/runs/{tenant}/{run}/events``          event log so far
 GET    ``/v1/runs/{tenant}/{run}/stream``          live SSE progress feed
 GET    ``/v1/templates``                           templatable experiment ids
 GET    ``/v1/healthz``                             liveness
+GET    ``/v1/readyz``                              admitting work? (503 if not)
 ====== =========================================== ===========================
 
 The SSE stream replays the run's event log from the start, then tails it
 (:func:`repro.obs.stream.follow_events`) until the run is terminal — each
 frame is ``event: <type>`` + ``data: <json>``, closing with ``event: end``.
 Errors map onto status codes: unknown key 404, duplicate key 409, quota
-429, bad spec/template 400.
+429, bad spec/template 400, draining 503 (with a ``Retry-After`` header).
+
+Durability: :class:`RunService` claims the store's epoch lease and replays
+the service journal at construction (``recover=True``), so a service
+restarted on the store of a SIGKILLed predecessor re-adopts its
+interrupted runs automatically; :meth:`RunService.begin_drain` /
+``close(drain=...)`` implement graceful shutdown (admission stops, workers
+get a grace window, leftovers are journaled as resumable).  See
+``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -42,19 +51,22 @@ from pathlib import Path
 
 from repro.errors import (
     ConfigError,
+    DrainingError,
     ExperimentError,
     QuotaError,
     ReproError,
     RunStoreError,
     ServiceError,
+    StaleLeaseError,
     UnknownRunError,
 )
 from repro.experiments.templates import spec_template, template_ids
 from repro.io.runstore import RunStore
 from repro.logging_util import get_logger
 from repro.obs.stream import follow_events
+from repro.obs.tracer import Tracer
 from repro.parallel.spec import RunSpec, spec_from_dict
-from repro.service.queue import JobQueue, JobStatus
+from repro.service.queue import JobQueue, JobStatus, RecoveryReport
 
 __all__ = ["RunService", "RunServer", "serve"]
 
@@ -64,7 +76,15 @@ _TERMINAL = ("done", "failed")
 
 
 class RunService:
-    """Submit, watch, preempt and fetch runs — the HTTP-free service core."""
+    """Submit, watch, preempt and fetch runs — the HTTP-free service core.
+
+    Construction claims the store's epoch lease (fencing any earlier
+    service still pointed at it) and, unless ``recover=False``, replays
+    the service journal against the store: interrupted runs of a dead
+    predecessor are re-adopted and resume from their latest valid
+    checkpoint, stale status records are reconciled.  The report lands in
+    :attr:`recovery`.
+    """
 
     def __init__(
         self,
@@ -73,10 +93,19 @@ class RunService:
         max_workers: int = 2,
         quota: int = 4,
         quotas: dict[str, int] | None = None,
+        recover: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.store = RunStore(root)
         self.queue = JobQueue(
-            self.store, max_workers=max_workers, quota=quota, quotas=quotas
+            self.store,
+            max_workers=max_workers,
+            quota=quota,
+            quotas=quotas,
+            tracer=tracer,
+        )
+        self.recovery: RecoveryReport = (
+            self.queue.recover() if recover else RecoveryReport()
         )
 
     # -- submission ----------------------------------------------------------
@@ -186,8 +215,29 @@ class RunService:
                 out.append(self.queue.status(t, run_id).to_dict())
         return out
 
-    def close(self) -> None:
-        self.queue.close()
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """Whether the service admits new work (not draining, not fenced)."""
+        return not (self.queue.draining or self.queue.fenced)
+
+    def begin_drain(self, grace: float = 30.0) -> None:
+        """Stop admission now; shut down after ``grace`` seconds (async).
+
+        Submissions raise :class:`~repro.errors.DrainingError` (503 over
+        HTTP) immediately; running workers get the grace window to finish,
+        then are killed and journaled as resumable — the next service on
+        this store re-adopts them.  Returns at once; the drain runs on a
+        background thread (the SIGTERM handler's shape).
+        """
+        threading.Thread(
+            target=self.close, kwargs={"drain": grace},
+            name="repro-service-drain", daemon=True,
+        ).start()
+
+    def close(self, *, drain: float | None = None) -> None:
+        self.queue.close(drain=drain)
 
     def __enter__(self) -> "RunService":
         return self
@@ -208,7 +258,9 @@ def _error_status(exc: Exception) -> int:
         return 404
     if isinstance(exc, QuotaError):
         return 429
-    if isinstance(exc, RunStoreError):
+    if isinstance(exc, DrainingError):
+        return 503
+    if isinstance(exc, (RunStoreError, StaleLeaseError)):
         return 409
     if isinstance(exc, (ConfigError, ExperimentError)):
         return 400
@@ -226,17 +278,28 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args) -> None:  # route to our logger
         _LOG.debug("%s %s", self.address_string(), fmt % args)
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(
+        self, payload, status: int = 200, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, exc: Exception) -> None:
+        headers = None
+        if isinstance(exc, DrainingError):
+            # Tell well-behaved clients when the *next* service instance is
+            # worth trying (roughly the drain grace window).
+            headers = {"Retry-After": str(max(1, round(exc.retry_after)))}
         self._send_json(
-            {"error": f"{type(exc).__name__}: {exc}"}, status=_error_status(exc)
+            {"error": f"{type(exc).__name__}: {exc}"},
+            status=_error_status(exc),
+            headers=headers,
         )
 
     def _read_body(self) -> dict:
@@ -255,6 +318,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/healthz":
                 self._send_json({"ok": True})
+            elif self.path == "/v1/readyz":
+                if self.service.ready:
+                    self._send_json({"ready": True})
+                else:
+                    self._send_json(
+                        {"ready": False, "reason": "draining or fenced"},
+                        status=503,
+                        headers={"Retry-After": "30"},
+                    )
             elif self.path == "/v1/templates":
                 self._send_json({"templates": template_ids()})
             elif self.path == "/v1/runs":
@@ -340,9 +412,16 @@ class RunServer:
         max_workers: int = 2,
         quota: int = 4,
         quotas: dict[str, int] | None = None,
+        recover: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.service = RunService(
-            root, max_workers=max_workers, quota=quota, quotas=quotas
+            root,
+            max_workers=max_workers,
+            quota=quota,
+            quotas=quotas,
+            recover=recover,
+            tracer=tracer,
         )
         handler = type("_BoundHandler", (_Handler,), {"service": self.service})
         self.httpd = ThreadingHTTPServer((host, port), handler)
@@ -377,6 +456,19 @@ class RunServer:
         """Serve on the calling thread (the CLI's mode)."""
         _LOG.info("run service listening on %s", self.url)
         self.httpd.serve_forever(poll_interval=0.05)
+
+    def drain(self, grace: float = 30.0) -> None:
+        """Graceful shutdown: 503 new submissions now, stop after ``grace``.
+
+        The HTTP listener stays up through the grace window so clients can
+        still poll status, stream events and fetch results; only admission
+        is refused.  Blocks until the drain completes, then closes.
+        """
+        self.service.close(drain=grace)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
 
     def close(self) -> None:
         self.httpd.shutdown()

@@ -101,7 +101,9 @@ def run_job(store_root: str, tenant: str, run_id: str) -> int:
     )
     tap = EventTap([write], keep_events=False)
     store.append_event(
-        key, {"type": "worker-started", "pid": os.getpid(), "time": time.time()}
+        key,
+        {"type": "worker-started", "pid": os.getpid(), "time": time.time()},
+        durable=True,
     )
 
     try:
@@ -124,6 +126,7 @@ def run_job(store_root: str, tenant: str, run_id: str) -> int:
         store.append_event(
             key,
             {"type": "failed", "error": f"{type(exc).__name__}: {exc}", "time": time.time()},
+            durable=True,
         )
         return 1
     finally:
@@ -148,6 +151,7 @@ def run_job(store_root: str, tenant: str, run_id: str) -> int:
             "attempts": supervised.attempts,
             "time": time.time(),
         },
+        durable=True,
     )
     return 0
 
@@ -165,7 +169,9 @@ def _run_spatial_job(store: RunStore, key: RunKey, spec) -> int:
     from repro.spatial.parallel import run_partitioned
 
     store.append_event(
-        key, {"type": "worker-started", "pid": os.getpid(), "time": time.time()}
+        key,
+        {"type": "worker-started", "pid": os.getpid(), "time": time.time()},
+        durable=True,
     )
     try:
         result = run_partitioned(spec)
@@ -182,6 +188,7 @@ def _run_spatial_job(store: RunStore, key: RunKey, spec) -> int:
         store.append_event(
             key,
             {"type": "failed", "error": f"{type(exc).__name__}: {exc}", "time": time.time()},
+            durable=True,
         )
         return 1
 
@@ -211,6 +218,7 @@ def _run_spatial_job(store: RunStore, key: RunKey, spec) -> int:
             "shares": result.shares(),
             "time": time.time(),
         },
+        durable=True,
     )
     return 0
 

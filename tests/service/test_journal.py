@@ -1,0 +1,162 @@
+"""Tests for the durability layer: the store lease and service journal."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import StaleLeaseError
+from repro.io.runstore import RunKey
+from repro.service.journal import (
+    QueueLease,
+    ServiceJournal,
+    journal_path,
+    last_records,
+    lease_path,
+    read_lease,
+    replay_journal,
+)
+
+pytestmark = pytest.mark.service
+
+
+class TestLease:
+    def test_first_claim_is_epoch_one(self, tmp_path):
+        lease = QueueLease(tmp_path)
+        assert lease.claim() == 1
+        assert lease.owned
+        record = read_lease(tmp_path)
+        assert record["epoch"] == 1
+        assert record["released"] is False
+
+    def test_reclaim_bumps_the_epoch(self, tmp_path):
+        first = QueueLease(tmp_path)
+        assert first.claim() == 1
+        second = QueueLease(tmp_path)
+        assert second.claim() == 2
+        third = QueueLease(tmp_path)
+        assert third.claim() == 3
+
+    def test_superseded_lease_is_fenced(self, tmp_path):
+        first = QueueLease(tmp_path)
+        first.claim()
+        second = QueueLease(tmp_path)
+        second.claim()
+        with pytest.raises(StaleLeaseError) as excinfo:
+            first.check()
+        assert excinfo.value.epoch == 1
+        assert excinfo.value.current == 2
+        assert not first.owned
+        assert second.owned  # the new owner is untouched
+
+    def test_unclaimed_lease_never_owns(self, tmp_path):
+        lease = QueueLease(tmp_path)
+        with pytest.raises(StaleLeaseError):
+            lease.check()
+
+    def test_release_marks_clean_shutdown(self, tmp_path):
+        lease = QueueLease(tmp_path)
+        lease.claim()
+        lease.release()
+        record = read_lease(tmp_path)
+        assert record["released"] is True
+        assert record["epoch"] == 1  # epoch survives for the next claimant
+        assert QueueLease(tmp_path).claim() == 2
+
+    def test_release_by_a_fenced_lease_is_a_noop(self, tmp_path):
+        first = QueueLease(tmp_path)
+        first.claim()
+        second = QueueLease(tmp_path)
+        second.claim()
+        first.release()  # must not clobber second's live claim
+        assert read_lease(tmp_path)["released"] is False
+        assert second.owned
+
+    def test_torn_lease_file_reads_as_absent(self, tmp_path):
+        lease = QueueLease(tmp_path)
+        lease.claim()
+        lease_path(tmp_path).write_text('{"epoch": 2, "owner"')  # torn write
+        assert read_lease(tmp_path) is None
+        with pytest.raises(StaleLeaseError):
+            lease.check()
+        # a fresh claimant recovers by claiming over the debris
+        assert QueueLease(tmp_path).claim() == 1
+
+    def test_racing_claims_agree_on_one_owner(self, tmp_path):
+        leases = [QueueLease(tmp_path) for _ in range(8)]
+        barrier = threading.Barrier(len(leases))
+
+        def claim(lease):
+            barrier.wait()
+            lease.claim()
+
+        threads = [threading.Thread(target=claim, args=(l,)) for l in leases]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        owners = [l for l in leases if l.owned]
+        assert len(owners) == 1
+        assert owners[0].epoch == read_lease(tmp_path)["epoch"]
+
+
+class TestJournal:
+    def _journal(self, root) -> ServiceJournal:
+        lease = QueueLease(root)
+        lease.claim()
+        return ServiceJournal(root, lease)
+
+    def test_records_carry_epoch_and_key(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("submitted", RunKey("alice", "r1"), name="demo")
+        journal.record("dispatched", RunKey("alice", "r1"), durable=True, pid=1234)
+        records = replay_journal(tmp_path)
+        assert [r["type"] for r in records] == ["submitted", "dispatched"]
+        assert all(r["epoch"] == 1 for r in records)
+        assert all(r["tenant"] == "alice" and r["run_id"] == "r1" for r in records)
+        assert records[1]["pid"] == 1234
+
+    def test_keyless_records_allowed(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("drain", None, grace=5.0)
+        (record,) = replay_journal(tmp_path)
+        assert record["type"] == "drain"
+        assert "tenant" not in record
+
+    def test_fenced_journal_refuses_to_write(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("submitted", RunKey("alice", "r1"))
+        QueueLease(tmp_path).claim()  # fence the first owner
+        with pytest.raises(StaleLeaseError):
+            journal.record("dispatched", RunKey("alice", "r1"))
+        # the rejected record never reached the file
+        assert [r["type"] for r in replay_journal(tmp_path)] == ["submitted"]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("submitted", RunKey("alice", "r1"))
+        journal.record("dispatched", RunKey("alice", "r1"))
+        path = journal_path(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "term')  # power loss mid-append
+        records = replay_journal(tmp_path)
+        assert [r["type"] for r in records] == ["submitted", "dispatched"]
+        # appending after the torn line still round-trips the new record
+        journal.record("terminal", RunKey("alice", "r1"), state="done")
+        assert replay_journal(tmp_path)[-1]["type"] == "terminal"
+
+    def test_last_records_newest_wins(self, tmp_path):
+        journal = self._journal(tmp_path)
+        a, b = RunKey("alice", "r1"), RunKey("bob", "r2")
+        journal.record("submitted", a)
+        journal.record("submitted", b)
+        journal.record("dispatched", a, pid=7)
+        latest = last_records(tmp_path)
+        assert latest[a]["type"] == "dispatched"
+        assert latest[b]["type"] == "submitted"
+
+    def test_durable_record_lands_on_disk(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("terminal", RunKey("alice", "r1"), durable=True, state="done")
+        raw = journal_path(tmp_path).read_text(encoding="utf-8")
+        assert json.loads(raw.strip())["state"] == "done"

@@ -262,3 +262,63 @@ class TestResume:
         driver.run()
         stored = store.load_result(store.key("alice", "r1"))
         assert np.array_equal(stored.matrix, driver.population.matrix())
+
+
+class TestStatusHonesty:
+    """Regression: ``status()`` used to parrot a dead queue's ``running``
+    record forever.  Store-side reconstruction must reconcile instead."""
+
+    def test_dead_queues_running_record_reports_orphaned(self, store):
+        key = store.key("alice", "r1")
+        store.create_run(key, _spec())
+        # A dead queue's word: running under an epoch nobody holds any more.
+        store.write_status(
+            key,
+            {"tenant": "alice", "run_id": "r1", "state": "running",
+             "pid": 999_999_999, "epoch": 1},
+        )
+        with JobQueue(store, max_workers=1) as queue:
+            status = queue.status("alice", "r1")
+        assert status.state == "orphaned"
+        assert status.pid is None
+
+    def test_running_record_with_result_reports_done(self, store):
+        with JobQueue(store, max_workers=1) as queue:
+            queue.submit("alice", "r1", _spec())
+            queue.wait("alice", "r1", timeout=60)
+        key = store.key("alice", "r1")
+        # Lose the terminal status/outcome writes, as a crash would.
+        (store.run_dir(key) / "outcome.json").unlink()
+        store.write_status(
+            key,
+            {"tenant": "alice", "run_id": "r1", "state": "running",
+             "pid": 999_999_999, "epoch": 1},
+        )
+        with JobQueue(store, max_workers=1) as fresh:
+            assert fresh.status("alice", "r1").state == "done"
+
+
+class TestCloseKillFalse:
+    """Regression: ``close(kill=False)`` used to leak the scheduler thread
+    silently when workers outlived the caller."""
+
+    def test_close_without_kill_times_out_loudly(self, store):
+        queue = JobQueue(store, max_workers=1)
+        try:
+            queue.submit("alice", "r1", _spec(generations=100_000))
+            _wait_for(lambda: queue.status("alice", "r1").pid)
+            with pytest.raises(ServiceError, match="timed out"):
+                queue.close(kill=False, timeout=0.5)
+        finally:
+            # A second close with kill=True must reclaim the stragglers.
+            queue.close(kill=True)
+        assert not queue._thread.is_alive()
+        assert queue.status("alice", "r1").state == "queued"  # resumable
+
+    def test_close_without_kill_waits_for_short_runs(self, store):
+        queue = JobQueue(store, max_workers=1)
+        queue.submit("alice", "r1", _spec(generations=20))
+        _wait_for(lambda: queue.status("alice", "r1").pid)
+        queue.close(kill=False, timeout=60.0)
+        assert queue.status("alice", "r1").state == "done"
+        assert not queue._thread.is_alive()

@@ -162,3 +162,42 @@ class TestListing:
         key = store.key("alice", "r1")
         store.create_run(key, spec)
         assert store.latest_checkpoint(key) is None
+
+
+class TestDurability:
+    def test_oserror_wrapped_naming_the_run(self, store, spec, monkeypatch):
+        key = store.key("alice", "r1")
+        store.create_run(key, spec)
+
+        def boom(path, text, durable=False):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(store, "_write_text", boom)
+        with pytest.raises(RunStoreError, match="alice/r1"):
+            store.write_status(key, {"state": "queued"})
+        with pytest.raises(RunStoreError, match="alice/r1"):
+            store.write_outcome(key, {"state": "done"})
+
+    def test_append_event_durable_round_trips(self, store, spec):
+        key = store.key("alice", "r1")
+        store.create_run(key, spec)
+        store.append_event(key, {"type": "progress", "generation": 1})
+        store.append_event(key, {"type": "done", "generation": 2}, durable=True)
+        assert [e["type"] for e in store.read_events(key)] == ["progress", "done"]
+
+    def test_torn_status_reads_as_none(self, store, spec):
+        key = store.key("alice", "r1")
+        store.create_run(key, spec)
+        (store.run_dir(key) / "status.json").write_text('{"state": "run')
+        assert store.read_status(key) is None
+
+    def test_torn_events_tail_skipped_and_healed(self, store, spec):
+        key = store.key("alice", "r1")
+        store.create_run(key, spec)
+        store.append_event(key, {"type": "progress", "generation": 1})
+        with open(store.events_path(key), "a", encoding="utf-8") as fh:
+            fh.write('{"type": "prog')  # power loss mid-append
+        assert [e["generation"] for e in store.read_events(key)] == [1]
+        # The next append seals the torn tail onto its own line.
+        store.append_event(key, {"type": "progress", "generation": 2})
+        assert [e["generation"] for e in store.read_events(key)] == [1, 2]
